@@ -1,0 +1,185 @@
+//! On-core SRAM buffer models: IBUF, WBUF, IDXBUF, OBUF (paper Fig. 8).
+//!
+//! Each PE owns small double-buffered operand memories refilled over the
+//! Bi-NoC while the MAC array drains them. The model tracks occupancy in
+//! 16-bit sub-word units, refill bandwidth, and stall behaviour — the
+//! inputs the pipeline simulator needs to expose fetch-bound layers.
+
+use std::fmt;
+
+/// A double-buffered operand memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandBuffer {
+    /// Capacity in sub-words (one half of the double buffer).
+    pub capacity: u32,
+    /// Refill bandwidth in sub-words per refill opportunity.
+    pub refill_per_cycle: u32,
+    /// Cycles between refill opportunities (a shared Bi-NoC serving many
+    /// PEs delivers to each one only every few cycles).
+    pub refill_period: u32,
+    occupancy: u32,
+    tick_count: u64,
+    /// Sub-words consumed in total.
+    consumed: u64,
+    /// Cycles stalled waiting for data.
+    stalls: u64,
+}
+
+impl OperandBuffer {
+    /// Creates a buffer; it starts full (the first tile is pre-loaded
+    /// behind the double buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or refill bandwidth is zero.
+    pub fn new(capacity: u32, refill_per_cycle: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(refill_per_cycle > 0, "refill bandwidth must be positive");
+        Self {
+            capacity,
+            refill_per_cycle,
+            refill_period: 1,
+            occupancy: capacity,
+            tick_count: 0,
+            consumed: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Sets the refill period (refills happen every `period` cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_refill_period(mut self, period: u32) -> Self {
+        assert!(period > 0, "refill period must be positive");
+        self.refill_period = period;
+        self
+    }
+
+    /// Creates a buffer with an explicit initial occupancy (the data
+    /// actually pre-loaded, which may be less than the capacity for short
+    /// streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy > capacity`, or capacity / refill is zero.
+    pub fn with_occupancy(capacity: u32, refill_per_cycle: u32, occupancy: u32) -> Self {
+        assert!(occupancy <= capacity, "occupancy exceeds capacity");
+        Self {
+            occupancy,
+            ..Self::new(capacity, refill_per_cycle)
+        }
+    }
+
+    /// [`Self::with_occupancy`] preserving a template's refill period.
+    pub fn like(template: &OperandBuffer, occupancy: u32) -> Self {
+        Self::with_occupancy(template.capacity, template.refill_per_cycle, occupancy)
+            .with_refill_period(template.refill_period)
+    }
+
+    /// The Sibia IBUF: 256 sub-words per PE, 2 sub-words/cycle refill.
+    pub fn ibuf() -> Self {
+        Self::new(256, 2)
+    }
+
+    /// The Sibia WBUF: 512 sub-words per PE, 2 sub-words/cycle refill.
+    pub fn wbuf() -> Self {
+        Self::new(512, 2)
+    }
+
+    /// Current occupancy in sub-words.
+    pub fn occupancy(&self) -> u32 {
+        self.occupancy
+    }
+
+    /// Total sub-words consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Cycles spent stalled.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// One cycle tick: refill up to the bandwidth (bounded by capacity) if
+    /// `stream_remaining` sub-words are still in flight; then try to
+    /// consume `want` sub-words. Returns how many were actually consumed
+    /// (0 = stall).
+    pub fn tick(&mut self, want: u32, stream_remaining: &mut u64) -> u32 {
+        self.tick_count += 1;
+        let room = self.capacity - self.occupancy;
+        let refill = if self.tick_count % u64::from(self.refill_period) == 0 {
+            u64::from(self.refill_per_cycle.min(room)).min(*stream_remaining) as u32
+        } else {
+            0
+        };
+        self.occupancy += refill;
+        *stream_remaining -= u64::from(refill);
+        let got = want.min(self.occupancy);
+        self.occupancy -= got;
+        self.consumed += u64::from(got);
+        if got < want && (*stream_remaining > 0 || self.occupancy > 0) {
+            self.stalls += 1;
+        }
+        got
+    }
+}
+
+impl fmt::Display for OperandBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer {}/{} sub-words, {} consumed, {} stalls",
+            self.occupancy, self.capacity, self.consumed, self.stalls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_refill_never_stalls() {
+        let mut b = OperandBuffer::new(16, 4);
+        let mut stream = 1000u64;
+        for _ in 0..500 {
+            b.tick(2, &mut stream); // consume 2/cycle, refill 4/cycle
+        }
+        assert_eq!(b.stalls(), 0);
+        // Want-limited: 500 cycles × 2 sub-words.
+        assert_eq!(b.consumed(), 1000);
+    }
+
+    #[test]
+    fn slow_refill_stalls_consumer() {
+        let mut b = OperandBuffer::new(4, 1);
+        let mut stream = 100u64;
+        let mut consumed = 0u64;
+        for _ in 0..300 {
+            consumed += u64::from(b.tick(2, &mut stream));
+        }
+        assert!(b.stalls() > 0, "{b}");
+        assert_eq!(consumed, 100 + 4);
+    }
+
+    #[test]
+    fn consumption_is_bounded_by_stream() {
+        let mut b = OperandBuffer::new(8, 8);
+        let mut stream = 3u64;
+        let mut consumed = 0u64;
+        for _ in 0..20 {
+            consumed += u64::from(b.tick(4, &mut stream));
+        }
+        assert_eq!(consumed, 3 + 8); // initial fill + stream
+        assert_eq!(stream, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = OperandBuffer::new(0, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Data management unit throughput model (paper Fig. 4 / Fig. 5b).
+//!
+//! Each DMU core hosts the SBR unit, the RLE unit and the DSM next to the
+//! 64 KiB global memory. For the pipeline to stay transparent, the encoder
+//! chain must sustain at least the external-memory ingress rate — this
+//! module checks that balance and sizes the encode latency a layer tile
+//! pays.
+
+use std::fmt;
+
+use crate::extmem::HyperRam;
+
+/// Throughput parameters of one DMU core's encoder chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmuModel {
+    /// Values the SBR unit decomposes per cycle (its four borrow/lend
+    /// register chains work in parallel).
+    pub sbr_values_per_cycle: u32,
+    /// Sub-words the RLE unit emits per cycle.
+    pub rle_subwords_per_cycle: u32,
+    /// Core clock in MHz.
+    pub frequency_mhz: u32,
+}
+
+impl DmuModel {
+    /// The Sibia DMU: 4 values/cycle through the SBR unit, 2 sub-words per
+    /// cycle through the RLE unit, at the 250 MHz core clock.
+    pub fn sibia() -> Self {
+        Self {
+            sbr_values_per_cycle: 4,
+            rle_subwords_per_cycle: 2,
+            frequency_mhz: 250,
+        }
+    }
+
+    /// Values per second the SBR unit sustains.
+    pub fn sbr_rate(&self) -> f64 {
+        f64::from(self.sbr_values_per_cycle) * f64::from(self.frequency_mhz) * 1e6
+    }
+
+    /// External-memory ingress in values per second for `bits`-bit data.
+    pub fn ingress_rate(&self, extmem: &HyperRam, bits: u8) -> f64 {
+        extmem.bandwidth_bytes_per_s() * 8.0 / f64::from(bits)
+    }
+
+    /// Whether the encoder chain keeps up with the external memory for
+    /// `bits`-bit data (it must, or the DMU would throttle the DRAM).
+    pub fn encoder_keeps_up(&self, extmem: &HyperRam, bits: u8) -> bool {
+        self.sbr_rate() >= self.ingress_rate(extmem, bits)
+    }
+
+    /// Cycles to encode a tile of `values` (SBR-bound or RLE-bound,
+    /// whichever is slower; `slices` per value feed the RLE unit in
+    /// sub-words of four).
+    pub fn encode_cycles(&self, values: u64, slices: usize) -> u64 {
+        let sbr = values.div_ceil(u64::from(self.sbr_values_per_cycle));
+        let subwords = values.div_ceil(4) * slices as u64;
+        let rle = subwords.div_ceil(u64::from(self.rle_subwords_per_cycle));
+        sbr.max(rle)
+    }
+}
+
+impl Default for DmuModel {
+    fn default() -> Self {
+        Self::sibia()
+    }
+}
+
+impl fmt::Display for DmuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DMU ({} values/cyc SBR, {} sub-words/cyc RLE @ {} MHz)",
+            self.sbr_values_per_cycle, self.rle_subwords_per_cycle, self.frequency_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_outruns_hyperram_at_every_precision() {
+        // 1 Gvalues/s SBR rate vs ≤380 Mvalues/s HyperRAM ingress at 7-bit.
+        let dmu = DmuModel::sibia();
+        let mem = HyperRam::cypress_64mbit();
+        for bits in [4u8, 7, 10, 13] {
+            assert!(
+                dmu.encoder_keeps_up(&mem, bits),
+                "{bits}-bit: {} < {}",
+                dmu.sbr_rate(),
+                dmu.ingress_rate(&mem, bits)
+            );
+        }
+    }
+
+    #[test]
+    fn encode_cycles_cover_both_bottlenecks() {
+        let dmu = DmuModel::sibia();
+        // 1024 7-bit values: SBR 256 cycles; RLE: 256 sub-words × 2 planes
+        // / 2 per cycle = 256 cycles → tie.
+        assert_eq!(dmu.encode_cycles(1024, 2), 256);
+        // 13-bit (4 planes): RLE-bound.
+        assert_eq!(dmu.encode_cycles(1024, 4), 512);
+        // One value still costs a cycle.
+        assert_eq!(dmu.encode_cycles(1, 2), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-event energy model (paper Fig. 14 right, Table I power rows).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+use crate::config::MacKind;
+use crate::tech::TechNode;
+
+/// Hardware event counts accumulated by a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    /// Executed (non-skipped) MAC operations.
+    pub mac_ops: u64,
+    /// Register-file accesses (16-bit words): operand fetch, accumulator
+    /// read-modify-write, output latching.
+    pub rf_accesses: u64,
+    /// On-chip SRAM accesses (16-bit words): IBUF/WBUF/OBUF/IDXBUF and
+    /// global memory.
+    pub sram_accesses: u64,
+    /// NoC flit-hops (16-bit flits × hops).
+    pub noc_flit_hops: u64,
+    /// Bits moved to/from external HyperRAM.
+    pub dram_bits: u64,
+    /// Clock cycles the core was active.
+    pub cycles: u64,
+}
+
+impl Add for EventCounts {
+    type Output = EventCounts;
+
+    fn add(self, rhs: EventCounts) -> EventCounts {
+        EventCounts {
+            mac_ops: self.mac_ops + rhs.mac_ops,
+            rf_accesses: self.rf_accesses + rhs.rf_accesses,
+            sram_accesses: self.sram_accesses + rhs.sram_accesses,
+            noc_flit_hops: self.noc_flit_hops + rhs.noc_flit_hops,
+            dram_bits: self.dram_bits + rhs.dram_bits,
+            cycles: self.cycles + rhs.cycles,
+        }
+    }
+}
+
+impl Sum for EventCounts {
+    fn sum<I: Iterator<Item = EventCounts>>(iter: I) -> EventCounts {
+        iter.fold(EventCounts::default(), Add::add)
+    }
+}
+
+/// Energy of one run, split the way the paper's Fig. 14 reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// MAC datapath energy (pJ).
+    pub mac_pj: f64,
+    /// Register-file energy (pJ).
+    pub rf_pj: f64,
+    /// On-chip SRAM energy (pJ).
+    pub sram_pj: f64,
+    /// NoC transfer energy (pJ).
+    pub noc_pj: f64,
+    /// External DRAM energy (pJ).
+    pub dram_pj: f64,
+    /// Control / clock energy (pJ).
+    pub control_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_pj + self.rf_pj + self.sram_pj + self.noc_pj + self.dram_pj + self.control_pj
+    }
+
+    /// Total energy in mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+
+    /// Fractions `(logic, rf, sram, noc, dram, control)` of the total,
+    /// where "logic" is the MAC datapath.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64, f64) {
+        let t = self.total_pj();
+        (
+            self.mac_pj / t,
+            self.rf_pj / t,
+            self.sram_pj / t,
+            self.noc_pj / t,
+            self.dram_pj / t,
+            self.control_pj / t,
+        )
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mac_pj: self.mac_pj + rhs.mac_pj,
+            rf_pj: self.rf_pj + rhs.rf_pj,
+            sram_pj: self.sram_pj + rhs.sram_pj,
+            noc_pj: self.noc_pj + rhs.noc_pj,
+            dram_pj: self.dram_pj + rhs.dram_pj,
+            control_pj: self.control_pj + rhs.control_pj,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::default(), Add::add)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (mac, rf, sram, noc, dram, ctl) = self.fractions();
+        write!(
+            f,
+            "{:.3} mJ (mac {:.1}%, rf {:.1}%, sram {:.1}%, noc {:.1}%, dram {:.1}%, ctl {:.1}%)",
+            self.total_mj(),
+            mac * 100.0,
+            rf * 100.0,
+            sram * 100.0,
+            noc * 100.0,
+            dram * 100.0,
+            ctl * 100.0
+        )
+    }
+}
+
+/// Converts event counts into energy for a given node and MAC kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    tech: TechNode,
+    mac_kind: MacKind,
+}
+
+impl EnergyModel {
+    /// Creates a model.
+    pub fn new(tech: TechNode, mac_kind: MacKind) -> Self {
+        Self { tech, mac_kind }
+    }
+
+    /// The node.
+    pub fn tech(&self) -> &TechNode {
+        &self.tech
+    }
+
+    /// Energy breakdown of a run.
+    pub fn energy(&self, counts: &EventCounts) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mac_pj: counts.mac_ops as f64 * self.tech.mac_energy_pj(self.mac_kind),
+            rf_pj: counts.rf_accesses as f64 * self.tech.e_rf_pj,
+            sram_pj: counts.sram_accesses as f64 * self.tech.e_sram_pj,
+            noc_pj: counts.noc_flit_hops as f64 * self.tech.e_noc_pj,
+            dram_pj: counts.dram_bits as f64 * self.tech.e_dram_pj_per_bit,
+            control_pj: counts.cycles as f64 * self.tech.e_control_per_cycle_pj,
+        }
+    }
+
+    /// Average power in mW over a run at `frequency_mhz`.
+    pub fn average_power_mw(&self, counts: &EventCounts, frequency_mhz: u32) -> f64 {
+        if counts.cycles == 0 {
+            return 0.0;
+        }
+        let energy_pj = self.energy(counts).total_pj();
+        let time_s = counts.cycles as f64 / (frequency_mhz as f64 * 1e6);
+        energy_pj * 1e-12 / time_s * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_counts() -> EventCounts {
+        // A fully-busy Sibia-like core cycle profile: 1536 MACs/cycle,
+        // operands staged through sub-word registers (shared across 4 MACs),
+        // modest SRAM traffic, DRAM traffic bounded by HyperRAM bandwidth
+        // with on-chip reuse (≈0.5 bytes/cycle).
+        EventCounts {
+            mac_ops: 1536 * 1000,
+            rf_accesses: 1536 / 2 * 1000,
+            sram_accesses: 96 * 1000,
+            noc_flit_hops: 48 * 1000,
+            dram_bits: 4 * 1000,
+            cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn busy_core_power_is_near_table1() {
+        let m = EnergyModel::new(TechNode::samsung_28nm(), MacKind::Signed4x4);
+        let p = m.average_power_mw(&busy_counts(), 250);
+        // Table I: Sibia MPU core 100.7 mW.
+        assert!((60.0..=180.0).contains(&p), "got {p} mW");
+    }
+
+    #[test]
+    fn signed_mac_core_beats_5x5_core_on_equal_events() {
+        let c = busy_counts();
+        let sibia = EnergyModel::new(TechNode::samsung_28nm(), MacKind::Signed4x4).energy(&c);
+        let conv = EnergyModel::new(TechNode::samsung_28nm(), MacKind::SignExtended5x5).energy(&c);
+        assert!(sibia.total_pj() < conv.total_pj());
+        assert!((1.0 - sibia.mac_pj / conv.mac_pj - 0.219).abs() < 0.005);
+    }
+
+    #[test]
+    fn breakdown_sums_and_fractions_are_consistent() {
+        let m = EnergyModel::new(TechNode::samsung_28nm(), MacKind::Signed4x4);
+        let e = m.energy(&busy_counts());
+        let fr = e.fractions();
+        let sum = fr.0 + fr.1 + fr.2 + fr.3 + fr.4 + fr.5;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_counts_add() {
+        let a = busy_counts();
+        let b = busy_counts();
+        let c = a + b;
+        assert_eq!(c.mac_ops, 2 * a.mac_ops);
+        let s: EventCounts = [a, b].into_iter().sum();
+        assert_eq!(s, c);
+    }
+
+    #[test]
+    fn zero_cycles_means_zero_power() {
+        let m = EnergyModel::new(TechNode::samsung_28nm(), MacKind::Signed4x4);
+        assert_eq!(m.average_power_mw(&EventCounts::default(), 250), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Heterogeneous network-on-chip models (paper §II-F).
+//!
+//! * The **Bi-NoC** (bi-directional 2-D mesh) carries input, weight, and
+//!   output tensors between the DMU and the PE arrays; its switches
+//!   unicast, multicast, or broadcast according to data reuse.
+//! * The **Uni-NoC** chains accumulation units right-to-left; applying an
+//!   arithmetic right-shift by 3 to partial sums before each hop keeps the
+//!   transferred width constant instead of letting it grow by one slice
+//!   order (3 bits) per hop — the paper's 40 % bandwidth saving.
+
+use std::fmt;
+
+/// How a Bi-NoC transfer is replicated across destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastMode {
+    /// One source to one destination.
+    Unicast,
+    /// One source to a subset of destinations in one injection.
+    Multicast,
+    /// One source to all destinations in one injection.
+    Broadcast,
+}
+
+/// Bi-directional mesh NoC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiNoc {
+    /// Flit payload width in bits.
+    pub flit_bits: usize,
+    /// Average hops per injection on the mesh.
+    pub avg_hops: usize,
+}
+
+impl BiNoc {
+    /// The Sibia Bi-NoC: 16-bit (sub-word) flits, two average hops.
+    pub fn sibia() -> Self {
+        Self {
+            flit_bits: 16,
+            avg_hops: 2,
+        }
+    }
+
+    /// Flit-hop count for moving `payload_bits` to `destinations` receivers.
+    ///
+    /// Multicast and broadcast inject once and fan out in the switches;
+    /// unicast injects per destination. (Fan-out duplication happens at the
+    /// last switch, so hop counts are dominated by injections.)
+    pub fn flit_hops(&self, payload_bits: u64, destinations: u64, mode: CastMode) -> u64 {
+        let flits = payload_bits.div_ceil(self.flit_bits as u64);
+        let injections = match mode {
+            CastMode::Unicast => flits * destinations,
+            CastMode::Multicast | CastMode::Broadcast => flits,
+        };
+        injections * self.avg_hops as u64
+    }
+}
+
+impl Default for BiNoc {
+    fn default() -> Self {
+        Self::sibia()
+    }
+}
+
+impl fmt::Display for BiNoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bi-NoC ({}-bit flits, {} hops)", self.flit_bits, self.avg_hops)
+    }
+}
+
+/// Uni-directional accumulation NoC model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniNoc {
+    /// Partial-sum width leaving an accumulation unit (bits).
+    pub psum_bits: usize,
+    /// Accumulation units chained per core row.
+    pub chain_len: usize,
+}
+
+impl UniNoc {
+    /// The Sibia Uni-NoC: 14-bit shifted partial sums over an 8-unit chain
+    /// (4 PE columns × 2 PEs).
+    pub fn sibia() -> Self {
+        Self {
+            psum_bits: 14,
+            chain_len: 8,
+        }
+    }
+
+    /// Bits transferred per partial sum with the arithmetic shift-by-3
+    /// applied before each hop: the width never grows.
+    pub fn bits_with_shift(&self) -> u64 {
+        (self.psum_bits * (self.chain_len - 1)) as u64
+    }
+
+    /// Bits transferred without the shift (the previous architecture, HNPU):
+    /// each hop towards a higher slice order widens the sum by 3 bits.
+    pub fn bits_without_shift(&self) -> u64 {
+        (0..self.chain_len - 1)
+            .map(|hop| (self.psum_bits + 3 * (hop + 1)) as u64)
+            .sum()
+    }
+
+    /// Fractional bandwidth saving of the shift scheme (paper: 40 %).
+    pub fn bandwidth_saving(&self) -> f64 {
+        1.0 - self.bits_with_shift() as f64 / self.bits_without_shift() as f64
+    }
+}
+
+impl Default for UniNoc {
+    fn default() -> Self {
+        Self::sibia()
+    }
+}
+
+impl fmt::Display for UniNoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Uni-NoC ({}-bit psums, chain {}, saves {:.0}%)",
+            self.psum_bits,
+            self.chain_len,
+            self.bandwidth_saving() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_beats_unicast() {
+        let noc = BiNoc::sibia();
+        let uni = noc.flit_hops(1024, 12, CastMode::Unicast);
+        let bc = noc.flit_hops(1024, 12, CastMode::Broadcast);
+        assert_eq!(uni, 12 * bc);
+    }
+
+    #[test]
+    fn flits_round_up() {
+        let noc = BiNoc::sibia();
+        assert_eq!(noc.flit_hops(17, 1, CastMode::Unicast), 2 * noc.avg_hops as u64);
+    }
+
+    #[test]
+    fn shift_saves_about_40_percent() {
+        let noc = UniNoc::sibia();
+        let s = noc.bandwidth_saving();
+        // Paper §II-F: 40 % lower Uni-NoC bandwidth than HNPU's scheme.
+        assert!((0.30..=0.48).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn without_shift_grows_linearly() {
+        let noc = UniNoc { psum_bits: 14, chain_len: 3 };
+        // Hops carry 17 and 20 bits.
+        assert_eq!(noc.bits_without_shift(), 37);
+        assert_eq!(noc.bits_with_shift(), 28);
+    }
+}

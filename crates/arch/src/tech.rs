@@ -1,0 +1,196 @@
+//! Technology-node constants.
+//!
+//! Every constant below is a **calibrated input**, not a measurement: the
+//! paper reports silicon numbers from a Samsung 28 nm flow, and we pick
+//! per-component constants that reproduce its published aggregates. Each
+//! constant's calibration target is documented inline. The 65 nm node
+//! (Table II) is derived by standard scaling.
+
+use std::fmt;
+
+use crate::config::MacKind;
+
+/// A CMOS technology node with per-component area and energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Node label, e.g. `"28nm"`.
+    pub name: &'static str,
+    /// Area of one signed 4b×4b MAC (multiplier + adder, excluding the
+    /// accumulation register which is counted as RF), in µm².
+    pub mac_signed4_um2: f64,
+    /// Area of the sign-extended 5b×5b MAC used by Bit-fusion / HNPU.
+    /// Calibration: the signed MAC saves the sign-extension unit, one bit of
+    /// multiplier width, and accumulator width (paper §II-C).
+    pub mac_5x5_um2: f64,
+    /// Area of a signed-magnitude 4-bit MAC. Calibration: paper §IV —
+    /// 16.3 % larger than the signed 4-bit MAC.
+    pub mac_signmag4_um2: f64,
+    /// Area of a fixed full-bit-width 8b×8b MAC. Calibration: paper §I /
+    /// Fig. 3a — a 4-bit slice architecture needs a 2.07× larger logic area
+    /// than a full-bit-width architecture for equal 8-bit throughput
+    /// (4 slice MACs replace 1 fixed MAC).
+    pub mac_fixed8_um2: f64,
+    /// Register-file area per bit (µm²/bit), standard-cell flops.
+    pub rf_um2_per_bit: f64,
+    /// SRAM macro area per bit (µm²/bit).
+    pub sram_um2_per_bit: f64,
+    /// Control / NoC / misc logic overhead per PE (µm²): skip units, index
+    /// decoders, switches. Calibration: Fig. 14 — control+compute logic is
+    /// 24.2 % of core area.
+    pub pe_control_um2: f64,
+    /// Zero-skipping unit area per PE for Sibia's coarse sub-word
+    /// granularity (µm², only when skipping enabled).
+    pub skip_unit_um2: f64,
+    /// Zero-skipping unit area per PE at the conventional per-slice
+    /// granularity (µm²). Calibration: Fig. 3a — a 4-bit slice architecture
+    /// needs 4× the number of zero-skipping units of a full-bit-width one.
+    pub skip_unit_fine_um2: f64,
+
+    /// Energy of one signed 4b×4b MAC operation (pJ). Calibration: paper
+    /// §II-C — 21.9 % lower than the 5b×5b MAC at 7-bit precision.
+    pub e_mac_signed4_pj: f64,
+    /// Energy of one 5b×5b sign-extended MAC operation (pJ).
+    pub e_mac_5x5_pj: f64,
+    /// Energy of one signed-magnitude 4-bit MAC operation (pJ): the extra
+    /// 2's complementer adds switching energy.
+    pub e_mac_signmag4_pj: f64,
+    /// Energy of one fixed 8b×8b MAC operation (pJ).
+    pub e_mac_fixed8_pj: f64,
+    /// Register-file access energy per 16-bit word (pJ).
+    pub e_rf_pj: f64,
+    /// On-chip SRAM access energy per 16-bit word (pJ).
+    pub e_sram_pj: f64,
+    /// NoC energy per 16-bit flit per hop (pJ).
+    pub e_noc_pj: f64,
+    /// External HyperRAM energy per bit (pJ). Calibration: Fig. 14 —
+    /// DRAM is 19.7 % of total energy under the tiled dataflow.
+    pub e_dram_pj_per_bit: f64,
+    /// Idle/control energy per core per cycle (pJ): clock tree, sequencing.
+    pub e_control_per_cycle_pj: f64,
+}
+
+impl TechNode {
+    /// Samsung 28 nm constants (the paper's implementation node).
+    pub const fn samsung_28nm() -> Self {
+        Self {
+            name: "28nm",
+            mac_signed4_um2: 130.0,
+            mac_5x5_um2: 205.0,
+            mac_signmag4_um2: 151.2, // 130 × 1.163 (§IV)
+            mac_fixed8_um2: 396.0,   // 4×205 / 2.07 (Fig. 3a)
+            rf_um2_per_bit: 2.5,
+            sram_um2_per_bit: 0.34,
+            pe_control_um2: 2_200.0,
+            skip_unit_um2: 900.0,
+            skip_unit_fine_um2: 3_600.0,
+            e_mac_signed4_pj: 0.1756, // 0.2249 × (1 − 0.219) (§II-C)
+            e_mac_5x5_pj: 0.2249,
+            e_mac_signmag4_pj: 0.205,
+            e_mac_fixed8_pj: 0.68,
+            e_rf_pj: 0.10,
+            e_sram_pj: 0.62,
+            e_noc_pj: 0.13,
+            e_dram_pj_per_bit: 8.0,
+            e_control_per_cycle_pj: 18.0,
+        }
+    }
+
+    /// 65 nm constants for the Table II comparison, derived by standard
+    /// node scaling (area ×(65/28)² ≈ 5.4, energy ×≈2.6).
+    pub const fn generic_65nm() -> Self {
+        const A: f64 = 5.39;
+        const E: f64 = 2.6;
+        let n28 = Self::samsung_28nm();
+        Self {
+            name: "65nm",
+            mac_signed4_um2: n28.mac_signed4_um2 * A,
+            mac_5x5_um2: n28.mac_5x5_um2 * A,
+            mac_signmag4_um2: n28.mac_signmag4_um2 * A,
+            mac_fixed8_um2: n28.mac_fixed8_um2 * A,
+            rf_um2_per_bit: n28.rf_um2_per_bit * A,
+            sram_um2_per_bit: n28.sram_um2_per_bit * A,
+            pe_control_um2: n28.pe_control_um2 * A,
+            skip_unit_um2: n28.skip_unit_um2 * A,
+            skip_unit_fine_um2: n28.skip_unit_fine_um2 * A,
+            e_mac_signed4_pj: n28.e_mac_signed4_pj * E,
+            e_mac_5x5_pj: n28.e_mac_5x5_pj * E,
+            e_mac_signmag4_pj: n28.e_mac_signmag4_pj * E,
+            e_mac_fixed8_pj: n28.e_mac_fixed8_pj * E,
+            e_rf_pj: n28.e_rf_pj * E,
+            e_sram_pj: n28.e_sram_pj * E,
+            e_noc_pj: n28.e_noc_pj * E,
+            e_dram_pj_per_bit: n28.e_dram_pj_per_bit, // external part: unscaled
+            e_control_per_cycle_pj: n28.e_control_per_cycle_pj * E,
+        }
+    }
+
+    /// Area of one MAC unit of `kind` (µm²).
+    pub fn mac_area_um2(&self, kind: MacKind) -> f64 {
+        match kind {
+            MacKind::Signed4x4 => self.mac_signed4_um2,
+            MacKind::SignExtended5x5 => self.mac_5x5_um2,
+            MacKind::SignedMagnitude4 => self.mac_signmag4_um2,
+            MacKind::Fixed8x8 => self.mac_fixed8_um2,
+        }
+    }
+
+    /// Energy of one MAC operation of `kind` (pJ).
+    pub fn mac_energy_pj(&self, kind: MacKind) -> f64 {
+        match kind {
+            MacKind::Signed4x4 => self.e_mac_signed4_pj,
+            MacKind::SignExtended5x5 => self.e_mac_5x5_pj,
+            MacKind::SignedMagnitude4 => self.e_mac_signmag4_pj,
+            MacKind::Fixed8x8 => self.e_mac_fixed8_pj,
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_mac_saves_21_9_percent_energy() {
+        let t = TechNode::samsung_28nm();
+        let saving = 1.0 - t.e_mac_signed4_pj / t.e_mac_5x5_pj;
+        assert!((saving - 0.219).abs() < 0.005, "got {saving}");
+    }
+
+    #[test]
+    fn signmag_mac_is_16_3_percent_larger() {
+        let t = TechNode::samsung_28nm();
+        let overhead = t.mac_signmag4_um2 / t.mac_signed4_um2 - 1.0;
+        assert!((overhead - 0.163).abs() < 0.005, "got {overhead}");
+    }
+
+    #[test]
+    fn slice_architecture_logic_overhead_is_2_07x() {
+        // Fig. 3a: equal 8-bit throughput needs 4 conventional slice MACs
+        // per fixed 8-bit MAC.
+        let t = TechNode::samsung_28nm();
+        let ratio = 4.0 * t.mac_5x5_um2 / t.mac_fixed8_um2;
+        assert!((ratio - 2.07).abs() < 0.02, "got {ratio}");
+    }
+
+    #[test]
+    fn node_scaling_preserves_ratios() {
+        let a = TechNode::samsung_28nm();
+        let b = TechNode::generic_65nm();
+        assert!((b.mac_5x5_um2 / b.mac_signed4_um2 - a.mac_5x5_um2 / a.mac_signed4_um2).abs() < 1e-9);
+        assert!(b.e_mac_signed4_pj > a.e_mac_signed4_pj);
+    }
+
+    #[test]
+    fn memory_hierarchy_energy_ordering() {
+        // RF < SRAM < NoC-traversed SRAM < DRAM per bit.
+        let t = TechNode::samsung_28nm();
+        assert!(t.e_rf_pj < t.e_sram_pj);
+        assert!(t.e_sram_pj / 16.0 < t.e_dram_pj_per_bit);
+    }
+}

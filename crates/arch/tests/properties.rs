@@ -1,0 +1,78 @@
+//! Property tests for the hardware models.
+
+use proptest::prelude::*;
+use sibia_arch::buffer::OperandBuffer;
+use sibia_arch::mesh::{Mesh, Node};
+use sibia_arch::noc::UniNoc;
+
+fn arb_node(w: u8, h: u8) -> impl Strategy<Value = Node> {
+    (0..w, 0..h).prop_map(|(x, y)| Node::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XY routes have Manhattan length and end at the destination.
+    #[test]
+    fn xy_routes_are_manhattan(
+        (w, h) in (2u8..8, 2u8..8),
+        seed in any::<u64>(),
+    ) {
+        let mut r = seed;
+        let mut next = || { r = r.wrapping_mul(6364136223846793005).wrapping_add(1); r };
+        let m = Mesh::new(w, h);
+        let src = Node::new((next() % u64::from(w)) as u8, (next() % u64::from(h)) as u8);
+        let dst = Node::new((next() % u64::from(w)) as u8, (next() % u64::from(h)) as u8);
+        let path = m.xy_route(src, dst);
+        prop_assert_eq!(path.len() as u64, m.hops(src, dst));
+        if src != dst {
+            prop_assert_eq!(*path.last().unwrap(), dst);
+        } else {
+            prop_assert!(path.is_empty());
+        }
+    }
+
+    /// Multicast never costs more flit-hops than per-destination unicasts.
+    #[test]
+    fn multicast_is_never_worse(
+        src in arb_node(4, 4),
+        dsts in prop::collection::vec(arb_node(4, 4), 1..8),
+        flits in 1u64..100,
+    ) {
+        let mut mc = Mesh::new(4, 4);
+        let mc_cost = mc.multicast(src, &dsts, flits);
+        let mut uc = Mesh::new(4, 4);
+        let uc_cost: u64 = dsts.iter().map(|&d| uc.unicast(src, d, flits)).sum();
+        prop_assert!(mc_cost <= uc_cost);
+    }
+
+    /// Buffer conservation: consumed never exceeds preload + streamed.
+    #[test]
+    fn buffer_conserves_subwords(
+        cap in 1u32..64,
+        refill in 1u32..8,
+        period in 1u32..4,
+        stream in 0u64..2000,
+        want in 1u32..6,
+        cycles in 1usize..800,
+    ) {
+        let mut b = OperandBuffer::new(cap, refill).with_refill_period(period);
+        let mut remaining = stream;
+        let mut consumed = 0u64;
+        for _ in 0..cycles {
+            consumed += u64::from(b.tick(want, &mut remaining));
+        }
+        prop_assert_eq!(consumed, b.consumed());
+        prop_assert!(consumed <= u64::from(cap) + stream);
+        prop_assert_eq!(stream - remaining + u64::from(cap) - u64::from(b.occupancy()), consumed);
+    }
+
+    /// The Uni-NoC shift always saves bandwidth on chains longer than one.
+    #[test]
+    fn shift_always_saves(psum_bits in 8usize..24, chain in 2usize..16) {
+        let noc = UniNoc { psum_bits, chain_len: chain };
+        prop_assert!(noc.bits_with_shift() < noc.bits_without_shift());
+        let s = noc.bandwidth_saving();
+        prop_assert!(s > 0.0 && s < 1.0);
+    }
+}

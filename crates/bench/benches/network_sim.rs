@@ -1,0 +1,26 @@
+//! Criterion bench: whole-network performance-simulation throughput — how
+//! fast the cycle/energy simulator itself runs per benchmark network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sibia_nn::zoo;
+use sibia_sim::{ArchSpec, Simulator};
+
+fn bench_networks(c: &mut Criterion) {
+    let mut sim = Simulator::new(1);
+    sim.sample_cap = 8_192;
+    let mut g = c.benchmark_group("simulate_network");
+    g.sample_size(10);
+    for net in [zoo::alexnet(), zoo::dgcnn(), zoo::resnet18()] {
+        g.bench_function(format!("sibia_hybrid/{}", net.name()), |b| {
+            b.iter(|| black_box(sim.simulate_network(&ArchSpec::sibia_hybrid(), black_box(&net))))
+        });
+    }
+    g.bench_function("bit_fusion/AlexNet", |b| {
+        let net = zoo::alexnet();
+        b.iter(|| black_box(sim.simulate_network(&ArchSpec::bit_fusion(), black_box(&net))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: functional PE datapath throughput with and without
+//! zero-sub-word skipping, across representations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sibia_arch::dsm::SkipSide;
+use sibia_sbr::Precision;
+use sibia_sim::functional::matmul_via_pe;
+use sibia_sim::{PeSim, Repr};
+use sibia_tensor::{Shape, Tensor};
+
+fn operands(k: usize) -> (Tensor<i32>, Tensor<i32>) {
+    // ELU-style inputs: many near-zero negatives (zero high slices).
+    let a: Vec<i32> = (0..8 * k)
+        .map(|i| {
+            let h = i.wrapping_mul(2_654_435_761) >> 8;
+            if h % 3 == 0 {
+                0
+            } else {
+                -((h % 7) as i32) - 1
+            }
+        })
+        .collect();
+    let b: Vec<i32> = (0..k * 8).map(|i| ((i * 37 + 5) % 127) as i32 - 63).collect();
+    (
+        Tensor::from_vec(a, Shape::new(&[8, k])),
+        Tensor::from_vec(b, Shape::new(&[k, 8])),
+    )
+}
+
+fn bench_pe(c: &mut Criterion) {
+    let (a, b) = operands(256);
+    let mut g = c.benchmark_group("pe_matmul_8x256x8");
+    for (name, repr, skip) in [
+        ("sbr_input_skip", Repr::Sbr, SkipSide::Input),
+        ("sbr_dense", Repr::Sbr, SkipSide::None),
+        ("conventional_input_skip", Repr::Conventional, SkipSide::Input),
+    ] {
+        let sim = PeSim {
+            repr,
+            skip,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(matmul_via_pe(&sim, black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pe_precisions(c: &mut Criterion) {
+    let (a, b) = operands(128);
+    let mut g = c.benchmark_group("pe_precisions");
+    for (pi, pw) in [
+        (Precision::BITS7, Precision::BITS7),
+        (Precision::BITS10, Precision::BITS7),
+        (Precision::BITS10, Precision::BITS13),
+    ] {
+        let sim = PeSim::new(pi, pw);
+        g.bench_function(format!("{pi}x{pw}"), |bch| {
+            bch.iter(|| black_box(matmul_via_pe(&sim, black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pe, bench_pe_precisions);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion bench: SBR vs conventional encode/decode throughput — the
+//! software cost of the SBR unit's transformation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sibia_sbr::{conv, sbr, ConvSlices, Precision, SbrSlices};
+
+fn values(n: usize) -> Vec<i32> {
+    (0..n).map(|i| ((i * 2_654_435_761) % 127) as i32 - 63).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let vals = values(4096);
+    let mut g = c.benchmark_group("encode_4096_values_7bit");
+    g.bench_function("sbr", |b| {
+        b.iter(|| {
+            for &v in &vals {
+                black_box(SbrSlices::encode(black_box(v), Precision::BITS7));
+            }
+        })
+    });
+    g.bench_function("conventional", |b| {
+        b.iter(|| {
+            for &v in &vals {
+                black_box(ConvSlices::encode(black_box(v), Precision::BITS7));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_planes(c: &mut Criterion) {
+    let vals = values(65_536);
+    let mut g = c.benchmark_group("planes_64k_values");
+    for p in [Precision::BITS7, Precision::BITS10, Precision::BITS13] {
+        g.bench_function(format!("sbr_{p}"), |b| {
+            b.iter(|| black_box(sbr::planes(black_box(&vals), p)))
+        });
+        g.bench_function(format!("conv_{p}"), |b| {
+            b.iter(|| black_box(conv::planes(black_box(&vals), p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let vals = values(4096);
+    c.bench_function("sbr_round_trip_4096", |b| {
+        b.iter(|| {
+            for &v in &vals {
+                let s = SbrSlices::encode(v, Precision::BITS10);
+                assert_eq!(black_box(s.decode()), v);
+            }
+        })
+    });
+}
+
+fn bench_hardware_encoder(c: &mut Criterion) {
+    use sibia_sbr::SbrUnit;
+    let vals = values(65_536);
+    let unit = SbrUnit::new(Precision::BITS7);
+    c.bench_function("sbr_unit_encode_planes_64k", |b| {
+        b.iter(|| black_box(unit.encode_planes(black_box(&vals))))
+    });
+}
+
+fn bench_rle_serialize(c: &mut Criterion) {
+    use sibia_compress::RleCodec;
+    use sibia_sbr::subword::to_subwords;
+    let vals = values(65_536);
+    let planes = sbr::planes(&vals, Precision::BITS7);
+    let words = to_subwords(&planes[1]); // sparse high plane
+    let codec = RleCodec::default();
+    let mut g = c.benchmark_group("rle_64k_high_plane");
+    g.bench_function("compress", |b| {
+        b.iter(|| black_box(codec.compress(black_box(&words))))
+    });
+    let stream = codec.compress(&words);
+    g.bench_function("serialize", |b| b.iter(|| black_box(stream.serialize())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_planes,
+    bench_round_trip,
+    bench_hardware_encoder,
+    bench_rle_serialize
+);
+criterion_main!(benches);

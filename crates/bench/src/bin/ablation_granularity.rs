@@ -1,0 +1,42 @@
+//! Skip-granularity ablation (paper §I / Fig. 3a tradeoff): per-slice
+//! skipping is the sparsity-harvesting ideal but needs 4× the skip
+//! hardware; Sibia's sub-word grouping is the cheap compromise; value-group
+//! skipping (HNPU-style) is the conservative floor.
+
+use sibia::prelude::*;
+use sibia::sim::{SkipGranularity, SkipPolicy};
+use sibia_bench::{header, Table};
+
+fn main() {
+    header("gran", "zero-skipping granularity ablation");
+    println!("Sibia hardware + SBR, input skipping, granularity swept; speedup vs");
+    println!("Bit-fusion (seed 1). Per-slice granularity costs 4x the skip units\n");
+    let mut t = Table::new(&["network", "per-slice (ideal)", "sub-word (Sibia)", "value-group"]);
+    for net in [
+        zoo::albert(zoo::GlueTask::Qqp),
+        zoo::monodepth2(),
+        zoo::resnet18(),
+        zoo::dgcnn(),
+    ] {
+        let bf = Accelerator::bit_fusion().with_seed(1).run_network(&net);
+        let run = |granularity: SkipGranularity| {
+            let mut spec = ArchSpec::sibia_hybrid();
+            spec.granularity = granularity;
+            spec.policy = SkipPolicy::InputOnly;
+            Accelerator::from_spec(spec)
+                .with_seed(1)
+                .run_network(&net)
+                .speedup_over(&bf)
+        };
+        t.row(&[
+            &net.name(),
+            &format!("{:.2}x", run(SkipGranularity::Slice)),
+            &format!("{:.2}x", run(SkipGranularity::SubWord)),
+            &format!("{:.2}x", run(SkipGranularity::ValueSubword)),
+        ]);
+    }
+    t.print();
+    println!("\n(the sub-word column is the shipping design: within reach of the");
+    println!(" per-slice ideal at a quarter of the skip-unit area — the paper's");
+    println!(" \"minimum overheads of zero slice skipping unit\" claim quantified)");
+}

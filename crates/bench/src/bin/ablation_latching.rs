@@ -1,0 +1,61 @@
+//! Cycle-accurate column-latching ablation (paper §II-D): utilization as a
+//! *measured* output of the cycle model, validating the constants the
+//! analytic simulator uses (0.92 latched / 0.75 unlatched).
+
+use sibia::prelude::*;
+use sibia::sbr::sbr;
+use sibia::sim::cycle::{tiles_from_plane, CycleSim};
+use sibia_bench::{header, pct, section, Table};
+
+fn main() {
+    header("latch", "accumulation-unit column latching, cycle-accurate");
+
+    section("measured PE utilization on real slice planes");
+    let mut t = Table::new(&[
+        "workload plane",
+        "zero sub-words",
+        "latched util",
+        "unlatched util",
+        "latched speedup",
+    ]);
+    let mut src = SynthSource::new(1);
+    let cases = [
+        ("GeLU high order", Activation::Gelu, 0.12, 1usize),
+        ("GeLU low order", Activation::Gelu, 0.12, 0),
+        ("ELU high order", Activation::ELU_1, 0.18, 1),
+        ("ReLU low order", Activation::Relu, 0.53, 0),
+    ];
+    for (name, act, sparsity, order) in cases {
+        const CHANNELS: usize = 64;
+        const TILES: usize = 128;
+        let raw = src.post_activation_values(act, sparsity, CHANNELS * TILES * 4);
+        let q = Quantizer::fit(&raw, Precision::BITS7);
+        let codes: Vec<i32> = raw.iter().map(|&x| q.quantize(x)).collect();
+        let planes = sbr::planes(&codes, Precision::BITS7);
+        let tiles = tiles_from_plane(&planes[order], CHANNELS);
+        let zero_frac = {
+            let total: usize = tiles.iter().map(Vec::len).sum();
+            let zeros: usize = tiles
+                .iter()
+                .map(|t| t.iter().filter(|s| s.is_zero()).count())
+                .sum();
+            zeros as f64 / total as f64
+        };
+        let latched_sim = CycleSim::sibia();
+        let work = latched_sim.work_from_plane(&tiles);
+        let latched = latched_sim.run(&work);
+        let unlatched = CycleSim::without_latching().run(&work);
+        t.row(&[
+            &name,
+            &pct(zero_frac),
+            &pct(latched.utilization()),
+            &pct(unlatched.utilization()),
+            &format!("{:.2}x", unlatched.cycles as f64 / latched.cycles as f64),
+        ]);
+    }
+    t.print();
+    println!("\n(latching matters most on near-empty high-order planes, where an");
+    println!(" unlatched PE pays the per-tile drain for almost no work; the analytic");
+    println!(" simulator's constants — 0.92 latched, 0.75 unlatched — sit in the");
+    println!(" moderate-sparsity band that dominates a whole layer's pass mix)");
+}

@@ -1,0 +1,51 @@
+//! Memory-bound ablation: where the 333 MB/s HyperRAM would actually bound
+//! the benchmarks if layer latency were max(compute, transfer) — an
+//! honesty check the paper's MAC-operations-only methodology does not run.
+
+use sibia::prelude::*;
+use sibia::sim::control::{run_timeline, ControlUnit};
+use sibia::arch::extmem::HyperRam;
+use sibia_bench::{header, pct, section, Table};
+
+fn main() {
+    header("mem", "external-memory sensitivity ablation");
+
+    section("compute-only vs memory-bound latency (Sibia hybrid)");
+    let mut t = Table::new(&["network", "compute-only ms", "memory-bound ms", "slowdown"]);
+    for net in [
+        zoo::albert(zoo::GlueTask::Qqp),
+        zoo::resnet18(),
+        zoo::dgcnn(),
+        zoo::mobilenet_v2(),
+    ] {
+        let fast = Accelerator::sibia().with_seed(1).run_network(&net);
+        let bound = Accelerator::sibia()
+            .with_seed(1)
+            .with_memory_bound_latency()
+            .run_network(&net);
+        t.row(&[
+            &net.name(),
+            &format!("{:.2}", fast.time_s() * 1e3),
+            &format!("{:.2}", bound.time_s() * 1e3),
+            &format!("{:.2}x", bound.total_cycles() as f64 / fast.total_cycles() as f64),
+        ]);
+    }
+    t.print();
+
+    section("instruction-stream timeline with double-buffered DMA");
+    let net = zoo::resnet18();
+    let program = ControlUnit::sibia().compile(&net);
+    let sibia = Accelerator::sibia().with_seed(1).run_network(&net);
+    let compute: Vec<u64> = sibia.layers.iter().map(|l| l.compute_cycles).collect();
+    let timeline = run_timeline(&program, &compute, &HyperRam::cypress_64mbit(), 250);
+    println!(
+        "  ResNet-18: {} tile executions over {} layers, {} total cycles,",
+        program.total_tiles(),
+        program.layers.len(),
+        timeline.total_cycles()
+    );
+    println!(
+        "  DMA-bound fraction of runtime: {} (compression shrinks this; see fig13)",
+        pct(timeline.dma_bound_fraction())
+    );
+}

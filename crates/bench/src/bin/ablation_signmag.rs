@@ -1,0 +1,49 @@
+//! §IV ablation — signed-magnitude vs 2's-complement signed MACs, and the
+//! accumulation-unit column-latching ablation.
+
+use sibia::arch::area::AreaModel;
+use sibia::prelude::*;
+use sibia_bench::{header, section, vs_paper};
+
+fn main() {
+    header("ablate", "design-choice ablations (paper section IV + II-D)");
+
+    section("signed-magnitude MAC area overhead over 2's-complement signed MAC");
+    let m = AreaModel::default();
+    println!(
+        "  4-bit: {}",
+        vs_paper(m.signmag_overhead_4bit() * 100.0, 16.3)
+    );
+    println!(
+        "  8-bit: {}",
+        vs_paper(m.signmag_overhead_8bit() * 100.0, 45.4)
+    );
+    println!("  (percent; the 2's complementer for product accumulation grows with width)");
+
+    section("accumulation-unit column latching (paper II-D: keeps early-finished");
+    println!("columns busy during skipping imbalance)");
+    for net in [zoo::dgcnn(), zoo::resnet18()] {
+        let with = Accelerator::sibia().with_seed(1).run_network(&net);
+        let without = Accelerator::from_spec(ArchSpec::sibia_no_latching())
+            .with_seed(1)
+            .run_network(&net);
+        println!(
+            "  {:<12} latched {:>9} cycles, unlatched {:>9} cycles ({:.2}x slower)",
+            net.name(),
+            with.total_cycles(),
+            without.total_cycles(),
+            without.total_cycles() as f64 / with.total_cycles() as f64
+        );
+    }
+
+    section("DSM hybrid skipping vs fixed input skipping (paper II-E)");
+    for net in [zoo::albert(zoo::GlueTask::Qqp), zoo::resnet18()] {
+        let hybrid = Accelerator::sibia().with_seed(1).run_network(&net);
+        let input = Accelerator::sibia_input_skip().with_seed(1).run_network(&net);
+        println!(
+            "  {:<16} hybrid gains {:.2}x over input-only skipping",
+            net.name(),
+            input.total_cycles() as f64 / hybrid.total_cycles() as f64
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Slice-width design-space ablation (paper §II-C): why 4-bit signed
+//! slices — pass count × MAC cost across widths and precisions, plus the
+//! sparsity each width exposes.
+
+use sibia::prelude::*;
+use sibia::sbr::gsbr::{width_cost, GenSlices};
+use sibia_bench::{header, pct, section, Table};
+
+fn main() {
+    header("width", "signed slice width design space (paper section II-C)");
+
+    section("slice passes and relative MAC energy per product");
+    let mut t = Table::new(&["precision pair", "w=3", "w=4", "w=5"]);
+    for (pi, pw) in [(7u8, 7u8), (10, 7), (10, 13), (13, 13)] {
+        let cells: Vec<String> = [3u8, 4, 5]
+            .iter()
+            .map(|&w| {
+                let (passes, energy) = width_cost(pi, pw, w);
+                format!("{passes} passes, {energy:.2} E")
+            })
+            .collect();
+        t.row(&[&format!("{pi}b x {pw}b"), &cells[0], &cells[1], &cells[2]]);
+    }
+    t.print();
+    println!("  (E normalized to one 4b-slice pass; w=4 wins at the paper's precisions)");
+
+    section("zero-slice sparsity per width on dense GeLU data");
+    let mut src = SynthSource::new(1);
+    let raw = src.post_activation_values(Activation::Gelu, 0.12, 16_384);
+    let mut t = Table::new(&["width", "native precision for 7-bit data", "zero slices"]);
+    for w in [3u8, 4, 5] {
+        let p = GenSlices::native_precision(7, w);
+        let q = Quantizer::fit(&raw, p);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for &x in &raw {
+            let g = GenSlices::encode(q.quantize(x), p, w);
+            zeros += g.zero_slices();
+            total += g.digits().len();
+        }
+        t.row(&[
+            &format!("{w}-bit"),
+            &p,
+            &pct(zeros as f64 / total as f64),
+        ]);
+    }
+    t.print();
+    println!("\n  (narrower slices expose more zero slices but need more passes;");
+    println!("   4-bit balances sparsity against pass count and index overheads)");
+}

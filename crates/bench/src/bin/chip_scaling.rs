@@ -1,0 +1,34 @@
+//! Chip-level scaling: the quad-core MPU partition (paper Fig. 4) and how
+//! speedup scales with core count across benchmarks.
+
+use sibia::prelude::*;
+use sibia::sim::chip::ChipSim;
+use sibia_bench::{header, pct, Table};
+
+fn main() {
+    header("chip", "quad-core MPU workload partitioning (Fig. 4)");
+    println!("output channels partitioned across cores; inputs multicast from the");
+    println!("DMU over the 3x2 top-level mesh, weights unicast per core\n");
+    let mut t = Table::new(&["network", "cores", "speedup", "efficiency", "NoC Mflit-hops"]);
+    for net in [zoo::resnet18(), zoo::albert(zoo::GlueTask::Qqp), zoo::dgcnn()] {
+        for cores in [1usize, 2, 4] {
+            let mut chip = ChipSim::sibia();
+            chip.cores = cores;
+            if cores == 1 {
+                chip.imbalance = 0.0;
+            }
+            let r = chip.run(&ArchSpec::sibia_hybrid(), &net);
+            t.row(&[
+                &net.name(),
+                &cores,
+                &format!("{:.2}x", r.speedup()),
+                &pct(r.efficiency()),
+                &format!("{:.2}", r.noc_flit_hops as f64 / 1e6),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n(Table I evaluates one MPU core; the full chip of Fig. 4 adds the");
+    println!(" quad-core scaling shown here, bounded by partition imbalance and the");
+    println!(" top-level mesh bisection)");
+}

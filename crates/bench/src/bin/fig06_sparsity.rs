@@ -1,0 +1,89 @@
+//! Fig. 6 — sparsity of full bit-width data vs conventional bit-slices vs
+//! signed bit-slices on the dense DNN benchmarks, with the paper's reported
+//! gain factors for comparison.
+
+use sibia::prelude::*;
+use sibia::sbr::stats::SparsityReport;
+use sibia_bench::{header, pct, Table};
+
+/// Paper-reported (input gain over full, input gain over conventional,
+/// weight gain over full, weight gain over conventional).
+fn paper_gains(net: &str) -> Option<(f64, f64, f64, f64)> {
+    match net {
+        n if n.starts_with("Albert") => Some((5.1, 1.8, 6.9, 1.7)),
+        "ViT" => Some((2.6, 1.4, 4.3, 1.4)),
+        "YoloV3" => Some((2.1, 1.4, 3.1, 1.6)),
+        "DGCNN" => Some((2.7, 1.3, 3.9, 1.6)),
+        "MonoDepth2" => Some((3.9, 2.1, 4.6, 1.6)),
+        _ => None,
+    }
+}
+
+fn main() {
+    header("fig06", "full-bit-width vs conventional vs signed slice sparsity");
+    println!("MAC-weighted averages over all layers, seed 1, 16384 samples per tensor\n");
+
+    let mut t = Table::new(&[
+        "network",
+        "in full",
+        "in conv",
+        "in signed",
+        "in gain (paper)",
+        "w full",
+        "w conv",
+        "w signed",
+        "w gain (paper)",
+    ]);
+    for net in zoo::dense_benchmarks() {
+        // Skip the duplicate Albert tasks; distributions are identical.
+        if net.name().contains("SST-2") || net.name().contains("MNLI") {
+            continue;
+        }
+        let mut src = SynthSource::new(1);
+        let mut acc = [0.0f64; 6]; // in: full, conv, signed; w: full, conv, signed
+        let mut weight_total = 0.0;
+        for layer in net.layers() {
+            let w = layer.macs() as f64;
+            let inputs = src.activations(layer, 16_384);
+            let weights = src.weights(layer, 16_384);
+            let ri = SparsityReport::analyze(inputs.codes().data(), layer.input_precision());
+            let rw = SparsityReport::analyze(weights.codes().data(), layer.weight_precision());
+            acc[0] += w * ri.full_bitwidth;
+            acc[1] += w * ri.conventional.overall;
+            acc[2] += w * ri.signed.overall;
+            acc[3] += w * rw.full_bitwidth;
+            acc[4] += w * rw.conventional.overall;
+            acc[5] += w * rw.signed.overall;
+            weight_total += w;
+        }
+        for a in &mut acc {
+            *a /= weight_total;
+        }
+        let gains = paper_gains(net.name());
+        let in_gain = format!(
+            "{:.1}x/{:.1}x ({})",
+            acc[2] / acc[0].max(1e-9),
+            acc[2] / acc[1].max(1e-9),
+            gains.map_or("—".into(), |g| format!("{:.1}x/{:.1}x", g.0, g.1)),
+        );
+        let w_gain = format!(
+            "{:.1}x/{:.1}x ({})",
+            acc[5] / acc[3].max(1e-9),
+            acc[5] / acc[4].max(1e-9),
+            gains.map_or("—".into(), |g| format!("{:.1}x/{:.1}x", g.2, g.3)),
+        );
+        t.row(&[
+            &net.name(),
+            &pct(acc[0]),
+            &pct(acc[1]),
+            &pct(acc[2]),
+            &in_gain,
+            &pct(acc[3]),
+            &pct(acc[4]),
+            &pct(acc[5]),
+            &w_gain,
+        ]);
+    }
+    t.print();
+    println!("\n(gains are signed-slice sparsity over full-bit-width and over conventional slices)");
+}

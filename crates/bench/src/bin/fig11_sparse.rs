@@ -1,0 +1,48 @@
+//! Fig. 11 — speedup and energy-efficiency comparison among bit-slice
+//! accelerators on the sparse (ReLU) DNN benchmarks (Bit-fusion = 1).
+
+use sibia::prelude::*;
+use sibia_bench::{header, Table};
+
+/// Paper totals with the SBR (input/hybrid bars are close on sparse nets).
+fn paper(net: &str) -> f64 {
+    match net {
+        "MobileNetV2" => 2.83,
+        "ResNet-18" => 3.65,
+        "VoteNet" => 2.42,
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    header("fig11", "sparse DNN speedup and energy-efficiency (BF = 1)");
+    println!("seed 1; measured (paper total) per column\n");
+    let mut t = Table::new(&[
+        "network",
+        "HNPU",
+        "Sibia w/o SBR",
+        "input skip",
+        "hybrid (paper)",
+        "eff HNPU",
+        "eff hybrid",
+    ]);
+    for net in zoo::sparse_benchmarks() {
+        let run = |spec: ArchSpec| Accelerator::from_spec(spec).with_seed(1).run_network(&net);
+        let bf = run(ArchSpec::bit_fusion());
+        let hnpu = run(ArchSpec::hnpu());
+        let no_sbr = run(ArchSpec::sibia_no_sbr());
+        let input = run(ArchSpec::sibia_input_skip());
+        let hybrid = run(ArchSpec::sibia_hybrid());
+        t.row(&[
+            &net.name(),
+            &format!("{:.2}", hnpu.speedup_over(&bf)),
+            &format!("{:.2}", no_sbr.speedup_over(&bf)),
+            &format!("{:.2}", input.speedup_over(&bf)),
+            &format!("{:.2} ({:.2})", hybrid.speedup_over(&bf), paper(net.name())),
+            &format!("{:.2}", hnpu.efficiency_gain_over(&bf)),
+            &format!("{:.2}", hybrid.efficiency_gain_over(&bf)),
+        ]);
+    }
+    t.print();
+    println!("\n(paper's highest sparse efficiency gain: 3.59x on ResNet-18 hybrid)");
+}

@@ -1,0 +1,40 @@
+//! Fig. 14 — area and energy breakdown of Sibia.
+
+use sibia::arch::area::AreaModel;
+use sibia::prelude::*;
+use sibia_bench::{header, pct, section, Table};
+
+fn main() {
+    header("fig14", "area and energy breakdown of Sibia");
+
+    section("area breakdown of one MPU core (logic synthesis model)");
+    let area = AreaModel::default().core(&CoreConfig::sibia());
+    let (logic, rf, sram) = area.fractions();
+    let mut t = Table::new(&["component", "measured", "paper"]);
+    t.row(&[&"register file", &pct(rf), &"42.4%"]);
+    t.row(&[&"on-chip SRAM", &pct(sram), &"33.4%"]);
+    t.row(&[&"control + compute logic", &pct(logic), &"24.2%"]);
+    t.print();
+    println!("  total core area: {:.3} mm2 (paper 1.069, Fig. 9 layout 1.024 x 1.043 mm)", area.total_mm2());
+
+    section("energy breakdown over the benchmark mix");
+    // The paper's breakdown is over its benchmark suite; average the
+    // conv-dominated benchmarks (AlexNet's FC weights would skew DRAM).
+    let nets = [zoo::resnet18(), zoo::yolov3(), zoo::dgcnn(), zoo::monodepth2()];
+    let mut sums = [0.0f64; 6];
+    for net in &nets {
+        let r = Accelerator::sibia().with_seed(1).run_network(net);
+        let f = r.energy.fractions();
+        for (s, v) in sums.iter_mut().zip([f.0, f.1, f.2, f.3, f.4, f.5]) {
+            *s += v / nets.len() as f64;
+        }
+    }
+    let mut t = Table::new(&["component", "measured", "paper"]);
+    t.row(&[&"on-chip SRAM", &pct(sums[2]), &"37.8%"]);
+    t.row(&[&"MAC logic", &pct(sums[0]), &"29.1% (logic)"]);
+    t.row(&[&"external DRAM", &pct(sums[4]), &"19.7%"]);
+    t.row(&[&"register file", &pct(sums[1]), &"13.4%"]);
+    t.row(&[&"NoC", &pct(sums[3]), &"(in logic)"]);
+    t.row(&[&"control/clock", &pct(sums[5]), &"(in logic)"]);
+    t.print();
+}

@@ -1,0 +1,41 @@
+//! §III-J — comparison with GPUs on MonoDepth2: RTX 2080 Ti (FP32 CUDA) and
+//! Adreno 650 (FP16 TF-Lite).
+
+use sibia::prelude::*;
+use sibia::sim::analytic::Gpu;
+use sibia_bench::{header, Table};
+
+fn main() {
+    header("gpu", "MonoDepth2 inference vs GPUs (paper section III-J)");
+    let net = zoo::monodepth2();
+    // The paper runs the full quad-core MPU chip against the GPUs.
+    let mut spec = ArchSpec::sibia_hybrid();
+    spec.name = "Sibia (quad-core MPU)".to_owned();
+    spec.core.pe_arrays *= 4;
+    let sibia = Accelerator::from_spec(spec).with_seed(1).run_network(&net);
+    let macs = net.total_macs();
+
+    let mut t = Table::new(&["device", "time ms", "TOPS/W", "vs Sibia time", "vs Sibia eff"]);
+    t.row(&[
+        &"Sibia (quad-core MPU)",
+        &format!("{:.2}", sibia.time_s() * 1e3),
+        &format!("{:.2}", sibia.efficiency_tops_w()),
+        &"1.00x",
+        &"1.00x",
+    ]);
+    for (gpu, paper_time, paper_eff) in [
+        (Gpu::rtx_2080_ti(), "paper: GPU 4.3x faster", "paper: Sibia 144.9x"),
+        (Gpu::adreno_650(), "paper: Sibia 7.8x faster", "paper: Sibia 97.7x"),
+    ] {
+        let time_ratio = sibia.time_s() / gpu.time_s(macs);
+        let eff_ratio = sibia.efficiency_tops_w() / gpu.efficiency_tops_w(macs);
+        t.row(&[
+            &gpu.name,
+            &format!("{:.2}", gpu.time_s(macs) * 1e3),
+            &format!("{:.3}", gpu.efficiency_tops_w(macs)),
+            &format!("{:.2}x ({paper_time})", 1.0 / time_ratio),
+            &format!("Sibia {eff_ratio:.1}x better ({paper_eff})"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,59 @@
+//! Bit-precision reconfigurability sweep (paper §V-A motivation): how
+//! slice-pass count and throughput scale with DNN precision on both the
+//! conventional container decomposition and the SBR.
+
+use sibia::nn::network::{DensityClass, TaskDomain};
+use sibia::prelude::*;
+use sibia_bench::{header, Table};
+
+fn workload(p: Precision) -> Network {
+    let layers = (0..4)
+        .map(|i| {
+            Layer::conv2d(&format!("c{i}"), 64, 64, 3, 1, 1, 32)
+                .with_precisions(p, p)
+                .with_activation(Activation::Gelu)
+                .with_input_sparsity(0.15)
+        })
+        .collect();
+    Network::new(
+        &format!("sweep-{p}"),
+        TaskDomain::Vision2d,
+        DensityClass::Dense,
+        layers,
+    )
+}
+
+fn main() {
+    header("prec", "bit-precision sweep: pass counts and throughput");
+    println!("4-layer GeLU conv workload at each precision, seed 1\n");
+    let mut t = Table::new(&[
+        "precision",
+        "SBR passes",
+        "container passes",
+        "BF GOPS",
+        "Sibia GOPS",
+        "Sibia speedup",
+    ]);
+    for p in [
+        Precision::BITS4,
+        Precision::BITS7,
+        Precision::BITS10,
+        Precision::BITS13,
+    ] {
+        let net = workload(p);
+        let bf = Accelerator::bit_fusion().with_seed(1).run_network(&net);
+        let sibia = Accelerator::sibia().with_seed(1).run_network(&net);
+        t.row(&[
+            &p,
+            &p.sbr_slice_pairs(p),
+            &p.conv_slice_pairs(p),
+            &format!("{:.1}", bf.throughput_gops()),
+            &format!("{:.1}", sibia.throughput_gops()),
+            &format!("{:.2}x", sibia.speedup_over(&bf)),
+        ]);
+    }
+    t.print();
+    println!("\n(throughput falls quadratically with precision — the time-multiplexed");
+    println!(" slice passes of §V-A — while the SBR's skipping recovers a large part;");
+    println!(" at 4-bit a single pass remains, where zero sub-words and utilization\n still separate the architectures)");
+}

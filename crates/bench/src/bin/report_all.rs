@@ -1,0 +1,122 @@
+//! Writes `results/REPORT.md`: a compact, regenerable summary of the
+//! headline reproduction results (speedups, efficiency, speculation,
+//! compression) in one Markdown file.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use sibia::compress::{CompressionMode, CompressionReport};
+use sibia::nn::zoo::{self, GlueTask};
+use sibia::prelude::*;
+use sibia::speculate::scenario::MaxPoolScenario;
+use sibia::speculate::SliceRepr;
+
+fn main() -> std::io::Result<()> {
+    let mut md = String::new();
+    let w = &mut md;
+    writeln!(w, "# Sibia reproduction — headline results\n").unwrap();
+    writeln!(w, "Regenerate with `cargo run -p sibia-bench --bin report_all --release`.").unwrap();
+    writeln!(w, "All runs seeded (seed 1); see EXPERIMENTS.md for methodology.\n").unwrap();
+
+    // ── Speedups (Fig. 10 / 11) ─────────────────────────────────────────
+    writeln!(w, "## Speedup over Bit-fusion (Fig. 10 / Fig. 11)\n").unwrap();
+    writeln!(w, "| network | HNPU | Sibia w/o SBR | input skip | hybrid | paper hybrid |").unwrap();
+    writeln!(w, "|---|---|---|---|---|---|").unwrap();
+    let paper = |n: &str| match n {
+        "Albert (SST-2)" => 4.50,
+        "Albert (QQP)" => 5.07,
+        "Albert (MNLI)" => 4.50,
+        "ViT" => 4.73,
+        "YoloV3" => 2.79,
+        "MonoDepth2" => 2.48,
+        "DGCNN" => 3.67,
+        "MobileNetV2" => 2.83,
+        "ResNet-18" => 3.65,
+        "VoteNet" => 2.42,
+        _ => f64::NAN,
+    };
+    for net in zoo::dense_benchmarks()
+        .into_iter()
+        .chain(zoo::sparse_benchmarks())
+    {
+        let run = |spec: ArchSpec| Accelerator::from_spec(spec).with_seed(1).run_network(&net);
+        let bf = run(ArchSpec::bit_fusion());
+        writeln!(
+            w,
+            "| {} | {:.2}x | {:.2}x | {:.2}x | {:.2}x | {:.2}x |",
+            net.name(),
+            run(ArchSpec::hnpu()).speedup_over(&bf),
+            run(ArchSpec::sibia_no_sbr()).speedup_over(&bf),
+            run(ArchSpec::sibia_input_skip()).speedup_over(&bf),
+            run(ArchSpec::sibia_hybrid()).speedup_over(&bf),
+            paper(net.name()),
+        )
+        .unwrap();
+    }
+
+    // ── Speculation (Fig. 2) ────────────────────────────────────────────
+    writeln!(w, "\n## Max-pool speculation success (Fig. 2, 32-to-1)\n").unwrap();
+    writeln!(w, "| candidates | signed (SBR) | conventional |").unwrap();
+    writeln!(w, "|---|---|---|").unwrap();
+    for c in [1usize, 4, 8] {
+        let sc = MaxPoolScenario::votenet_32to1(c);
+        writeln!(
+            w,
+            "| {c} | {:.1}% | {:.1}% |",
+            sc.run(SliceRepr::Signed).success_rate * 100.0,
+            sc.run(SliceRepr::Conventional).success_rate * 100.0
+        )
+        .unwrap();
+    }
+
+    // ── Compression (Fig. 13) ───────────────────────────────────────────
+    writeln!(w, "\n## Hybrid input compression ratio (Fig. 13)\n").unwrap();
+    writeln!(w, "| network | hybrid ratio | paper |").unwrap();
+    writeln!(w, "|---|---|---|").unwrap();
+    let paper_cmp = |n: &str| match n {
+        "Albert (QQP)" => 1.31,
+        "YoloV3" => 1.57,
+        "MonoDepth2" => 1.54,
+        "DGCNN" => 1.15,
+        "ViT" => 1.32,
+        _ => f64::NAN,
+    };
+    for net in [zoo::albert(GlueTask::Qqp), zoo::yolov3(), zoo::monodepth2(), zoo::dgcnn()] {
+        let mut src = SynthSource::new(1);
+        let mut ratio = 0.0;
+        let mut total = 0.0;
+        for layer in net.layers() {
+            let acts = src.activations(layer, 8192);
+            let r = CompressionReport::analyze(
+                acts.codes().data(),
+                layer.input_precision(),
+                CompressionMode::Hybrid,
+            );
+            ratio += layer.macs() as f64 * r.ratio();
+            total += layer.macs() as f64;
+        }
+        writeln!(
+            w,
+            "| {} | {:.2}x | {:.2}x |",
+            net.name(),
+            ratio / total,
+            paper_cmp(net.name())
+        )
+        .unwrap();
+    }
+
+    fs::create_dir_all("results")?;
+    fs::write("results/REPORT.md", md)?;
+    println!("wrote results/REPORT.md");
+
+    // Per-layer CSV traces for external plotting.
+    for (file, net) in [
+        ("results/layers_resnet18.csv", zoo::resnet18()),
+        ("results/layers_albert_qqp.csv", zoo::albert(GlueTask::Qqp)),
+    ] {
+        let r = Accelerator::sibia().with_seed(1).run_network(&net);
+        fs::write(file, sibia::sim::trace::network_csv(&r))?;
+        println!("wrote {file}");
+    }
+    Ok(())
+}

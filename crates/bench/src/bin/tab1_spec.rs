@@ -1,0 +1,74 @@
+//! Table I — spec comparison among the three bit-slice cores: revised
+//! Bit-fusion, revised HNPU, and one Sibia MPU core, at 7-bit DNN
+//! performance.
+
+use sibia::arch::area::AreaModel;
+use sibia::nn::network::{DensityClass, TaskDomain};
+use sibia::prelude::*;
+use sibia_bench::{header, Table};
+
+/// A favourable dense 7-bit workload for the "peak throughput at 7-bit DNN
+/// performance" row: GeLU-style near-zero-heavy data.
+fn peak_workload() -> Network {
+    let layers = (0..4)
+        .map(|i| {
+            Layer::linear(&format!("l{i}"), 256, 1024, 1024)
+                .with_activation(Activation::Gelu)
+                .with_input_sparsity(0.25)
+        })
+        .collect();
+    Network::new("peak-7bit", TaskDomain::Language, DensityClass::Dense, layers)
+}
+
+fn main() {
+    header("tab1", "spec comparison among bit-slice accelerator cores");
+    let area_model = AreaModel::default();
+    let net = peak_workload();
+    let sim = |spec: ArchSpec| {
+        Accelerator::from_spec(spec)
+            .with_seed(1)
+            .run_network(&net)
+    };
+    let specs = [
+        (ArchSpec::bit_fusion(), (0.746, 144.0, 73.3, 1.97, 192.9)),
+        (ArchSpec::hnpu(), (1.125, 309.6, 131.3, 2.36, 275.2)),
+        (ArchSpec::sibia_hybrid(), (1.069, 770.4, 100.7, 7.65, 703.4)),
+    ];
+
+    let mut t = Table::new(&[
+        "core",
+        "MACs",
+        "area mm2 (paper)",
+        "GOPS @7b (paper)",
+        "power mW (paper)",
+        "TOPS/W (paper)",
+        "GOPS/mm2 (paper)",
+    ]);
+    for (spec, paper) in specs {
+        let area = area_model.core(&spec.core).total_mm2();
+        let r = sim(spec.clone());
+        let gops = r.throughput_gops();
+        t.row(&[
+            &spec.name,
+            &spec.core.total_macs(),
+            &format!("{area:.3} ({:.3})", paper.0),
+            &format!("{gops:.1} ({:.1})", paper.1),
+            &format!("{:.1} ({:.1})", r.power_mw(), paper.2),
+            &format!("{:.2} ({:.2})", r.efficiency_tops_w(), paper.3),
+            &format!("{:.1} ({:.1})", gops / area, paper.4),
+        ]);
+    }
+    t.print();
+
+    println!("\nratios (Sibia / Bit-fusion):");
+    let bf = sim(ArchSpec::bit_fusion());
+    let sibia = sim(ArchSpec::sibia_hybrid());
+    let a_bf = area_model.core(&ArchSpec::bit_fusion().core).total_mm2();
+    let a_si = area_model.core(&ArchSpec::sibia_hybrid().core).total_mm2();
+    println!(
+        "  throughput {:.2}x (paper 5.35x) | energy-eff {:.2}x (paper 3.88x) | area-eff {:.2}x (paper 3.65x)",
+        sibia.throughput_gops() / bf.throughput_gops(),
+        sibia.efficiency_tops_w() / bf.efficiency_tops_w(),
+        (sibia.throughput_gops() / a_si) / (bf.throughput_gops() / a_bf),
+    );
+}

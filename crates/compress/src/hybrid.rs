@@ -1,0 +1,208 @@
+//! Hybrid compression policy and whole-tensor compression accounting
+//! (paper §II-E and Fig. 13).
+
+use std::fmt;
+
+use sibia_sbr::subword::to_subwords;
+use sibia_sbr::{sbr, Precision};
+
+use crate::rle::{RleCodec, SUBWORD_BITS};
+
+/// How a tensor's signed bit-slice planes are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressionMode {
+    /// Raw signed bit-slices — 4 bits per slice, no indices
+    /// (Fig. 13 "no compression").
+    None,
+    /// RLE on every slice plane (Fig. 13 "RLE compression").
+    Rle,
+    /// RLE only on planes where it is profitable; dense (usually low-order)
+    /// planes stay raw (Fig. 13 "hybrid compression", decided by the DSM).
+    Hybrid,
+}
+
+impl fmt::Display for CompressionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressionMode::None => write!(f, "no compression"),
+            CompressionMode::Rle => write!(f, "RLE"),
+            CompressionMode::Hybrid => write!(f, "hybrid"),
+        }
+    }
+}
+
+/// Size accounting for one tensor under one compression mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionReport {
+    /// Baseline: raw 2's-complement data at the tensor's precision.
+    pub baseline_bits: usize,
+    /// Stored size under the chosen mode.
+    pub stored_bits: usize,
+    /// Per-plane stored sizes, order 0 (LSB) first.
+    pub plane_bits: Vec<usize>,
+    /// Which planes ended up RLE-compressed.
+    pub compressed_planes: Vec<bool>,
+    /// The mode that was applied.
+    pub mode: CompressionMode,
+}
+
+impl CompressionReport {
+    /// Compression ratio relative to the fixed-point baseline
+    /// (> 1 means the encoding beats raw 2's-complement storage).
+    pub fn ratio(&self) -> f64 {
+        self.baseline_bits as f64 / self.stored_bits as f64
+    }
+
+    /// Analyzes a quantized tensor at `precision` under `mode`, using the
+    /// default 4-bit RLE index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside the symmetric range of `precision`.
+    pub fn analyze(values: &[i32], precision: Precision, mode: CompressionMode) -> Self {
+        Self::analyze_with_codec(values, precision, mode, RleCodec::default())
+    }
+
+    /// Analyzes with an explicit codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside the symmetric range of `precision`.
+    pub fn analyze_with_codec(
+        values: &[i32],
+        precision: Precision,
+        mode: CompressionMode,
+        codec: RleCodec,
+    ) -> Self {
+        let planes = sbr::planes(values, precision);
+        let baseline_bits = values.len() * usize::from(precision.bits());
+        let mut plane_bits = Vec::with_capacity(planes.len());
+        let mut compressed_planes = Vec::with_capacity(planes.len());
+        for plane in &planes {
+            let words = to_subwords(plane);
+            let raw = words.len() * SUBWORD_BITS;
+            let (bits, compressed) = match mode {
+                CompressionMode::None => (raw, false),
+                CompressionMode::Rle => (codec.compress(&words).size_bits(), true),
+                CompressionMode::Hybrid => {
+                    let rle = codec.compress(&words).size_bits();
+                    if rle < raw {
+                        (rle, true)
+                    } else {
+                        (raw, false)
+                    }
+                }
+            };
+            plane_bits.push(bits);
+            compressed_planes.push(compressed);
+        }
+        Self {
+            baseline_bits,
+            stored_bits: plane_bits.iter().sum(),
+            plane_bits,
+            compressed_planes,
+            mode,
+        }
+    }
+}
+
+impl fmt::Display for CompressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} bits (ratio {:.2}x)",
+            self.mode,
+            self.baseline_bits,
+            self.stored_bits,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dense non-ReLU-style tensor with the spatial correlation of real
+    /// feature maps: groups of four adjacent values share a regime
+    /// (zero region / near-zero region / salient region), which is what
+    /// makes sub-word-granularity zeros common in practice.
+    fn dense_values(n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let h = (i / 4).wrapping_mul(2_654_435_761) >> 7;
+                let e = i.wrapping_mul(40_503) >> 3;
+                match h % 100 {
+                    0..=19 => 0,                                   // zero region
+                    20..=84 => (e % 15) as i32 - 7,                // near-zero (both signs)
+                    _ => {
+                        let m = ((e % 55) + 8) as i32;             // salient
+                        if e % 2 == 0 { m } else { -m }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_sbr_is_bigger_than_baseline() {
+        // 7-bit data → two 4-bit slices = 8 bits: the 1-bit-per-slice sign
+        // overhead of Fig. 13's "no compression" bars.
+        let values = dense_values(1024);
+        let r = CompressionReport::analyze(&values, Precision::BITS7, CompressionMode::None);
+        assert!(r.ratio() < 1.0);
+        assert_eq!(r.stored_bits, 1024 * 8);
+        assert_eq!(r.baseline_bits, 1024 * 7);
+    }
+
+    #[test]
+    fn hybrid_never_loses_to_rle_or_none() {
+        for p in [Precision::BITS7, Precision::BITS10] {
+            let values = dense_values(4096);
+            let none = CompressionReport::analyze(&values, p, CompressionMode::None);
+            let rle = CompressionReport::analyze(&values, p, CompressionMode::Rle);
+            let hybrid = CompressionReport::analyze(&values, p, CompressionMode::Hybrid);
+            assert!(hybrid.stored_bits <= rle.stored_bits.min(none.stored_bits));
+        }
+    }
+
+    #[test]
+    fn hybrid_beats_baseline_on_near_zero_dense_data() {
+        // The headline Fig. 13 effect: dense near-zero data compresses past
+        // the raw fixed-point baseline despite the sign-bit overhead.
+        let values = dense_values(4096);
+        let hybrid = CompressionReport::analyze(&values, Precision::BITS7, CompressionMode::Hybrid);
+        assert!(hybrid.ratio() > 1.2, "got {}", hybrid.ratio());
+    }
+
+    #[test]
+    fn hybrid_leaves_dense_low_plane_raw() {
+        // Few exact zeros (ELU-style), lots of near-zero values: the low
+        // plane is dense (RLE would grow it) while the high plane is sparse.
+        let values: Vec<i32> = (0..4096)
+            .map(|i: usize| {
+                let e = i.wrapping_mul(40_503) >> 3;
+                ((e % 13) as i32) - 6 // in [-6, 6], rarely zero
+            })
+            .collect();
+        let hybrid = CompressionReport::analyze(&values, Precision::BITS7, CompressionMode::Hybrid);
+        assert!(!hybrid.compressed_planes[0]);
+        assert!(hybrid.compressed_planes[1]);
+        // The dense low plane alone would have made plain RLE lose.
+        let rle = CompressionReport::analyze(&values, Precision::BITS7, CompressionMode::Rle);
+        assert!(hybrid.stored_bits < rle.stored_bits);
+    }
+
+    #[test]
+    fn all_zero_tensor_compresses_heavily() {
+        let values = vec![0i32; 4096];
+        let r = CompressionReport::analyze(&values, Precision::BITS7, CompressionMode::Rle);
+        assert!(r.ratio() > 10.0);
+    }
+
+    #[test]
+    fn display_mentions_ratio() {
+        let r = CompressionReport::analyze(&[0, 1], Precision::BITS7, CompressionMode::Hybrid);
+        assert!(r.to_string().contains("ratio"));
+    }
+}

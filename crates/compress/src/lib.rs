@@ -1,0 +1,20 @@
+//! Zero compression for the Sibia reproduction.
+//!
+//! Implements the run-length encoding (RLE) unit of the data management
+//! unit: non-zero 16-bit sub-words (four adjacent 4-bit slices) are stored
+//! together with the count of zero sub-words preceding them, so the matrix
+//! processing unit can both *skip* zero sub-words and *fetch* compressed
+//! streams (paper §II-B, Fig. 5b).
+//!
+//! Also implements the paper's two compression policies:
+//!
+//! * plain RLE over every slice plane (Fig. 13 "RLE compression"),
+//! * **hybrid compression** — dense low-order planes are stored raw because
+//!   compressing them *grows* the stream (Fig. 13 "hybrid compression",
+//!   §II-E).
+
+pub mod hybrid;
+pub mod rle;
+
+pub use hybrid::{CompressionMode, CompressionReport};
+pub use rle::{RleCodec, RleStream};

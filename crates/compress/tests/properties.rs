@@ -1,0 +1,81 @@
+//! Property tests for the compression invariants of DESIGN.md §4.
+
+use proptest::prelude::*;
+use sibia_compress::{CompressionMode, CompressionReport, RleCodec};
+use sibia_sbr::{Precision, SubWord};
+
+fn arb_subwords() -> impl Strategy<Value = Vec<SubWord>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(SubWord([0, 0, 0, 0])),
+            2 => prop::array::uniform4(-7i8..=7).prop_map(SubWord),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    /// RLE round-trips any sub-word stream at any index width.
+    #[test]
+    fn rle_round_trip(words in arb_subwords(), bits in 1u8..=12) {
+        let codec = RleCodec::new(bits);
+        let stream = codec.compress(&words);
+        prop_assert_eq!(stream.decompress(), words);
+    }
+
+    /// Compressed size accounting matches the entry count exactly.
+    #[test]
+    fn rle_size_formula(words in arb_subwords(), bits in 1u8..=12) {
+        let codec = RleCodec::new(bits);
+        let stream = codec.compress(&words);
+        prop_assert_eq!(
+            stream.size_bits(),
+            stream.entries().len() * (16 + usize::from(bits))
+        );
+        prop_assert_eq!(stream.raw_size_bits(), words.len() * 16);
+    }
+
+    /// Entry count is bounded: one entry per non-zero word plus one padding
+    /// entry per saturated zero run.
+    #[test]
+    fn rle_entry_bound(words in arb_subwords()) {
+        let codec = RleCodec::new(4);
+        let stream = codec.compress(&words);
+        let nonzero = words.iter().filter(|w| !w.is_zero()).count();
+        let zeros = words.len() - nonzero;
+        prop_assert!(stream.entries().len() <= nonzero + zeros / 15 + 1);
+        prop_assert!(stream.entries().len() >= nonzero);
+    }
+
+    /// Bit-level serialization round-trips any stream at any index width.
+    #[test]
+    fn serialization_round_trip(words in arb_subwords(), bits in 1u8..=12) {
+        use sibia_compress::rle::RleStream;
+        let stream = RleCodec::new(bits).compress(&words);
+        let bytes = stream.serialize();
+        prop_assert_eq!(bytes.len(), stream.size_bits().div_ceil(8));
+        let back = RleStream::deserialize(&bytes, bits, words.len());
+        prop_assert_eq!(back.decompress(), words);
+    }
+
+    /// Hybrid compression never stores more bits than either pure mode.
+    #[test]
+    fn hybrid_is_min(values in prop::collection::vec(-63i32..=63, 1..400)) {
+        let p = Precision::BITS7;
+        let none = CompressionReport::analyze(&values, p, CompressionMode::None);
+        let rle = CompressionReport::analyze(&values, p, CompressionMode::Rle);
+        let hybrid = CompressionReport::analyze(&values, p, CompressionMode::Hybrid);
+        prop_assert!(hybrid.stored_bits <= none.stored_bits);
+        prop_assert!(hybrid.stored_bits <= rle.stored_bits);
+        prop_assert!(hybrid.ratio() >= none.ratio());
+    }
+
+    /// The compression report's plane accounting sums to the total.
+    #[test]
+    fn plane_bits_sum(values in prop::collection::vec(-511i32..=511, 1..200)) {
+        let r = CompressionReport::analyze(&values, Precision::BITS10, CompressionMode::Hybrid);
+        prop_assert_eq!(r.plane_bits.iter().sum::<usize>(), r.stored_bits);
+        prop_assert_eq!(r.plane_bits.len(), 3);
+        prop_assert_eq!(r.compressed_planes.len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! `sibia-cli` — command-line front-end to the Sibia reproduction.
+//!
+//! ```text
+//! sibia-cli networks                      list benchmark networks
+//! sibia-cli encode -25 [--bits 7]         show slice decompositions
+//! sibia-cli sparsity <network>            slice-sparsity report
+//! sibia-cli simulate <network> [--arch A] run the performance simulator
+//! sibia-cli compare <network>             all architectures side by side
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use sibia::nn::zoo;
+use sibia::prelude::*;
+use sibia::sbr::conv::MsbSlices;
+use sibia::sbr::stats::SparsityReport;
+
+fn find_network(name: &str) -> Option<Network> {
+    zoo::by_name(name)
+}
+
+fn arch_by_name(name: &str) -> Option<ArchSpec> {
+    Some(match name {
+        "bitfusion" | "bit-fusion" => ArchSpec::bit_fusion(),
+        "hnpu" => ArchSpec::hnpu(),
+        "sibia" | "hybrid" => ArchSpec::sibia_hybrid(),
+        "input-skip" => ArchSpec::sibia_input_skip(),
+        "no-sbr" => ArchSpec::sibia_no_sbr(),
+        _ => return None,
+    })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sibia-cli <command>\n\
+         \n\
+         commands:\n\
+         \x20 networks                           list benchmark networks\n\
+         \x20 encode <value> [--bits N]          show slice decompositions of a value\n\
+         \x20 sparsity <network>                 slice-sparsity report (seeded synthesis)\n\
+         \x20 simulate <network> [--arch A] [--seed S]\n\
+         \x20                                    run the cycle/energy simulator\n\
+         \x20 compare <network> [--seed S]       all architectures side by side\n\
+         \n\
+         architectures: bitfusion, hnpu, no-sbr, input-skip, sibia"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "networks" => {
+            for name in zoo::NETWORK_NAMES {
+                let net = zoo::by_name(name).expect("registered name");
+                println!("{name:<14} {net}");
+            }
+            ExitCode::SUCCESS
+        }
+        "encode" => {
+            let Some(value) = args.get(1).and_then(|v| v.parse::<i32>().ok()) else {
+                eprintln!("encode: need an integer value");
+                return usage();
+            };
+            let bits = flag_value(&args, "--bits")
+                .and_then(|b| b.parse::<u8>().ok())
+                .unwrap_or(7);
+            let p = Precision::new(bits);
+            if !p.contains(value) {
+                eprintln!("value {value} outside the symmetric {p} range");
+                return ExitCode::FAILURE;
+            }
+            let sbr = SbrSlices::encode(value, p);
+            println!("value {value} at {p}:");
+            println!("  signed bit-slices (SBR): {sbr}   zero slices: {}", sbr.zero_slices());
+            println!("  conventional container:  {}", ConvSlices::encode(value, p));
+            println!("  MSB-aligned radix-8:     {}", MsbSlices::encode(value, p));
+            ExitCode::SUCCESS
+        }
+        "sparsity" => {
+            let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
+                eprintln!("sparsity: unknown network (try `sibia-cli networks`)");
+                return ExitCode::FAILURE;
+            };
+            let mut src = SynthSource::new(1);
+            println!("{net}\n");
+            println!(
+                "{:<20} {:>9} {:>9} {:>9}   {:>9} {:>9}",
+                "layer (sampled)", "in full", "in conv", "in SBR", "w conv", "w SBR"
+            );
+            for layer in net.layers().iter().step_by(net.layers().len().div_ceil(12)) {
+                let acts = src.activations(layer, 8192);
+                let w = src.weights(layer, 8192);
+                let ri = SparsityReport::analyze(acts.codes().data(), layer.input_precision());
+                let rw = SparsityReport::analyze(w.codes().data(), layer.weight_precision());
+                println!(
+                    "{:<20} {:>8.1}% {:>8.1}% {:>8.1}%   {:>8.1}% {:>8.1}%",
+                    layer.name(),
+                    ri.full_bitwidth * 100.0,
+                    ri.conventional.overall * 100.0,
+                    ri.signed.overall * 100.0,
+                    rw.conventional.overall * 100.0,
+                    rw.signed.overall * 100.0,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
+                eprintln!("simulate: unknown network (try `sibia-cli networks`)");
+                return ExitCode::FAILURE;
+            };
+            let arch = match flag_value(&args, "--arch") {
+                Some(a) => match arch_by_name(&a) {
+                    Some(spec) => spec,
+                    None => {
+                        eprintln!("unknown architecture {a}");
+                        return usage();
+                    }
+                },
+                None => ArchSpec::sibia_hybrid(),
+            };
+            let seed = flag_value(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let r = Accelerator::from_spec(arch).with_seed(seed).run_network(&net);
+            println!("{r}");
+            println!("\nbusiest layers:");
+            let mut layers: Vec<_> = r.layers.iter().collect();
+            layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
+            for l in layers.iter().take(8) {
+                println!(
+                    "  {:<22} {:>12} cycles  work {:>5.1}%  {:?}",
+                    l.name,
+                    l.cycles,
+                    l.work_fraction * 100.0,
+                    l.skip_side
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
+                eprintln!("compare: unknown network (try `sibia-cli networks`)");
+                return ExitCode::FAILURE;
+            };
+            let seed = flag_value(&args, "--seed")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            let bf = Accelerator::bit_fusion().with_seed(seed).run_network(&net);
+            println!(
+                "{:<18} {:>10} {:>10} {:>9} {:>9}",
+                "architecture", "ms", "GOPS", "TOPS/W", "speedup"
+            );
+            for arch in [
+                ArchSpec::bit_fusion(),
+                ArchSpec::hnpu(),
+                ArchSpec::sibia_no_sbr(),
+                ArchSpec::sibia_input_skip(),
+                ArchSpec::sibia_hybrid(),
+            ] {
+                let r = Accelerator::from_spec(arch).with_seed(seed).run_network(&net);
+                println!(
+                    "{:<18} {:>10.2} {:>10.1} {:>9.2} {:>8.2}x",
+                    r.arch,
+                    r.time_s() * 1e3,
+                    r.throughput_gops(),
+                    r.efficiency_tops_w(),
+                    r.speedup_over(&bf)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

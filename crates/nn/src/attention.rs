@@ -1,0 +1,231 @@
+//! Functional multi-head self-attention at quantized precision.
+//!
+//! Executes the attention module the way Sibia's benchmarks do: quantized
+//! Q/K/V projections (integer matmuls), integer QK^T scores per head,
+//! softmax in real space (the paper's softmax feeds the output-speculation
+//! machinery), probabilities re-quantized to the attention precision, and
+//! the probability × value matmul back in integers. Validates the
+//! transformer layer path of the zoo end to end and provides the
+//! functional substrate for attention-speculation experiments.
+
+use sibia_sbr::Precision;
+use sibia_tensor::ops;
+use sibia_tensor::{QuantTensor, Shape, Tensor};
+
+use crate::synth::SynthSource;
+
+/// A quantized multi-head self-attention block.
+#[derive(Debug, Clone)]
+pub struct AttentionBlock {
+    seq: usize,
+    heads: usize,
+    head_dim: usize,
+    wq: QuantTensor,
+    wk: QuantTensor,
+    wv: QuantTensor,
+    attn_precision: Precision,
+}
+
+/// The intermediate tensors of one attention pass (all quantized according
+/// to the paper's precision assignment).
+#[derive(Debug, Clone)]
+pub struct AttentionTrace {
+    /// Integer QK^T scores per head, `[heads, seq, seq]`.
+    pub scores: Tensor<i64>,
+    /// Quantized attention probabilities, `[heads, seq, seq]`.
+    pub probabilities: QuantTensor,
+    /// Attention output accumulators, `[heads, seq, head_dim]`.
+    pub output: Tensor<i64>,
+}
+
+impl AttentionBlock {
+    /// Builds a block with synthesized projection weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hidden` is divisible by `heads`.
+    pub fn random(
+        src: &mut SynthSource,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        attn_precision: Precision,
+    ) -> Self {
+        assert_eq!(hidden % heads, 0, "hidden must divide into heads");
+        let mut proj = |n: usize| {
+            let raw = src.gaussian(n, 1.0);
+            QuantTensor::quantize(&raw, Shape::new(&[n]), attn_precision)
+        };
+        Self {
+            seq,
+            heads,
+            head_dim: hidden / heads,
+            wq: proj(hidden * hidden),
+            wk: proj(hidden * hidden),
+            wv: proj(hidden * hidden),
+            attn_precision,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    fn project(&self, x: &QuantTensor, w: &QuantTensor) -> Tensor<i64> {
+        let hidden = self.hidden();
+        let xm = Tensor::from_vec(x.codes().data().to_vec(), Shape::new(&[self.seq, hidden]));
+        let wm = Tensor::from_vec(w.codes().data().to_vec(), Shape::new(&[hidden, hidden]));
+        ops::matmul(&xm, &wm)
+    }
+
+    /// Requantizes accumulator values at the attention precision with a
+    /// fitted scale.
+    fn requantize(&self, acc: &Tensor<i64>) -> QuantTensor {
+        let real: Vec<f32> = acc.data().iter().map(|&v| v as f32).collect();
+        QuantTensor::quantize(&real, Shape::new(&[real.len()]), self.attn_precision)
+    }
+
+    /// Reshapes a `[seq, hidden]` tensor into `[heads, seq, head_dim]`.
+    fn to_heads(&self, flat: &QuantTensor) -> Tensor<i32> {
+        let (s, h, d) = (self.seq, self.heads, self.head_dim);
+        let mut out = vec![0i32; h * s * d];
+        for t in 0..s {
+            for head in 0..h {
+                for j in 0..d {
+                    out[(head * s + t) * d + j] = flat.codes().data()[t * (h * d) + head * d + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::new(&[h, s, d]))
+    }
+
+    /// Runs the block on a quantized `[seq × hidden]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length differs from `seq × hidden`.
+    pub fn forward(&self, x: &QuantTensor) -> AttentionTrace {
+        assert_eq!(
+            x.codes().len(),
+            self.seq * self.hidden(),
+            "input must be seq × hidden"
+        );
+        let q = self.requantize(&self.project(x, &self.wq));
+        let k = self.requantize(&self.project(x, &self.wk));
+        let v = self.requantize(&self.project(x, &self.wv));
+        let qh = self.to_heads(&q);
+        let kh = self.to_heads(&k);
+        let vh = self.to_heads(&v);
+        // Scores: per head, Q · K^T.
+        let kt = {
+            let (h, s, d) = (self.heads, self.seq, self.head_dim);
+            let mut out = vec![0i32; h * d * s];
+            for head in 0..h {
+                for t in 0..s {
+                    for j in 0..d {
+                        out[(head * d + j) * s + t] = kh.data()[(head * s + t) * d + j];
+                    }
+                }
+            }
+            Tensor::from_vec(out, Shape::new(&[h, d, s]))
+        };
+        let scores = ops::batched_matmul(&qh, &kt);
+        // Softmax per row in real space, then quantize the probabilities
+        // (the paper runs attention at 7-bit).
+        let mut probs = Vec::with_capacity(scores.len());
+        let scale = (self.head_dim as f32).sqrt()
+            * q.quantizer().scale()
+            * k.quantizer().scale();
+        for row in scores.data().chunks(self.seq) {
+            let logits: Vec<f32> = row.iter().map(|&v| v as f32 * scale / 64.0).collect();
+            let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            probs.extend(exps.into_iter().map(|e| e / sum));
+        }
+        let probabilities = QuantTensor::quantize(
+            &probs,
+            Shape::new(&[self.heads, self.seq, self.seq]),
+            self.attn_precision,
+        );
+        let pm = Tensor::from_vec(
+            probabilities.codes().data().to_vec(),
+            Shape::new(&[self.heads, self.seq, self.seq]),
+        );
+        let output = ops::batched_matmul(&pm, &vh);
+        AttentionTrace {
+            scores,
+            probabilities,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> (AttentionBlock, QuantTensor) {
+        let mut src = SynthSource::new(8);
+        let b = AttentionBlock::random(&mut src, 16, 32, 4, Precision::BITS7);
+        let raw = src.gaussian(16 * 32, 1.0);
+        let x = QuantTensor::quantize(&raw, Shape::new(&[16 * 32]), Precision::BITS7);
+        (b, x)
+    }
+
+    #[test]
+    fn shapes_flow_through_the_block() {
+        let (b, x) = block();
+        let t = b.forward(&x);
+        assert_eq!(t.scores.shape().dims(), &[4, 16, 16]);
+        assert_eq!(t.probabilities.shape().dims(), &[4, 16, 16]);
+        assert_eq!(t.output.shape().dims(), &[4, 16, 8]);
+    }
+
+    #[test]
+    fn probabilities_are_near_zero_heavy() {
+        // The property the paper's attention output-skipping exploits: most
+        // quantized attention probabilities are small.
+        let (b, x) = block();
+        let t = b.forward(&x);
+        let small = t
+            .probabilities
+            .codes()
+            .data()
+            .iter()
+            .filter(|&&c| c.abs() < 8)
+            .count() as f64
+            / t.probabilities.codes().len() as f64;
+        assert!(small > 0.5, "got {small}");
+    }
+
+    #[test]
+    fn probability_rows_sum_to_about_one() {
+        let (b, x) = block();
+        let t = b.forward(&x);
+        let deq = t.probabilities.dequantize();
+        for row in deq.data().chunks(16) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 0.25, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn attention_is_deterministic() {
+        let (b1, x1) = block();
+        let (b2, x2) = block();
+        assert_eq!(
+            b1.forward(&x1).output.data(),
+            b2.forward(&x2).output.data()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seq × hidden")]
+    fn input_shape_validated() {
+        let (b, _) = block();
+        let bad = QuantTensor::quantize(&[0.0; 10], Shape::new(&[10]), Precision::BITS7);
+        let _ = b.forward(&bad);
+    }
+}

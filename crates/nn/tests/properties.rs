@@ -1,0 +1,84 @@
+//! Property tests for the synthetic data source and layer descriptors.
+
+use proptest::prelude::*;
+use sibia_nn::{Activation, Layer, SynthSource};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The same seed yields identical tensors; different seeds differ.
+    #[test]
+    fn synthesis_is_seed_deterministic(seed in 0u64..1000) {
+        let layer = Layer::linear("l", 8, 64, 64).with_activation(Activation::Gelu);
+        let a = SynthSource::new(seed).activations(&layer, 1024);
+        let b = SynthSource::new(seed).activations(&layer, 1024);
+        prop_assert_eq!(a.codes().data(), b.codes().data());
+    }
+
+    /// Activation codes always respect the layer's symmetric range.
+    #[test]
+    fn activations_respect_precision(
+        seed in 0u64..200,
+        sparsity in 0.0f64..0.9,
+        act_sel in 0usize..4,
+    ) {
+        let act = [
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::LEAKY_RELU_01,
+            Activation::ELU_1,
+        ][act_sel];
+        let layer = Layer::linear("l", 8, 128, 1)
+            .with_activation(act)
+            .with_input_sparsity(sparsity);
+        let qt = SynthSource::new(seed).activations(&layer, 1024);
+        let m = layer.input_precision().max_magnitude();
+        prop_assert!(qt.codes().data().iter().all(|&c| c.abs() <= m));
+    }
+
+    /// Sparsity calibration reaches at least the target (quantization
+    /// underflow may add more, never less).
+    #[test]
+    fn calibrated_sparsity_is_a_lower_bound(
+        seed in 0u64..100,
+        sparsity in 0.05f64..0.7,
+    ) {
+        let layer = Layer::linear("l", 16, 256, 1)
+            .with_activation(Activation::ELU_1)
+            .with_input_sparsity(sparsity);
+        let qt = SynthSource::new(seed).activations(&layer, 4096);
+        prop_assert!(
+            qt.sparsity() >= sparsity - 0.02,
+            "target {} got {}",
+            sparsity,
+            qt.sparsity()
+        );
+    }
+
+    /// ReLU layers produce non-negative codes only.
+    #[test]
+    fn relu_activations_are_non_negative(seed in 0u64..100) {
+        let layer = Layer::linear("l", 8, 128, 1)
+            .with_activation(Activation::Relu)
+            .with_input_sparsity(0.4);
+        let qt = SynthSource::new(seed).activations(&layer, 1024);
+        prop_assert!(qt.codes().data().iter().all(|&c| c >= 0));
+    }
+
+    /// Layer MAC counts scale linearly in channel counts.
+    #[test]
+    fn conv_macs_scale_linearly(ch in 1usize..32, hw in 4usize..32) {
+        let base = Layer::conv2d("a", ch, 8, 3, 1, 1, hw).macs();
+        let double = Layer::conv2d("b", ch * 2, 8, 3, 1, 1, hw).macs();
+        prop_assert_eq!(double, base * 2);
+    }
+
+    /// Weight tensors carry the trained-weight zero mass.
+    #[test]
+    fn weights_have_zero_mass(seed in 0u64..100) {
+        let layer = Layer::linear("l", 1, 128, 64);
+        let w = SynthSource::new(seed).weights(&layer, 8192);
+        prop_assert!(w.sparsity() >= 0.07, "got {}", w.sparsity());
+        prop_assert!(w.sparsity() <= 0.35, "got {}", w.sparsity());
+    }
+}

@@ -1,0 +1,251 @@
+//! Slice-domain arithmetic: the math of the accumulation units.
+//!
+//! Sibia's accumulation chain never reassembles full-precision values; it
+//! adds partial sums *digit-wise* at radix 8, applies arithmetic shifts by
+//! whole slice orders (the Uni-NoC's shift-by-3), and renormalizes digit
+//! overflows by carrying into the next order. [`SliceVector`] models that
+//! arithmetic exactly: a little-endian vector of radix-8 digits whose
+//! magnitudes may transiently exceed the canonical `[-7, 7]` range while
+//! sums accumulate, plus a renormalization that restores the canonical
+//! signed-digit form.
+
+use std::fmt;
+
+use crate::precision::Precision;
+use crate::sbr::SbrSlices;
+
+/// A radix-8 signed-digit vector (little-endian), closed under addition,
+/// negation and order shifts.
+///
+/// # Example
+///
+/// ```
+/// use sibia_sbr::arith::SliceVector;
+///
+/// let a = SliceVector::from_value(-25);
+/// let b = SliceVector::from_value(25);
+/// assert_eq!(a.add(&b).to_value(), 0);
+/// assert_eq!(a.shl_orders(1).to_value(), -200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SliceVector {
+    digits: Vec<i64>,
+}
+
+impl SliceVector {
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self { digits: vec![0] }
+    }
+
+    /// Builds the canonical signed-digit vector of a value.
+    pub fn from_value(value: i64) -> Self {
+        let mut digits = Vec::new();
+        let mut r = value;
+        while r != 0 || digits.is_empty() {
+            let mut d = r.rem_euclid(8);
+            if value < 0 && d > 0 {
+                d -= 8;
+            }
+            digits.push(d);
+            r = (r - d) / 8;
+        }
+        Self { digits }
+    }
+
+    /// Wraps the digits of an encoded fixed-point value.
+    pub fn from_slices(s: &SbrSlices) -> Self {
+        Self {
+            digits: s.digits().iter().map(|&d| i64::from(d)).collect(),
+        }
+    }
+
+    /// The digits, least-significant first (may be non-canonical).
+    pub fn digits(&self) -> &[i64] {
+        &self.digits
+    }
+
+    /// Integer value `Σ d_i · 8^i`.
+    pub fn to_value(&self) -> i64 {
+        self.digits
+            .iter()
+            .rev()
+            .fold(0i64, |acc, &d| acc * 8 + d)
+    }
+
+    /// Digit-wise sum (no renormalization — digits may exceed ±7, exactly
+    /// as the wide accumulation registers allow).
+    pub fn add(&self, other: &SliceVector) -> SliceVector {
+        let n = self.digits.len().max(other.digits.len());
+        let digits = (0..n)
+            .map(|i| {
+                self.digits.get(i).copied().unwrap_or(0)
+                    + other.digits.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        SliceVector { digits }
+    }
+
+    /// Digit-wise negation.
+    pub fn negate(&self) -> SliceVector {
+        SliceVector {
+            digits: self.digits.iter().map(|&d| -d).collect(),
+        }
+    }
+
+    /// Shift left by whole slice orders (×8ⁿ) — the inverse of the
+    /// Uni-NoC's right arithmetic shift by 3 bits per hop.
+    pub fn shl_orders(&self, n: usize) -> SliceVector {
+        let mut digits = vec![0i64; n];
+        digits.extend_from_slice(&self.digits);
+        SliceVector { digits }
+    }
+
+    /// Restores the canonical signed-digit form: every digit in `[-7, 7]`
+    /// with all digit signs agreeing with the value's sign, extending the
+    /// vector if carries overflow the top order.
+    pub fn renormalize(&self) -> SliceVector {
+        SliceVector::from_value(self.to_value())
+    }
+
+    /// Whether every digit is canonical (`[-7, 7]`, signs consistent).
+    pub fn is_canonical(&self) -> bool {
+        let v = self.to_value();
+        let all_in_range = self.digits.iter().all(|d| d.abs() <= 7);
+        let signs_ok = if v >= 0 {
+            self.digits.iter().all(|&d| d >= 0)
+        } else {
+            self.digits.iter().all(|&d| d <= 0)
+        };
+        all_in_range && signs_ok
+    }
+
+    /// Converts back to a fixed-point slice encoding at `precision`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the symmetric range of `precision`.
+    pub fn to_slices(&self, precision: Precision) -> SbrSlices {
+        let v = self.to_value();
+        SbrSlices::encode(
+            i32::try_from(v).expect("value fits i32"),
+            precision,
+        )
+    }
+}
+
+impl fmt::Display for SliceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sv{:?}", self.digits)
+    }
+}
+
+/// The accumulation-unit recombination: sums slice-order partial products
+/// `psum[oi][ow]` (each an accumulated digit-product total) into the full
+/// value `Σ psum[oi][ow] · 8^(oi+ow)` using only slice-domain adds and
+/// shifts — exactly the shift-add network after the MAC arrays.
+pub fn recombine(psums: &[Vec<i64>]) -> SliceVector {
+    let mut acc = SliceVector::zero();
+    for (oi, row) in psums.iter().enumerate() {
+        for (ow, &p) in row.iter().enumerate() {
+            let term = SliceVector::from_value(p).shl_orders(oi + ow);
+            acc = acc.add(&term);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_values() {
+        for v in [-100_000i64, -4095, -64, -8, -1, 0, 1, 7, 63, 99_999] {
+            let sv = SliceVector::from_value(v);
+            assert_eq!(sv.to_value(), v);
+            assert!(sv.is_canonical(), "{v}: {sv}");
+        }
+    }
+
+    #[test]
+    fn addition_matches_integers() {
+        for a in (-200..200).step_by(17) {
+            for b in (-200..200).step_by(13) {
+                let sv = SliceVector::from_value(a).add(&SliceVector::from_value(b));
+                assert_eq!(sv.to_value(), a + b, "{a}+{b}");
+                assert_eq!(sv.renormalize().to_value(), a + b);
+                assert!(sv.renormalize().is_canonical());
+            }
+        }
+    }
+
+    #[test]
+    fn negation_and_shift() {
+        let sv = SliceVector::from_value(37);
+        assert_eq!(sv.negate().to_value(), -37);
+        assert_eq!(sv.shl_orders(2).to_value(), 37 * 64);
+    }
+
+    #[test]
+    fn from_slices_round_trips_encodings() {
+        for v in [-511, -37, 0, 37, 511] {
+            let s = SbrSlices::encode(v, Precision::BITS10);
+            let sv = SliceVector::from_slices(&s);
+            assert_eq!(sv.to_value(), i64::from(v));
+            assert_eq!(sv.to_slices(Precision::BITS10).decode(), v);
+        }
+    }
+
+    #[test]
+    fn recombination_matches_full_product() {
+        // A 10-bit × 7-bit product decomposed into per-order partial sums
+        // recombines exactly.
+        let x = -345i64;
+        let w = 59i64;
+        let xs = SbrSlices::encode(x as i32, Precision::BITS10);
+        let ws = SbrSlices::encode(w as i32, Precision::BITS7);
+        let psums: Vec<Vec<i64>> = xs
+            .digits()
+            .iter()
+            .map(|&dx| {
+                ws.digits()
+                    .iter()
+                    .map(|&dw| i64::from(dx) * i64::from(dw))
+                    .collect()
+            })
+            .collect();
+        let acc = recombine(&psums);
+        assert_eq!(acc.to_value(), x * w);
+        assert_eq!(acc.renormalize().to_value(), x * w);
+    }
+
+    #[test]
+    fn accumulated_dot_product_recombines() {
+        // Accumulate 32 products per order pair first (the 12-bit register
+        // behaviour), then recombine once.
+        let xs: Vec<i32> = (0..32).map(|i| (i * 13 % 127) - 63).collect();
+        let ws: Vec<i32> = (0..32).map(|i| (i * 29 % 127) - 63).collect();
+        let mut psums = vec![vec![0i64; 2]; 2];
+        let mut reference = 0i64;
+        for (&x, &w) in xs.iter().zip(&ws) {
+            let xd = SbrSlices::encode(x, Precision::BITS7);
+            let wd = SbrSlices::encode(w, Precision::BITS7);
+            for (oi, &dx) in xd.digits().iter().enumerate() {
+                for (ow, &dw) in wd.digits().iter().enumerate() {
+                    psums[oi][ow] += i64::from(dx) * i64::from(dw);
+                }
+            }
+            reference += i64::from(x) * i64::from(w);
+        }
+        assert_eq!(recombine(&psums).to_value(), reference);
+    }
+
+    #[test]
+    fn non_canonical_sums_detected() {
+        let sv = SliceVector::from_value(7).add(&SliceVector::from_value(7));
+        assert!(!sv.is_canonical()); // digit 14
+        assert!(sv.renormalize().is_canonical());
+        assert_eq!(sv.to_value(), 14);
+    }
+}

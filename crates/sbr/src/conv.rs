@@ -1,0 +1,394 @@
+//! Conventional bit-slice decompositions used by the baselines.
+//!
+//! Two variants exist in the literature and both are needed here:
+//!
+//! * [`ConvSlices`] — the Bit-fusion / HNPU production format: data is
+//!   rounded up to a 4-bit-aligned container and split into radix-16 digits;
+//!   the most-significant slice is signed (`[-8, 7]`), all lower slices are
+//!   unsigned (`[0, 15]`). MAC units must sign-extend to 5b×5b to multiply
+//!   mixed signed/unsigned slices.
+//! * [`MsbSlices`] — the radix-8, MSB-aligned variant the paper uses in its
+//!   worked speculation examples (Fig. 2, Fig. 5a): a signed 4-bit MSB slice
+//!   over unsigned 3-bit lower groups, giving the same slice count as the SBR
+//!   for a like-for-like speculation comparison.
+//!
+//! Both share the key deficiency the paper attacks: negative near-zero values
+//! decompose into all-ones slices, so slice-level sparsity exists only at
+//! zero and positive near-zero data, and high-order slices of negatives are
+//! biased low (unbalanced), breaking low-bit output speculation.
+
+use std::fmt;
+
+use crate::error::RangeError;
+use crate::precision::Precision;
+use crate::MAX_SLICES;
+
+/// Radix-16 container decomposition (Bit-fusion / HNPU format).
+///
+/// # Example
+///
+/// ```
+/// use sibia_sbr::{ConvSlices, Precision};
+/// // -3 in an 8-bit container is 11111101₂ → slices [13, -1]: no zeros.
+/// let c = ConvSlices::encode(-3, Precision::BITS7);
+/// assert_eq!(c.digits(), &[13, -1]);
+/// assert_eq!(c.decode(), -3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSlices {
+    digits: [i8; MAX_SLICES],
+    len: u8,
+    precision: Precision,
+}
+
+impl ConvSlices {
+    /// Encodes `value` into radix-16 container slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the symmetric range of `precision`; use
+    /// [`Self::try_encode`] to handle that case.
+    pub fn encode(value: i32, precision: Precision) -> Self {
+        Self::try_encode(value, precision).expect("value outside symmetric range")
+    }
+
+    /// Encodes `value`, checking the symmetric range of `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError`] if `value` is out of range. (The container
+    /// itself could hold `-2^(N-1)`, but the symmetric range is enforced for
+    /// parity with [`crate::SbrSlices`]: both representations see identical
+    /// quantized data.)
+    pub fn try_encode(value: i32, precision: Precision) -> Result<Self, RangeError> {
+        precision.check(value)?;
+        let len = precision.conv_slices();
+        debug_assert!(len <= MAX_SLICES);
+        let mut digits = [0i8; MAX_SLICES];
+        for (i, d) in digits.iter_mut().enumerate().take(len - 1) {
+            *d = ((value >> (4 * i)) & 0xF) as i8; // unsigned nibble
+        }
+        // Arithmetic shift keeps the sign in the top slice.
+        digits[len - 1] = (value >> (4 * (len - 1))) as i8;
+        debug_assert!((-8..=7).contains(&digits[len - 1]));
+        Ok(Self {
+            digits,
+            len: len as u8,
+            precision,
+        })
+    }
+
+    /// The digit values, least-significant first. Lower digits are in
+    /// `[0, 15]`, the top digit in `[-8, 7]`.
+    pub fn digits(&self) -> &[i8] {
+        &self.digits[..usize::from(self.len)]
+    }
+
+    /// The digit at slice order `order` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order >= self.num_slices()`.
+    pub fn digit(&self, order: usize) -> i8 {
+        self.digits()[order]
+    }
+
+    /// Number of slices (container bits / 4).
+    pub fn num_slices(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// The precision this value was encoded at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Reconstructs the value: `Σ d_i · 16^i`.
+    pub fn decode(&self) -> i32 {
+        self.digits()
+            .iter()
+            .rev()
+            .fold(0i32, |acc, &d| acc * 16 + i32::from(d))
+    }
+
+    /// Reconstructs only the `n` highest-order slices (speculation operand).
+    pub fn decode_high(&self, n: usize) -> i32 {
+        let len = self.num_slices();
+        let keep = n.min(len);
+        self.digits()
+            .iter()
+            .enumerate()
+            .skip(len - keep)
+            .map(|(i, &d)| i32::from(d) * 16i32.pow(i as u32))
+            .sum()
+    }
+
+    /// Number of zero slices — what HNPU's zero-skipping unit can exploit.
+    pub fn zero_slices(&self) -> usize {
+        self.digits().iter().filter(|&&d| d == 0).count()
+    }
+}
+
+impl fmt::Display for ConvSlices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conv[")?;
+        for (i, d) in self.digits().iter().enumerate().rev() {
+            write!(f, "{d}")?;
+            if i != 0 {
+                write!(f, ", ")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// MSB-aligned radix-8 decomposition: signed 4-bit top slice, unsigned 3-bit
+/// lower groups (paper Fig. 2 / Fig. 5a).
+///
+/// # Example
+///
+/// ```
+/// use sibia_sbr::{conv::MsbSlices, Precision};
+/// // Paper Fig. 2: high slice of -25 (1100111₂) is 1100₂ = -4; of +25, +3.
+/// let neg = MsbSlices::encode(-25, Precision::BITS7);
+/// let pos = MsbSlices::encode(25, Precision::BITS7);
+/// assert_eq!(neg.digits(), &[7, -4]);
+/// assert_eq!(pos.digits(), &[1, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsbSlices {
+    digits: [i8; MAX_SLICES],
+    len: u8,
+    precision: Precision,
+}
+
+impl MsbSlices {
+    /// Encodes `value` into MSB-aligned radix-8 slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the symmetric range of `precision`.
+    pub fn encode(value: i32, precision: Precision) -> Self {
+        Self::try_encode(value, precision).expect("value outside symmetric range")
+    }
+
+    /// Encodes `value`, checking the symmetric range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError`] if `value` is out of range.
+    pub fn try_encode(value: i32, precision: Precision) -> Result<Self, RangeError> {
+        precision.check(value)?;
+        let len = precision.sbr_slices();
+        let mut digits = [0i8; MAX_SLICES];
+        for (i, d) in digits.iter_mut().enumerate().take(len - 1) {
+            *d = ((value >> (3 * i)) & 0x7) as i8; // unsigned 3-bit group
+        }
+        digits[len - 1] = (value >> (3 * (len - 1))) as i8; // signed top
+        debug_assert!((-8..=7).contains(&digits[len - 1]));
+        Ok(Self {
+            digits,
+            len: len as u8,
+            precision,
+        })
+    }
+
+    /// The digit values, least-significant first. Lower digits in `[0, 7]`,
+    /// top digit in `[-8, 7]`.
+    pub fn digits(&self) -> &[i8] {
+        &self.digits[..usize::from(self.len)]
+    }
+
+    /// The digit at slice order `order` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order >= self.num_slices()`.
+    pub fn digit(&self, order: usize) -> i8 {
+        self.digits()[order]
+    }
+
+    /// Number of slices (same as the SBR slice count for this precision).
+    pub fn num_slices(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// The precision this value was encoded at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Reconstructs the value: `Σ d_i · 8^i`.
+    pub fn decode(&self) -> i32 {
+        self.digits()
+            .iter()
+            .rev()
+            .fold(0i32, |acc, &d| acc * 8 + i32::from(d))
+    }
+
+    /// Reconstructs only the `n` highest-order slices (the unbalanced
+    /// speculation operand of prior output-skipping architectures).
+    pub fn decode_high(&self, n: usize) -> i32 {
+        let len = self.num_slices();
+        let keep = n.min(len);
+        self.digits()
+            .iter()
+            .enumerate()
+            .skip(len - keep)
+            .map(|(i, &d)| i32::from(d) * 8i32.pow(i as u32))
+            .sum()
+    }
+
+    /// Number of zero slices.
+    pub fn zero_slices(&self) -> usize {
+        self.digits().iter().filter(|&&d| d == 0).count()
+    }
+}
+
+impl fmt::Display for MsbSlices {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "msb[")?;
+        for (i, d) in self.digits().iter().enumerate().rev() {
+            write!(f, "{d}")?;
+            if i != 0 {
+                write!(f, ", ")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Decomposes a tensor into per-order radix-16 digit planes (HNPU's view).
+///
+/// # Panics
+///
+/// Panics if any value is outside the symmetric range of `precision`.
+pub fn planes(values: &[i32], precision: Precision) -> Vec<Vec<i8>> {
+    let k = precision.conv_slices();
+    let mut planes = vec![Vec::with_capacity(values.len()); k];
+    for &v in values {
+        let s = ConvSlices::encode(v, precision);
+        for (order, plane) in planes.iter_mut().enumerate() {
+            plane.push(s.digit(order));
+        }
+    }
+    planes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_conventional_example() {
+        // 1111101₂ = -3: MSB-aligned slices are 1111₂ (-1) and 101₂ (5).
+        let m = MsbSlices::encode(-3, Precision::BITS7);
+        assert_eq!(m.digits(), &[5, -1]);
+        assert_eq!(m.decode(), -3);
+        assert_eq!(m.zero_slices(), 0);
+    }
+
+    #[test]
+    fn paper_fig2_unbalanced_speculation() {
+        let neg = MsbSlices::encode(-25, Precision::BITS7);
+        let pos = MsbSlices::encode(25, Precision::BITS7);
+        // Unbalanced: -4 vs +3.
+        assert_eq!(neg.digit(1), -4);
+        assert_eq!(pos.digit(1), 3);
+        // Speculation products: (-4)(3) = -12 vs (3)(3) = 9 — asymmetric,
+        // so a full-width tie (e.g. -25×25 + 25×25 = 0) speculates to -3.
+        assert_eq!(neg.digit(1) * pos.digit(1) + pos.digit(1) * pos.digit(1), -3);
+    }
+
+    #[test]
+    fn conv_round_trip_all_7bit() {
+        for v in -63..=63 {
+            assert_eq!(ConvSlices::encode(v, Precision::BITS7).decode(), v);
+        }
+    }
+
+    #[test]
+    fn msb_round_trip_all_7bit() {
+        for v in -63..=63 {
+            assert_eq!(MsbSlices::encode(v, Precision::BITS7).decode(), v);
+        }
+    }
+
+    #[test]
+    fn conv_round_trip_all_10bit() {
+        for v in -511..=511 {
+            assert_eq!(ConvSlices::encode(v, Precision::BITS10).decode(), v);
+            assert_eq!(MsbSlices::encode(v, Precision::BITS10).decode(), v);
+        }
+    }
+
+    #[test]
+    fn conv_lower_digits_are_unsigned() {
+        for v in -63..=63 {
+            let c = ConvSlices::encode(v, Precision::BITS7);
+            assert!((0..=15).contains(&c.digit(0)), "v={v}");
+            assert!((-8..=7).contains(&c.digit(1)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn negative_near_zero_has_no_zero_slices_conventionally() {
+        // The deficiency motivating the SBR: -1 is all-ones in every slice.
+        let c = ConvSlices::encode(-1, Precision::BITS13);
+        assert_eq!(c.zero_slices(), 0);
+        assert_eq!(c.digits(), &[15, 15, 15, -1]);
+        let m = MsbSlices::encode(-1, Precision::BITS13);
+        assert_eq!(m.zero_slices(), 0);
+    }
+
+    #[test]
+    fn positive_near_zero_has_zero_high_slices_conventionally() {
+        let c = ConvSlices::encode(3, Precision::BITS13);
+        assert_eq!(c.digits(), &[3, 0, 0, 0]);
+        assert_eq!(c.zero_slices(), 3);
+    }
+
+    #[test]
+    fn conv_slice_count_follows_container() {
+        assert_eq!(ConvSlices::encode(0, Precision::BITS7).num_slices(), 2);
+        assert_eq!(ConvSlices::encode(0, Precision::BITS10).num_slices(), 3);
+        assert_eq!(ConvSlices::encode(0, Precision::BITS13).num_slices(), 4);
+    }
+
+    #[test]
+    fn decode_high_is_biased_for_negatives() {
+        // Truncating a conventional decomposition always rounds *down*
+        // (towards -inf), so negatives overshoot in magnitude: the unbalance
+        // of Fig. 2.
+        for v in -63..0 {
+            let m = MsbSlices::encode(v, Precision::BITS7);
+            assert!(m.decode_high(1) <= v, "high part must round down, v={v}");
+            assert!(m.decode_high(1) >= v - 7, "v={v}");
+        }
+        for v in 0..=63 {
+            let m = MsbSlices::encode(v, Precision::BITS7);
+            assert!(m.decode_high(1) >= v - 7);
+            assert!(m.decode_high(1) <= v);
+        }
+    }
+
+    #[test]
+    fn planes_have_container_slice_count() {
+        let values: Vec<i32> = (-63..=63).collect();
+        let ps = planes(&values, Precision::BITS7);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), values.len());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(ConvSlices::try_encode(-64, Precision::BITS7).is_err());
+        assert!(MsbSlices::try_encode(4096, Precision::BITS13).is_err());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(ConvSlices::encode(-3, Precision::BITS7).to_string(), "conv[-1, 13]");
+        assert_eq!(MsbSlices::encode(-3, Precision::BITS7).to_string(), "msb[-1, 5]");
+    }
+}

@@ -1,0 +1,226 @@
+//! Hardware model of the SBR unit and its RLE pipeline (paper Fig. 5b).
+//!
+//! The DMU's SBR unit decomposes streaming full-bit-width data with a chain
+//! of borrow/lend registers: each slice register receives the conventional
+//! bit group, takes a `+1` *borrow* lent by the slice below, and, for a
+//! negative value with a non-zero residue, *lends* `1000₂` upward by
+//! subtracting 8 from itself and raising its lend flag. The MSB register
+//! only borrows; the LSB register only lends. Four 4-bit slices of
+//! spatially adjacent values are then packed into a 16-bit sub-word
+//! register and handed to the RLE unit when non-zero.
+//!
+//! This module mirrors those registers bit-for-bit and is verified against
+//! the arithmetic codec in [`crate::sbr`] — the hardware and the math agree
+//! on every representable value.
+
+use crate::precision::Precision;
+use crate::subword::SubWord;
+use crate::MAX_SLICES;
+
+/// Per-value trace of the borrow/lend chain, for hardware-level inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeTrace {
+    /// The produced digits (LSB first).
+    pub digits: [i8; MAX_SLICES],
+    /// Slice count.
+    pub len: u8,
+    /// Which slices raised their lend flag (lent `1000₂` upward).
+    pub lend_flags: [bool; MAX_SLICES],
+}
+
+impl EncodeTrace {
+    /// The digits as a slice.
+    pub fn digits(&self) -> &[i8] {
+        &self.digits[..usize::from(self.len)]
+    }
+
+    /// Number of lends that fired for this value.
+    pub fn lend_count(&self) -> usize {
+        self.lend_flags[..usize::from(self.len)]
+            .iter()
+            .filter(|&&f| f)
+            .count()
+    }
+}
+
+/// The streaming SBR encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbrUnit {
+    precision: Precision,
+}
+
+impl SbrUnit {
+    /// Creates an encoder for one data precision.
+    pub fn new(precision: Precision) -> Self {
+        Self { precision }
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Encodes one value through the register chain, returning the full
+    /// borrow/lend trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the symmetric range of the precision.
+    pub fn encode_traced(&self, value: i32) -> EncodeTrace {
+        self.precision
+            .check(value)
+            .expect("value outside symmetric range");
+        let k = self.precision.sbr_slices();
+        let bits = self.precision.bits();
+        let sign = value < 0;
+        let mut digits = [0i8; MAX_SLICES];
+        let mut lend_flags = [false; MAX_SLICES];
+        // Conventional bit groups of the 2's-complement pattern: 3-bit
+        // unsigned groups, top group 4-bit signed (it owns the sign bit).
+        let pattern = (value as u32) & ((1u32 << bits) - 1);
+        let mut lend_in = 0i32;
+        for order in 0..k {
+            let group = if order + 1 == k {
+                // Top register: 4 bits including the sign, arithmetic.
+                value >> (3 * order)
+            } else {
+                ((pattern >> (3 * order)) & 0x7) as i32
+            };
+            let mut d = group + lend_in;
+            lend_in = 0;
+            // A negative value's register with a non-zero residue lends
+            // 1000₂ upward (the MSB register has no one to lend to — its
+            // arithmetic top bits already carry the sign).
+            if sign && order + 1 < k && d > 0 {
+                d -= 8;
+                lend_in = 1;
+                lend_flags[order] = true;
+            }
+            debug_assert!((-8..8).contains(&d), "register overflow: {d}");
+            digits[order] = d as i8;
+        }
+        EncodeTrace {
+            digits,
+            len: k as u8,
+            lend_flags,
+        }
+    }
+
+    /// Encodes a stream of values into per-order digit planes, exactly as
+    /// the DMU writes them to global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside the symmetric range.
+    pub fn encode_planes(&self, values: &[i32]) -> Vec<Vec<i8>> {
+        let k = self.precision.sbr_slices();
+        let mut planes = vec![Vec::with_capacity(values.len()); k];
+        for &v in values {
+            let t = self.encode_traced(v);
+            for (order, plane) in planes.iter_mut().enumerate() {
+                plane.push(t.digits[order]);
+            }
+        }
+        planes
+    }
+
+    /// The full Fig. 5b pipeline: encode a stream and pack each plane into
+    /// the 16-bit sub-word registers the RLE unit consumes.
+    pub fn encode_subwords(&self, values: &[i32]) -> Vec<Vec<SubWord>> {
+        self.encode_planes(values)
+            .iter()
+            .map(|p| crate::subword::to_subwords(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbr::SbrSlices;
+
+    #[test]
+    fn hardware_chain_matches_arithmetic_codec_exhaustively() {
+        for p in [Precision::BITS4, Precision::BITS7, Precision::BITS10] {
+            let unit = SbrUnit::new(p);
+            let m = p.max_magnitude();
+            for v in -m..=m {
+                let hw = unit.encode_traced(v);
+                let sw = SbrSlices::encode(v, p);
+                assert_eq!(hw.digits(), sw.digits(), "v={v} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn thirteen_bit_spot_checks() {
+        let unit = SbrUnit::new(Precision::BITS13);
+        for v in [-4095, -4094, -2048, -121, -8, -1, 0, 1, 7, 4095] {
+            assert_eq!(
+                unit.encode_traced(v).digits(),
+                SbrSlices::encode(v, Precision::BITS13).digits(),
+                "v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_lend_flags() {
+        // -3 = 1111101₂: the low register lends 1000₂ upward (0101 → 1101)
+        // and the MSB register borrows to become 0000.
+        let unit = SbrUnit::new(Precision::BITS7);
+        let t = unit.encode_traced(-3);
+        assert_eq!(t.digits(), &[-3, 0]);
+        assert!(t.lend_flags[0]);
+        assert_eq!(t.lend_count(), 1);
+    }
+
+    #[test]
+    fn positive_values_never_lend() {
+        let unit = SbrUnit::new(Precision::BITS10);
+        for v in 0..=511 {
+            assert_eq!(unit.encode_traced(v).lend_count(), 0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn zero_residues_do_not_lend() {
+        // -8 has a zero LSB residue: no lend, LSB slice stays zero.
+        let unit = SbrUnit::new(Precision::BITS7);
+        let t = unit.encode_traced(-8);
+        assert_eq!(t.digits(), &[0, -1]);
+        assert_eq!(t.lend_count(), 0);
+    }
+
+    #[test]
+    fn planes_match_per_value_encoding() {
+        let unit = SbrUnit::new(Precision::BITS7);
+        let values: Vec<i32> = (-63..=63).collect();
+        let planes = unit.encode_planes(&values);
+        for (i, &v) in values.iter().enumerate() {
+            let t = unit.encode_traced(v);
+            assert_eq!(planes[0][i], t.digits[0]);
+            assert_eq!(planes[1][i], t.digits[1]);
+        }
+    }
+
+    #[test]
+    fn subword_pipeline_groups_in_fours() {
+        let unit = SbrUnit::new(Precision::BITS7);
+        let values = vec![-1, -2, -3, -4, 0, 0, 0, 0];
+        let subwords = unit.encode_subwords(&values);
+        assert_eq!(subwords.len(), 2);
+        assert_eq!(subwords[0].len(), 2);
+        // High-order plane of small negatives is all zero → skippable.
+        assert!(subwords[1][0].is_zero());
+        assert!(subwords[1][1].is_zero());
+        assert!(!subwords[0][0].is_zero());
+        assert!(subwords[0][1].is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric range")]
+    fn rejects_out_of_range() {
+        let _ = SbrUnit::new(Precision::BITS7).encode_traced(64);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for range-checked construction of fixed-point values.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::precision::Precision;
+
+/// Error returned when a value does not fit the symmetric range of a
+/// [`Precision`].
+///
+/// The Sibia paper performs *linear symmetric* quantization, so the most
+/// negative 2's-complement code (`-2^(N-1)`) is never produced; this error is
+/// also returned for that code because the signed bit-slice representation
+/// cannot express it with digits in `[-7, 7]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeError {
+    value: i32,
+    precision: Precision,
+}
+
+impl RangeError {
+    pub(crate) fn new(value: i32, precision: Precision) -> Self {
+        Self { value, precision }
+    }
+
+    /// The offending value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// The precision whose range was violated.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {} outside symmetric {}-bit range [{}, {}]",
+            self.value,
+            self.precision.bits(),
+            -self.precision.max_magnitude(),
+            self.precision.max_magnitude()
+        )
+    }
+}
+
+impl Error for RangeError {}

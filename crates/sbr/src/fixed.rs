@@ -1,0 +1,119 @@
+//! Scalar fixed-point values carrying their precision.
+
+use std::fmt;
+
+use crate::conv::{ConvSlices, MsbSlices};
+use crate::error::RangeError;
+use crate::precision::Precision;
+use crate::sbr::SbrSlices;
+
+/// A 2's-complement fixed-point scalar with its [`Precision`].
+///
+/// A convenience wrapper for scalar experiments and examples; bulk tensor
+/// paths store raw `i32` values with a tensor-level precision instead.
+///
+/// # Example
+///
+/// ```
+/// use sibia_sbr::{Fixed, Precision};
+///
+/// let x = Fixed::new(-25, Precision::BITS7);
+/// assert_eq!(x.to_sbr().digits(), &[-1, -3]);
+/// assert_eq!(x.value(), -25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed {
+    value: i32,
+    precision: Precision,
+}
+
+impl Fixed {
+    /// Creates a fixed-point scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the symmetric range of `precision`; use
+    /// [`Self::try_new`] to handle that case.
+    pub fn new(value: i32, precision: Precision) -> Self {
+        Self::try_new(value, precision).expect("value outside symmetric range")
+    }
+
+    /// Creates a fixed-point scalar, checking the symmetric range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError`] if `value` is out of range.
+    pub fn try_new(value: i32, precision: Precision) -> Result<Self, RangeError> {
+        precision.check(value)?;
+        Ok(Self { value, precision })
+    }
+
+    /// The raw integer value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// The bit precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Decomposes into signed bit-slices (SBR).
+    pub fn to_sbr(&self) -> SbrSlices {
+        SbrSlices::encode(self.value, self.precision)
+    }
+
+    /// Decomposes into conventional radix-16 container slices.
+    pub fn to_conv(&self) -> ConvSlices {
+        ConvSlices::encode(self.value, self.precision)
+    }
+
+    /// Decomposes into MSB-aligned radix-8 slices.
+    pub fn to_msb(&self) -> MsbSlices {
+        MsbSlices::encode(self.value, self.precision)
+    }
+
+    /// Full-precision product as a plain integer (reference semantics).
+    pub fn mul(&self, other: &Fixed) -> i64 {
+        i64::from(self.value) * i64::from(other.value)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.value, self.precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representations_agree_on_value() {
+        for v in [-63, -25, -8, -3, 0, 3, 25, 63] {
+            let x = Fixed::new(v, Precision::BITS7);
+            assert_eq!(x.to_sbr().decode(), v);
+            assert_eq!(x.to_conv().decode(), v);
+            assert_eq!(x.to_msb().decode(), v);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert!(Fixed::try_new(-64, Precision::BITS7).is_err());
+        assert!(Fixed::try_new(63, Precision::BITS7).is_ok());
+    }
+
+    #[test]
+    fn mul_is_full_precision() {
+        let a = Fixed::new(-63, Precision::BITS7);
+        let b = Fixed::new(63, Precision::BITS7);
+        assert_eq!(a.mul(&b), -3969);
+    }
+
+    #[test]
+    fn display_shows_value_and_precision() {
+        assert_eq!(Fixed::new(5, Precision::BITS7).to_string(), "5 (7-bit)");
+    }
+}

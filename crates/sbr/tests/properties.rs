@@ -1,0 +1,181 @@
+//! Property-based tests for the number substrate invariants listed in
+//! DESIGN.md §4.
+
+use proptest::prelude::*;
+use sibia_sbr::conv::{ConvSlices, MsbSlices};
+use sibia_sbr::sbr::{self, SbrSlices};
+use sibia_sbr::{Precision, Quantizer};
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![
+        Just(Precision::BITS4),
+        Just(Precision::BITS7),
+        Just(Precision::BITS10),
+        Just(Precision::BITS13),
+        Just(Precision::BITS16),
+    ]
+}
+
+fn arb_value(p: Precision) -> impl Strategy<Value = i32> {
+    let m = p.max_magnitude();
+    -m..=m
+}
+
+proptest! {
+    /// SBR round-trip: decode(encode(x)) == x over the symmetric range.
+    #[test]
+    fn sbr_round_trip((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        prop_assert_eq!(SbrSlices::encode(v, p).decode(), v);
+    }
+
+    /// SBR digits stay in [-7, 7]: the 1000₂ pattern never appears, so a
+    /// 4b×4b product fits in 7 bits.
+    #[test]
+    fn sbr_digit_range((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let s = SbrSlices::encode(v, p);
+        prop_assert!(s.digits().iter().all(|d| (-7..=7).contains(d)));
+    }
+
+    /// SBR digit signs agree with the global sign: a negative value only has
+    /// non-positive digits, a positive value only non-negative ones.
+    #[test]
+    fn sbr_digit_signs((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let s = SbrSlices::encode(v, p);
+        if v < 0 {
+            prop_assert!(s.digits().iter().all(|&d| d <= 0));
+        } else {
+            prop_assert!(s.digits().iter().all(|&d| d >= 0));
+        }
+    }
+
+    /// SBR is sign-symmetric: digits of -x are the negated digits of x.
+    /// This is the "balance" property enabling accurate output speculation.
+    #[test]
+    fn sbr_is_balanced((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let pos = SbrSlices::encode(v, p);
+        let neg = SbrSlices::encode(-v, p);
+        let negated: Vec<i8> = pos.digits().iter().map(|d| -d).collect();
+        prop_assert_eq!(neg.digits(), &negated[..]);
+    }
+
+    /// The paper's Fig. 1 claim, per value: for every *negative* value in
+    /// the near-zero band (|v| < 8^j), all SBR digits of order >= j are
+    /// zero, while the conventional MSB-aligned decomposition sign-extends —
+    /// every digit of order >= j is non-zero (7 or -1). Positive band values
+    /// have zero high digits under both schemes.
+    #[test]
+    fn sbr_zeroes_high_orders_of_negative_band(p in arb_precision(), mag in 1i32..usize::pow(8, 4) as i32, j in 1usize..5) {
+        let k = p.sbr_slices();
+        prop_assume!(j < k);
+        let band = 8i32.pow(j as u32);
+        let v = -(mag % band);
+        prop_assume!(v != 0);
+        let s = SbrSlices::encode(v, p);
+        let m = MsbSlices::encode(v, p);
+        for order in j..k {
+            prop_assert_eq!(s.digit(order), 0, "sbr order {} of {}", order, v);
+            prop_assert_ne!(m.digit(order), 0, "msb order {} of {}", order, v);
+        }
+        // And the positive counterpart is zero high-order in both.
+        let sp = SbrSlices::encode(-v, p);
+        let mp = MsbSlices::encode(-v, p);
+        for order in j..k {
+            prop_assert_eq!(sp.digit(order), 0);
+            prop_assert_eq!(mp.digit(order), 0);
+        }
+    }
+
+    /// Conventional radix-16 round-trip.
+    #[test]
+    fn conv_round_trip((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        prop_assert_eq!(ConvSlices::encode(v, p).decode(), v);
+    }
+
+    /// MSB-aligned radix-8 round-trip.
+    #[test]
+    fn msb_round_trip((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        prop_assert_eq!(MsbSlices::encode(v, p).decode(), v);
+    }
+
+    /// Conventional digit ranges: unsigned lower digits, signed top digit.
+    #[test]
+    fn conv_digit_ranges((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let c = ConvSlices::encode(v, p);
+        let k = c.num_slices();
+        for (i, &d) in c.digits().iter().enumerate() {
+            if i + 1 == k {
+                prop_assert!((-8..=7).contains(&d));
+            } else {
+                prop_assert!((0..=15).contains(&d));
+            }
+        }
+    }
+
+    /// SBR speculation error bound: dropping the lowest `d` of `k` digits
+    /// changes the value by at most Σ_{i<d} 7·8^i.
+    #[test]
+    fn sbr_truncation_error_bound((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let s = SbrSlices::encode(v, p);
+        let k = s.num_slices();
+        for keep in 0..=k {
+            let dropped = k - keep;
+            let bound: i32 = (0..dropped).map(|i| 7 * 8i32.pow(i as u32)).sum();
+            prop_assert!((v - s.decode_high(keep)).abs() <= bound);
+        }
+    }
+
+    /// SBR truncation rounds *toward zero* and preserves sign: the balanced
+    /// behaviour that makes speculation symmetric between positive and
+    /// negative data.
+    #[test]
+    fn sbr_truncates_toward_zero((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let s = SbrSlices::encode(v, p);
+        for keep in 0..=s.num_slices() {
+            let h = s.decode_high(keep);
+            prop_assert!(h.abs() <= v.abs());
+            prop_assert!(i64::from(h) * i64::from(v) >= 0); // sign preserved (or zero)
+        }
+    }
+
+    /// Conventional MSB-aligned truncation is biased toward -inf: it
+    /// under-estimates every value, so negatives *grow* in magnitude — the
+    /// unbalance of paper Fig. 2.
+    #[test]
+    fn msb_truncation_is_biased((p, v) in arb_precision().prop_flat_map(|p| (Just(p), arb_value(p)))) {
+        let m = MsbSlices::encode(v, p);
+        for keep in 1..=m.num_slices() {
+            prop_assert!(m.decode_high(keep) <= v);
+        }
+    }
+
+    /// Plane decomposition round-trips whole tensors.
+    #[test]
+    fn planes_round_trip(values in prop::collection::vec(-63i32..=63, 1..200)) {
+        let planes = sbr::planes(&values, Precision::BITS7);
+        prop_assert_eq!(sbr::from_planes(&planes), values);
+    }
+
+    /// Quantizer codes always fit the symmetric range and reconstruct within
+    /// half a step of calibrated data.
+    #[test]
+    fn quantizer_is_sound(data in prop::collection::vec(-1000.0f32..1000.0, 1..100)) {
+        let q = Quantizer::fit(&data, Precision::BITS7);
+        for &x in &data {
+            let code = q.quantize(x);
+            prop_assert!(code.abs() <= 63);
+            let err = (q.dequantize(code) - x).abs();
+            prop_assert!(err <= q.scale() / 2.0 + 1e-3);
+        }
+    }
+
+    /// The signed MAC product of any two SBR digits fits in 7 signed bits,
+    /// and the accumulation of 32 products fits in 12 bits — the register
+    /// widths of the paper's signed MAC unit.
+    #[test]
+    fn signed_mac_widths(a in -7i32..=7, b in -7i32..=7) {
+        let product = a * b;
+        prop_assert!((-64..=63).contains(&product)); // 7-bit signed
+        let acc_extreme = 49 * 32; // 32-deep accumulation of max products
+        prop_assert!(acc_extreme < (1 << 11)); // 12-bit signed
+    }
+}

@@ -1,0 +1,15 @@
+fn main() {
+    use sibia_nn::zoo;
+    use sibia_sim::{ArchSpec, Simulator};
+    let mut sim = Simulator::new(1);
+    sim.sample_cap = 8192;
+    for net in [zoo::mobilenet_v2(), zoo::resnet18(), zoo::votenet(), zoo::dgcnn()] {
+        let bf = sim.simulate_network(&ArchSpec::bit_fusion(), &net);
+        let hnpu = sim.simulate_network(&ArchSpec::hnpu(), &net);
+        let hyb = sim.simulate_network(&ArchSpec::sibia_hybrid(), &net);
+        println!("{}: hnpu {:.2} hybrid {:.2} | eff bf {:.2} hnpu {:.2} hyb {:.2} | gops bf {:.0} hyb {:.0}",
+            net.name(), hnpu.speedup_over(&bf), hyb.speedup_over(&bf),
+            bf.efficiency_tops_w(), hnpu.efficiency_tops_w(), hyb.efficiency_tops_w(),
+            bf.throughput_gops(), hyb.throughput_gops());
+    }
+}

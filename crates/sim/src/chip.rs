@@ -1,0 +1,164 @@
+//! Chip-level model: workload partitioning across the quad-core MPU
+//! (paper Fig. 4).
+//!
+//! A layer's output channels are partitioned across MPU cores; inputs are
+//! broadcast over the top-level Bi-NoC mesh from the DMU cores, weights are
+//! unicast per core, and the chip's layer latency is the slowest core's
+//! (plus any serialized NoC distribution that compute cannot hide).
+
+use std::fmt;
+
+use sibia_arch::mesh::{Mesh, Node};
+use sibia_nn::Network;
+
+use crate::perf::{NetworkResult, Simulator};
+use crate::spec::ArchSpec;
+
+/// Result of running a network across multiple MPU cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipResult {
+    /// Cores used.
+    pub cores: usize,
+    /// Single-core baseline cycles.
+    pub single_core_cycles: u64,
+    /// Multi-core cycles (slowest core + exposed NoC distribution).
+    pub chip_cycles: u64,
+    /// NoC flit-hops spent distributing operands.
+    pub noc_flit_hops: u64,
+    /// The per-core result the partition was derived from.
+    pub per_core: NetworkResult,
+}
+
+impl ChipResult {
+    /// Parallel speedup over one core.
+    pub fn speedup(&self) -> f64 {
+        self.single_core_cycles as f64 / self.chip_cycles as f64
+    }
+
+    /// Scaling efficiency: speedup / cores.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.cores as f64
+    }
+}
+
+impl fmt::Display for ChipResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cores: {:.2}x speedup ({:.0}% efficiency)",
+            self.cores,
+            self.speedup(),
+            self.efficiency() * 100.0
+        )
+    }
+}
+
+/// Chip-level simulator wrapping the per-core performance simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSim {
+    /// The per-core simulator.
+    pub simulator: Simulator,
+    /// MPU cores on the chip.
+    pub cores: usize,
+    /// Load imbalance of the output-channel partition: the slowest core
+    /// carries `1/cores × (1 + imbalance)` of the work (channel counts
+    /// rarely divide evenly and sparsity varies per partition).
+    pub imbalance: f64,
+}
+
+impl ChipSim {
+    /// The Sibia chip: 4 MPU cores.
+    pub fn sibia() -> Self {
+        Self {
+            simulator: Simulator::default(),
+            cores: 4,
+            imbalance: 0.04,
+        }
+    }
+
+    /// Runs a network partitioned across the chip's cores.
+    pub fn run(&self, arch: &ArchSpec, net: &Network) -> ChipResult {
+        let per_core = self.simulator.simulate_network(arch, net);
+        let single = per_core.total_cycles();
+        // Output-channel partition: each core executes ~1/cores of every
+        // layer's MACs; the slowest carries the imbalance.
+        let slowest = (single as f64 / self.cores as f64 * (1.0 + self.imbalance)).ceil() as u64;
+
+        // NoC distribution: inputs broadcast from the DMU node to all MPU
+        // nodes (shared tree), weights unicast per core. Flit counts from
+        // the per-layer DRAM traffic (everything that enters the chip also
+        // crosses the top-level mesh once).
+        let mut mesh = Mesh::sibia_top();
+        let dmu = Node::new(1, 0);
+        let mpu_nodes = [
+            Node::new(0, 0),
+            Node::new(0, 1),
+            Node::new(2, 0),
+            Node::new(2, 1),
+        ];
+        // The top-level mesh links are 128 bits wide (8 sub-words per flit).
+        const TOP_LINK_BITS: u64 = 128;
+        let mut noc_flit_hops = 0u64;
+        for layer in &per_core.layers {
+            let flits = layer.events.dram_bits / TOP_LINK_BITS;
+            let input_share = flits / 2;
+            let weight_share = flits - input_share;
+            noc_flit_hops += mesh.multicast(dmu, &mpu_nodes[..self.cores.min(4)], input_share);
+            for core in mpu_nodes.iter().take(self.cores.min(4)) {
+                noc_flit_hops += mesh.unicast(dmu, *core, weight_share / self.cores as u64);
+            }
+        }
+        // Distribution overlaps with compute; only the residual beyond the
+        // slowest core's compute is exposed.
+        let drain = mesh.drain_cycles();
+        let chip_cycles = slowest.max(drain);
+        ChipResult {
+            cores: self.cores,
+            single_core_cycles: single,
+            chip_cycles,
+            noc_flit_hops,
+            per_core,
+        }
+    }
+}
+
+impl Default for ChipSim {
+    fn default() -> Self {
+        Self::sibia()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_nn::zoo;
+
+    #[test]
+    fn quad_core_speedup_is_near_linear_on_compute_bound_nets() {
+        let mut chip = ChipSim::sibia();
+        chip.simulator.sample_cap = 4096;
+        let r = chip.run(&ArchSpec::sibia_hybrid(), &zoo::resnet18());
+        assert!(r.speedup() > 3.0, "{r}");
+        assert!(r.speedup() <= 4.0);
+        assert!(r.efficiency() > 0.75);
+    }
+
+    #[test]
+    fn single_core_chip_matches_per_core_simulation() {
+        let mut chip = ChipSim::sibia();
+        chip.cores = 1;
+        chip.imbalance = 0.0;
+        chip.simulator.sample_cap = 4096;
+        let r = chip.run(&ArchSpec::bit_fusion(), &zoo::alexnet());
+        assert_eq!(r.chip_cycles.max(r.single_core_cycles), r.chip_cycles.max(r.single_core_cycles));
+        assert!(r.speedup() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn noc_traffic_is_accounted() {
+        let mut chip = ChipSim::sibia();
+        chip.simulator.sample_cap = 4096;
+        let r = chip.run(&ArchSpec::sibia_hybrid(), &zoo::dgcnn());
+        assert!(r.noc_flit_hops > 0);
+    }
+}

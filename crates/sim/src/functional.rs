@@ -1,0 +1,459 @@
+//! Bit-exact functional model of the flexible zero-skipping PE
+//! (paper §II-C/D, Fig. 7/8).
+//!
+//! One PE column processes, per cycle, one input channel's *sub-word* (four
+//! spatially adjacent 4-bit slices): each slice feeds a row of the signed
+//! MAC array and is shared across four MAC units producing four output
+//! channels — 16 MACs per cycle, skipped entirely when the sub-word is zero.
+//! Slice-order passes are accumulated in narrow per-MAC registers and
+//! recombined by shift-add in the accumulation unit.
+//!
+//! The model asserts the paper's datapath widths on every operation:
+//! 7-bit products and 12-bit accumulators for signed slices, and the wider
+//! 10-bit/18-bit datapath conventional slices force.
+
+use sibia_arch::dsm::SkipSide;
+use sibia_sbr::{ConvSlices, Precision, SbrSlices};
+use sibia_tensor::{Shape, Tensor};
+
+use crate::spec::Repr;
+
+/// Spatial positions (MAC rows) per PE column.
+pub const SPATIAL: usize = 4;
+/// Output channels (MAC columns) per PE column.
+pub const OUT_CH: usize = 4;
+
+/// Result of running one PE tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeRun {
+    /// Outputs `[spatial][out_ch]`.
+    pub outputs: [[i64; OUT_CH]; SPATIAL],
+    /// Cycles consumed (non-skipped sub-words over all slice-order passes).
+    pub cycles: u64,
+    /// Cycles a dense (no-skipping) execution would take.
+    pub baseline_cycles: u64,
+    /// Executed MAC operations.
+    pub mac_ops: u64,
+    /// Sub-words skipped by the zero-skipping unit.
+    pub skipped_subwords: u64,
+}
+
+impl PeRun {
+    /// Speedup of skipping over dense execution of the same tile.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The functional PE simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeSim {
+    /// Input activation precision.
+    pub input_precision: Precision,
+    /// Weight precision.
+    pub weight_precision: Precision,
+    /// Slice representation (signed or conventional).
+    pub repr: Repr,
+    /// Which operand's zero sub-words are skipped.
+    pub skip: SkipSide,
+    /// Channels accumulated in the narrow per-MAC register before a
+    /// shift-add flush into the wide partial sum.
+    pub flush_interval: usize,
+    /// Output-skipping mask: `true` marks an insensitive output channel
+    /// whose non-pre-computed passes are skipped.
+    pub output_mask: [bool; OUT_CH],
+    /// High slice orders pre-computed for masked outputs
+    /// `(input_kept, weight_kept)`.
+    pub pre_kept: (usize, usize),
+}
+
+impl PeSim {
+    /// A signed-bit-slice PE with input skipping at the given precisions.
+    pub fn new(input_precision: Precision, weight_precision: Precision) -> Self {
+        Self {
+            input_precision,
+            weight_precision,
+            repr: Repr::Sbr,
+            skip: SkipSide::Input,
+            flush_interval: 32,
+            output_mask: [false; OUT_CH],
+            pre_kept: (1, 1),
+        }
+    }
+
+    fn slice_counts(&self) -> (usize, usize) {
+        match self.repr {
+            Repr::Sbr => (
+                self.input_precision.sbr_slices(),
+                self.weight_precision.sbr_slices(),
+            ),
+            Repr::Conventional => (
+                self.input_precision.conv_slices(),
+                self.weight_precision.conv_slices(),
+            ),
+        }
+    }
+
+    fn digits(&self, v: i32, p: Precision) -> Vec<i8> {
+        match self.repr {
+            Repr::Sbr => SbrSlices::encode(v, p).digits().to_vec(),
+            Repr::Conventional => ConvSlices::encode(v, p).digits().to_vec(),
+        }
+    }
+
+    fn radix_shift(&self) -> u32 {
+        match self.repr {
+            Repr::Sbr => 3,
+            Repr::Conventional => 4,
+        }
+    }
+
+    fn acc_limit(&self) -> i64 {
+        match self.repr {
+            // 12-bit signed accumulator (paper §II-D).
+            Repr::Sbr => 1 << 11,
+            // The sign-extended datapath needs an 18-bit accumulator.
+            Repr::Conventional => 1 << 17,
+        }
+    }
+
+    fn product_limit(&self) -> i64 {
+        match self.repr {
+            // 7-bit product: SBR digits are in [-7, 7].
+            Repr::Sbr => 1 << 6,
+            // Conventional slices reach 15×15 = 225: a 9-bit product.
+            Repr::Conventional => 1 << 8,
+        }
+    }
+
+    /// Runs one tile: `x[c][s]` are four spatially adjacent inputs of
+    /// channel `c`, `w[c][o]` the weights of channel `c` for four output
+    /// channels. Returns the 4×4 outputs and the cycle/MAC trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `w` have different channel counts, any value is
+    /// out of range, or a datapath width is exceeded (which would indicate
+    /// a broken tile schedule, not bad data).
+    pub fn run_tile(&self, x: &[[i32; SPATIAL]], w: &[[i32; OUT_CH]]) -> PeRun {
+        assert_eq!(x.len(), w.len(), "channel counts must match");
+        let channels = x.len();
+        let (ki, kw) = self.slice_counts();
+        // Pre-decompose operands into digit planes.
+        let xd: Vec<[Vec<i8>; SPATIAL]> = x
+            .iter()
+            .map(|ch| std::array::from_fn(|s| self.digits(ch[s], self.input_precision)))
+            .collect();
+        let wd: Vec<[Vec<i8>; OUT_CH]> = w
+            .iter()
+            .map(|ch| std::array::from_fn(|o| self.digits(ch[o], self.weight_precision)))
+            .collect();
+
+        let mut psum = [[0i64; OUT_CH]; SPATIAL];
+        let mut cycles = 0u64;
+        let mut mac_ops = 0u64;
+        let mut skipped = 0u64;
+        #[allow(clippy::needless_range_loop)] // oi/ow are slice orders indexing several arrays
+        for oi in 0..ki {
+            #[allow(clippy::needless_range_loop)]
+            for ow in 0..kw {
+                let is_pre =
+                    oi >= ki.saturating_sub(self.pre_kept.0) && ow >= kw.saturating_sub(self.pre_kept.1);
+                let shift = self.radix_shift() * (oi + ow) as u32;
+                let mut acc = [[0i64; OUT_CH]; SPATIAL];
+                for c in 0..channels {
+                    // The zero-skipping unit inspects the skipped operand's
+                    // sub-word.
+                    let skippable = match self.skip {
+                        SkipSide::Input => (0..SPATIAL).all(|s| xd[c][s][oi] == 0),
+                        SkipSide::Weight => (0..OUT_CH).all(|o| wd[c][o][ow] == 0),
+                        SkipSide::None => false,
+                    };
+                    if skippable {
+                        skipped += 1;
+                        continue;
+                    }
+                    cycles += 1;
+                    for s in 0..SPATIAL {
+                        for o in 0..OUT_CH {
+                            if self.output_mask[o] && !is_pre {
+                                continue; // insensitive output: low orders skipped
+                            }
+                            let p = i64::from(xd[c][s][oi]) * i64::from(wd[c][o][ow]);
+                            assert!(
+                                p.abs() < self.product_limit(),
+                                "product width exceeded: {p}"
+                            );
+                            acc[s][o] += p;
+                            assert!(
+                                acc[s][o].abs() < self.acc_limit(),
+                                "accumulator width exceeded: {}",
+                                acc[s][o]
+                            );
+                            mac_ops += 1;
+                        }
+                    }
+                    // Flush the narrow accumulator on tile boundaries.
+                    if (c + 1) % self.flush_interval == 0 {
+                        for s in 0..SPATIAL {
+                            for o in 0..OUT_CH {
+                                psum[s][o] += acc[s][o] << shift;
+                                acc[s][o] = 0;
+                            }
+                        }
+                    }
+                }
+                for s in 0..SPATIAL {
+                    for o in 0..OUT_CH {
+                        psum[s][o] += acc[s][o] << shift;
+                    }
+                }
+            }
+        }
+        PeRun {
+            outputs: psum,
+            cycles,
+            baseline_cycles: (channels * ki * kw) as u64,
+            mac_ops,
+            skipped_subwords: skipped,
+        }
+    }
+}
+
+/// Runs a whole `[M×K]·[K×N]` matmul through PE tiles (4 spatial × 4 output
+/// channels each), with zero-padding of partial tiles.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or out-of-range values.
+pub fn matmul_via_pe(sim: &PeSim, a: &Tensor<i32>, b: &Tensor<i32>) -> (Tensor<i64>, PeRun) {
+    assert_eq!(a.shape().rank(), 2, "lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "rhs must be rank 2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "inner dimensions must match");
+    let mut out = vec![0i64; m * n];
+    let mut total = PeRun {
+        outputs: [[0; OUT_CH]; SPATIAL],
+        cycles: 0,
+        baseline_cycles: 0,
+        mac_ops: 0,
+        skipped_subwords: 0,
+    };
+    for m0 in (0..m).step_by(SPATIAL) {
+        for n0 in (0..n).step_by(OUT_CH) {
+            let x: Vec<[i32; SPATIAL]> = (0..k)
+                .map(|c| {
+                    std::array::from_fn(|s| {
+                        if m0 + s < m {
+                            a.data()[(m0 + s) * k + c]
+                        } else {
+                            0
+                        }
+                    })
+                })
+                .collect();
+            let w: Vec<[i32; OUT_CH]> = (0..k)
+                .map(|c| {
+                    std::array::from_fn(|o| if n0 + o < n { b.data()[c * n + n0 + o] } else { 0 })
+                })
+                .collect();
+            let run = sim.run_tile(&x, &w);
+            for s in 0..SPATIAL.min(m - m0) {
+                for o in 0..OUT_CH.min(n - n0) {
+                    out[(m0 + s) * n + n0 + o] = run.outputs[s][o];
+                }
+            }
+            total.cycles += run.cycles;
+            total.baseline_cycles += run.baseline_cycles;
+            total.mac_ops += run.mac_ops;
+            total.skipped_subwords += run.skipped_subwords;
+        }
+    }
+    (Tensor::from_vec(out, Shape::new(&[m, n])), total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_tensor::ops;
+
+    fn tensor(m: usize, n: usize, f: impl Fn(usize) -> i32) -> Tensor<i32> {
+        Tensor::from_vec((0..m * n).map(f).collect(), Shape::new(&[m, n]))
+    }
+
+    #[test]
+    fn pe_matches_reference_matmul_7bit() {
+        let a = tensor(8, 24, |i| ((i * 37 + 5) % 127) as i32 - 63);
+        let b = tensor(24, 8, |i| ((i * 53 + 11) % 127) as i32 - 63);
+        let sim = PeSim::new(Precision::BITS7, Precision::BITS7);
+        let (got, run) = matmul_via_pe(&sim, &a, &b);
+        assert_eq!(got.data(), ops::matmul(&a, &b).data());
+        assert!(run.mac_ops > 0);
+    }
+
+    #[test]
+    fn pe_matches_reference_for_all_modes_and_reprs() {
+        let a = tensor(4, 40, |i| ((i * 29 + 3) % 127) as i32 - 63);
+        let b = tensor(40, 4, |i| ((i * 41 + 7) % 127) as i32 - 63);
+        let reference = ops::matmul(&a, &b);
+        for repr in [Repr::Sbr, Repr::Conventional] {
+            for skip in [SkipSide::None, SkipSide::Input, SkipSide::Weight] {
+                let sim = PeSim {
+                    repr,
+                    skip,
+                    ..PeSim::new(Precision::BITS7, Precision::BITS7)
+                };
+                let (got, _) = matmul_via_pe(&sim, &a, &b);
+                assert_eq!(got.data(), reference.data(), "{repr:?} {skip:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pe_matches_reference_mixed_precision() {
+        // MonoDepth2 decoder setting: 10-bit inputs, 7-bit weights.
+        let a = tensor(4, 16, |i| ((i * 211 + 17) % 1023) as i32 - 511);
+        let b = tensor(16, 4, |i| ((i * 47 + 1) % 127) as i32 - 63);
+        let sim = PeSim::new(Precision::BITS10, Precision::BITS7);
+        let (got, _) = matmul_via_pe(&sim, &a, &b);
+        assert_eq!(got.data(), ops::matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn skipping_zero_input_subwords_saves_cycles_without_changing_results() {
+        // Inputs with many zero and near-zero values (all four spatial rows
+        // zero for many channels).
+        let a = tensor(4, 64, |i| {
+            let c = i % 64;
+            if c % 2 == 0 {
+                0
+            } else {
+                -((c % 7) as i32) - 1
+            }
+        });
+        let b = tensor(64, 4, |i| ((i * 31 + 1) % 127) as i32 - 63);
+        let dense = PeSim {
+            skip: SkipSide::None,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        let skipping = PeSim::new(Precision::BITS7, Precision::BITS7);
+        let (d_out, d_run) = matmul_via_pe(&dense, &a, &b);
+        let (s_out, s_run) = matmul_via_pe(&skipping, &a, &b);
+        assert_eq!(d_out.data(), s_out.data());
+        assert!(s_run.cycles < d_run.cycles);
+        assert!(s_run.skipped_subwords > 0);
+        // Half the channels are fully zero; near-zero negatives also zero
+        // their high-order slices under the SBR.
+        assert!(s_run.speedup() > 2.0, "got {}", s_run.speedup());
+    }
+
+    #[test]
+    fn sbr_skips_more_than_conventional_on_negative_near_zero_data() {
+        let a = tensor(4, 64, |i| -(((i * 13) % 6) as i32) - 1); // in [-7, -1]
+        let b = tensor(64, 4, |i| ((i * 31 + 1) % 127) as i32 - 63);
+        let sbr = PeSim::new(Precision::BITS7, Precision::BITS7);
+        let conv = PeSim {
+            repr: Repr::Conventional,
+            ..sbr
+        };
+        let (so, sr) = matmul_via_pe(&sbr, &a, &b);
+        let (co, cr) = matmul_via_pe(&conv, &a, &b);
+        assert_eq!(so.data(), co.data());
+        assert!(sr.skipped_subwords > 0, "SBR finds zero high slices");
+        assert_eq!(cr.skipped_subwords, 0, "conventional slices are all-ones");
+    }
+
+    #[test]
+    fn weight_skipping_exploits_zero_weight_subwords() {
+        let a = tensor(4, 32, |i| ((i * 37 + 5) % 127) as i32 - 63);
+        // Half the channels have all-zero weights for all 4 output channels.
+        let b = tensor(32, 4, |i| if (i / 4) % 2 == 0 { 0 } else { 3 });
+        let sim = PeSim {
+            skip: SkipSide::Weight,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        let (out, run) = matmul_via_pe(&sim, &a, &b);
+        assert_eq!(out.data(), ops::matmul(&a, &b).data());
+        assert!(run.skipped_subwords >= 32); // 16 zero channels × ≥2 passes
+    }
+
+    #[test]
+    fn output_masking_skips_low_orders_of_insensitive_outputs() {
+        let a = tensor(4, 16, |i| ((i * 37 + 5) % 127) as i32 - 63);
+        let b = tensor(16, 4, |i| ((i * 53 + 11) % 127) as i32 - 63);
+        let masked = PeSim {
+            output_mask: [false, true, false, true],
+            pre_kept: (1, 1),
+            skip: SkipSide::None,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        let (got, run) = matmul_via_pe(&masked, &a, &b);
+        let reference = ops::matmul(&a, &b);
+        // Unmasked outputs exact.
+        for s in 0..4 {
+            assert_eq!(got.data()[s * 4], reference.data()[s * 4]);
+            assert_eq!(got.data()[s * 4 + 2], reference.data()[s * 4 + 2]);
+        }
+        // Masked outputs hold the speculative (high-order-only) value.
+        let full = PeSim {
+            skip: SkipSide::None,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        let (full_out, full_run) = matmul_via_pe(&full, &a, &b);
+        assert_eq!(full_out.data(), reference.data());
+        for s in 0..4 {
+            for o in [1usize, 3] {
+                let spec = got.data()[s * 4 + o];
+                let truth = reference.data()[s * 4 + o];
+                // Error bounded by the dropped low-order terms:
+                // |x_L·w| + |x_H·w_L| ≤ 7·63 + 56·7 per element.
+                assert!((spec - truth).abs() <= 16 * (7 * 63 + 56 * 7));
+            }
+        }
+        assert!(run.mac_ops < full_run.mac_ops);
+    }
+
+    #[test]
+    fn accumulator_width_is_honoured_at_worst_case() {
+        // 32 channels of worst-case digits must not trip the 12-bit assert:
+        // 49 × 32 = 1568 < 2048.
+        let a = tensor(4, 32, |_| -63); // digits (-7, -7)
+        let b = tensor(32, 4, |_| -63);
+        let sim = PeSim {
+            skip: SkipSide::None,
+            ..PeSim::new(Precision::BITS7, Precision::BITS7)
+        };
+        let (out, _) = matmul_via_pe(&sim, &a, &b);
+        assert_eq!(out.data(), ops::matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn partial_tiles_are_zero_padded() {
+        let a = tensor(5, 7, |i| (i % 13) as i32 - 6);
+        let b = tensor(7, 3, |i| (i % 11) as i32 - 5);
+        let sim = PeSim::new(Precision::BITS7, Precision::BITS7);
+        let (got, _) = matmul_via_pe(&sim, &a, &b);
+        assert_eq!(got.data(), ops::matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_reference_through_pe() {
+        let x = Tensor::from_vec(
+            (0..2 * 6 * 6).map(|i| ((i * 7) % 127) - 63).collect(),
+            Shape::new(&[2, 6, 6]),
+        );
+        let w = Tensor::from_vec(
+            (0..4 * 2 * 3 * 3).map(|i| ((i * 11) % 127) - 63).collect(),
+            Shape::new(&[4, 2, 3, 3]),
+        );
+        let params = ops::Conv2dParams { stride: 1, padding: 1 };
+        let reference = ops::conv2d(&x, &w, params);
+        let cols = ops::im2col(&x, (3, 3), params);
+        let wf = Tensor::from_vec(w.data().to_vec(), Shape::new(&[4, 18]));
+        let sim = PeSim::new(Precision::BITS7, Precision::BITS7);
+        // PE computes w_flat · im2col = conv output.
+        let (got, _) = matmul_via_pe(&sim, &wf, &cols);
+        assert_eq!(got.data(), reference.data());
+    }
+}

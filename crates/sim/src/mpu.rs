@@ -1,0 +1,179 @@
+//! Full-core functional execution: a whole matmul spread across the MPU
+//! core's 24 PEs (3 PE arrays × 4 PE columns × 2 PEs), bit-exactly.
+//!
+//! Output channels are dealt across PEs in 4-channel groups (the Bi-NoC
+//! unicasts each PE its own weight slices while broadcasting inputs); every
+//! PE runs the functional datapath of [`crate::functional`], and the core's
+//! makespan is the busiest PE. This validates that the tiling/distribution
+//! logic loses nothing — the distributed result equals the reference — and
+//! measures the load imbalance the accumulation-unit latching has to absorb.
+
+use sibia_sbr::Precision;
+use sibia_tensor::{Shape, Tensor};
+
+use crate::functional::{matmul_via_pe, PeSim};
+
+/// Result of a full-core distributed matmul.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpuRun {
+    /// The assembled output.
+    pub output: Tensor<i64>,
+    /// Per-PE cycle counts.
+    pub pe_cycles: Vec<u64>,
+    /// Core makespan: the busiest PE.
+    pub makespan: u64,
+    /// Total executed MAC operations.
+    pub mac_ops: u64,
+}
+
+impl MpuRun {
+    /// Load imbalance: busiest / mean PE cycles.
+    pub fn imbalance(&self) -> f64 {
+        let sum: u64 = self.pe_cycles.iter().sum();
+        let mean = sum as f64 / self.pe_cycles.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.makespan as f64 / mean
+        }
+    }
+}
+
+/// The functional MPU core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpuSim {
+    /// PEs in the core (24 in the paper's MPU core).
+    pub pes: usize,
+    /// The per-PE datapath configuration.
+    pub pe: PeSim,
+}
+
+impl MpuSim {
+    /// The Sibia MPU core at the given precisions.
+    pub fn sibia(input_precision: Precision, weight_precision: Precision) -> Self {
+        Self {
+            pes: 24,
+            pe: PeSim::new(input_precision, weight_precision),
+        }
+    }
+
+    /// Distributes an `[M×K]·[K×N]` matmul across the core: PE `p` owns
+    /// output-channel groups `p, p + pes, …` (4 channels each).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or out-of-range operands.
+    pub fn matmul(&self, a: &Tensor<i32>, b: &Tensor<i32>) -> MpuRun {
+        assert_eq!(a.shape().rank(), 2, "lhs must be rank 2");
+        assert_eq!(b.shape().rank(), 2, "rhs must be rank 2");
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+        assert_eq!(k, k2, "inner dimensions must match");
+        let mut out = vec![0i64; m * n];
+        let mut pe_cycles = vec![0u64; self.pes];
+        let mut mac_ops = 0u64;
+        let groups = n.div_ceil(4);
+        for g in 0..groups {
+            let pe_index = g % self.pes;
+            let n0 = g * 4;
+            let width = 4.min(n - n0);
+            // Slice this PE's weight columns.
+            let mut wb = vec![0i32; k * width];
+            for c in 0..k {
+                for j in 0..width {
+                    wb[c * width + j] = b.data()[c * n + n0 + j];
+                }
+            }
+            let bt = Tensor::from_vec(wb, Shape::new(&[k, width]));
+            let (part, run) = matmul_via_pe(&self.pe, a, &bt);
+            for i in 0..m {
+                for j in 0..width {
+                    out[i * n + n0 + j] = part.data()[i * width + j];
+                }
+            }
+            pe_cycles[pe_index] += run.cycles;
+            mac_ops += run.mac_ops;
+        }
+        let makespan = pe_cycles.iter().copied().max().unwrap_or(0);
+        MpuRun {
+            output: Tensor::from_vec(out, Shape::new(&[m, n])),
+            pe_cycles,
+            makespan,
+            mac_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_arch::dsm::SkipSide;
+    use sibia_tensor::ops;
+
+    fn operands(m: usize, k: usize, n: usize) -> (Tensor<i32>, Tensor<i32>) {
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i * 37 + 5) % 127) as i32 - 63).collect(),
+            Shape::new(&[m, k]),
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i * 53 + 11) % 127) as i32 - 63).collect(),
+            Shape::new(&[k, n]),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn distributed_matmul_is_bit_exact() {
+        let (a, b) = operands(8, 32, 96); // 24 output groups = 1 per PE
+        let core = MpuSim::sibia(Precision::BITS7, Precision::BITS7);
+        let run = core.matmul(&a, &b);
+        assert_eq!(run.output.data(), ops::matmul(&a, &b).data());
+        assert!(run.pe_cycles.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn uneven_channel_counts_still_assemble() {
+        let (a, b) = operands(5, 16, 27); // ragged N
+        let core = MpuSim::sibia(Precision::BITS7, Precision::BITS7);
+        let run = core.matmul(&a, &b);
+        assert_eq!(run.output.data(), ops::matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn skipping_creates_measurable_imbalance() {
+        // Inputs shared by all PEs; weight sparsity differs per column
+        // group, so PEs finish at different times when weight-skipping.
+        let (a, _) = operands(4, 64, 1);
+        let b = Tensor::from_vec(
+            (0..64 * 96)
+                .map(|i| {
+                    let (c, col) = (i / 96, i % 96);
+                    if col < 48 && c % 3 != 0 {
+                        0 // first-half output groups: whole channels zero
+                    } else {
+                        ((i * 31 + 1) % 127) - 63
+                    }
+                })
+                .collect(),
+            Shape::new(&[64, 96]),
+        );
+        let mut core = MpuSim::sibia(Precision::BITS7, Precision::BITS7);
+        core.pe.skip = SkipSide::Weight;
+        let run = core.matmul(&a, &b);
+        assert_eq!(run.output.data(), ops::matmul(&a, &b).data());
+        assert!(
+            run.imbalance() > 1.05,
+            "imbalance {} should be visible",
+            run.imbalance()
+        );
+    }
+
+    #[test]
+    fn dense_distribution_is_balanced() {
+        let (a, b) = operands(4, 32, 96);
+        let mut core = MpuSim::sibia(Precision::BITS7, Precision::BITS7);
+        core.pe.skip = SkipSide::None;
+        let run = core.matmul(&a, &b);
+        assert!((run.imbalance() - 1.0).abs() < 0.01, "{}", run.imbalance());
+    }
+}

@@ -1,0 +1,79 @@
+//! CSV export of simulation results, for external analysis/plotting.
+
+use std::fmt::Write as _;
+
+use crate::detailed::DetailedTrace;
+use crate::perf::NetworkResult;
+
+/// Renders a [`NetworkResult`]'s per-layer rows as CSV (with header).
+pub fn network_csv(result: &NetworkResult) -> String {
+    let mut out = String::from(
+        "layer,macs,slice_pairs,compute_cycles,memory_cycles,cycles,mac_ops,\
+         sram_accesses,dram_bits,skip_side,work_fraction,input_compression_ratio\n",
+    );
+    for l in &result.layers {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{:?},{:.4},{:.3}",
+            l.name,
+            l.macs,
+            l.slice_pairs,
+            l.compute_cycles,
+            l.memory_cycles,
+            l.cycles,
+            l.events.mac_ops,
+            l.events.sram_accesses,
+            l.events.dram_bits,
+            l.skip_side,
+            l.work_fraction,
+            l.input_compression_ratio,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Renders a [`DetailedTrace`]'s per-pass rows as CSV (with header).
+pub fn detailed_csv(trace: &DetailedTrace) -> String {
+    let mut out = String::from("layer,input_order,weight_order,cycles,nonzero_fraction,fetch_stalls\n");
+    for p in &trace.passes {
+        writeln!(
+            out,
+            "{},{},{},{},{:.4},{}",
+            trace.name, p.input_order, p.weight_order, p.cycles, p.nonzero_fraction, p.fetch_stalls,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::Simulator;
+    use crate::spec::ArchSpec;
+    use sibia_nn::zoo;
+
+    #[test]
+    fn network_csv_has_one_row_per_layer() {
+        let mut sim = Simulator::new(1);
+        sim.sample_cap = 2048;
+        let net = zoo::alexnet();
+        let r = sim.simulate_network(&ArchSpec::sibia_hybrid(), &net);
+        let csv = network_csv(&r);
+        assert_eq!(csv.lines().count(), net.layers().len() + 1);
+        assert!(csv.starts_with("layer,macs"));
+        assert!(csv.contains("conv1,"));
+    }
+
+    #[test]
+    fn detailed_csv_has_one_row_per_pass() {
+        use crate::detailed::DetailedSim;
+        use sibia_nn::{Activation, Layer, SynthSource};
+        let mut src = SynthSource::new(1);
+        let layer = Layer::linear("l", 16, 64, 16).with_activation(Activation::Gelu);
+        let t = DetailedSim::sibia().run_layer(&ArchSpec::sibia_hybrid(), &layer, &mut src);
+        let csv = detailed_csv(&t);
+        assert_eq!(csv.lines().count(), t.passes.len() + 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Cascade token pruning for transformer output speculation (paper §II-D's
+//! Albert discussion, following SpAtten).
+//!
+//! Once softmax speculation identifies each row's attention-relevant
+//! tokens, later blocks only need to process the retained set: the keep
+//! fraction decays block by block toward the candidate budget, and every
+//! layer of a block (projections, attention, FFN) scales with its block's
+//! retained tokens. This module computes that schedule and the per-layer
+//! workload scales the performance simulator consumes.
+
+use std::fmt;
+
+/// A cascade token-pruning schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenPruning {
+    /// Context length (tokens before pruning).
+    pub seq: usize,
+    /// Tokens retained at the final block.
+    pub keep_final: usize,
+    /// Fraction of the blocks that run unpruned before the cascade starts
+    /// (early blocks establish the attention pattern).
+    pub warmup_fraction: f64,
+}
+
+impl TokenPruning {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= keep_final <= seq` and
+    /// `warmup_fraction ∈ [0, 1]`.
+    pub fn new(seq: usize, keep_final: usize, warmup_fraction: f64) -> Self {
+        assert!(
+            keep_final >= 1 && keep_final <= seq,
+            "need 1 <= keep_final ({keep_final}) <= seq ({seq})"
+        );
+        assert!(
+            (0.0..=1.0).contains(&warmup_fraction),
+            "warmup fraction must be in [0, 1]"
+        );
+        Self {
+            seq,
+            keep_final,
+            warmup_fraction,
+        }
+    }
+
+    /// The ViT top-k setting of Fig. 12: aggressive pruning starting after
+    /// a quarter of the blocks (image tokens are highly redundant).
+    pub fn vit(candidates: usize) -> Self {
+        Self::new(577, candidates.clamp(1, 577).max(72), 0.25)
+    }
+
+    /// The Albert threshold setting of Fig. 12: modest pruning (most tokens
+    /// survive the threshold test).
+    pub fn albert() -> Self {
+        Self::new(128, 72, 0.5)
+    }
+
+    /// Per-block token keep fractions: 1.0 during warmup, then a geometric
+    /// decay to `keep_final / seq`.
+    pub fn schedule(&self, blocks: usize) -> Vec<f64> {
+        assert!(blocks > 0, "need at least one block");
+        let warmup = ((blocks as f64 * self.warmup_fraction).round() as usize).min(blocks - 1);
+        let final_frac = self.keep_final as f64 / self.seq as f64;
+        let decay_steps = (blocks - warmup) as f64;
+        (0..blocks)
+            .map(|b| {
+                if b < warmup {
+                    1.0
+                } else {
+                    let t = (b - warmup + 1) as f64 / decay_steps;
+                    final_frac.powf(t)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-layer workload scales for a transformer of `blocks` blocks with
+    /// `layers_per_block` layers each (plus `prefix_layers` unscaled layers,
+    /// e.g. a patch embedding).
+    pub fn layer_scales(
+        &self,
+        prefix_layers: usize,
+        blocks: usize,
+        layers_per_block: usize,
+    ) -> Vec<f64> {
+        let sched = self.schedule(blocks);
+        let mut scales = vec![1.0; prefix_layers];
+        for &keep in &sched {
+            scales.extend(std::iter::repeat(keep).take(layers_per_block));
+        }
+        scales
+    }
+
+    /// Total work fraction across all blocks (MAC-weighted by equal-size
+    /// blocks).
+    pub fn total_work_fraction(&self, blocks: usize) -> f64 {
+        let s = self.schedule(blocks);
+        s.iter().sum::<f64>() / blocks as f64
+    }
+}
+
+impl fmt::Display for TokenPruning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cascade {} -> {} tokens ({}% warmup)",
+            self.seq,
+            self.keep_final,
+            (self.warmup_fraction * 100.0) as u32
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let p = TokenPruning::new(577, 72, 0.5);
+        let s = p.schedule(12);
+        assert_eq!(s.len(), 12);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert_eq!(s[0], 1.0);
+        let final_frac = 72.0 / 577.0;
+        assert!((s[11] - final_frac).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_blocks_are_unpruned() {
+        let p = TokenPruning::new(128, 96, 0.5);
+        let s = p.schedule(12);
+        assert!(s[..6].iter().all(|&k| k == 1.0));
+        assert!(s[6] < 1.0);
+    }
+
+    #[test]
+    fn layer_scales_cover_prefix_and_blocks() {
+        let p = TokenPruning::vit(32);
+        let scales = p.layer_scales(1, 12, 8);
+        assert_eq!(scales.len(), 1 + 96);
+        assert_eq!(scales[0], 1.0); // patch embedding
+        assert!(scales[96] < 0.2); // last block heavily pruned
+    }
+
+    #[test]
+    fn work_fraction_matches_fig12_magnitudes() {
+        // ViT @32 candidates: ≈55-65 % of the work survives → the 1.6-1.9×
+        // output-skip speedups of Fig. 12.
+        let vit = TokenPruning::vit(32).total_work_fraction(12);
+        assert!((0.5..=0.7).contains(&vit), "vit {vit}");
+        // Albert keeps most tokens: ≈85-95 %.
+        let albert = TokenPruning::albert().total_work_fraction(12);
+        assert!((0.8..=0.95).contains(&albert), "albert {albert}");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_final")]
+    fn validates_budget() {
+        let _ = TokenPruning::new(10, 11, 0.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end accuracy of output speculation on a quantized network.
+//!
+//! The paper reports DNN accuracy loss (<2 %p with the SBR, collapse with
+//! conventional slices) on real benchmarks we cannot run. This module
+//! provides the closest measurable proxy: a small quantized point-cloud
+//! classifier (PointNet-style: per-point MLP → global max-pool → classifier
+//! head) executed twice per input — once exactly, once with bit-slice
+//! output speculation at the global pool — and the *classification
+//! agreement* between the two runs measured over many inputs, per
+//! representation and candidate count.
+
+use sibia_nn::{Activation, SynthSource};
+use sibia_sbr::{Precision, Quantizer};
+
+use crate::dot::{SliceRepr, Speculator};
+
+/// A quantized three-stage point classifier.
+///
+/// Stage 1: per-point linear `D → H` + ReLU. Stage 2: per-point linear
+/// `H → H`. Pool: global `P`-to-1 max per feature (the speculated stage).
+/// Head: linear `H → C` on the pooled vector.
+#[derive(Debug, Clone)]
+pub struct PointNetLite {
+    d: usize,
+    h: usize,
+    classes: usize,
+    w1: Vec<i32>,
+    w2: Vec<i32>,
+    w3: Vec<i32>,
+    precision: Precision,
+}
+
+impl PointNetLite {
+    /// Builds a classifier with random quantized weights.
+    pub fn random(seed: u64, d: usize, h: usize, classes: usize) -> Self {
+        let mut src = SynthSource::new(seed);
+        let precision = Precision::BITS7;
+        let quant = |src: &mut SynthSource, n: usize| -> Vec<i32> {
+            let raw = src.gaussian(n, 1.0);
+            let q = Quantizer::fit(&raw, precision);
+            raw.iter().map(|&x| q.quantize(x)).collect()
+        };
+        Self {
+            d,
+            h,
+            classes,
+            w1: quant(&mut src, d * h),
+            w2: quant(&mut src, h * h),
+            w3: quant(&mut src, h * classes),
+            precision,
+        }
+    }
+
+    /// Feature width of the pooled vector.
+    pub fn hidden(&self) -> usize {
+        self.h
+    }
+
+    /// Requantizes accumulator-precision values back to the network
+    /// precision by a power-of-two shift (integer-only inter-layer scaling).
+    fn requantize(&self, acc: &[i64]) -> Vec<i32> {
+        let max = acc.iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1);
+        let limit = self.precision.max_magnitude() as u64;
+        let mut shift = 0u32;
+        while (max >> shift) > limit {
+            shift += 1;
+        }
+        // Divide (truncate toward zero) rather than arithmetic-shift:
+        // flooring a negative value can overshoot the symmetric range by 1.
+        let divisor = 1i64 << shift;
+        acc.iter().map(|&v| (v / divisor) as i32).collect()
+    }
+
+    /// Stage-1 features (per-point linear + ReLU), requantized: `P × H`.
+    fn stage1(&self, points: &[Vec<i32>]) -> Vec<Vec<i32>> {
+        points
+            .iter()
+            .map(|pt| {
+                assert_eq!(pt.len(), self.d, "point dimensionality mismatch");
+                let s1: Vec<i64> = (0..self.h)
+                    .map(|j| {
+                        pt.iter()
+                            .enumerate()
+                            .map(|(i, &x)| i64::from(x) * i64::from(self.w1[i * self.h + j]))
+                            .sum::<i64>()
+                            .max(0)
+                    })
+                    .collect();
+                self.requantize(&s1)
+            })
+            .collect()
+    }
+
+    /// One exact stage-2 output: feature `j` of point `p`.
+    fn stage2_exact(&self, s1q: &[i32], j: usize) -> i64 {
+        s1q.iter()
+            .enumerate()
+            .map(|(i, &x)| i64::from(x) * i64::from(self.w2[i * self.h + j]))
+            .sum()
+    }
+
+    /// Exact inference: returns class logits. Pooling happens at
+    /// accumulator precision; the pooled vector is requantized once (a
+    /// single scale across points, as a real layer would).
+    pub fn infer_exact(&self, points: &[Vec<i32>]) -> Vec<i64> {
+        let s1 = self.stage1(points);
+        let pooled_acc: Vec<i64> = (0..self.h)
+            .map(|j| {
+                s1.iter()
+                    .map(|s1q| self.stage2_exact(s1q, j))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let pooled = self.requantize(&pooled_acc);
+        self.head(&pooled)
+    }
+
+    /// Speculative inference: the global max-pool pre-computes the
+    /// `I_H × W_H` part of each point's stage-2 feature (the paper's
+    /// mechanism — speculation on the *dot product*, where per-term slice
+    /// bias accumulates), keeps the top `candidates` points per feature,
+    /// and completes only those at full precision.
+    pub fn infer_speculative(
+        &self,
+        points: &[Vec<i32>],
+        repr: SliceRepr,
+        candidates: usize,
+    ) -> Vec<i64> {
+        assert!(candidates >= 1, "need at least one candidate");
+        let s1 = self.stage1(points);
+        let spec = Speculator::new(repr, 1, 1);
+        // Speculative stage-2 values: high-slice dot products.
+        let spec_feats: Vec<Vec<i64>> = s1
+            .iter()
+            .map(|s1q| {
+                (0..self.h)
+                    .map(|j| {
+                        let col: Vec<i32> =
+                            (0..self.h).map(|i| self.w2[i * self.h + j]).collect();
+                        spec.speculate_dot(s1q, &col, self.precision, self.precision)
+                    })
+                    .collect()
+            })
+            .collect();
+        // For pooling we need a consistent per-feature quantization of the
+        // completed candidates; compute exact values lazily per candidate.
+        let pooled_acc: Vec<i64> = (0..self.h)
+            .map(|j| {
+                let mut idx: Vec<usize> = (0..s1.len()).collect();
+                idx.sort_by_key(|&p| std::cmp::Reverse(spec_feats[p][j]));
+                idx.iter()
+                    .take(candidates.min(s1.len()))
+                    .map(|&p| self.stage2_exact(&s1[p], j))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let pooled = self.requantize(&pooled_acc);
+        self.head(&pooled)
+    }
+
+    fn head(&self, pooled: &[i32]) -> Vec<i64> {
+        (0..self.classes)
+            .map(|c| {
+                pooled
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| i64::from(x) * i64::from(self.w3[i * self.classes + c]))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Argmax of a logit vector (ties to the lowest index).
+pub fn argmax(logits: &[i64]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Feature-level pooling quality of speculative inference: over `trials`
+/// random clouds, the fraction of pooled features whose completed value
+/// fell short of the true maximum, and the mean shortfall relative to the
+/// feature's dynamic range.
+pub fn pooling_error_stats(
+    seed: u64,
+    net: &PointNetLite,
+    trials: usize,
+    points: usize,
+    repr: SliceRepr,
+    candidates: usize,
+) -> (f64, f64) {
+    let mut src = SynthSource::new(seed);
+    let p = Precision::BITS7;
+    let mut wrong = 0usize;
+    let mut total = 0usize;
+    let mut shortfall = 0.0f64;
+    let spec = Speculator::new(repr, 1, 1);
+    for _ in 0..trials {
+        let cloud: Vec<Vec<i32>> = (0..points)
+            .map(|_| {
+                let raw = src.post_activation_values(Activation::Identity, 0.0, 8);
+                let q = Quantizer::fit(&raw, p);
+                raw.iter().map(|&x| q.quantize(x)).collect()
+            })
+            .collect();
+        let s1 = net.stage1(&cloud);
+        for j in 0..net.hidden() {
+            let exact: Vec<i64> = s1.iter().map(|s| net.stage2_exact(s, j)).collect();
+            let true_max = *exact.iter().max().expect("non-empty cloud");
+            let col: Vec<i32> = (0..net.hidden()).map(|i| net.w2[i * net.hidden() + j]).collect();
+            let mut idx: Vec<usize> = (0..s1.len()).collect();
+            idx.sort_by_key(|&q_| {
+                std::cmp::Reverse(spec.speculate_dot(&s1[q_], &col, p, p))
+            });
+            let got = idx
+                .iter()
+                .take(candidates.min(s1.len()))
+                .map(|&q_| exact[q_])
+                .max()
+                .expect("at least one candidate");
+            total += 1;
+            if got < true_max {
+                wrong += 1;
+                let range = (exact.iter().max().unwrap() - exact.iter().min().unwrap()).max(1);
+                shortfall += (true_max - got) as f64 / range as f64;
+            }
+        }
+    }
+    (wrong as f64 / total as f64, shortfall / total as f64)
+}
+
+/// Classification agreement between exact and speculative inference over
+/// `trials` random point clouds of `points` points each.
+pub fn classification_agreement(
+    seed: u64,
+    net: &PointNetLite,
+    trials: usize,
+    points: usize,
+    repr: SliceRepr,
+    candidates: usize,
+) -> f64 {
+    let mut src = SynthSource::new(seed);
+    let p = Precision::BITS7;
+    let mut agree = 0usize;
+    for _ in 0..trials {
+        let cloud: Vec<Vec<i32>> = (0..points)
+            .map(|_| {
+                let raw = src.post_activation_values(Activation::Identity, 0.0, 8);
+                let q = Quantizer::fit(&raw, p);
+                raw.iter().map(|&x| q.quantize(x)).collect()
+            })
+            .collect();
+        let exact = net.infer_exact(&cloud);
+        let spec = net.infer_speculative(&cloud, repr, candidates);
+        if argmax(&exact) == argmax(&spec) {
+            agree += 1;
+        }
+    }
+    agree as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> PointNetLite {
+        PointNetLite::random(11, 8, 24, 6)
+    }
+
+    #[test]
+    fn full_candidates_equal_exact_inference() {
+        let net = net();
+        let mut src = SynthSource::new(3);
+        let cloud: Vec<Vec<i32>> = (0..32)
+            .map(|_| {
+                let raw = src.gaussian(8, 1.0);
+                let q = Quantizer::fit(&raw, Precision::BITS7);
+                raw.iter().map(|&x| q.quantize(x)).collect()
+            })
+            .collect();
+        let exact = net.infer_exact(&cloud);
+        for repr in [SliceRepr::Signed, SliceRepr::Conventional] {
+            let spec = net.infer_speculative(&cloud, repr, 32);
+            assert_eq!(spec, exact, "{repr:?}: all candidates = exact");
+        }
+    }
+
+    #[test]
+    fn signed_speculation_preserves_classification_better() {
+        let net = net();
+        let sbr = classification_agreement(5, &net, 60, 32, SliceRepr::Signed, 2);
+        let conv = classification_agreement(5, &net, 60, 32, SliceRepr::Conventional, 2);
+        assert!(
+            sbr >= conv - 0.05,
+            "signed agreement {sbr} vs conventional {conv}"
+        );
+        assert!(sbr > 0.8, "signed agreement {sbr}");
+    }
+
+    #[test]
+    fn signed_pooling_misses_fewer_maxima() {
+        let net = net();
+        let (wrong_sbr, _) = pooling_error_stats(9, &net, 12, 32, SliceRepr::Signed, 2);
+        let (wrong_conv, _) = pooling_error_stats(9, &net, 12, 32, SliceRepr::Conventional, 2);
+        assert!(
+            wrong_sbr <= wrong_conv,
+            "sbr wrong-pool {wrong_sbr} vs conv {wrong_conv}"
+        );
+    }
+
+    #[test]
+    fn agreement_improves_with_candidates() {
+        let net = net();
+        let a1 = classification_agreement(7, &net, 40, 32, SliceRepr::Signed, 1);
+        let a8 = classification_agreement(7, &net, 40, 32, SliceRepr::Signed, 8);
+        assert!(a8 >= a1 - 0.05, "a1={a1} a8={a8}");
+        assert!(a8 > 0.9, "a8={a8}");
+    }
+
+    #[test]
+    fn argmax_ties_to_lowest_index() {
+        assert_eq!(argmax(&[3, 5, 5, 1]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Bit-slice-based output speculation (paper §II-D, Fig. 2, Fig. 12).
+//!
+//! Output-skipping architectures pre-compute the high orders of bit-slices
+//! (`I_H × W_H`, optionally plus `I_L × W_H`) to find which outputs of a
+//! max-pooling or softmax layer are *insensitive* (non-maximal / below
+//! threshold), then skip their remaining low-order slice computations.
+//!
+//! The paper's point: with the conventional 2's-complement decomposition
+//! high slices are biased toward −∞ (`-25 → -4` but `+25 → +3`), so
+//! speculative rankings are wrong for mixed-sign data; the SBR's balanced
+//! digits (`±25 → ±3`) make low-bit speculation accurate.
+//!
+//! * [`dot`] — speculative dot products over either representation,
+//! * [`pool`] — max-pool candidate selection and success statistics,
+//! * [`softmax`] — threshold-based token speculation (Albert / SpAtten).
+
+pub mod cascade;
+pub mod dot;
+pub mod endtoend;
+pub mod pool;
+pub mod scenario;
+pub mod softmax;
+
+pub use dot::{SliceRepr, Speculator};
+pub use pool::{PoolConfig, PoolStats};
+pub use softmax::{SoftmaxConfig, SoftmaxStats};

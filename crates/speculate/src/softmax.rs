@@ -1,0 +1,168 @@
+//! Softmax output speculation (Albert / SpAtten-style, paper §II-D).
+//!
+//! After a softmax, attention probabilities below a threshold quantize to
+//! (near-)zero, so their contributions are insensitive. Sibia pre-computes
+//! high-order slices of each token row's logits, finds the maximal
+//! candidate, and — if it exceeds a pre-defined threshold — skips the
+//! remaining low-order computations of the rest of the row (the maximal
+//! value will dominate the softmax anyway).
+
+use std::fmt;
+
+/// Softmax speculation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxConfig {
+    /// Length of one softmax row (attention context length).
+    pub row_len: usize,
+    /// A row is *skippable* when its speculative maximum exceeds this
+    /// margin over the row's speculative mean (in quantized logit units):
+    /// a dominant logit means softmax concentrates on it.
+    pub dominance_margin: i64,
+}
+
+impl SoftmaxConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len` is zero.
+    pub fn new(row_len: usize, dominance_margin: i64) -> Self {
+        assert!(row_len > 0, "row length must be positive");
+        Self {
+            row_len,
+            dominance_margin,
+        }
+    }
+}
+
+impl fmt::Display for SoftmaxConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "softmax rows of {}, margin {}", self.row_len, self.dominance_margin)
+    }
+}
+
+/// Outcome of speculating a batch of softmax rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxStats {
+    /// Rows evaluated.
+    pub rows: usize,
+    /// Fraction of rows whose low-order computations were skipped.
+    pub skipped_row_fraction: f64,
+    /// Among skipped rows, fraction where the speculative argmax matched
+    /// the true argmax (the skipped rows' correctness).
+    pub argmax_agreement: f64,
+}
+
+impl fmt::Display for SoftmaxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% rows skipped, {:.1}% argmax agreement",
+            self.skipped_row_fraction * 100.0,
+            self.argmax_agreement * 100.0
+        )
+    }
+}
+
+/// Evaluates softmax speculation on speculative and true logits.
+///
+/// # Panics
+///
+/// Panics on length mismatch or if the length is not a multiple of the row
+/// length.
+pub fn evaluate(config: SoftmaxConfig, spec: &[i64], truth: &[i64]) -> SoftmaxStats {
+    assert_eq!(spec.len(), truth.len(), "spec/truth lengths must match");
+    assert!(!spec.is_empty(), "need at least one row");
+    assert_eq!(
+        spec.len() % config.row_len,
+        0,
+        "length must be a multiple of the row length"
+    );
+    let mut rows = 0usize;
+    let mut skipped = 0usize;
+    let mut agreed = 0usize;
+    for (sr, tr) in spec
+        .chunks(config.row_len)
+        .zip(truth.chunks(config.row_len))
+    {
+        rows += 1;
+        let (spec_arg, &spec_max) = sr
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .expect("non-empty row");
+        let mean = sr.iter().sum::<i64>() / config.row_len as i64;
+        if spec_max - mean >= config.dominance_margin {
+            skipped += 1;
+            let true_arg = (0..config.row_len)
+                .max_by_key(|&i| tr[i])
+                .expect("non-empty row");
+            if true_arg == spec_arg {
+                agreed += 1;
+            }
+        }
+    }
+    SoftmaxStats {
+        rows,
+        skipped_row_fraction: skipped as f64 / rows as f64,
+        argmax_agreement: if skipped == 0 {
+            1.0
+        } else {
+            agreed as f64 / skipped as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_rows_are_skipped_and_correct() {
+        // One dominant logit per row.
+        let mut spec = Vec::new();
+        let mut truth = Vec::new();
+        for r in 0..8 {
+            for i in 0..16 {
+                let dominant = i == r % 16;
+                let t = if dominant { 100 } else { (i as i64 * 7) % 10 };
+                truth.push(t);
+                spec.push(t / 8 * 8); // coarse but order-preserving
+            }
+        }
+        let s = evaluate(SoftmaxConfig::new(16, 32), &spec, &truth);
+        assert_eq!(s.skipped_row_fraction, 1.0);
+        assert_eq!(s.argmax_agreement, 1.0);
+    }
+
+    #[test]
+    fn flat_rows_are_not_skipped() {
+        let spec = vec![5i64; 64];
+        let truth = vec![5i64; 64];
+        let s = evaluate(SoftmaxConfig::new(16, 32), &spec, &truth);
+        assert_eq!(s.skipped_row_fraction, 0.0);
+        assert_eq!(s.argmax_agreement, 1.0); // vacuous
+    }
+
+    #[test]
+    fn bad_speculation_reduces_agreement() {
+        // Dominance exists but speculation points at the wrong element.
+        let mut spec = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..4 {
+            for i in 0..8 {
+                truth.push(if i == 3 { 100 } else { 0 });
+                spec.push(if i == 5 { 100 } else { 0 });
+            }
+        }
+        let s = evaluate(SoftmaxConfig::new(8, 16), &spec, &truth);
+        assert_eq!(s.skipped_row_fraction, 1.0);
+        assert_eq!(s.argmax_agreement, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the row length")]
+    fn validates_row_multiple() {
+        let _ = evaluate(SoftmaxConfig::new(8, 1), &[0; 9], &[0; 9]);
+    }
+}

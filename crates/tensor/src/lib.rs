@@ -1,0 +1,26 @@
+//! Dense tensor substrate for the Sibia reproduction.
+//!
+//! Provides the shape/tensor types the model zoo and simulators operate on,
+//! plus bit-exact integer reference implementations of the MAC-based
+//! operators the paper evaluates (matmul, conv2d, pooling). The reference
+//! results are the ground truth every simulated datapath is tested against.
+//!
+//! # Example
+//!
+//! ```
+//! use sibia_tensor::{Tensor, Shape, ops};
+//!
+//! let a = Tensor::from_vec(vec![1, 2, 3, 4], Shape::new(&[2, 2]));
+//! let b = Tensor::from_vec(vec![5, 6, 7, 8], Shape::new(&[2, 2]));
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.data(), &[19, 22, 43, 50]);
+//! ```
+
+pub mod ops;
+pub mod quantized;
+pub mod shape;
+pub mod tensor;
+
+pub use quantized::QuantTensor;
+pub use shape::Shape;
+pub use tensor::Tensor;

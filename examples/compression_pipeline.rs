@@ -1,0 +1,64 @@
+//! The data management unit's compression pipeline, end to end with real
+//! bytes: quantize → SBR unit (borrow/lend registers) → sub-words → RLE →
+//! bit-packed serialization → wire → deserialize → decode.
+//!
+//! Run with `cargo run -p sibia --example compression_pipeline`.
+
+use sibia::compress::rle::RleStream;
+use sibia::compress::RleCodec;
+use sibia::prelude::*;
+use sibia::sbr::SbrUnit;
+
+fn main() {
+    // A dense GeLU activation tile, as a DNN layer would produce it.
+    let mut src = SynthSource::new(2024);
+    let raw = src.post_activation_values(Activation::Gelu, 0.12, 4096);
+    let quantizer = Quantizer::fit(&raw, Precision::BITS7);
+    let codes = quantizer.quantize_all(&raw);
+    let baseline_bits = codes.len() * 7;
+    println!("tile: {} values at 7-bit = {} bits baseline", codes.len(), baseline_bits);
+
+    // The SBR unit streams the values through its borrow/lend registers.
+    let unit = SbrUnit::new(Precision::BITS7);
+    let subword_planes = unit.encode_subwords(&codes);
+    println!("\nper-plane compression (4-bit RLE index):");
+    let codec = RleCodec::default();
+    let mut total_bytes = 0usize;
+    let mut wire = Vec::new();
+    for (order, words) in subword_planes.iter().enumerate() {
+        let stream = codec.compress(words);
+        let bytes = stream.serialize();
+        let zero = words.iter().filter(|w| w.is_zero()).count();
+        println!(
+            "  order {order}: {} sub-words ({:.0}% zero) -> {} entries -> {} bytes",
+            words.len(),
+            zero as f64 / words.len() as f64 * 100.0,
+            stream.entries().len(),
+            bytes.len()
+        );
+        total_bytes += bytes.len();
+        wire.push((bytes, words.len()));
+    }
+    println!(
+        "\ntotal on the wire: {} bytes vs {} baseline bytes ({:.2}x compression)",
+        total_bytes,
+        baseline_bits / 8,
+        baseline_bits as f64 / 8.0 / total_bytes as f64
+    );
+
+    // The MPU side: deserialize, decompress, and rebuild the exact values.
+    let mut planes = Vec::new();
+    for (bytes, n) in &wire {
+        let stream = RleStream::deserialize(bytes, codec.index_bits(), *n);
+        let words = stream.decompress();
+        let mut plane = Vec::with_capacity(n * 4);
+        for w in words {
+            plane.extend_from_slice(w.slices());
+        }
+        plane.truncate(codes.len());
+        planes.push(plane);
+    }
+    let rebuilt = sibia::sbr::sbr::from_planes(&planes);
+    assert_eq!(rebuilt, codes, "the wire round-trips bit-exactly");
+    println!("\nround trip verified: decompressed planes decode to the original codes");
+}

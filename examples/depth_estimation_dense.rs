@@ -1,0 +1,70 @@
+//! Monocular depth estimation: a mixed sparse-encoder / dense-decoder
+//! network (MonoDepth2).
+//!
+//! The ReLU encoder has 57 % input sparsity (easy for any skipper); the ELU
+//! decoder saturates negatives to small values that only the SBR can skip.
+//! Also demonstrates hybrid compression (paper Fig. 13) and the GPU
+//! comparison (§III-J). Run with
+//! `cargo run -p sibia --example depth_estimation_dense --release`.
+
+use sibia::compress::{CompressionMode, CompressionReport};
+use sibia::prelude::*;
+use sibia::sim::analytic::Gpu;
+
+fn main() {
+    let net = zoo::monodepth2();
+    println!("── {net}");
+
+    // ── Per-region skipping behaviour ───────────────────────────────────
+    let sibia = Accelerator::sibia().run_network(&net);
+    let enc: Vec<_> = sibia.layers.iter().filter(|l| l.name.starts_with("layer")).collect();
+    let dec: Vec<_> = sibia.layers.iter().filter(|l| l.name.starts_with("dec")).collect();
+    let mean_work = |ls: &[&sibia::sim::LayerResult]| {
+        ls.iter().map(|l| l.work_fraction).sum::<f64>() / ls.len() as f64
+    };
+    println!(
+        "  executed slice-work fraction: ReLU encoder {:.0}%, ELU decoder {:.0}%",
+        mean_work(&enc) * 100.0,
+        mean_work(&dec) * 100.0
+    );
+
+    // ── Compression of the dense ELU decoder activations ────────────────
+    let mut src = SynthSource::new(7);
+    let dec_layer = net.layers().iter().find(|l| l.name() == "dec1.iconv").unwrap();
+    let acts = src.activations(dec_layer, 32_768);
+    for mode in [CompressionMode::None, CompressionMode::Rle, CompressionMode::Hybrid] {
+        let r = CompressionReport::analyze(
+            acts.codes().data(),
+            dec_layer.input_precision(),
+            mode,
+        );
+        println!("  decoder activations, {mode}: ratio {:.2}x", r.ratio());
+    }
+
+    // ── Architecture comparison ─────────────────────────────────────────
+    let bf = Accelerator::bit_fusion().run_network(&net);
+    let hnpu = Accelerator::hnpu().run_network(&net);
+    println!(
+        "  speedup vs Bit-fusion: HNPU {:.2}x, Sibia hybrid {:.2}x",
+        hnpu.speedup_over(&bf),
+        sibia.speedup_over(&bf)
+    );
+
+    // ── GPU comparison (paper §III-J) ───────────────────────────────────
+    let macs = net.total_macs();
+    println!("\n  inference time and efficiency vs GPUs:");
+    println!(
+        "    {:<22} {:>9.2} ms  {:>8.2} TOPS/W",
+        "Sibia (1 MPU core)",
+        sibia.time_s() * 1e3,
+        sibia.efficiency_tops_w()
+    );
+    for gpu in [Gpu::rtx_2080_ti(), Gpu::adreno_650()] {
+        println!(
+            "    {:<22} {:>9.2} ms  {:>8.2} TOPS/W",
+            gpu.name,
+            gpu.time_s(macs) * 1e3,
+            gpu.efficiency_tops_w(macs)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! 3-D point-cloud networks: large-scale max-pool output speculation.
+//!
+//! VoteNet pools 64/32/16 points to one; DGCNN pools 40 neighbours to one.
+//! Sibia pre-computes high-order slices, keeps a few maximal candidates per
+//! window, and skips the rest — accurately, because SBR slices are balanced.
+//! Run with `cargo run -p sibia --example point_cloud_speculation --release`.
+
+use sibia::prelude::*;
+use sibia::speculate::scenario::MaxPoolScenario;
+use sibia::speculate::SliceRepr;
+
+fn main() {
+    // ── Speculation accuracy: balanced vs unbalanced slices ─────────────
+    println!("32-to-1 max-pool speculation success (4-bit/4-bit pre-compute):");
+    println!("{:>6}  {:>14}  {:>14}", "cand", "signed (SBR)", "conventional");
+    for candidates in [1usize, 2, 4, 8] {
+        let sc = MaxPoolScenario::votenet_32to1(candidates);
+        let sbr = sc.run(SliceRepr::Signed);
+        let conv = sc.run(SliceRepr::Conventional);
+        println!(
+            "{candidates:>6}  {:>13.1}%  {:>13.1}%",
+            sbr.success_rate * 100.0,
+            conv.success_rate * 100.0
+        );
+    }
+
+    // ── Throughput: output skipping over hybrid skipping ────────────────
+    for net in [zoo::votenet(), zoo::dgcnn()] {
+        println!("\n── {net}");
+        let bf = Accelerator::bit_fusion().run_network(&net);
+        let hybrid = Accelerator::sibia().run_network(&net);
+        println!(
+            "  hybrid skipping: {:.2}x over Bit-fusion ({:.1} GOPS)",
+            hybrid.speedup_over(&bf),
+            hybrid.throughput_gops()
+        );
+        for candidates in [16usize, 8, 4] {
+            let out = Accelerator::sibia_output_skip(candidates).run_network(&net);
+            println!(
+                "  output skip ({candidates:>2} candidates): {:.2}x over hybrid",
+                out.speedup_over(&hybrid)
+            );
+        }
+    }
+}

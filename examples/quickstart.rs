@@ -1,0 +1,59 @@
+//! Quickstart: the signed bit-slice representation, the functional PE, and
+//! a first architecture comparison.
+//!
+//! Run with `cargo run -p sibia --example quickstart`.
+
+use sibia::prelude::*;
+use sibia::sim::functional::matmul_via_pe;
+use sibia::tensor::{ops, Shape, Tensor};
+
+fn main() {
+    // ── 1. The representation ───────────────────────────────────────────
+    // Conventional bit-slices of -3 (1111101₂) are all-ones; the SBR turns
+    // the high slice into zero by borrowing 1 from the low slice.
+    let value = -3;
+    let conv = ConvSlices::encode(value, Precision::BITS7);
+    let sbr = SbrSlices::encode(value, Precision::BITS7);
+    println!("value {value:>4}:  conventional {conv}   signed {sbr}");
+    assert_eq!(sbr.decode(), value);
+
+    // A dense ELU-style tensor exposes slice sparsity only under the SBR.
+    let mut src = SynthSource::new(42);
+    let data = src.post_activation_values(Activation::ELU_1, 0.05, 4096);
+    let q = Quantizer::fit(&data, Precision::BITS7);
+    let codes = q.quantize_all(&data);
+    let report = SparsityReport::analyze(&codes, Precision::BITS7);
+    println!("\ndense ELU tensor sparsity:\n{report}");
+
+    // ── 2. The datapath ─────────────────────────────────────────────────
+    // The flexible zero-skipping PE computes exactly the reference matmul
+    // while skipping zero sub-words.
+    let a = Tensor::from_vec(codes[..4 * 64].to_vec(), Shape::new(&[4, 64]));
+    let w: Vec<i32> = (0..64 * 4).map(|i| ((i * 31 + 7) % 127) - 63).collect();
+    let b = Tensor::from_vec(w, Shape::new(&[64, 4]));
+    let pe = PeSim::new(Precision::BITS7, Precision::BITS7);
+    let (out, run) = matmul_via_pe(&pe, &a, &b);
+    assert_eq!(out.data(), ops::matmul(&a, &b).data());
+    println!(
+        "\nPE tile: {} of {} cycles used ({:.2}x speedup from zero sub-words), bit-exact",
+        run.cycles,
+        run.baseline_cycles,
+        run.speedup()
+    );
+
+    // ── 3. The accelerator ──────────────────────────────────────────────
+    let net = zoo::dgcnn();
+    println!("\nrunning {net} on three architectures:");
+    let bf = Accelerator::bit_fusion().run_network(&net);
+    let hnpu = Accelerator::hnpu().run_network(&net);
+    let sibia = Accelerator::sibia().run_network(&net);
+    for r in [&bf, &hnpu, &sibia] {
+        println!("  {r}");
+    }
+    println!(
+        "\nSibia speedup over Bit-fusion: {:.2}x, over HNPU: {:.2}x; efficiency gain {:.2}x",
+        sibia.speedup_over(&bf),
+        sibia.speedup_over(&hnpu),
+        sibia.efficiency_gain_over(&bf)
+    );
+}

@@ -1,0 +1,58 @@
+//! Dense transformer acceleration: Albert on the GLUE tasks.
+//!
+//! The paper's headline dense-DNN result: transformers use GeLU and softmax
+//! (no ReLU), so conventional zero-skipping finds little sparsity, while the
+//! SBR exposes the near-zero mass of both signs. Run with
+//! `cargo run -p sibia --example transformer_inference --release`.
+
+use sibia::nn::zoo::{self, GlueTask};
+use sibia::prelude::*;
+
+fn main() {
+    for task in [GlueTask::Sst2, GlueTask::Qqp, GlueTask::Mnli] {
+        let net = zoo::albert(task);
+        println!("── {net}");
+        let bf = Accelerator::bit_fusion().run_network(&net);
+        let hnpu = Accelerator::hnpu().run_network(&net);
+        let no_sbr = Accelerator::from_spec(ArchSpec::sibia_no_sbr()).run_network(&net);
+        let input = Accelerator::sibia_input_skip().run_network(&net);
+        let hybrid = Accelerator::sibia().run_network(&net);
+        println!(
+            "  speedup vs Bit-fusion:  HNPU {:.2}x | Sibia w/o SBR {:.2}x | \
+             input skip {:.2}x | hybrid {:.2}x",
+            hnpu.speedup_over(&bf),
+            no_sbr.speedup_over(&bf),
+            input.speedup_over(&bf),
+            hybrid.speedup_over(&bf),
+        );
+        println!(
+            "  energy-efficiency gain: HNPU {:.2}x | hybrid {:.2}x   ({:.2} -> {:.2} TOPS/W)",
+            hnpu.efficiency_gain_over(&bf),
+            hybrid.efficiency_gain_over(&bf),
+            bf.efficiency_tops_w(),
+            hybrid.efficiency_tops_w(),
+        );
+        // Where do the cycles go? Show the three busiest layers.
+        let mut layers: Vec<_> = hybrid.layers.iter().collect();
+        layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
+        println!("  busiest layers under Sibia hybrid:");
+        for l in layers.iter().take(3) {
+            println!(
+                "    {:<16} {:>10} cycles, executed {:.0}% of slice work, {:?}",
+                l.name,
+                l.cycles,
+                l.work_fraction * 100.0,
+                l.skip_side,
+            );
+        }
+    }
+
+    // Softmax output speculation (paper Fig. 12: +1.15x on MNLI).
+    let net = zoo::albert(GlueTask::Mnli);
+    let hybrid = Accelerator::sibia().run_network(&net);
+    let out_skip = Accelerator::sibia_output_skip(1).run_network(&net);
+    println!(
+        "\noutput speculation on Albert (MNLI): {:.2}x over hybrid skipping",
+        out_skip.speedup_over(&hybrid)
+    );
+}

@@ -1,0 +1,109 @@
+//! Numerical-accuracy integration: representations agree with reference
+//! arithmetic at every precision, skipping never changes results, and
+//! speculation behaves as the paper claims.
+
+use sibia::prelude::*;
+use sibia::sbr::conv::MsbSlices;
+use sibia::speculate::pool::{self};
+use sibia::speculate::scenario::MaxPoolScenario;
+
+/// All three representations decode every representable value at every
+/// supported precision.
+#[test]
+fn representations_cover_every_precision() {
+    for p in [
+        Precision::BITS4,
+        Precision::BITS7,
+        Precision::BITS10,
+        Precision::BITS13,
+    ] {
+        let m = p.max_magnitude();
+        let step = (m / 500).max(1);
+        let mut v = -m;
+        while v <= m {
+            assert_eq!(SbrSlices::encode(v, p).decode(), v);
+            assert_eq!(ConvSlices::encode(v, p).decode(), v);
+            assert_eq!(MsbSlices::encode(v, p).decode(), v);
+            v += step;
+        }
+    }
+}
+
+/// Dot products reconstructed from SBR slice products equal full-precision
+/// reference dot products (the shift-add recombination identity).
+#[test]
+fn slice_dot_product_identity() {
+    let xs: Vec<i32> = (0..256).map(|i| ((i * 97 + 13) % 1023) - 511).collect();
+    let ws: Vec<i32> = (0..256).map(|i| ((i * 61 + 7) % 1023) - 511).collect();
+    let p = Precision::BITS10;
+    let mut by_slices = 0i64;
+    for (&x, &w) in xs.iter().zip(&ws) {
+        let xd = SbrSlices::encode(x, p);
+        let wd = SbrSlices::encode(w, p);
+        for (oi, &dx) in xd.digits().iter().enumerate() {
+            for (ow, &dw) in wd.digits().iter().enumerate() {
+                by_slices += (i64::from(dx) * i64::from(dw)) << (3 * (oi + ow));
+            }
+        }
+    }
+    let reference: i64 = xs
+        .iter()
+        .zip(&ws)
+        .map(|(&x, &w)| i64::from(x) * i64::from(w))
+        .sum();
+    assert_eq!(by_slices, reference);
+}
+
+/// Speculation success improves monotonically with candidates and with the
+/// signed representation, end to end on the synthetic VoteNet scenario.
+#[test]
+fn speculation_orderings_hold_end_to_end() {
+    use sibia::speculate::SliceRepr;
+    let mut last_sbr = 0.0;
+    for candidates in [1usize, 4, 16] {
+        let sc = MaxPoolScenario {
+            windows: 96,
+            ..MaxPoolScenario::votenet_32to1(candidates)
+        };
+        let sbr = sc.run(SliceRepr::Signed);
+        let conv = sc.run(SliceRepr::Conventional);
+        assert!(sbr.success_rate >= conv.success_rate - 0.02, "candidates={candidates}");
+        assert!(sbr.success_rate >= last_sbr - 0.02);
+        last_sbr = sbr.success_rate;
+    }
+}
+
+/// Pool evaluation is exact when the speculative values rank identically to
+/// the truth, whatever the magnitudes.
+#[test]
+fn pool_evaluation_is_rank_based() {
+    let truth: Vec<i64> = (0..128).map(|i| (i as i64 * 37 % 101) - 50).collect();
+    let spec: Vec<i64> = truth.iter().map(|&v| v * 1000 + 1).collect(); // rank-preserving
+    let stats = pool::evaluate(sibia::speculate::PoolConfig::new(32, 1), &spec, &truth);
+    assert_eq!(stats.success_rate, 1.0);
+}
+
+/// Requantizing the PE's exact outputs to the next layer's precision loses
+/// at most half a step — the end-to-end numeric path of a two-layer chain.
+#[test]
+fn two_layer_chain_requantization_error_is_bounded() {
+    use sibia::sim::functional::matmul_via_pe;
+    use sibia::tensor::{Shape, Tensor};
+    let mut src = SynthSource::new(3);
+    let raw = src.post_activation_values(Activation::Gelu, 0.1, 4 * 32);
+    let q1 = Quantizer::fit(&raw, Precision::BITS7);
+    let a = Tensor::from_vec(q1.quantize_all(&raw), Shape::new(&[4, 32]));
+    let wr = src.gaussian(32 * 4, 1.0);
+    let qw = Quantizer::fit(&wr, Precision::BITS7);
+    let b = Tensor::from_vec(qw.quantize_all(&wr), Shape::new(&[32, 4]));
+    let pe = PeSim::new(Precision::BITS7, Precision::BITS7);
+    let (out, _) = matmul_via_pe(&pe, &a, &b);
+    // Dequantize outputs and requantize at 7 bits for the next layer.
+    let out_scale = q1.scale() * qw.scale();
+    let real: Vec<f32> = out.data().iter().map(|&v| v as f32 * out_scale).collect();
+    let q2 = Quantizer::fit(&real, Precision::BITS7);
+    for &x in &real {
+        let err = (q2.dequantize(q2.quantize(x)) - x).abs();
+        assert!(err <= q2.scale() / 2.0 + 1e-5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Baseline-comparison integration: the paper's headline orderings hold on
+//! the real benchmark networks (Fig. 10, Fig. 11, Table I shapes).
+
+use sibia::prelude::*;
+use sibia::nn::zoo::{self, GlueTask};
+
+fn run(arch: ArchSpec, net: &Network) -> NetworkResult {
+    Accelerator::from_spec(arch)
+        .with_seed(1)
+        .with_sample_cap(8192)
+        .run_network(net)
+}
+
+/// Fig. 10: on every dense benchmark, Sibia hybrid > Sibia input-skip ≥
+/// Sibia-no-SBR > HNPU > Bit-fusion in throughput.
+#[test]
+fn dense_benchmark_ordering() {
+    for net in [
+        zoo::albert(GlueTask::Qqp),
+        zoo::vit(),
+        zoo::monodepth2(),
+        zoo::dgcnn(),
+    ] {
+        let bf = run(ArchSpec::bit_fusion(), &net);
+        let hnpu = run(ArchSpec::hnpu(), &net);
+        let no_sbr = run(ArchSpec::sibia_no_sbr(), &net);
+        let input = run(ArchSpec::sibia_input_skip(), &net);
+        let hybrid = run(ArchSpec::sibia_hybrid(), &net);
+        let name = net.name();
+        assert!(hnpu.speedup_over(&bf) > 1.0, "{name}: HNPU over BF");
+        assert!(
+            no_sbr.speedup_over(&bf) > hnpu.speedup_over(&bf),
+            "{name}: no-SBR Sibia still beats HNPU (hardware advantage)"
+        );
+        assert!(
+            input.speedup_over(&bf) > no_sbr.speedup_over(&bf),
+            "{name}: the SBR is worth more than the hardware alone"
+        );
+        assert!(
+            hybrid.speedup_over(&bf) >= input.speedup_over(&bf) * 0.99,
+            "{name}: hybrid at least matches input skipping"
+        );
+        // HNPU gains stay small on dense DNNs (paper: 1.1–1.6×).
+        assert!(
+            hnpu.speedup_over(&bf) < 2.6,
+            "{name}: HNPU dense speedup should be modest, got {}",
+            hnpu.speedup_over(&bf)
+        );
+    }
+}
+
+/// Fig. 11: sparse (ReLU) benchmarks let even HNPU gain ≥ ~1.5×, and Sibia
+/// still wins.
+#[test]
+fn sparse_benchmark_ordering() {
+    for net in [zoo::mobilenet_v2(), zoo::resnet18(), zoo::votenet()] {
+        let bf = run(ArchSpec::bit_fusion(), &net);
+        let hnpu = run(ArchSpec::hnpu(), &net);
+        let hybrid = run(ArchSpec::sibia_hybrid(), &net);
+        let name = net.name();
+        assert!(
+            hnpu.speedup_over(&bf) > 1.3,
+            "{name}: ReLU sparsity helps HNPU, got {}",
+            hnpu.speedup_over(&bf)
+        );
+        assert!(
+            hybrid.speedup_over(&bf) > hnpu.speedup_over(&bf),
+            "{name}: Sibia beats HNPU"
+        );
+        assert!(
+            hybrid.efficiency_gain_over(&bf) > 1.3,
+            "{name}: efficiency gain, got {}",
+            hybrid.efficiency_gain_over(&bf)
+        );
+    }
+}
+
+/// Transformers gain more from the SBR than conv nets (the paper's
+/// explanation: near-zero-concentrated high-precision activations).
+#[test]
+fn transformers_gain_most() {
+    let gain = |net: &Network| {
+        run(ArchSpec::sibia_hybrid(), net).speedup_over(&run(ArchSpec::bit_fusion(), net))
+    };
+    let albert_gain = gain(&zoo::albert(GlueTask::Qqp));
+    let vit_gain = gain(&zoo::vit());
+    let yolo_gain = gain(&zoo::yolov3());
+    let transformer_mean = (albert_gain + vit_gain) / 2.0;
+    assert!(
+        transformer_mean > yolo_gain,
+        "transformers {transformer_mean} (albert {albert_gain}, vit {vit_gain}) vs yolo {yolo_gain}"
+    );
+}
+
+/// Table I shape: on a favourable 7-bit dense workload, the three cores
+/// order BF < HNPU < Sibia in throughput, and Sibia has the best
+/// energy-efficiency by a wide margin.
+#[test]
+fn table1_peak_ordering() {
+    // A 7-bit GeLU-heavy workload approximating the peak-throughput setup.
+    let net = zoo::dgcnn();
+    let bf = run(ArchSpec::bit_fusion(), &net);
+    let hnpu = run(ArchSpec::hnpu(), &net);
+    let sibia = run(ArchSpec::sibia_hybrid(), &net);
+    assert!(bf.throughput_gops() < hnpu.throughput_gops());
+    assert!(hnpu.throughput_gops() < sibia.throughput_gops());
+    // (The paper's Table I peak setup uses the most favourable workload;
+    // DGCNN is a conservative proxy, so the margin is relaxed from the
+    // paper's 3.88× to >1.7×.)
+    assert!(sibia.efficiency_tops_w() > 1.7 * bf.efficiency_tops_w());
+    // Absolute ballpark: BF ≈ 144 GOPS at 7-bit in the paper; the revised
+    // core's dense 7-bit rate is 768/4 × utilization.
+    assert!((100.0..=250.0).contains(&bf.throughput_gops()), "{}", bf.throughput_gops());
+}
+
+/// Output skipping monotonically increases throughput as candidates shrink
+/// (Fig. 12's x-axis), on both pooling networks.
+#[test]
+fn output_skip_candidate_sweep_is_monotone() {
+    for net in [zoo::votenet(), zoo::dgcnn()] {
+        let mut last = f64::INFINITY;
+        for candidates in [16usize, 8, 4, 2] {
+            let r = run(ArchSpec::sibia_output_skip(candidates), &net);
+            let cycles = r.total_cycles() as f64;
+            assert!(cycles <= last * 1.001, "{}: candidates={candidates}", net.name());
+            last = cycles;
+        }
+    }
+}

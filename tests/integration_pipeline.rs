@@ -1,0 +1,141 @@
+//! Cross-crate pipeline integration: real-valued data → quantization →
+//! slice decomposition → functional PE → reference equality, and compression
+//! round-trips along the way.
+
+use sibia::arch::dsm::SkipSide;
+use sibia::compress::RleCodec;
+use sibia::prelude::*;
+use sibia::sbr::sbr;
+use sibia::sbr::subword::to_subwords;
+use sibia::sim::functional::matmul_via_pe;
+use sibia::sim::Repr;
+use sibia::tensor::{ops, QuantTensor, Shape, Tensor};
+
+/// End-to-end: synthesize an ELU feature map, quantize it, run a linear
+/// layer through the PE in every skipping mode, and match the i64 reference.
+#[test]
+fn quantized_elu_layer_is_bit_exact_through_the_pe() {
+    let mut src = SynthSource::new(99);
+    let raw = src.post_activation_values(Activation::ELU_1, 0.1, 8 * 48);
+    let qt = QuantTensor::quantize(&raw, Shape::new(&[8, 48]), Precision::BITS7);
+    let a = qt.codes().clone();
+    let w_raw = src.gaussian(48 * 8, 1.0);
+    let wq = QuantTensor::quantize(&w_raw, Shape::new(&[48, 8]), Precision::BITS7);
+    let b = wq.codes().clone();
+    let reference = ops::matmul(&a, &b);
+    for repr in [Repr::Sbr, Repr::Conventional] {
+        for skip in [SkipSide::None, SkipSide::Input, SkipSide::Weight] {
+            let pe = PeSim {
+                repr,
+                skip,
+                ..PeSim::new(Precision::BITS7, Precision::BITS7)
+            };
+            let (got, run) = matmul_via_pe(&pe, &a, &b);
+            assert_eq!(got.data(), reference.data(), "{repr:?}/{skip:?}");
+            assert!(run.cycles <= run.baseline_cycles);
+        }
+    }
+}
+
+/// The skipped cycles the PE reports are consistent with the RLE-compressed
+/// stream the DMU would feed it: skipped sub-words equal the zero sub-words
+/// of the skipped operand's planes.
+#[test]
+fn pe_skip_counts_match_compressed_stream() {
+    let mut src = SynthSource::new(5);
+    let raw = src.post_activation_values(Activation::Gelu, 0.2, 4 * 64);
+    let qt = QuantTensor::quantize(&raw, Shape::new(&[4, 64]), Precision::BITS7);
+    let a = qt.codes().clone();
+    let b = Tensor::from_vec(
+        (0..64 * 4).map(|i| ((i * 37 + 3) % 127) - 63).collect(),
+        Shape::new(&[64, 4]),
+    );
+    let pe = PeSim::new(Precision::BITS7, Precision::BITS7);
+    let (_, run) = matmul_via_pe(&pe, &a, &b);
+
+    // Count zero sub-words the way the SBR unit + RLE unit see them:
+    // per channel (column of `a`), the four spatial slices of one order.
+    let k = 64;
+    let mut zero_subwords = 0u64;
+    for order in 0..2 {
+        for c in 0..k {
+            let sw: Vec<i8> = (0..4)
+                .map(|s| {
+                    sbr::planes(&[a.data()[s * k + c]], Precision::BITS7)[order][0]
+                })
+                .collect();
+            if sw.iter().all(|&d| d == 0) {
+                zero_subwords += 1;
+            }
+        }
+    }
+    // Each zero sub-word is skipped once per weight order (2 orders).
+    assert_eq!(run.skipped_subwords, zero_subwords * 2);
+}
+
+/// Compression round-trips the exact sub-word streams the PE consumes.
+#[test]
+fn rle_round_trips_pe_input_planes() {
+    let mut src = SynthSource::new(6);
+    let raw = src.post_activation_values(Activation::LEAKY_RELU_01, 0.3, 4096);
+    let qt = QuantTensor::quantize(&raw, Shape::new(&[4096]), Precision::BITS7);
+    let planes = sbr::planes(qt.codes().data(), Precision::BITS7);
+    let codec = RleCodec::default();
+    for plane in &planes {
+        let words = to_subwords(plane);
+        let stream = codec.compress(&words);
+        assert_eq!(stream.decompress(), words);
+    }
+}
+
+/// The whole simulated stack is deterministic: same seed, same result, at
+/// every level.
+#[test]
+fn full_stack_determinism() {
+    let net = zoo::alexnet();
+    let r1 = Accelerator::sibia().with_seed(77).run_network(&net);
+    let r2 = Accelerator::sibia().with_seed(77).run_network(&net);
+    assert_eq!(r1.total_cycles(), r2.total_cycles());
+    assert_eq!(r1.energy, r2.energy);
+    for (a, b) in r1.layers.iter().zip(&r2.layers) {
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.skip_side, b.skip_side);
+    }
+}
+
+/// Every zoo network runs end-to-end on every architecture without panics
+/// and with sane outputs.
+#[test]
+fn all_networks_run_on_all_architectures() {
+    let nets = [
+        zoo::albert(zoo::GlueTask::Sst2),
+        zoo::vit(),
+        zoo::yolov3(),
+        zoo::monodepth2(),
+        zoo::dgcnn(),
+        zoo::mobilenet_v2(),
+        zoo::resnet18(),
+        zoo::votenet(),
+        zoo::alexnet(),
+    ];
+    let archs = [
+        ArchSpec::bit_fusion(),
+        ArchSpec::hnpu(),
+        ArchSpec::sibia_no_sbr(),
+        ArchSpec::sibia_input_skip(),
+        ArchSpec::sibia_hybrid(),
+        ArchSpec::sibia_output_skip(4),
+    ];
+    for net in &nets {
+        for arch in &archs {
+            let r = Accelerator::from_spec(arch.clone())
+                .with_sample_cap(4096)
+                .run_network(net);
+            assert!(r.total_cycles() > 0, "{} on {}", arch.name, net.name());
+            assert!(r.throughput_gops() > 0.0);
+            assert!(r.energy.total_pj() > 0.0);
+            assert!(r.power_mw() > 1.0 && r.power_mw() < 5_000.0,
+                "{} on {}: {} mW", arch.name, net.name(), r.power_mw());
+        }
+    }
+}
