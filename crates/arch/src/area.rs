@@ -179,7 +179,11 @@ mod tests {
         let m = AreaModel::default();
         let a = m.core(&CoreConfig::sibia());
         // Paper: 1.069 mm²; shape-accurate within 15 %.
-        assert!((0.90..=1.25).contains(&a.total_mm2()), "got {}", a.total_mm2());
+        assert!(
+            (0.90..=1.25).contains(&a.total_mm2()),
+            "got {}",
+            a.total_mm2()
+        );
     }
 
     #[test]
@@ -203,7 +207,11 @@ mod tests {
         assert!(bf < sibia, "bf {bf} sibia {sibia}");
         assert!(sibia < hnpu * 1.05, "sibia {sibia} hnpu {hnpu}");
         // Sibia is within a few percent of HNPU (paper: 5.0 % smaller).
-        assert!((sibia / hnpu) > 0.80 && (sibia / hnpu) < 1.02, "ratio {}", sibia / hnpu);
+        assert!(
+            (sibia / hnpu) > 0.80 && (sibia / hnpu) < 1.02,
+            "ratio {}",
+            sibia / hnpu
+        );
     }
 
     #[test]

@@ -93,14 +93,29 @@ impl DsmUnit {
     /// Decides skipping and compression from sampled slice planes of the
     /// first tile of a layer (LSB-first plane order for both operands).
     pub fn decide(&self, input_planes: &[Vec<i8>], weight_planes: &[Vec<i8>]) -> SkipDecision {
-        let input_sparsity: Vec<f64> = input_planes
-            .iter()
-            .map(|p| zero_subword_fraction(p))
-            .collect();
-        let weight_sparsity: Vec<f64> = weight_planes
-            .iter()
-            .map(|p| zero_subword_fraction(p))
-            .collect();
+        self.decide_from_sparsity(
+            input_planes
+                .iter()
+                .map(|p| zero_subword_fraction(p))
+                .collect(),
+            weight_planes
+                .iter()
+                .map(|p| zero_subword_fraction(p))
+                .collect(),
+        )
+    }
+
+    /// Decides skipping and compression from already-measured per-order
+    /// zero-sub-word fractions (LSB first). This is the entry point the
+    /// performance simulator's decomposition cache uses: the fractions are
+    /// computed once per `(layer, seed, repr)` and reused across
+    /// architecture variants, so the decision must be a pure function of
+    /// them.
+    pub fn decide_from_sparsity(
+        &self,
+        input_sparsity: Vec<f64>,
+        weight_sparsity: Vec<f64>,
+    ) -> SkipDecision {
         let mean = |v: &[f64]| {
             if v.is_empty() {
                 0.0

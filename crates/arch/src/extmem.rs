@@ -48,8 +48,7 @@ impl HyperRam {
     pub fn transfer_cycles(&self, bytes: u64, burst_bytes: u64, core_mhz: u32) -> u64 {
         assert!(burst_bytes > 0, "burst size must be positive");
         let bursts = bytes.div_ceil(burst_bytes);
-        let time_s =
-            bursts as f64 * self.transfer_time_s(burst_bytes.min(bytes.max(1)));
+        let time_s = bursts as f64 * self.transfer_time_s(burst_bytes.min(bytes.max(1)));
         (time_s * core_mhz as f64 * 1e6).ceil() as u64
     }
 }

@@ -22,12 +22,12 @@
 
 pub mod area;
 pub mod buffer;
-pub mod mesh;
 pub mod config;
 pub mod dmu;
 pub mod dsm;
 pub mod energy;
 pub mod extmem;
+pub mod mesh;
 pub mod noc;
 pub mod power;
 pub mod tech;

@@ -62,7 +62,11 @@ impl Default for BiNoc {
 
 impl fmt::Display for BiNoc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bi-NoC ({}-bit flits, {} hops)", self.flit_bits, self.avg_hops)
+        write!(
+            f,
+            "Bi-NoC ({}-bit flits, {} hops)",
+            self.flit_bits, self.avg_hops
+        )
     }
 }
 
@@ -138,7 +142,10 @@ mod tests {
     #[test]
     fn flits_round_up() {
         let noc = BiNoc::sibia();
-        assert_eq!(noc.flit_hops(17, 1, CastMode::Unicast), 2 * noc.avg_hops as u64);
+        assert_eq!(
+            noc.flit_hops(17, 1, CastMode::Unicast),
+            2 * noc.avg_hops as u64
+        );
     }
 
     #[test]
@@ -151,7 +158,10 @@ mod tests {
 
     #[test]
     fn without_shift_grows_linearly() {
-        let noc = UniNoc { psum_bits: 14, chain_len: 3 };
+        let noc = UniNoc {
+            psum_bits: 14,
+            chain_len: 3,
+        };
         // Hops carry 17 and 20 bits.
         assert_eq!(noc.bits_without_shift(), 37);
         assert_eq!(noc.bits_with_shift(), 28);

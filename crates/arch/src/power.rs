@@ -44,12 +44,7 @@ impl GatingModel {
 
     /// Power saved (mW) by gating over an all-dense phase of `cycles` at
     /// `frequency_mhz`, versus leaving the units enabled.
-    pub fn gated_power_saving_mw(
-        &self,
-        core: &CoreConfig,
-        cycles: u64,
-        frequency_mhz: u32,
-    ) -> f64 {
+    pub fn gated_power_saving_mw(&self, core: &CoreConfig, cycles: u64, frequency_mhz: u32) -> f64 {
         if cycles == 0 {
             return 0.0;
         }

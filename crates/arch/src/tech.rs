@@ -182,7 +182,9 @@ mod tests {
     fn node_scaling_preserves_ratios() {
         let a = TechNode::samsung_28nm();
         let b = TechNode::generic_65nm();
-        assert!((b.mac_5x5_um2 / b.mac_signed4_um2 - a.mac_5x5_um2 / a.mac_signed4_um2).abs() < 1e-9);
+        assert!(
+            (b.mac_5x5_um2 / b.mac_signed4_um2 - a.mac_5x5_um2 / a.mac_signed4_um2).abs() < 1e-9
+        );
         assert!(b.e_mac_signed4_pj > a.e_mac_signed4_pj);
     }
 

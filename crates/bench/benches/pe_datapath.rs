@@ -20,7 +20,9 @@ fn operands(k: usize) -> (Tensor<i32>, Tensor<i32>) {
             }
         })
         .collect();
-    let b: Vec<i32> = (0..k * 8).map(|i| ((i * 37 + 5) % 127) as i32 - 63).collect();
+    let b: Vec<i32> = (0..k * 8)
+        .map(|i| ((i * 37 + 5) % 127) as i32 - 63)
+        .collect();
     (
         Tensor::from_vec(a, Shape::new(&[8, k])),
         Tensor::from_vec(b, Shape::new(&[k, 8])),
@@ -33,7 +35,11 @@ fn bench_pe(c: &mut Criterion) {
     for (name, repr, skip) in [
         ("sbr_input_skip", Repr::Sbr, SkipSide::Input),
         ("sbr_dense", Repr::Sbr, SkipSide::None),
-        ("conventional_input_skip", Repr::Conventional, SkipSide::Input),
+        (
+            "conventional_input_skip",
+            Repr::Conventional,
+            SkipSide::Input,
+        ),
     ] {
         let sim = PeSim {
             repr,

@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sibia_sbr::{conv, sbr, ConvSlices, Precision, SbrSlices};
 
 fn values(n: usize) -> Vec<i32> {
-    (0..n).map(|i| ((i * 2_654_435_761) % 127) as i32 - 63).collect()
+    (0..n)
+        .map(|i| ((i * 2_654_435_761) % 127) as i32 - 63)
+        .collect()
 }
 
 fn bench_encode(c: &mut Criterion) {

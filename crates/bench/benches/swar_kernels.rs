@@ -1,0 +1,92 @@
+//! Criterion bench: SWAR sparsity kernels vs their scalar definitions —
+//! the per-plane zero-count / zero-sub-word / RLE-entry measurements the
+//! performance simulator runs on every layer of every sweep cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sibia_compress::RleCodec;
+use sibia_sbr::packed::{zero_digit_count, zero_subword_count_unpacked, PackedPlane};
+use sibia_sbr::subword::{to_subwords, zero_subword_fraction};
+
+/// A 64k-digit plane at roughly `zeros_in_10/10` zero fraction.
+fn plane(zeros_in_10: u64) -> Vec<i8> {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    (0..65_536)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (x >> 30) % 10 < zeros_in_10 {
+                0
+            } else {
+                ((x >> 50) % 7 + 1) as i8
+            }
+        })
+        .collect()
+}
+
+fn bench_zero_fraction(c: &mut Criterion) {
+    let p = plane(8);
+    let mut g = c.benchmark_group("zero_fraction_64k");
+    g.bench_function("scalar_filter", |b| {
+        b.iter(|| black_box(p.iter().filter(|&&d| d == 0).count()))
+    });
+    g.bench_function("swar_bytes", |b| b.iter(|| black_box(zero_digit_count(&p))));
+    g.finish();
+}
+
+fn bench_zero_subwords(c: &mut Criterion) {
+    let p = plane(8);
+    let packed = PackedPlane::pack(&p);
+    let mut g = c.benchmark_group("zero_subwords_64k");
+    g.bench_function("scalar_vec_subword", |b| {
+        b.iter(|| {
+            let sw = to_subwords(black_box(&p));
+            black_box(sw.iter().filter(|s| s.is_zero()).count())
+        })
+    });
+    g.bench_function("swar_unpacked", |b| {
+        b.iter(|| black_box(zero_subword_count_unpacked(black_box(&p))))
+    });
+    g.bench_function("swar_packed", |b| {
+        b.iter(|| black_box(packed.zero_subword_count()))
+    });
+    g.bench_function("fraction_api", |b| {
+        b.iter(|| black_box(zero_subword_fraction(black_box(&p))))
+    });
+    g.finish();
+}
+
+fn bench_rle_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rle_entry_count_64k");
+    for zeros_in_10 in [2u64, 8] {
+        let p = plane(zeros_in_10);
+        let packed = PackedPlane::pack(&p);
+        let codec = RleCodec::default();
+        g.bench_function(format!("codec_compress/z{zeros_in_10}"), |b| {
+            b.iter(|| {
+                let words = to_subwords(black_box(&p));
+                black_box(codec.compress(&words).entries().len())
+            })
+        });
+        g.bench_function(format!("swar_count/z{zeros_in_10}"), |b| {
+            b.iter(|| black_box(packed.rle_entry_count(4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let p = plane(5);
+    c.bench_function("pack_plane_64k", |b| {
+        b.iter(|| black_box(PackedPlane::pack(black_box(&p))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_zero_fraction,
+    bench_zero_subwords,
+    bench_rle_count,
+    bench_pack
+);
+criterion_main!(benches);

@@ -11,7 +11,12 @@ fn main() {
     header("gran", "zero-skipping granularity ablation");
     println!("Sibia hardware + SBR, input skipping, granularity swept; speedup vs");
     println!("Bit-fusion (seed 1). Per-slice granularity costs 4x the skip units\n");
-    let mut t = Table::new(&["network", "per-slice (ideal)", "sub-word (Sibia)", "value-group"]);
+    let mut t = Table::new(&[
+        "network",
+        "per-slice (ideal)",
+        "sub-word (Sibia)",
+        "value-group",
+    ]);
     for net in [
         zoo::albert(zoo::GlueTask::Qqp),
         zoo::monodepth2(),

@@ -2,9 +2,9 @@
 //! the benchmarks if layer latency were max(compute, transfer) — an
 //! honesty check the paper's MAC-operations-only methodology does not run.
 
+use sibia::arch::extmem::HyperRam;
 use sibia::prelude::*;
 use sibia::sim::control::{run_timeline, ControlUnit};
-use sibia::arch::extmem::HyperRam;
 use sibia_bench::{header, pct, section, Table};
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
             &net.name(),
             &format!("{:.2}", fast.time_s() * 1e3),
             &format!("{:.2}", bound.time_s() * 1e3),
-            &format!("{:.2}x", bound.total_cycles() as f64 / fast.total_cycles() as f64),
+            &format!(
+                "{:.2}x",
+                bound.total_cycles() as f64 / fast.total_cycles() as f64
+            ),
         ]);
     }
     t.print();

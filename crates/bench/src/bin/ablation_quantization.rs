@@ -10,7 +10,10 @@ use sibia::sbr::stats::SparsityReport;
 use sibia_bench::{header, pct, Table};
 
 fn main() {
-    header("quant", "per-tensor vs per-channel quantization and SBR sparsity");
+    header(
+        "quant",
+        "per-tensor vs per-channel quantization and SBR sparsity",
+    );
     println!("weights of representative layers, 64 output channels per tensor, seed 1\n");
     let mut t = Table::new(&[
         "layer",
@@ -18,7 +21,11 @@ fn main() {
         "per-channel SBR sparsity",
         "sparsity retained",
     ]);
-    let nets = [zoo::resnet18(), zoo::yolov3(), zoo::albert(zoo::GlueTask::Qqp)];
+    let nets = [
+        zoo::resnet18(),
+        zoo::yolov3(),
+        zoo::albert(zoo::GlueTask::Qqp),
+    ];
     for net in &nets {
         let layer = &net.layers()[net.layers().len() / 2];
         let mut src = SynthSource::new(1);

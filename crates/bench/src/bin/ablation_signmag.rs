@@ -6,7 +6,10 @@ use sibia::prelude::*;
 use sibia_bench::{header, section, vs_paper};
 
 fn main() {
-    header("ablate", "design-choice ablations (paper section IV + II-D)");
+    header(
+        "ablate",
+        "design-choice ablations (paper section IV + II-D)",
+    );
 
     section("signed-magnitude MAC area overhead over 2's-complement signed MAC");
     let m = AreaModel::default();
@@ -39,7 +42,9 @@ fn main() {
     section("DSM hybrid skipping vs fixed input skipping (paper II-E)");
     for net in [zoo::albert(zoo::GlueTask::Qqp), zoo::resnet18()] {
         let hybrid = Accelerator::sibia().with_seed(1).run_network(&net);
-        let input = Accelerator::sibia_input_skip().with_seed(1).run_network(&net);
+        let input = Accelerator::sibia_input_skip()
+            .with_seed(1)
+            .run_network(&net);
         println!(
             "  {:<16} hybrid gains {:.2}x over input-only skipping",
             net.name(),

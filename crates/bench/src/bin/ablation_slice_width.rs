@@ -7,7 +7,10 @@ use sibia::sbr::gsbr::{width_cost, GenSlices};
 use sibia_bench::{header, pct, section, Table};
 
 fn main() {
-    header("width", "signed slice width design space (paper section II-C)");
+    header(
+        "width",
+        "signed slice width design space (paper section II-C)",
+    );
 
     section("slice passes and relative MAC energy per product");
     let mut t = Table::new(&["precision pair", "w=3", "w=4", "w=5"]);
@@ -38,11 +41,7 @@ fn main() {
             zeros += g.zero_slices();
             total += g.digits().len();
         }
-        t.row(&[
-            &format!("{w}-bit"),
-            &p,
-            &pct(zeros as f64 / total as f64),
-        ]);
+        t.row(&[&format!("{w}-bit"), &p, &pct(zeros as f64 / total as f64)]);
     }
     t.print();
     println!("\n  (narrower slices expose more zero slices but need more passes;");

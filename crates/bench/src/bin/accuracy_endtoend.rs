@@ -19,12 +19,17 @@ fn main() {
     ]);
     for candidates in [16usize, 8, 4, 2, 1] {
         let sbr = classification_agreement(5, &net, 120, 64, SliceRepr::Signed, candidates);
-        let conv =
-            classification_agreement(5, &net, 120, 64, SliceRepr::Conventional, candidates);
+        let conv = classification_agreement(5, &net, 120, 64, SliceRepr::Conventional, candidates);
         let (wp_sbr, _) = pooling_error_stats(5, &net, 25, 64, SliceRepr::Signed, candidates);
         let (wp_conv, _) =
             pooling_error_stats(5, &net, 25, 64, SliceRepr::Conventional, candidates);
-        t.row(&[&candidates, &pct(sbr), &pct(conv), &pct(wp_sbr), &pct(wp_conv)]);
+        t.row(&[
+            &candidates,
+            &pct(sbr),
+            &pct(conv),
+            &pct(wp_sbr),
+            &pct(wp_conv),
+        ]);
     }
     t.print();
     println!("\n(wrong-pool = a pooled feature missed its true maximum: the SBR's");

@@ -1,0 +1,85 @@
+//! End-to-end engine benchmark: the fig. 10 dense sweep run twice —
+//! once as a serial, uncached per-cell walk (the pre-optimization engine
+//! shape) and once as a single grid on the parallel worker pool with a
+//! shared decomposition cache. Asserts both produce identical results,
+//! then writes the wall-clock comparison to `BENCH_sim.json`.
+//!
+//! Methodology: one discarded warmup pass faults in code pages and
+//! allocator arenas, then each engine is timed `RUNS` times and the best
+//! time is reported (shared machines make single-shot timings noisy).
+
+use std::time::Instant;
+
+use sibia::prelude::*;
+
+const RUNS: usize = 2;
+
+fn main() {
+    let archs = [
+        ArchSpec::bit_fusion(),
+        ArchSpec::hnpu(),
+        ArchSpec::sibia_no_sbr(),
+        ArchSpec::sibia_input_skip(),
+        ArchSpec::sibia_hybrid(),
+    ];
+    let nets = zoo::dense_benchmarks();
+    let sim = Simulator::new(1);
+    let cells = archs.len() * nets.len();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("bench_sim: fig10 dense sweep, {cells} cells, {threads} threads, best of {RUNS}");
+
+    // Warmup (discarded).
+    let _ = ParallelEngine::new().simulate_grid(&sim, &archs, &nets, &[1]);
+
+    // Serial reference: one cell at a time, no shared cache — every cell
+    // re-synthesizes and re-decomposes its layers.
+    let mut serial = Vec::new();
+    let mut serial_ms = f64::INFINITY;
+    for run in 0..RUNS {
+        let t = Instant::now();
+        let mut out = Vec::with_capacity(cells);
+        for arch in &archs {
+            for net in &nets {
+                out.push(sim.simulate_network(arch, net));
+            }
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("  serial uncached (run {run}): {ms:.1} ms");
+        serial_ms = serial_ms.min(ms);
+        serial = out;
+    }
+
+    // Optimized engine: one grid over the worker pool.
+    let mut grid_ms = f64::INFINITY;
+    let mut grid = None;
+    for run in 0..RUNS {
+        let t = Instant::now();
+        let g = ParallelEngine::new().simulate_grid(&sim, &archs, &nets, &[1]);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("  parallel grid   (run {run}): {ms:.1} ms");
+        grid_ms = grid_ms.min(ms);
+        grid = Some(g);
+    }
+    let grid = grid.expect("RUNS >= 1");
+
+    // The optimization must not change a single bit of any result.
+    let mut it = serial.iter();
+    for (ai, _) in archs.iter().enumerate() {
+        for (ni, _) in nets.iter().enumerate() {
+            assert_eq!(grid.get(ai, ni, 0), it.next().unwrap(), "cell ({ai},{ni})");
+        }
+    }
+    println!("  results identical across engines");
+
+    let speedup = serial_ms / grid_ms;
+    println!("  speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig10_dense_sweep\",\n  \"cells\": {cells},\n  \
+         \"threads\": {threads},\n  \"serial_ms\": {serial_ms:.1},\n  \
+         \"grid_ms\": {grid_ms:.1},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("  wrote BENCH_sim.json");
+}

@@ -9,8 +9,18 @@ fn main() {
     header("chip", "quad-core MPU workload partitioning (Fig. 4)");
     println!("output channels partitioned across cores; inputs multicast from the");
     println!("DMU over the 3x2 top-level mesh, weights unicast per core\n");
-    let mut t = Table::new(&["network", "cores", "speedup", "efficiency", "NoC Mflit-hops"]);
-    for net in [zoo::resnet18(), zoo::albert(zoo::GlueTask::Qqp), zoo::dgcnn()] {
+    let mut t = Table::new(&[
+        "network",
+        "cores",
+        "speedup",
+        "efficiency",
+        "NoC Mflit-hops",
+    ]);
+    for net in [
+        zoo::resnet18(),
+        zoo::albert(zoo::GlueTask::Qqp),
+        zoo::dgcnn(),
+    ] {
         for cores in [1usize, 2, 4] {
             let mut chip = ChipSim::sibia();
             chip.cores = cores;

@@ -7,7 +7,10 @@ use sibia::sim::detailed::{validate_against_analytic, DetailedSim};
 use sibia_bench::{header, pct, Table};
 
 fn main() {
-    header("xval", "mechanism-level vs analytic simulator cross-validation");
+    header(
+        "xval",
+        "mechanism-level vs analytic simulator cross-validation",
+    );
     println!("per-pass cycles of the buffered-pipeline model vs the analytic count\n");
     let mut t = Table::new(&[
         "layer",
@@ -17,7 +20,11 @@ fn main() {
         "analytic cycles",
     ]);
     let sim = DetailedSim::sibia();
-    let nets = [zoo::albert(zoo::GlueTask::Qqp), zoo::resnet18(), zoo::dgcnn()];
+    let nets = [
+        zoo::albert(zoo::GlueTask::Qqp),
+        zoo::resnet18(),
+        zoo::dgcnn(),
+    ];
     let mut worst_overall: f64 = 0.0;
     for net in &nets {
         let mut src = SynthSource::new(1);

@@ -9,7 +9,10 @@ use sibia::speculate::scenario::MaxPoolScenario;
 use sibia_bench::{header, pct, section, Table};
 
 fn main() {
-    header("fig02", "balanced signed slices enable accurate speculation");
+    header(
+        "fig02",
+        "balanced signed slices enable accurate speculation",
+    );
 
     section("worked example (paper Fig. 2)");
     let p = Precision::BITS7;
@@ -17,7 +20,10 @@ fn main() {
     let spec_conv = Speculator::new(SliceRepr::Conventional, 1, 1);
     let xs = [-25, 25];
     let ws = [25, 25];
-    println!("  true result of (-25)(25) + (25)(25) = {}", Speculator::exact_dot(&xs, &ws));
+    println!(
+        "  true result of (-25)(25) + (25)(25) = {}",
+        Speculator::exact_dot(&xs, &ws)
+    );
     println!(
         "  conventional speculation (high slices -4, +3): {}",
         spec_conv.speculate_dot(&xs, &ws, p, p)
@@ -33,7 +39,11 @@ fn main() {
         let sc = MaxPoolScenario::votenet_32to1(candidates);
         let sbr = sc.run(SliceRepr::Signed);
         let conv = sc.run(SliceRepr::Conventional);
-        let paper = if candidates == 4 { "~95% vs 80.1%" } else { "—" };
+        let paper = if candidates == 4 {
+            "~95% vs 80.1%"
+        } else {
+            "—"
+        };
         t.row(&[
             &candidates,
             &pct(sbr.success_rate),

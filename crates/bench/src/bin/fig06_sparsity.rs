@@ -20,7 +20,10 @@ fn paper_gains(net: &str) -> Option<(f64, f64, f64, f64)> {
 }
 
 fn main() {
-    header("fig06", "full-bit-width vs conventional vs signed slice sparsity");
+    header(
+        "fig06",
+        "full-bit-width vs conventional vs signed slice sparsity",
+    );
     println!("MAC-weighted averages over all layers, seed 1, 16384 samples per tensor\n");
 
     let mut t = Table::new(&[
@@ -85,5 +88,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(gains are signed-slice sparsity over full-bit-width and over conventional slices)");
+    println!(
+        "\n(gains are signed-slice sparsity over full-bit-width and over conventional slices)"
+    );
 }

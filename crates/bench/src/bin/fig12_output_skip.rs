@@ -9,7 +9,10 @@ use sibia::speculate::SliceRepr;
 use sibia_bench::{header, pct, section, Table};
 
 fn main() {
-    header("fig12", "output skipping over hybrid skipping vs candidates");
+    header(
+        "fig12",
+        "output skipping over hybrid skipping vs candidates",
+    );
 
     section("throughput over hybrid skipping");
     // Transformer output speculation propagates: once the softmax
@@ -20,24 +23,42 @@ fn main() {
     let mut t = Table::new(&["network", "cand", "speedup over hybrid", "paper"]);
     enum Prop {
         None,
-        Cascade { prefix: usize, blocks: usize, per_block: usize },
+        Cascade {
+            prefix: usize,
+            blocks: usize,
+            per_block: usize,
+        },
     }
     let cases: [(&str, Network, &[usize], Prop, &str); 4] = [
         (
             "Albert (MNLI)",
             zoo::albert(GlueTask::Mnli),
             &[1],
-            Prop::Cascade { prefix: 0, blocks: 12, per_block: 8 },
+            Prop::Cascade {
+                prefix: 0,
+                blocks: 12,
+                per_block: 8,
+            },
             "1.15x @1",
         ),
         (
             "ViT",
             zoo::vit(),
             &[64, 32],
-            Prop::Cascade { prefix: 1, blocks: 12, per_block: 8 },
+            Prop::Cascade {
+                prefix: 1,
+                blocks: 12,
+                per_block: 8,
+            },
             "1.84x @32",
         ),
-        ("VoteNet", zoo::votenet(), &[16, 8, 4], Prop::None, "1.27x @4"),
+        (
+            "VoteNet",
+            zoo::votenet(),
+            &[16, 8, 4],
+            Prop::None,
+            "1.27x @4",
+        ),
         ("DGCNN", zoo::dgcnn(), &[16, 8, 4], Prop::None, "1.25x @4"),
     ];
     for (name, net, candidates, prop, paper) in cases {
@@ -45,7 +66,11 @@ fn main() {
         for &c in candidates {
             let acc = Accelerator::sibia_output_skip(c).with_seed(1);
             let out = match prop {
-                Prop::Cascade { prefix, blocks, per_block } => {
+                Prop::Cascade {
+                    prefix,
+                    blocks,
+                    per_block,
+                } => {
                     let pruning = if name.starts_with("Albert") {
                         TokenPruning::albert()
                     } else {

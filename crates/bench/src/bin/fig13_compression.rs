@@ -8,7 +8,7 @@ use sibia_bench::{header, Table};
 fn paper_hybrid(net: &str) -> f64 {
     match net {
         n if n.starts_with("Albert") => 1.31,
-        "ViT" => 1.32,  // paper: RLE already reaches 1.32 on ViT
+        "ViT" => 1.32, // paper: RLE already reaches 1.32 on ViT
         "YoloV3" => 1.57,
         "MonoDepth2" => 1.54,
         "DGCNN" => 1.15,
@@ -38,11 +38,8 @@ fn main() {
             .iter()
             .enumerate()
             {
-                let r = CompressionReport::analyze(
-                    acts.codes().data(),
-                    layer.input_precision(),
-                    *mode,
-                );
+                let r =
+                    CompressionReport::analyze(acts.codes().data(), layer.input_precision(), *mode);
                 ratios[i] += w * r.ratio();
             }
             total += w;

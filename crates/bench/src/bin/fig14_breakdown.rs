@@ -15,12 +15,20 @@ fn main() {
     t.row(&[&"on-chip SRAM", &pct(sram), &"33.4%"]);
     t.row(&[&"control + compute logic", &pct(logic), &"24.2%"]);
     t.print();
-    println!("  total core area: {:.3} mm2 (paper 1.069, Fig. 9 layout 1.024 x 1.043 mm)", area.total_mm2());
+    println!(
+        "  total core area: {:.3} mm2 (paper 1.069, Fig. 9 layout 1.024 x 1.043 mm)",
+        area.total_mm2()
+    );
 
     section("energy breakdown over the benchmark mix");
     // The paper's breakdown is over its benchmark suite; average the
     // conv-dominated benchmarks (AlexNet's FC weights would skew DRAM).
-    let nets = [zoo::resnet18(), zoo::yolov3(), zoo::dgcnn(), zoo::monodepth2()];
+    let nets = [
+        zoo::resnet18(),
+        zoo::yolov3(),
+        zoo::dgcnn(),
+        zoo::monodepth2(),
+    ];
     let mut sums = [0.0f64; 6];
     for net in &nets {
         let r = Accelerator::sibia().with_seed(1).run_network(net);

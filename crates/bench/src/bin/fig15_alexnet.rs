@@ -13,7 +13,10 @@ use sibia::sim::spec::ArchSpec;
 use sibia_bench::{header, Table};
 
 fn main() {
-    header("fig15", "per-layer energy on AlexNet (65nm-class comparison)");
+    header(
+        "fig15",
+        "per-layer energy on AlexNet (65nm-class comparison)",
+    );
     let net = zoo::alexnet();
     let sibia = Accelerator::from_spec(ArchSpec::sibia_hybrid())
         .with_seed(1)
@@ -41,12 +44,11 @@ fn main() {
         let sibia_mem_uj = memory_pj * mem_share / 1e6;
         let sibia_uj = datapath_pj * mac_share / 1e6 + sibia_mem_uj;
         let comp_mem_uj = sibia_mem_uj * MEM_FACTOR;
-        let s2ta_uj =
-            s2ta.layer_energy_mj(layer.macs(), layer.input_sparsity(), PRUNED_W) * 1e3
-                + comp_mem_uj;
-        let sparten_uj =
-            sparten.layer_energy_mj(layer.macs(), layer.input_sparsity(), PRUNED_W) * 1e3
-                + comp_mem_uj * 1.6; // 45 nm node: higher per-bit memory energy
+        let s2ta_uj = s2ta.layer_energy_mj(layer.macs(), layer.input_sparsity(), PRUNED_W) * 1e3
+            + comp_mem_uj;
+        let sparten_uj = sparten.layer_energy_mj(layer.macs(), layer.input_sparsity(), PRUNED_W)
+            * 1e3
+            + comp_mem_uj * 1.6; // 45 nm node: higher per-bit memory energy
         tot[0] += sibia_uj;
         tot[1] += s2ta_uj;
         tot[2] += sparten_uj;

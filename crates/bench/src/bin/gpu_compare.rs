@@ -15,7 +15,13 @@ fn main() {
     let sibia = Accelerator::from_spec(spec).with_seed(1).run_network(&net);
     let macs = net.total_macs();
 
-    let mut t = Table::new(&["device", "time ms", "TOPS/W", "vs Sibia time", "vs Sibia eff"]);
+    let mut t = Table::new(&[
+        "device",
+        "time ms",
+        "TOPS/W",
+        "vs Sibia time",
+        "vs Sibia eff",
+    ]);
     t.row(&[
         &"Sibia (quad-core MPU)",
         &format!("{:.2}", sibia.time_s() * 1e3),
@@ -24,8 +30,16 @@ fn main() {
         &"1.00x",
     ]);
     for (gpu, paper_time, paper_eff) in [
-        (Gpu::rtx_2080_ti(), "paper: GPU 4.3x faster", "paper: Sibia 144.9x"),
-        (Gpu::adreno_650(), "paper: Sibia 7.8x faster", "paper: Sibia 97.7x"),
+        (
+            Gpu::rtx_2080_ti(),
+            "paper: GPU 4.3x faster",
+            "paper: Sibia 144.9x",
+        ),
+        (
+            Gpu::adreno_650(),
+            "paper: Sibia 7.8x faster",
+            "paper: Sibia 97.7x",
+        ),
     ] {
         let time_ratio = sibia.time_s() / gpu.time_s(macs);
         let eff_ratio = sibia.efficiency_tops_w() / gpu.efficiency_tops_w(macs);

@@ -11,16 +11,34 @@ fn main() {
     let noc = BiNoc::sibia();
     let bits = 4 * 1024 * 8;
     let mut t = Table::new(&["cast mode", "flit-hops"]);
-    t.row(&[&"unicast (per-PE data)", &noc.flit_hops(bits, 12, CastMode::Unicast)]);
-    t.row(&[&"multicast (column-shared)", &noc.flit_hops(bits, 12, CastMode::Multicast)]);
-    t.row(&[&"broadcast (input reuse)", &noc.flit_hops(bits, 12, CastMode::Broadcast)]);
+    t.row(&[
+        &"unicast (per-PE data)",
+        &noc.flit_hops(bits, 12, CastMode::Unicast),
+    ]);
+    t.row(&[
+        &"multicast (column-shared)",
+        &noc.flit_hops(bits, 12, CastMode::Multicast),
+    ]);
+    t.row(&[
+        &"broadcast (input reuse)",
+        &noc.flit_hops(bits, 12, CastMode::Broadcast),
+    ]);
     t.print();
 
     section("Uni-NoC: partial-sum bandwidth across the accumulation chain");
     let uni = UniNoc::sibia();
-    println!("  chain length {} accumulation units, {}-bit shifted partial sums", uni.chain_len, uni.psum_bits);
-    println!("  without shift (HNPU scheme): {} bits per output chain", uni.bits_without_shift());
-    println!("  with shift-by-3 (Sibia):     {} bits per output chain", uni.bits_with_shift());
+    println!(
+        "  chain length {} accumulation units, {}-bit shifted partial sums",
+        uni.chain_len, uni.psum_bits
+    );
+    println!(
+        "  without shift (HNPU scheme): {} bits per output chain",
+        uni.bits_without_shift()
+    );
+    println!(
+        "  with shift-by-3 (Sibia):     {} bits per output chain",
+        uni.bits_with_shift()
+    );
     println!(
         "  bandwidth saving: {:.1}% (paper 40%)",
         uni.bandwidth_saving() * 100.0

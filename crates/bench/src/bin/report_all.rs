@@ -15,12 +15,24 @@ fn main() -> std::io::Result<()> {
     let mut md = String::new();
     let w = &mut md;
     writeln!(w, "# Sibia reproduction — headline results\n").unwrap();
-    writeln!(w, "Regenerate with `cargo run -p sibia-bench --bin report_all --release`.").unwrap();
-    writeln!(w, "All runs seeded (seed 1); see EXPERIMENTS.md for methodology.\n").unwrap();
+    writeln!(
+        w,
+        "Regenerate with `cargo run -p sibia-bench --bin report_all --release`."
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "All runs seeded (seed 1); see EXPERIMENTS.md for methodology.\n"
+    )
+    .unwrap();
 
     // ── Speedups (Fig. 10 / 11) ─────────────────────────────────────────
     writeln!(w, "## Speedup over Bit-fusion (Fig. 10 / Fig. 11)\n").unwrap();
-    writeln!(w, "| network | HNPU | Sibia w/o SBR | input skip | hybrid | paper hybrid |").unwrap();
+    writeln!(
+        w,
+        "| network | HNPU | Sibia w/o SBR | input skip | hybrid | paper hybrid |"
+    )
+    .unwrap();
     writeln!(w, "|---|---|---|---|---|---|").unwrap();
     let paper = |n: &str| match n {
         "Albert (SST-2)" => 4.50,
@@ -81,7 +93,12 @@ fn main() -> std::io::Result<()> {
         "ViT" => 1.32,
         _ => f64::NAN,
     };
-    for net in [zoo::albert(GlueTask::Qqp), zoo::yolov3(), zoo::monodepth2(), zoo::dgcnn()] {
+    for net in [
+        zoo::albert(GlueTask::Qqp),
+        zoo::yolov3(),
+        zoo::monodepth2(),
+        zoo::dgcnn(),
+    ] {
         let mut src = SynthSource::new(1);
         let mut ratio = 0.0;
         let mut total = 0.0;

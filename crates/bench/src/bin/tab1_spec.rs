@@ -17,18 +17,19 @@ fn peak_workload() -> Network {
                 .with_input_sparsity(0.25)
         })
         .collect();
-    Network::new("peak-7bit", TaskDomain::Language, DensityClass::Dense, layers)
+    Network::new(
+        "peak-7bit",
+        TaskDomain::Language,
+        DensityClass::Dense,
+        layers,
+    )
 }
 
 fn main() {
     header("tab1", "spec comparison among bit-slice accelerator cores");
     let area_model = AreaModel::default();
     let net = peak_workload();
-    let sim = |spec: ArchSpec| {
-        Accelerator::from_spec(spec)
-            .with_seed(1)
-            .run_network(&net)
-    };
+    let sim = |spec: ArchSpec| Accelerator::from_spec(spec).with_seed(1).run_network(&net);
     let specs = [
         (ArchSpec::bit_fusion(), (0.746, 144.0, 73.3, 1.97, 192.9)),
         (ArchSpec::hnpu(), (1.125, 309.6, 131.3, 2.36, 275.2)),

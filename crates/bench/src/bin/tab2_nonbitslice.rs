@@ -19,7 +19,12 @@ fn workload(sparsity: f64) -> Network {
                 .with_input_sparsity(sparsity)
         })
         .collect();
-    Network::new("tab2-workload", TaskDomain::Vision2d, DensityClass::Sparse, layers)
+    Network::new(
+        "tab2-workload",
+        TaskDomain::Vision2d,
+        DensityClass::Sparse,
+        layers,
+    )
 }
 
 /// Sibia rescaled to 65 nm / 500 MHz / 4 MPU cores (6144 INT4 MACs).
@@ -39,7 +44,9 @@ fn main() {
     let sparten = AnalyticAccel::sparten();
     let s2ta = AnalyticAccel::s2ta();
     let (spec, sim) = sibia_65nm();
-    let area = AreaModel::new(TechNode::generic_65nm()).core(&spec.core).total_mm2();
+    let area = AreaModel::new(TechNode::generic_65nm())
+        .core(&spec.core)
+        .total_mm2();
 
     let mut t = Table::new(&[
         "accelerator",

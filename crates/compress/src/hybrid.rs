@@ -133,11 +133,15 @@ mod tests {
                 let h = (i / 4).wrapping_mul(2_654_435_761) >> 7;
                 let e = i.wrapping_mul(40_503) >> 3;
                 match h % 100 {
-                    0..=19 => 0,                                   // zero region
-                    20..=84 => (e % 15) as i32 - 7,                // near-zero (both signs)
+                    0..=19 => 0,                    // zero region
+                    20..=84 => (e % 15) as i32 - 7, // near-zero (both signs)
                     _ => {
-                        let m = ((e % 55) + 8) as i32;             // salient
-                        if e % 2 == 0 { m } else { -m }
+                        let m = ((e % 55) + 8) as i32; // salient
+                        if e % 2 == 0 {
+                            m
+                        } else {
+                            -m
+                        }
                     }
                 }
             })

@@ -384,8 +384,14 @@ mod tests {
         }
         let four_bit = rle_size_bits(&zero_slices, 4, 4);
         let overhead = four_bit as f64 / eight_bit as f64;
-        assert!(overhead > 1.0, "4-bit compression should be larger, got {overhead}");
-        assert!(overhead < 1.6, "overhead should be moderate, got {overhead}");
+        assert!(
+            overhead > 1.0,
+            "4-bit compression should be larger, got {overhead}"
+        );
+        assert!(
+            overhead < 1.6,
+            "overhead should be moderate, got {overhead}"
+        );
     }
 
     #[test]
@@ -429,5 +435,35 @@ mod tests {
         assert!(stream.serialize().is_empty());
         let back = RleStream::deserialize(&[], 4, 0);
         assert_eq!(back.decompress(), Vec::<SubWord>::new());
+    }
+
+    #[test]
+    fn packed_plane_rle_count_matches_codec() {
+        // The simulator's SWAR fast path must stay bit-exact with this
+        // codec: same entry count, same size accounting, for every index
+        // width and sparsity pattern.
+        use sibia_sbr::packed::PackedPlane;
+        use sibia_sbr::subword::to_subwords;
+        let mut x = 0xDEADBEEFu64;
+        for len in [0usize, 1, 4, 15, 16, 17, 64, 257, 1000] {
+            for zeros_in_10 in [0u64, 3, 8, 9, 10] {
+                let mut plane = Vec::with_capacity(len);
+                for _ in 0..len {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let zero = (x >> 20) % 10 < zeros_in_10;
+                    plane.push(if zero { 0 } else { ((x >> 40) % 7 + 1) as i8 });
+                }
+                let packed = PackedPlane::pack(&plane);
+                for bits in [1u8, 2, 4, 8] {
+                    let stream = RleCodec::new(bits).compress(&to_subwords(&plane));
+                    assert_eq!(
+                        packed.rle_entry_count(bits),
+                        stream.entries().len(),
+                        "len={len} zeros={zeros_in_10} bits={bits}"
+                    );
+                    assert_eq!(packed.rle_size_bits(bits), stream.size_bits());
+                }
+            }
+        }
     }
 }

@@ -82,8 +82,14 @@ fn main() -> ExitCode {
             }
             let sbr = SbrSlices::encode(value, p);
             println!("value {value} at {p}:");
-            println!("  signed bit-slices (SBR): {sbr}   zero slices: {}", sbr.zero_slices());
-            println!("  conventional container:  {}", ConvSlices::encode(value, p));
+            println!(
+                "  signed bit-slices (SBR): {sbr}   zero slices: {}",
+                sbr.zero_slices()
+            );
+            println!(
+                "  conventional container:  {}",
+                ConvSlices::encode(value, p)
+            );
             println!("  MSB-aligned radix-8:     {}", MsbSlices::encode(value, p));
             ExitCode::SUCCESS
         }
@@ -133,7 +139,9 @@ fn main() -> ExitCode {
             let seed = flag_value(&args, "--seed")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1);
-            let r = Accelerator::from_spec(arch).with_seed(seed).run_network(&net);
+            let r = Accelerator::from_spec(arch)
+                .with_seed(seed)
+                .run_network(&net);
             println!("{r}");
             println!("\nbusiest layers:");
             let mut layers: Vec<_> = r.layers.iter().collect();
@@ -169,7 +177,9 @@ fn main() -> ExitCode {
                 ArchSpec::sibia_input_skip(),
                 ArchSpec::sibia_hybrid(),
             ] {
-                let r = Accelerator::from_spec(arch).with_seed(seed).run_network(&net);
+                let r = Accelerator::from_spec(arch)
+                    .with_seed(seed)
+                    .run_network(&net);
                 println!(
                     "{:<18} {:>10.2} {:>10.1} {:>9.2} {:>8.2}x",
                     r.arch,

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use sibia_sbr::stats::SparsityReport;
     pub use sibia_sbr::{ConvSlices, Precision, Quantizer, SbrSlices};
     pub use sibia_sim::perf::NetworkResult;
-    pub use sibia_sim::{ArchSpec, PeSim, Simulator};
+    pub use sibia_sim::{ArchSpec, DecompCache, GridResult, ParallelEngine, PeSim, Simulator};
     pub use sibia_speculate::{PoolConfig, SliceRepr, Speculator};
 }
 

@@ -8,8 +8,7 @@
 use std::fmt;
 
 /// An elementwise activation function.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Activation {
     /// No activation (e.g. projection layers).
     #[default]
@@ -77,7 +76,6 @@ impl Activation {
         matches!(self, Activation::Relu)
     }
 }
-
 
 impl fmt::Display for Activation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

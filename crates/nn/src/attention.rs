@@ -134,9 +134,7 @@ impl AttentionBlock {
         // Softmax per row in real space, then quantize the probabilities
         // (the paper runs attention at 7-bit).
         let mut probs = Vec::with_capacity(scores.len());
-        let scale = (self.head_dim as f32).sqrt()
-            * q.quantizer().scale()
-            * k.quantizer().scale();
+        let scale = (self.head_dim as f32).sqrt() * q.quantizer().scale() * k.quantizer().scale();
         for row in scores.data().chunks(self.seq) {
             let logits: Vec<f32> = row.iter().map(|&v| v as f32 * scale / 64.0).collect();
             let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
@@ -215,10 +213,7 @@ mod tests {
     fn attention_is_deterministic() {
         let (b1, x1) = block();
         let (b2, x2) = block();
-        assert_eq!(
-            b1.forward(&x1).output.data(),
-            b2.forward(&x2).output.data()
-        );
+        assert_eq!(b1.forward(&x1).output.data(), b2.forward(&x2).output.data());
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! simulator in `sibia-sim` is proven equal to these reference operators,
 //! so agreement here transfers to the datapath.
 
-
 use sibia_tensor::ops::{self, Conv2dParams};
 use sibia_tensor::{QuantTensor, Shape, Tensor};
 
@@ -232,10 +231,7 @@ mod tests {
         let x = input(&mut src, 64);
         let got = ex.forward(&x);
         let xm = Tensor::from_vec(x.codes().data().to_vec(), Shape::new(&[4, 16]));
-        let wm = Tensor::from_vec(
-            ex.weights.codes().data().to_vec(),
-            Shape::new(&[16, 8]),
-        );
+        let wm = Tensor::from_vec(ex.weights.codes().data().to_vec(), Shape::new(&[16, 8]));
         assert_eq!(got.data(), ops::matmul(&xm, &wm).data());
     }
 }

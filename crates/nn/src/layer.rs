@@ -206,9 +206,14 @@ impl Layer {
         input_hw: usize,
         groups: usize,
     ) -> Self {
-        assert!(groups > 0 && in_ch % groups == 0 && out_ch % groups == 0,
-            "groups ({groups}) must divide in_ch ({in_ch}) and out_ch ({out_ch})");
-        assert!(kernel <= input_hw + 2 * padding, "kernel must fit padded input");
+        assert!(
+            groups > 0 && in_ch % groups == 0 && out_ch % groups == 0,
+            "groups ({groups}) must divide in_ch ({in_ch}) and out_ch ({out_ch})"
+        );
+        assert!(
+            kernel <= input_hw + 2 * padding,
+            "kernel must fit padded input"
+        );
         assert!(stride > 0, "stride must be positive");
         Self::new(
             name,

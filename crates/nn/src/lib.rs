@@ -20,6 +20,7 @@ pub mod attention;
 pub mod exec;
 pub mod layer;
 pub mod network;
+pub mod rng;
 pub mod synth;
 pub mod zoo;
 

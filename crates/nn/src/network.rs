@@ -39,12 +39,7 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `layers` is empty.
-    pub fn new(
-        name: &str,
-        domain: TaskDomain,
-        density: DensityClass,
-        layers: Vec<Layer>,
-    ) -> Self {
+    pub fn new(name: &str, domain: TaskDomain, density: DensityClass, layers: Vec<Layer>) -> Self {
         assert!(!layers.is_empty(), "a network needs at least one layer");
         Self {
             name: name.to_owned(),

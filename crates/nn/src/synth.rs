@@ -16,13 +16,12 @@
 //!
 //! All generation is seeded and deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sibia_sbr::Precision;
 use sibia_tensor::{QuantTensor, Shape};
 
 use crate::activation::Activation;
 use crate::layer::Layer;
+use crate::rng::SynthRng;
 
 /// Statistical profile of a layer's input tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -52,7 +51,7 @@ pub enum InputProfile {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SynthSource {
-    rng: StdRng,
+    rng: SynthRng,
 }
 
 /// Probability that an activation is an outlier (salient feature).
@@ -113,7 +112,19 @@ impl SynthSource {
     /// Creates a source with a fixed seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SynthRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a source whose stream is derived from `(seed, layer_index)`.
+    ///
+    /// Each layer gets a statistically independent stream that depends only
+    /// on the pair — not on how many values earlier layers consumed — so a
+    /// network's layers can be synthesized in any order (or concurrently)
+    /// and produce tensors bit-identical to a serial walk.
+    pub fn for_layer(seed: u64, layer_index: usize) -> Self {
+        Self {
+            rng: SynthRng::for_stream(seed, layer_index as u64),
         }
     }
 
@@ -247,8 +258,11 @@ impl SynthSource {
                                 break;
                             }
                             if codes[i] == 0 {
-                                let sign =
-                                    if nonneg || self.rng.gen_bool(0.5) { 1 } else { -1 };
+                                let sign = if nonneg || self.rng.gen_bool(0.5) {
+                                    1
+                                } else {
+                                    -1
+                                };
                                 codes[i] = sign;
                                 excess -= 1;
                             }
@@ -397,7 +411,10 @@ impl SynthSource {
 /// Inverse standard-normal CDF (Acklam's rational approximation,
 /// |ε| < 1.15e-9 over (0, 1)).
 fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p) && p > 0.0 && p < 1.0, "p must be in (0,1)");
+    assert!(
+        (0.0..=1.0).contains(&p) && p > 0.0 && p < 1.0,
+        "p must be in (0,1)"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -498,24 +515,14 @@ mod tests {
 
     #[test]
     fn attention_probs_are_a_distribution() {
-        let layer = Layer::linear("av", 64, 64, 64).with_precisions(
-            Precision::BITS7,
-            Precision::BITS7,
-        );
-        let acts = SynthSource::new(4).activations_with_profile(
-            &layer,
-            4096,
-            InputProfile::AttentionProb,
-        );
+        let layer =
+            Layer::linear("av", 64, 64, 64).with_precisions(Precision::BITS7, Precision::BITS7);
+        let acts =
+            SynthSource::new(4).activations_with_profile(&layer, 4096, InputProfile::AttentionProb);
         let deq = acts.dequantize();
         assert!(deq.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
         // Softmax rows concentrate near zero → lots of near-zero codes.
-        let near_zero = acts
-            .codes()
-            .data()
-            .iter()
-            .filter(|&&c| c.abs() < 8)
-            .count() as f64
+        let near_zero = acts.codes().data().iter().filter(|&&c| c.abs() < 8).count() as f64
             / acts.codes().len() as f64;
         assert!(near_zero > 0.7, "got {near_zero}");
     }

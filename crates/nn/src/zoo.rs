@@ -170,7 +170,12 @@ impl TransformerBuilder {
                 self.sparsity,
             ));
         }
-        Network::new(&self.name, TaskDomain::Language, DensityClass::Dense, layers)
+        Network::new(
+            &self.name,
+            TaskDomain::Language,
+            DensityClass::Dense,
+            layers,
+        )
     }
 }
 
@@ -379,10 +384,18 @@ fn resnet18_trunk(prec: Precision, sparsity: f64, input_hw: usize) -> Vec<Layer>
             );
             if b == 0 && in_ch != ch {
                 layers.push(
-                    Layer::conv2d(&format!("layer{si}.0.down"), in_ch, ch, 1, first_stride, 0, hw)
-                        .with_precisions(prec, prec)
-                        .with_activation(act)
-                        .with_input_sparsity(sparsity),
+                    Layer::conv2d(
+                        &format!("layer{si}.0.down"),
+                        in_ch,
+                        ch,
+                        1,
+                        first_stride,
+                        0,
+                        hw,
+                    )
+                    .with_precisions(prec, prec)
+                    .with_activation(act)
+                    .with_input_sparsity(sparsity),
                 );
             }
             in_ch = ch;
@@ -400,7 +413,12 @@ pub fn resnet18() -> Network {
             .with_activation(Activation::Relu)
             .with_input_sparsity(0.531),
     );
-    Network::new("ResNet-18", TaskDomain::Vision2d, DensityClass::Sparse, layers)
+    Network::new(
+        "ResNet-18",
+        TaskDomain::Vision2d,
+        DensityClass::Sparse,
+        layers,
+    )
 }
 
 /// MonoDepth2: ResNet-18 encoder (ReLU, 7-bit, 57.3 % sparsity) plus a dense
@@ -519,10 +537,19 @@ pub fn mobilenet_v2() -> Network {
                 );
             }
             layers.push(
-                Layer::grouped_conv2d(&format!("{name}.dw"), hidden, hidden, 3, stride, 1, hw, hidden)
-                    .with_precisions(P, P)
-                    .with_activation(act)
-                    .with_input_sparsity(S),
+                Layer::grouped_conv2d(
+                    &format!("{name}.dw"),
+                    hidden,
+                    hidden,
+                    3,
+                    stride,
+                    1,
+                    hw,
+                    hidden,
+                )
+                .with_precisions(P, P)
+                .with_activation(act)
+                .with_input_sparsity(S),
             );
             hw = (hw + 2 - 3) / stride + 1;
             layers.push(
@@ -570,10 +597,38 @@ pub fn votenet() -> Network {
         dram_fraction: f64,
     }
     let sas = [
-        Sa { name: "sa1", centroids: 2048, group: 64, in_features: 3, mlp: [64, 64, 128], dram_fraction: 0.15 },
-        Sa { name: "sa2", centroids: 1024, group: 32, in_features: 131, mlp: [128, 128, 256], dram_fraction: 1.0 / 16.0 },
-        Sa { name: "sa3", centroids: 512, group: 16, in_features: 259, mlp: [128, 128, 256], dram_fraction: 1.0 / 8.0 },
-        Sa { name: "sa4", centroids: 256, group: 16, in_features: 259, mlp: [128, 128, 256], dram_fraction: 1.0 / 8.0 },
+        Sa {
+            name: "sa1",
+            centroids: 2048,
+            group: 64,
+            in_features: 3,
+            mlp: [64, 64, 128],
+            dram_fraction: 0.15,
+        },
+        Sa {
+            name: "sa2",
+            centroids: 1024,
+            group: 32,
+            in_features: 131,
+            mlp: [128, 128, 256],
+            dram_fraction: 1.0 / 16.0,
+        },
+        Sa {
+            name: "sa3",
+            centroids: 512,
+            group: 16,
+            in_features: 259,
+            mlp: [128, 128, 256],
+            dram_fraction: 1.0 / 8.0,
+        },
+        Sa {
+            name: "sa4",
+            centroids: 256,
+            group: 16,
+            in_features: 259,
+            mlp: [128, 128, 256],
+            dram_fraction: 1.0 / 8.0,
+        },
     ];
     let mut layers = Vec::new();
     for sa in &sas {
@@ -657,7 +712,12 @@ pub fn alexnet() -> Network {
             .with_activation(act)
             .with_input_sparsity(0.6),
     ];
-    Network::new("AlexNet", TaskDomain::Vision2d, DensityClass::Sparse, layers)
+    Network::new(
+        "AlexNet",
+        TaskDomain::Vision2d,
+        DensityClass::Sparse,
+        layers,
+    )
 }
 
 /// Looks up a benchmark network by its CLI-friendly name.
@@ -763,7 +823,11 @@ mod tests {
         let n = albert(GlueTask::Mnli);
         assert_eq!(n.layers().len(), 12 * 8);
         // Linear layers use 10/13-bit, attention 7-bit.
-        let ffn = n.layers().iter().find(|l| l.name() == "block0.ffn1").unwrap();
+        let ffn = n
+            .layers()
+            .iter()
+            .find(|l| l.name() == "block0.ffn1")
+            .unwrap();
         assert_eq!(ffn.input_precision(), Precision::BITS10);
         assert_eq!(ffn.weight_precision(), Precision::BITS13);
         let qk = n.layers().iter().find(|l| l.name() == "block0.qk").unwrap();
@@ -812,7 +876,11 @@ mod tests {
         assert!(enc_relu >= 16);
         assert_eq!(dec_elu, 11);
         // Decoder uses 10-bit inputs with 7-bit weights.
-        let dec = n.layers().iter().find(|l| l.name() == "dec0.upconv").unwrap();
+        let dec = n
+            .layers()
+            .iter()
+            .find(|l| l.name() == "dec0.upconv")
+            .unwrap();
         assert_eq!(dec.input_precision(), Precision::BITS10);
         assert_eq!(dec.weight_precision(), Precision::BITS7);
     }

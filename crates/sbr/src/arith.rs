@@ -67,10 +67,7 @@ impl SliceVector {
 
     /// Integer value `Σ d_i · 8^i`.
     pub fn to_value(&self) -> i64 {
-        self.digits
-            .iter()
-            .rev()
-            .fold(0i64, |acc, &d| acc * 8 + d)
+        self.digits.iter().rev().fold(0i64, |acc, &d| acc * 8 + d)
     }
 
     /// Digit-wise sum (no renormalization — digits may exceed ±7, exactly
@@ -79,8 +76,7 @@ impl SliceVector {
         let n = self.digits.len().max(other.digits.len());
         let digits = (0..n)
             .map(|i| {
-                self.digits.get(i).copied().unwrap_or(0)
-                    + other.digits.get(i).copied().unwrap_or(0)
+                self.digits.get(i).copied().unwrap_or(0) + other.digits.get(i).copied().unwrap_or(0)
             })
             .collect();
         SliceVector { digits }
@@ -127,10 +123,7 @@ impl SliceVector {
     /// Panics if the value does not fit the symmetric range of `precision`.
     pub fn to_slices(&self, precision: Precision) -> SbrSlices {
         let v = self.to_value();
-        SbrSlices::encode(
-            i32::try_from(v).expect("value fits i32"),
-            precision,
-        )
+        SbrSlices::encode(i32::try_from(v).expect("value fits i32"), precision)
     }
 }
 

@@ -297,7 +297,10 @@ mod tests {
         assert_eq!(pos.digit(1), 3);
         // Speculation products: (-4)(3) = -12 vs (3)(3) = 9 — asymmetric,
         // so a full-width tie (e.g. -25×25 + 25×25 = 0) speculates to -3.
-        assert_eq!(neg.digit(1) * pos.digit(1) + pos.digit(1) * pos.digit(1), -3);
+        assert_eq!(
+            neg.digit(1) * pos.digit(1) + pos.digit(1) * pos.digit(1),
+            -3
+        );
     }
 
     #[test]
@@ -388,7 +391,13 @@ mod tests {
 
     #[test]
     fn displays_are_nonempty() {
-        assert_eq!(ConvSlices::encode(-3, Precision::BITS7).to_string(), "conv[-1, 13]");
-        assert_eq!(MsbSlices::encode(-3, Precision::BITS7).to_string(), "msb[-1, 5]");
+        assert_eq!(
+            ConvSlices::encode(-3, Precision::BITS7).to_string(),
+            "conv[-1, 13]"
+        );
+        assert_eq!(
+            MsbSlices::encode(-3, Precision::BITS7).to_string(),
+            "msb[-1, 5]"
+        );
     }
 }

@@ -36,6 +36,7 @@ pub mod encoder;
 pub mod error;
 pub mod fixed;
 pub mod gsbr;
+pub mod packed;
 pub mod precision;
 pub mod quant;
 pub mod sbr;
@@ -46,6 +47,7 @@ pub use conv::ConvSlices;
 pub use encoder::SbrUnit;
 pub use error::RangeError;
 pub use fixed::Fixed;
+pub use packed::PackedPlane;
 pub use precision::Precision;
 pub use quant::Quantizer;
 pub use sbr::SbrSlices;

@@ -1,0 +1,395 @@
+//! SWAR kernels over nibble-packed slice planes.
+//!
+//! The performance simulator spends most of its time asking three questions
+//! about a slice plane: how many slices are zero, how many 4-slice sub-words
+//! are zero, and how many entries the DMU's run-length code would emit.
+//! Answering them one `i8` at a time (and materialising a `Vec<SubWord>`
+//! first) dominated the profile, so this module packs a plane into `u64`
+//! words — sixteen 4-bit slices per word — and answers all three with
+//! branch-free SIMD-within-a-register arithmetic:
+//!
+//! * a slice nibble is non-zero iff `(w | w>>1 | w>>2 | w>>3)` has its low
+//!   bit set (the three shifts stay inside the nibble, so the masked fold is
+//!   exact);
+//! * a sub-word (one `u16` lane, four adjacent nibbles) is non-zero iff the
+//!   nibble mask folded by 4/8/12 has the lane's low bit set;
+//! * RLE entry counting walks sub-word lanes, but an all-zero word advances
+//!   the zero run four lanes at a time with one divide.
+//!
+//! All counts are exact replicas of the scalar definitions in
+//! [`crate::stats`], [`crate::subword`], and the `sibia-compress` RLE codec —
+//! property tests pin the equivalence — so callers can switch freely between
+//! the scalar and packed paths without perturbing simulation output.
+
+use crate::precision::Precision;
+use crate::subword::SUBWORD_LANES;
+
+/// Slices per packed `u64` word.
+pub const LANES_PER_WORD: usize = 16;
+/// Sub-words (u16 lanes) per packed `u64` word.
+const SUBWORDS_PER_WORD: usize = LANES_PER_WORD / SUBWORD_LANES;
+
+/// Low bit of every nibble lane.
+const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
+/// Low bit of every u16 lane.
+const U16_LO: u64 = 0x0001_0001_0001_0001;
+
+/// A slice plane packed sixteen nibbles to a `u64`.
+///
+/// Packing keeps each slice's low nibble (`slice as u8 & 0xF`), which is
+/// lossless for every digit the decompositions produce (SBR digits in
+/// `[-7, 7]`, conventional digits in `[-8, 15]`) *as a bit pattern*; the
+/// numeric sign is not represented, so the packed form supports zero
+/// structure queries, not arithmetic. Slice `i` occupies nibble `i % 16` of
+/// word `i / 16`, matching [`crate::SubWord::packed`] lane order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedPlane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Per-nibble non-zero mask: bit `4i` of the result is set iff nibble `i`
+/// of `w` is non-zero. Exact — the intra-nibble shifts cannot leak bits
+/// across lanes into bit 0.
+#[inline]
+fn nonzero_nibble_mask(w: u64) -> u64 {
+    (w | (w >> 1) | (w >> 2) | (w >> 3)) & NIBBLE_LO
+}
+
+/// Per-sub-word non-zero mask from a nibble mask: bit `16j` is set iff any
+/// of sub-word `j`'s four nibble bits is set.
+#[inline]
+fn nonzero_subword_mask(nibble_mask: u64) -> u64 {
+    (nibble_mask | (nibble_mask >> 4) | (nibble_mask >> 8) | (nibble_mask >> 12)) & U16_LO
+}
+
+impl PackedPlane {
+    /// Packs a plane of slice digits.
+    pub fn pack(plane: &[i8]) -> Self {
+        let mut words = vec![0u64; plane.len().div_ceil(LANES_PER_WORD)];
+        for (i, &s) in plane.iter().enumerate() {
+            words[i / LANES_PER_WORD] |= u64::from((s as u8) & 0xF) << (4 * (i % LANES_PER_WORD));
+        }
+        Self {
+            words,
+            len: plane.len(),
+        }
+    }
+
+    /// Number of slices in the plane.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plane holds no slices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words (tail nibbles beyond [`Self::len`] are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of sub-words the plane groups into (tail zero-padded, exactly
+    /// as [`crate::subword::to_subwords`] pads).
+    #[inline]
+    pub fn subword_count(&self) -> usize {
+        self.len.div_ceil(SUBWORD_LANES)
+    }
+
+    /// Number of non-zero slices. Tail padding is zero, so counting set
+    /// mask bits needs no length correction.
+    pub fn nonzero_slice_count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|&w| nonzero_nibble_mask(w).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of zero slices.
+    #[inline]
+    pub fn zero_slice_count(&self) -> usize {
+        self.len - self.nonzero_slice_count()
+    }
+
+    /// Zero-slice fraction; `0.0` for an empty plane (matching
+    /// `stats::zero_fraction`).
+    pub fn zero_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.zero_slice_count() as f64 / self.len as f64
+    }
+
+    /// Number of non-zero sub-words.
+    pub fn nonzero_subword_count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|&w| nonzero_subword_mask(nonzero_nibble_mask(w)).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of zero (skippable) sub-words.
+    #[inline]
+    pub fn zero_subword_count(&self) -> usize {
+        self.subword_count() - self.nonzero_subword_count()
+    }
+
+    /// Zero sub-word fraction; `0.0` for an empty plane (matching
+    /// [`crate::subword::zero_subword_fraction`]).
+    pub fn zero_subword_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        self.zero_subword_count() as f64 / self.subword_count() as f64
+    }
+
+    /// Number of entries the DMU's RLE codec emits for this plane's sub-word
+    /// stream — bit-exact with `RleCodec::new(index_bits).compress(
+    /// &to_subwords(plane)).entries().len()` but without building either
+    /// vector. A zero sub-word extends the current run unless the run is
+    /// saturated at `2^index_bits - 1`, in which case a padding entry flushes
+    /// it; a non-zero sub-word always emits an entry. Trailing zeros are
+    /// implicit *except* for the padding entries their saturated runs force.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is not in `[1, 15]` (the codec's own domain).
+    pub fn rle_entry_count(&self, index_bits: u8) -> usize {
+        assert!(
+            (1..=15).contains(&index_bits),
+            "index bits must be in [1, 15], got {index_bits}"
+        );
+        // A saturated run plus its flushing zero consume `cycle` zeros and
+        // emit one padding entry.
+        let cycle = 1usize << index_bits;
+        let total = self.subword_count();
+        let mut entries = 0usize;
+        let mut run = 0usize;
+        let mut done = 0usize;
+        for &w in &self.words {
+            let lanes = (total - done).min(SUBWORDS_PER_WORD);
+            if lanes == 0 {
+                break;
+            }
+            let nz = nonzero_subword_mask(nonzero_nibble_mask(w));
+            if nz == 0 {
+                // All lanes zero: advance the run in bulk.
+                run += lanes;
+                entries += run / cycle;
+                run %= cycle;
+            } else {
+                for lane in 0..lanes {
+                    if (nz >> (16 * lane)) & 1 == 0 {
+                        run += 1;
+                        if run == cycle {
+                            entries += 1;
+                            run = 0;
+                        }
+                    } else {
+                        entries += 1;
+                        run = 0;
+                    }
+                }
+            }
+            done += lanes;
+        }
+        entries
+    }
+
+    /// Compressed size in bits of the RLE stream (entries × (16-bit sub-word
+    /// + index)), matching `RleStream::size_bits`.
+    pub fn rle_size_bits(&self, index_bits: u8) -> usize {
+        self.rle_entry_count(index_bits) * (4 * SUBWORD_LANES + usize::from(index_bits))
+    }
+
+    /// Unpacks to sign-extended digits. SBR digits round-trip exactly;
+    /// conventional low slices (unsigned `0..=15`) come back sign-extended,
+    /// so use this for zero-structure checks and SBR planes only.
+    pub fn unpack_signed(&self) -> Vec<i8> {
+        (0..self.len)
+            .map(|i| {
+                let nib =
+                    ((self.words[i / LANES_PER_WORD] >> (4 * (i % LANES_PER_WORD))) & 0xF) as u8;
+                ((nib << 4) as i8) >> 4
+            })
+            .collect()
+    }
+}
+
+/// Packs every plane of a decomposition.
+pub fn pack_planes(planes: &[Vec<i8>]) -> Vec<PackedPlane> {
+    planes.iter().map(|p| PackedPlane::pack(p)).collect()
+}
+
+/// Packs the SBR decomposition of `values` directly.
+pub fn pack_sbr(values: &[i32], precision: Precision) -> Vec<PackedPlane> {
+    pack_planes(&crate::sbr::planes(values, precision))
+}
+
+/// Packs the conventional decomposition of `values` directly.
+pub fn pack_conv(values: &[i32], precision: Precision) -> Vec<PackedPlane> {
+    pack_planes(&crate::conv::planes(values, precision))
+}
+
+/// Per-byte non-zero mask: bit 7 of each byte lane of the result is set iff
+/// that byte of `x` is non-zero. `(x & 0x7F…) + 0x7F…` carries into bit 7
+/// exactly when the low seven bits are non-zero and cannot carry across
+/// lanes; OR-ing `x` back in folds bit 7 itself.
+#[inline]
+fn nonzero_byte_mask(x: u64) -> u64 {
+    const LOW7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    ((x & LOW7).wrapping_add(LOW7) | x) & HI
+}
+
+#[inline]
+fn bytes_of(c: &[i8]) -> u64 {
+    let mut b = [0u8; 8];
+    for (dst, &s) in b.iter_mut().zip(c) {
+        *dst = s as u8;
+    }
+    u64::from_ne_bytes(b)
+}
+
+/// Number of zero digits in an unpacked plane, eight bytes per step.
+pub fn zero_digit_count(plane: &[i8]) -> usize {
+    let chunks = plane.chunks_exact(8);
+    let tail = chunks.remainder();
+    let nonzero: usize = chunks
+        .map(|c| nonzero_byte_mask(bytes_of(c)).count_ones() as usize)
+        .sum();
+    (plane.len() - tail.len()) - nonzero + tail.iter().filter(|&&s| s == 0).count()
+}
+
+/// Number of zero sub-words (groups of four digits, tail zero-padded) in an
+/// unpacked plane, without materialising `SubWord`s.
+pub fn zero_subword_count_unpacked(plane: &[i8]) -> usize {
+    let chunks = plane.chunks_exact(8);
+    let tail = chunks.remainder();
+    let mut zeros: usize = chunks
+        .map(|c| {
+            let m = nonzero_byte_mask(bytes_of(c));
+            usize::from(m as u32 == 0) + usize::from((m >> 32) as u32 == 0)
+        })
+        .sum();
+    for group in tail.chunks(SUBWORD_LANES) {
+        zeros += usize::from(group.iter().all(|&s| s == 0));
+    }
+    zeros
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subword::{to_subwords, zero_subword_fraction};
+
+    fn ref_zero_fraction(plane: &[i8]) -> f64 {
+        if plane.is_empty() {
+            return 0.0;
+        }
+        plane.iter().filter(|&&s| s == 0).count() as f64 / plane.len() as f64
+    }
+
+    /// Deterministic pseudo-random digit planes covering both digit ranges.
+    fn test_planes() -> Vec<Vec<i8>> {
+        let mut planes = vec![
+            vec![],
+            vec![0],
+            vec![3],
+            vec![0; 64],
+            vec![1; 64],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 5],
+        ];
+        let mut x = 0x12345678u64;
+        for len in [7usize, 16, 17, 63, 64, 65, 1000] {
+            for sparsity in [0u64, 2, 7, 9] {
+                let mut p = Vec::with_capacity(len);
+                for _ in 0..len {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let digit = ((x >> 33) % 24) as i64 - 8; // [-8, 15]
+                    let keep = sparsity == 0 || (x >> 17) % 10 < sparsity;
+                    p.push(if keep { 0 } else { digit.clamp(-8, 15) as i8 });
+                }
+                planes.push(p);
+            }
+        }
+        planes
+    }
+
+    #[test]
+    fn zero_counts_match_scalar() {
+        for plane in test_planes() {
+            let packed = PackedPlane::pack(&plane);
+            assert_eq!(packed.len(), plane.len());
+            let scalar_zeros = plane.iter().filter(|&&s| s == 0).count();
+            assert_eq!(packed.zero_slice_count(), scalar_zeros, "plane {plane:?}");
+            assert_eq!(packed.zero_fraction(), ref_zero_fraction(&plane));
+            assert_eq!(zero_digit_count(&plane), scalar_zeros);
+        }
+    }
+
+    #[test]
+    fn subword_counts_match_scalar() {
+        for plane in test_planes() {
+            let packed = PackedPlane::pack(&plane);
+            let sw = to_subwords(&plane);
+            let scalar_zeros = sw.iter().filter(|s| s.is_zero()).count();
+            assert_eq!(packed.subword_count(), sw.len());
+            assert_eq!(packed.zero_subword_count(), scalar_zeros, "plane {plane:?}");
+            assert_eq!(
+                packed.zero_subword_fraction(),
+                zero_subword_fraction(&plane)
+            );
+            assert_eq!(zero_subword_count_unpacked(&plane), scalar_zeros);
+        }
+    }
+
+    #[test]
+    fn sbr_digits_round_trip() {
+        let values: Vec<i32> = (-63..=63).collect();
+        for (plane, packed) in crate::sbr::planes(&values, Precision::BITS7)
+            .iter()
+            .zip(pack_sbr(&values, Precision::BITS7))
+        {
+            assert_eq!(&packed.unpack_signed(), plane);
+        }
+    }
+
+    #[test]
+    fn byte_mask_is_exact_under_borrow_patterns() {
+        // [0x00, 0x01] adjacencies defeat the naive `x - 0x01..` trick;
+        // the carry-based mask must not.
+        for pattern in [
+            [0i8, 1, 0, 1, 0, 1, 0, 1],
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [0, 0, 0, 0, 1, 1, 1, 1],
+            [-128, 0, 127, 0, -1, 0, 1, 0],
+        ] {
+            let expected = pattern.iter().filter(|&&s| s == 0).count();
+            assert_eq!(zero_digit_count(&pattern), expected, "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn empty_plane_is_harmless() {
+        let p = PackedPlane::pack(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.zero_fraction(), 0.0);
+        assert_eq!(p.zero_subword_fraction(), 0.0);
+        assert_eq!(p.rle_entry_count(4), 0);
+        assert_eq!(p.rle_size_bits(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index bits")]
+    fn rle_count_validates_index_width() {
+        let _ = PackedPlane::pack(&[1]).rle_entry_count(0);
+    }
+}

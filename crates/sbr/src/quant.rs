@@ -94,7 +94,11 @@ impl Quantizer {
 
 impl fmt::Display for Quantizer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "symmetric {} quantizer (scale {})", self.precision, self.scale)
+        write!(
+            f,
+            "symmetric {} quantizer (scale {})",
+            self.precision, self.scale
+        )
     }
 }
 
@@ -172,8 +176,9 @@ impl ChannelQuantizer {
         data.chunks(chunk)
             .zip(&self.scales)
             .flat_map(|(c, &s)| {
-                c.iter()
-                    .map(move |&x| ((x / s).round() as i64).clamp(-i64::from(m), i64::from(m)) as i32)
+                c.iter().map(move |&x| {
+                    ((x / s).round() as i64).clamp(-i64::from(m), i64::from(m)) as i32
+                })
             })
             .collect()
     }
@@ -255,7 +260,9 @@ mod tests {
         let cq = ChannelQuantizer::fit(&data, 2, Precision::BITS7);
         let back = cq.dequantize_all(&per_channel);
         for ((x, y), s) in data.iter().zip(&back).zip(
-            cq.scales().iter().flat_map(|&s| std::iter::repeat(s).take(4)),
+            cq.scales()
+                .iter()
+                .flat_map(|&s| std::iter::repeat(s).take(4)),
         ) {
             assert!((x - y).abs() <= s / 2.0 + 1e-6);
         }

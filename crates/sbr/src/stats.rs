@@ -35,8 +35,7 @@ pub struct SliceSparsity {
 impl SliceSparsity {
     fn from_planes(planes: &[Vec<i8>]) -> Self {
         let per_order: Vec<f64> = planes.iter().map(|p| zero_fraction(p)).collect();
-        let subword_per_order: Vec<f64> =
-            planes.iter().map(|p| zero_subword_fraction(p)).collect();
+        let subword_per_order: Vec<f64> = planes.iter().map(|p| zero_subword_fraction(p)).collect();
         let overall = mean(&per_order);
         let subword_overall = mean(&subword_per_order);
         Self {
@@ -133,7 +132,11 @@ pub fn target_range_coverage(values: &[i32], precision: Precision) -> (f64, f64)
     let n = values.len() as f64;
     let conv_cutoff = 16i32.pow((precision.conv_slices() - 1) as u32);
     let sbr_cutoff = 8i32.pow((precision.sbr_slices() - 1) as u32);
-    let prior = values.iter().filter(|&&v| v >= 0 && v < conv_cutoff).count() as f64 / n;
+    let prior = values
+        .iter()
+        .filter(|&&v| v >= 0 && v < conv_cutoff)
+        .count() as f64
+        / n;
     let sibia = values.iter().filter(|&&v| v.abs() < sbr_cutoff).count() as f64 / n;
     (prior, sibia)
 }
@@ -142,7 +145,7 @@ fn zero_fraction(plane: &[i8]) -> f64 {
     if plane.is_empty() {
         return 0.0;
     }
-    plane.iter().filter(|&&s| s == 0).count() as f64 / plane.len() as f64
+    crate::packed::zero_digit_count(plane) as f64 / plane.len() as f64
 }
 
 fn zero_fraction_i32(values: &[i32]) -> f64 {

@@ -16,22 +16,24 @@ pub const SUBWORD_LANES: usize = 4;
 
 impl SubWord {
     /// Whether all four slices are zero (the sub-word can be skipped).
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.0 == [0; 4]
     }
 
     /// The slices of the sub-word.
+    #[inline]
     pub fn slices(&self) -> &[i8; 4] {
         &self.0
     }
 
     /// The packed 16-bit pattern as the hardware would store it
     /// (slice 0 in the low nibble).
+    #[inline]
     pub fn packed(&self) -> u16 {
-        self.0
-            .iter()
-            .enumerate()
-            .fold(0u16, |acc, (i, &s)| acc | (u16::from((s as u8) & 0xF) << (4 * i)))
+        self.0.iter().enumerate().fold(0u16, |acc, (i, &s)| {
+            acc | (u16::from((s as u8) & 0xF) << (4 * i))
+        })
     }
 }
 
@@ -73,12 +75,15 @@ pub fn to_subwords(plane: &[i8]) -> Vec<SubWord> {
 
 /// Fraction of zero sub-words in a plane — the skippable fraction at
 /// sub-word granularity (always ≤ the per-slice zero fraction).
+///
+/// Counts with the branch-free byte-SWAR kernel in [`crate::packed`]
+/// rather than materialising a `Vec<SubWord>`.
 pub fn zero_subword_fraction(plane: &[i8]) -> f64 {
     if plane.is_empty() {
         return 0.0;
     }
-    let sw = to_subwords(plane);
-    sw.iter().filter(|s| s.is_zero()).count() as f64 / sw.len() as f64
+    let groups = plane.len().div_ceil(SUBWORD_LANES);
+    crate::packed::zero_subword_count_unpacked(plane) as f64 / groups as f64
 }
 
 #[cfg(test)]

@@ -1,14 +1,18 @@
 //! Calibration probe: sparsity + speedup shapes on a few benchmarks.
 fn main() {
     use sibia_nn::zoo;
-    use sibia_sbr::stats::SparsityReport;
     use sibia_nn::SynthSource;
+    use sibia_sbr::stats::SparsityReport;
     use sibia_sim::{ArchSpec, Simulator};
 
     // Fig 6-style sparsity for Albert-like / YoloV3-like layers.
-    for net in [zoo::albert(zoo::GlueTask::Mnli), zoo::yolov3(), zoo::monodepth2()] {
+    for net in [
+        zoo::albert(zoo::GlueTask::Mnli),
+        zoo::yolov3(),
+        zoo::monodepth2(),
+    ] {
         let mut src = SynthSource::new(1);
-        let l = &net.layers()[net.layers().len()/2];
+        let l = &net.layers()[net.layers().len() / 2];
         let acts = src.activations(l, 32768);
         let w = src.weights(l, 32768);
         let ri = SparsityReport::analyze(acts.codes().data(), l.input_precision());
@@ -19,14 +23,25 @@ fn main() {
     }
     // Fig 10-style speedups on smaller nets (fast): monodepth2 + dgcnn.
     let sim = Simulator::new(3);
-    for net in [zoo::monodepth2(), zoo::dgcnn(), zoo::albert(zoo::GlueTask::Qqp)] {
+    for net in [
+        zoo::monodepth2(),
+        zoo::dgcnn(),
+        zoo::albert(zoo::GlueTask::Qqp),
+    ] {
         let bf = sim.simulate_network(&ArchSpec::bit_fusion(), &net);
         let hnpu = sim.simulate_network(&ArchSpec::hnpu(), &net);
         let nosbr = sim.simulate_network(&ArchSpec::sibia_no_sbr(), &net);
         let inp = sim.simulate_network(&ArchSpec::sibia_input_skip(), &net);
         let hyb = sim.simulate_network(&ArchSpec::sibia_hybrid(), &net);
-        println!("{}: hnpu {:.2} nosbr {:.2} input {:.2} hybrid {:.2} | eff: hnpu {:.2} hyb {:.2}",
-            net.name(), hnpu.speedup_over(&bf), nosbr.speedup_over(&bf), inp.speedup_over(&bf), hyb.speedup_over(&bf),
-            hnpu.efficiency_gain_over(&bf), hyb.efficiency_gain_over(&bf));
+        println!(
+            "{}: hnpu {:.2} nosbr {:.2} input {:.2} hybrid {:.2} | eff: hnpu {:.2} hyb {:.2}",
+            net.name(),
+            hnpu.speedup_over(&bf),
+            nosbr.speedup_over(&bf),
+            inp.speedup_over(&bf),
+            hyb.speedup_over(&bf),
+            hnpu.efficiency_gain_over(&bf),
+            hyb.efficiency_gain_over(&bf)
+        );
     }
 }

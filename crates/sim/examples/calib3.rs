@@ -3,7 +3,12 @@ fn main() {
     use sibia_sim::{ArchSpec, Simulator};
     let mut sim = Simulator::new(1);
     sim.sample_cap = 8192;
-    for net in [zoo::mobilenet_v2(), zoo::resnet18(), zoo::votenet(), zoo::dgcnn()] {
+    for net in [
+        zoo::mobilenet_v2(),
+        zoo::resnet18(),
+        zoo::votenet(),
+        zoo::dgcnn(),
+    ] {
         let bf = sim.simulate_network(&ArchSpec::bit_fusion(), &net);
         let hnpu = sim.simulate_network(&ArchSpec::hnpu(), &net);
         let hyb = sim.simulate_network(&ArchSpec::sibia_hybrid(), &net);

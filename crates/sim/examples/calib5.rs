@@ -2,18 +2,37 @@ fn main() {
     use sibia_nn::zoo::{self, GlueTask};
     use sibia_sim::{ArchSpec, Simulator};
     let sim = Simulator::new(1);
-    let nets = [zoo::albert(GlueTask::Sst2), zoo::albert(GlueTask::Qqp), zoo::albert(GlueTask::Mnli),
-                zoo::vit(), zoo::yolov3(), zoo::monodepth2(), zoo::dgcnn(),
-                zoo::mobilenet_v2(), zoo::resnet18(), zoo::votenet()];
-    println!("{:<16} {:>6} {:>7} {:>6} {:>7} | {:>8} {:>8}", "net", "hnpu", "no-sbr", "input", "hybrid", "effHNPU", "effHyb");
+    let nets = [
+        zoo::albert(GlueTask::Sst2),
+        zoo::albert(GlueTask::Qqp),
+        zoo::albert(GlueTask::Mnli),
+        zoo::vit(),
+        zoo::yolov3(),
+        zoo::monodepth2(),
+        zoo::dgcnn(),
+        zoo::mobilenet_v2(),
+        zoo::resnet18(),
+        zoo::votenet(),
+    ];
+    println!(
+        "{:<16} {:>6} {:>7} {:>6} {:>7} | {:>8} {:>8}",
+        "net", "hnpu", "no-sbr", "input", "hybrid", "effHNPU", "effHyb"
+    );
     for net in nets {
         let bf = sim.simulate_network(&ArchSpec::bit_fusion(), &net);
         let h = sim.simulate_network(&ArchSpec::hnpu(), &net);
         let ns = sim.simulate_network(&ArchSpec::sibia_no_sbr(), &net);
         let i = sim.simulate_network(&ArchSpec::sibia_input_skip(), &net);
         let hy = sim.simulate_network(&ArchSpec::sibia_hybrid(), &net);
-        println!("{:<16} {:>6.2} {:>7.2} {:>6.2} {:>7.2} | {:>8.2} {:>8.2}",
-            net.name(), h.speedup_over(&bf), ns.speedup_over(&bf), i.speedup_over(&bf), hy.speedup_over(&bf),
-            h.efficiency_gain_over(&bf), hy.efficiency_gain_over(&bf));
+        println!(
+            "{:<16} {:>6.2} {:>7.2} {:>6.2} {:>7.2} | {:>8.2} {:>8.2}",
+            net.name(),
+            h.speedup_over(&bf),
+            ns.speedup_over(&bf),
+            i.speedup_over(&bf),
+            hy.speedup_over(&bf),
+            h.efficiency_gain_over(&bf),
+            hy.efficiency_gain_over(&bf)
+        );
     }
 }

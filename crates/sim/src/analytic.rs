@@ -89,9 +89,7 @@ impl AnalyticAccel {
         assert!((0.0..1.0).contains(&weight_sparsity), "sparsity in [0,1)");
         match self.sparsity {
             SparsityClass::Dense => 1.0,
-            SparsityClass::Unstructured => {
-                1.0 / ((1.0 - input_sparsity) * (1.0 - weight_sparsity))
-            }
+            SparsityClass::Unstructured => 1.0 / ((1.0 - input_sparsity) * (1.0 - weight_sparsity)),
             SparsityClass::Structured => {
                 // Block-structured: only block-aligned sparsity on the
                 // *denser* operand path converts into speedup (S2TA's

@@ -1,0 +1,311 @@
+//! Memoized tensor synthesis and slice decomposition.
+//!
+//! Figure sweeps run the *same* network through several architecture
+//! variants (fig10/fig11 use five), and every variant used to re-synthesize
+//! and re-decompose every layer from scratch even though the tensors depend
+//! only on `(layer, seed)` and the decomposition only additionally on the
+//! slice representation. This module caches both levels:
+//!
+//! * [`DecompCache::tensors`]-level — the quantized input/weight codes of a
+//!   layer, keyed by `(layer fingerprint, seed, layer index, sample cap)`;
+//! * [`DecompCache::decomp`]-level — a [`LayerDecomp`]: the per-order
+//!   [`PlaneStats`] (zero-slice / zero-sub-word / RLE-entry counts measured
+//!   with the SWAR kernels in `sibia_sbr::packed`) plus value-group counts,
+//!   keyed additionally by [`Repr`].
+//!
+//! A [`LayerDecomp`] stores **integer counts, never fractions**: every
+//! simulated quantity is derived from the counts with exactly the divisions
+//! the uncached scalar path performed, in the same order, so cached, uncached,
+//! serial, and parallel runs produce bit-identical floating-point results.
+//!
+//! The cache is `Mutex`-guarded and shared across the worker threads of
+//! `crate::parallel`. Locks are never held while synthesizing or
+//! decomposing; two threads racing the same key may both compute it, but the
+//! value is a pure function of the key, so whichever insert lands first is
+//! indistinguishable from the other.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sibia_nn::Layer;
+use sibia_sbr::packed::PackedPlane;
+
+use crate::spec::Repr;
+
+/// Zero-structure counts of one slice plane, measured once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Slices in the plane.
+    pub len: usize,
+    /// Exactly-zero slices.
+    pub zero_slices: usize,
+    /// Sub-words the plane groups into (tail zero-padded).
+    pub subwords: usize,
+    /// All-four-zero (skippable) sub-words.
+    pub zero_subwords: usize,
+    /// Entries the DMU's RLE codec (4-bit index) emits for the plane.
+    pub rle_entries: usize,
+}
+
+impl PlaneStats {
+    /// Measures a packed plane.
+    pub fn measure(plane: &PackedPlane) -> Self {
+        Self {
+            len: plane.len(),
+            zero_slices: plane.zero_slice_count(),
+            subwords: plane.subword_count(),
+            zero_subwords: plane.zero_subword_count(),
+            rle_entries: plane.rle_entry_count(DMU_INDEX_BITS),
+        }
+    }
+
+    /// Zero sub-word fraction, with the same empty-plane convention as
+    /// `sibia_sbr::subword::zero_subword_fraction`.
+    pub fn zero_subword_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.zero_subwords as f64 / self.subwords as f64
+        }
+    }
+}
+
+/// Index width of the Sibia DMU's RLE code.
+pub const DMU_INDEX_BITS: u8 = 4;
+
+/// Decomposition statistics of one operand tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandStats {
+    /// Number of sampled codes the statistics were measured on.
+    pub sampled: usize,
+    /// Per-slice-order plane statistics, order 0 (LSB) first.
+    pub planes: Vec<PlaneStats>,
+    /// Groups of four adjacent *values* that are entirely zero (HNPU-style
+    /// value-granular skipping; the tail group counts when its members are
+    /// all zero).
+    pub zero_value_groups: usize,
+    /// Total value groups (`sampled.div_ceil(4)`).
+    pub value_groups: usize,
+}
+
+impl OperandStats {
+    /// Measures a quantized code tensor decomposed at `repr`.
+    pub fn measure(codes: &[i32], precision: sibia_sbr::Precision, repr: Repr) -> Self {
+        let planes = match repr {
+            Repr::Sbr => sibia_sbr::sbr::planes(codes, precision),
+            Repr::Conventional => sibia_sbr::conv::planes(codes, precision),
+        };
+        let planes = planes
+            .iter()
+            .map(|p| PlaneStats::measure(&PackedPlane::pack(p)))
+            .collect();
+        let zero_value_groups = codes
+            .chunks(4)
+            .filter(|g| g.iter().all(|&v| v == 0))
+            .count();
+        Self {
+            sampled: codes.len(),
+            planes,
+            zero_value_groups,
+            value_groups: codes.len().div_ceil(4),
+        }
+    }
+
+    /// Per-order zero-sub-word fractions (the DSM's input).
+    pub fn subword_sparsity(&self) -> Vec<f64> {
+        self.planes
+            .iter()
+            .map(|p| p.zero_subword_fraction())
+            .collect()
+    }
+}
+
+/// Everything the cycle model needs to know about one layer's operands
+/// under one slice representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDecomp {
+    /// Input slice orders (`k_i`).
+    pub ki: usize,
+    /// Weight slice orders (`k_w`).
+    pub kw: usize,
+    /// Input-operand statistics.
+    pub input: OperandStats,
+    /// Weight-operand statistics.
+    pub weight: OperandStats,
+}
+
+/// Synthesized quantized codes of one layer's operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTensors {
+    /// Quantized input-activation codes.
+    pub input_codes: Vec<i32>,
+    /// Quantized weight codes.
+    pub weight_codes: Vec<i32>,
+}
+
+/// Cache key for synthesized tensors. The layer itself is fingerprinted via
+/// its `Debug` form (layers carry `f32` fields and so cannot implement
+/// `Hash` directly); the fingerprint covers every generation-relevant field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TensorKey {
+    layer_fp: String,
+    seed: u64,
+    layer_index: usize,
+    sample_cap: usize,
+}
+
+/// Cache key for decomposition statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct DecompKey {
+    layer_fp: String,
+    seed: u64,
+    layer_index: usize,
+    sample_cap: usize,
+    repr: Repr,
+}
+
+/// Thread-safe two-level memo of synthesis and decomposition results.
+#[derive(Debug, Default)]
+pub struct DecompCache {
+    tensors: Mutex<HashMap<TensorKey, Arc<LayerTensors>>>,
+    decomps: Mutex<HashMap<DecompKey, Arc<LayerDecomp>>>,
+}
+
+impl DecompCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached layer tensors.
+    pub fn tensor_entries(&self) -> usize {
+        self.tensors.lock().expect("cache lock").len()
+    }
+
+    /// Number of cached layer decompositions.
+    pub fn decomp_entries(&self) -> usize {
+        self.decomps.lock().expect("cache lock").len()
+    }
+
+    /// Returns the synthesized tensors for a key, computing them with
+    /// `synth` on a miss. The lock is not held during `synth`.
+    pub fn tensors(
+        &self,
+        layer: &Layer,
+        seed: u64,
+        layer_index: usize,
+        sample_cap: usize,
+        synth: impl FnOnce() -> LayerTensors,
+    ) -> Arc<LayerTensors> {
+        let key = TensorKey {
+            layer_fp: format!("{layer:?}"),
+            seed,
+            layer_index,
+            sample_cap,
+        };
+        if let Some(hit) = self.tensors.lock().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(synth());
+        Arc::clone(
+            self.tensors
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(value),
+        )
+    }
+
+    /// Returns the decomposition statistics for a key, computing them with
+    /// `measure` on a miss. The lock is not held during `measure`.
+    pub fn decomp(
+        &self,
+        layer: &Layer,
+        seed: u64,
+        layer_index: usize,
+        sample_cap: usize,
+        repr: Repr,
+        measure: impl FnOnce() -> LayerDecomp,
+    ) -> Arc<LayerDecomp> {
+        let key = DecompKey {
+            layer_fp: format!("{layer:?}"),
+            seed,
+            layer_index,
+            sample_cap,
+            repr,
+        };
+        if let Some(hit) = self.decomps.lock().expect("cache lock").get(&key) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(measure());
+        Arc::clone(
+            self.decomps
+                .lock()
+                .expect("cache lock")
+                .entry(key)
+                .or_insert(value),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_sbr::subword::{to_subwords, zero_subword_fraction};
+    use sibia_sbr::Precision;
+
+    #[test]
+    fn plane_stats_match_scalar_definitions() {
+        let values: Vec<i32> = (-40..40).map(|v| v * 3 % 41).collect();
+        for repr in [Repr::Sbr, Repr::Conventional] {
+            let stats = OperandStats::measure(&values, Precision::BITS7, repr);
+            let planes = match repr {
+                Repr::Sbr => sibia_sbr::sbr::planes(&values, Precision::BITS7),
+                Repr::Conventional => sibia_sbr::conv::planes(&values, Precision::BITS7),
+            };
+            for (p, s) in planes.iter().zip(&stats.planes) {
+                assert_eq!(s.len, p.len());
+                assert_eq!(s.zero_slices, p.iter().filter(|&&d| d == 0).count());
+                let sw = to_subwords(p);
+                assert_eq!(s.subwords, sw.len());
+                assert_eq!(s.zero_subwords, sw.iter().filter(|w| w.is_zero()).count());
+                assert_eq!(s.zero_subword_fraction(), zero_subword_fraction(p));
+            }
+        }
+    }
+
+    #[test]
+    fn value_groups_cover_the_tail() {
+        let stats = OperandStats::measure(&[0, 0, 0, 0, 1, 0, 0], Precision::BITS7, Repr::Sbr);
+        assert_eq!(stats.value_groups, 2);
+        assert_eq!(stats.zero_value_groups, 1);
+        let stats = OperandStats::measure(&[1, 0, 0, 0, 0, 0], Precision::BITS7, Repr::Sbr);
+        assert_eq!(stats.zero_value_groups, 1, "all-zero tail group counts");
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_value() {
+        use sibia_nn::Layer;
+        let cache = DecompCache::new();
+        let layer = Layer::linear("l", 4, 8, 8);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let t = cache.tensors(&layer, 1, 0, 64, || {
+                calls += 1;
+                LayerTensors {
+                    input_codes: vec![1, 2],
+                    weight_codes: vec![3],
+                }
+            });
+            assert_eq!(t.input_codes, vec![1, 2]);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.tensor_entries(), 1);
+        // A different layer index is a different stream → separate entry.
+        cache.tensors(&layer, 1, 1, 64, || LayerTensors {
+            input_codes: vec![],
+            weight_codes: vec![],
+        });
+        assert_eq!(cache.tensor_entries(), 2);
+    }
+}

@@ -150,7 +150,10 @@ mod tests {
         chip.imbalance = 0.0;
         chip.simulator.sample_cap = 4096;
         let r = chip.run(&ArchSpec::bit_fusion(), &zoo::alexnet());
-        assert_eq!(r.chip_cycles.max(r.single_core_cycles), r.chip_cycles.max(r.single_core_cycles));
+        assert_eq!(
+            r.chip_cycles.max(r.single_core_cycles),
+            r.chip_cycles.max(r.single_core_cycles)
+        );
         assert!(r.speedup() <= 1.0 + 1e-9);
     }
 

@@ -167,7 +167,10 @@ impl ControlUnit {
                     side: SkipSide::Input,
                 });
             }
-            instrs.push(Instr::Execute { layer: index, tile: t });
+            instrs.push(Instr::Execute {
+                layer: index,
+                tile: t,
+            });
             instrs.push(Instr::StoreOutputs {
                 layer: index,
                 tile: t,
@@ -259,9 +262,7 @@ pub fn run_timeline(
             let dma_total = tile_dma * cl.tiles as u64;
             let compute_per_tile = compute / cl.tiles.max(1) as u64;
             // Fill + steady state + drain.
-            let steady: u64 = (1..cl.tiles)
-                .map(|_| compute_per_tile.max(tile_dma))
-                .sum();
+            let steady: u64 = (1..cl.tiles).map(|_| compute_per_tile.max(tile_dma)).sum();
             let total = tile_dma + steady + compute_per_tile;
             (compute, dma_total, total)
         })
@@ -329,7 +330,11 @@ mod tests {
         let p = ControlUnit::sibia().compile(&net);
         let hyper = HyperRam::cypress_64mbit();
         // Compute-heavy: per-layer compute far above DMA.
-        let heavy: Vec<u64> = p.layers.iter().map(|l| l.tiles as u64 * 1_000_000).collect();
+        let heavy: Vec<u64> = p
+            .layers
+            .iter()
+            .map(|l| l.tiles as u64 * 1_000_000)
+            .collect();
         let t = run_timeline(&p, &heavy, &hyper, 250);
         assert!(t.dma_bound_fraction() < 0.05, "{}", t.dma_bound_fraction());
         // Compute-light: DMA dominates.

@@ -120,7 +120,12 @@ impl CycleSim {
                 .map(|w| w.iter().map(|&n| u64::from(n)).sum::<u64>())
                 .max()
                 .unwrap_or(0);
-            slowest + if tiles > 0 { self.accum_drain_cycles } else { 0 }
+            slowest
+                + if tiles > 0 {
+                    self.accum_drain_cycles
+                } else {
+                    0
+                }
         } else {
             (0..tiles)
                 .map(|t| {

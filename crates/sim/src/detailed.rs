@@ -95,7 +95,12 @@ impl DetailedSim {
     }
 
     /// Simulates one layer at the PE level and returns measured traces.
-    pub fn run_layer(&self, arch: &ArchSpec, layer: &Layer, src: &mut SynthSource) -> DetailedTrace {
+    pub fn run_layer(
+        &self,
+        arch: &ArchSpec,
+        layer: &Layer,
+        src: &mut SynthSource,
+    ) -> DetailedTrace {
         let inputs = src.activations(layer, self.sample_cap);
         let weights = src.weights(layer, self.sample_cap);
         let (input_planes, weight_planes) = match arch.repr {
@@ -145,10 +150,7 @@ impl DetailedSim {
                 let cycles = if self.column_latching {
                     col_cycles.iter().copied().max().unwrap_or(0) + cycle_sim.accum_drain_cycles
                 } else {
-                    let tiles: Vec<Vec<u32>> = col_cycles
-                        .iter()
-                        .map(|&c| vec![c as u32])
-                        .collect();
+                    let tiles: Vec<Vec<u32>> = col_cycles.iter().map(|&c| vec![c as u32]).collect();
                     cycle_sim.run(&tiles).cycles
                 };
                 capacity += cycles * self.columns as u64;
@@ -202,9 +204,8 @@ impl Default for DetailedSim {
 pub fn validate_against_analytic(trace: &DetailedTrace, sampled_subwords: usize) -> f64 {
     let mut worst: f64 = 0.0;
     for p in &trace.passes {
-        let analytic = (sampled_subwords as f64 * p.nonzero_fraction
-            / trace_columns() as f64)
-            .max(1.0);
+        let analytic =
+            (sampled_subwords as f64 * p.nonzero_fraction / trace_columns() as f64).max(1.0);
         // Relative deviation with an absolute floor: very sparse passes are
         // a handful of cycles, where fixed drain/imbalance overheads
         // dominate any relative measure.
@@ -301,7 +302,10 @@ mod tests {
         };
         let sbr_cycles = cyc(&ArchSpec::sibia_hybrid());
         let conv_cycles = cyc(&ArchSpec::sibia_no_sbr());
-        assert!(sbr_cycles < conv_cycles, "sbr {sbr_cycles} conv {conv_cycles}");
+        assert!(
+            sbr_cycles < conv_cycles,
+            "sbr {sbr_cycles} conv {conv_cycles}"
+        );
         // And the analytic simulator agrees on the direction.
         let mut sim = Simulator::new(5);
         sim.sample_cap = 2048;
@@ -315,8 +319,7 @@ mod tests {
         let mut src1 = SynthSource::new(4);
         let mut src2 = SynthSource::new(4);
         let sbr_t = DetailedSim::sibia().run_layer(&ArchSpec::sibia_hybrid(), &layer(), &mut src1);
-        let conv_t =
-            DetailedSim::sibia().run_layer(&ArchSpec::sibia_no_sbr(), &layer(), &mut src2);
+        let conv_t = DetailedSim::sibia().run_layer(&ArchSpec::sibia_no_sbr(), &layer(), &mut src2);
         assert!(
             sbr_t.total_cycles() < conv_t.total_cycles(),
             "sbr {} conv {}",

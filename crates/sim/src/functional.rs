@@ -157,8 +157,8 @@ impl PeSim {
         for oi in 0..ki {
             #[allow(clippy::needless_range_loop)]
             for ow in 0..kw {
-                let is_pre =
-                    oi >= ki.saturating_sub(self.pre_kept.0) && ow >= kw.saturating_sub(self.pre_kept.1);
+                let is_pre = oi >= ki.saturating_sub(self.pre_kept.0)
+                    && ow >= kw.saturating_sub(self.pre_kept.1);
                 let shift = self.radix_shift() * (oi + ow) as u32;
                 let mut acc = [[0i64; OUT_CH]; SPATIAL];
                 for c in 0..channels {
@@ -255,7 +255,13 @@ pub fn matmul_via_pe(sim: &PeSim, a: &Tensor<i32>, b: &Tensor<i32>) -> (Tensor<i
                 .collect();
             let w: Vec<[i32; OUT_CH]> = (0..k)
                 .map(|c| {
-                    std::array::from_fn(|o| if n0 + o < n { b.data()[c * n + n0 + o] } else { 0 })
+                    std::array::from_fn(|o| {
+                        if n0 + o < n {
+                            b.data()[c * n + n0 + o]
+                        } else {
+                            0
+                        }
+                    })
                 })
                 .collect();
             let run = sim.run_tile(&x, &w);
@@ -447,7 +453,10 @@ mod tests {
             (0..4 * 2 * 3 * 3).map(|i| ((i * 11) % 127) - 63).collect(),
             Shape::new(&[4, 2, 3, 3]),
         );
-        let params = ops::Conv2dParams { stride: 1, padding: 1 };
+        let params = ops::Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
         let reference = ops::conv2d(&x, &w, params);
         let cols = ops::im2col(&x, (3, 3), params);
         let wf = Tensor::from_vec(w.data().to_vec(), Shape::new(&[4, 18]));

@@ -17,18 +17,22 @@
 
 pub mod analytic;
 pub mod bitbrick;
+pub mod cache;
 pub mod chip;
 pub mod control;
 pub mod cycle;
 pub mod detailed;
 pub mod functional;
 pub mod mpu;
+pub mod parallel;
 pub mod perf;
 pub mod pipeline;
 pub mod spec;
 pub mod trace;
 
+pub use cache::DecompCache;
 pub use functional::{PeRun, PeSim};
+pub use parallel::{GridCell, GridResult, ParallelEngine};
 pub use perf::{LayerResult, NetworkResult, Simulator};
 
 pub use spec::{ArchSpec, Repr, SkipGranularity, SkipPolicy};

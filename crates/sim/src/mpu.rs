@@ -112,11 +112,15 @@ mod tests {
 
     fn operands(m: usize, k: usize, n: usize) -> (Tensor<i32>, Tensor<i32>) {
         let a = Tensor::from_vec(
-            (0..m * k).map(|i| ((i * 37 + 5) % 127) as i32 - 63).collect(),
+            (0..m * k)
+                .map(|i| ((i * 37 + 5) % 127) as i32 - 63)
+                .collect(),
             Shape::new(&[m, k]),
         );
         let b = Tensor::from_vec(
-            (0..k * n).map(|i| ((i * 53 + 11) % 127) as i32 - 63).collect(),
+            (0..k * n)
+                .map(|i| ((i * 53 + 11) % 127) as i32 - 63)
+                .collect(),
             Shape::new(&[k, n]),
         );
         (a, b)

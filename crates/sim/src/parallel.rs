@@ -1,0 +1,231 @@
+//! Deterministic parallel execution over (architecture × network × seed)
+//! grids.
+//!
+//! Figure sweeps are embarrassingly parallel: every cell of the grid is an
+//! independent `Simulator::simulate_network` call. This module fans the
+//! cells out over a scoped worker pool built only on `std` (no external
+//! thread-pool crate):
+//!
+//! * jobs are claimed from a shared atomic counter, so workers stay busy
+//!   regardless of per-cell cost skew;
+//! * every worker writes its result into the cell's own slot, so the output
+//!   order is the deterministic row-major (arch, network, seed) order no
+//!   matter which worker ran which cell;
+//! * all workers share one [`DecompCache`], so the five fig10/fig11
+//!   architecture variants synthesize and decompose each layer once per
+//!   representation instead of five times.
+//!
+//! Determinism does not stop at ordering: because each layer's RNG stream
+//! is derived from `(seed, layer_index)` (see `sibia_nn::SynthSource::
+//! for_layer`) and the cycle model computes from cached integer counts, a
+//! grid simulated with 1, 2, or 64 threads — or serially without this
+//! module — produces byte-identical [`NetworkResult`]s. The determinism
+//! test in `tests/parallel.rs` pins this.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sibia_nn::Network;
+
+use crate::cache::DecompCache;
+use crate::perf::{NetworkResult, Simulator};
+use crate::spec::ArchSpec;
+
+/// One completed grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Index into the `archs` slice passed to
+    /// [`ParallelEngine::simulate_grid`].
+    pub arch_index: usize,
+    /// Index into the `networks` slice.
+    pub network_index: usize,
+    /// The seed this cell ran with.
+    pub seed: u64,
+    /// The simulation result.
+    pub result: NetworkResult,
+}
+
+/// All cells of a simulated grid, in row-major (arch, network, seed) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridResult {
+    cells: Vec<GridCell>,
+    network_count: usize,
+    seed_count: usize,
+}
+
+impl GridResult {
+    /// The cells in row-major (arch, network, seed) order.
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// The result of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(
+        &self,
+        arch_index: usize,
+        network_index: usize,
+        seed_index: usize,
+    ) -> &NetworkResult {
+        assert!(network_index < self.network_count && seed_index < self.seed_count);
+        let flat = (arch_index * self.network_count + network_index) * self.seed_count + seed_index;
+        &self.cells[flat].result
+    }
+}
+
+/// The scoped-thread worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEngine {
+    threads: usize,
+}
+
+impl ParallelEngine {
+    /// An engine sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to 1).
+    pub fn new() -> Self {
+        Self::with_threads(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// An engine with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        Self { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Simulates every (arch, network, seed) combination and returns the
+    /// cells in row-major order. The worker count affects wall-clock time
+    /// only, never the results.
+    ///
+    /// `sim` provides everything but the seed (sample cap, tech node,
+    /// external memory, latency model); each cell runs with its grid seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs`, `networks`, or `seeds` is empty.
+    pub fn simulate_grid(
+        &self,
+        sim: &Simulator,
+        archs: &[ArchSpec],
+        networks: &[Network],
+        seeds: &[u64],
+    ) -> GridResult {
+        assert!(!archs.is_empty(), "need at least one architecture");
+        assert!(!networks.is_empty(), "need at least one network");
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let jobs = archs.len() * networks.len() * seeds.len();
+        let cache = DecompCache::new();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<GridCell>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+        let run_cell = |flat: usize| {
+            let seed_index = flat % seeds.len();
+            let network_index = (flat / seeds.len()) % networks.len();
+            let arch_index = flat / (seeds.len() * networks.len());
+            let mut cell_sim = *sim;
+            cell_sim.seed = seeds[seed_index];
+            let result = cell_sim.simulate_network_cached(
+                &archs[arch_index],
+                &networks[network_index],
+                None,
+                &cache,
+            );
+            GridCell {
+                arch_index,
+                network_index,
+                seed: seeds[seed_index],
+                result,
+            }
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs) {
+                scope.spawn(|| loop {
+                    let flat = next.fetch_add(1, Ordering::Relaxed);
+                    if flat >= jobs {
+                        break;
+                    }
+                    let cell = run_cell(flat);
+                    *slots[flat].lock().expect("slot lock") = Some(cell);
+                });
+            }
+        });
+
+        let cells = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every job completed")
+            })
+            .collect();
+        GridResult {
+            cells,
+            network_count: networks.len(),
+            seed_count: seeds.len(),
+        }
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_nn::network::{DensityClass, TaskDomain};
+    use sibia_nn::{Activation, Layer};
+
+    fn tiny_net(name: &str) -> Network {
+        Network::new(
+            name,
+            TaskDomain::Vision2d,
+            DensityClass::Dense,
+            vec![Layer::conv2d("c1", 8, 8, 3, 1, 1, 8)
+                .with_activation(Activation::Relu)
+                .with_input_sparsity(0.4)],
+        )
+    }
+
+    #[test]
+    fn grid_is_complete_and_ordered() {
+        let sim = Simulator::new(1);
+        let archs = [ArchSpec::bit_fusion(), ArchSpec::sibia_hybrid()];
+        let nets = [tiny_net("a"), tiny_net("b")];
+        let seeds = [1, 2, 3];
+        let grid = ParallelEngine::with_threads(4).simulate_grid(&sim, &archs, &nets, &seeds);
+        assert_eq!(grid.cells().len(), 12);
+        for (flat, cell) in grid.cells().iter().enumerate() {
+            assert_eq!(cell.arch_index, flat / 6);
+            assert_eq!(cell.network_index, (flat / 3) % 2);
+            assert_eq!(cell.seed, seeds[flat % 3]);
+            assert_eq!(cell.result.arch, archs[cell.arch_index].name);
+        }
+        assert_eq!(grid.get(1, 0, 2).arch, "Sibia (hybrid)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_are_rejected() {
+        let _ = ParallelEngine::with_threads(0);
+    }
+}

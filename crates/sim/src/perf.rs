@@ -13,17 +13,17 @@
 //! paper's Fig. 14 energy breakdown and documented at the constants below.
 
 use std::fmt;
+use std::sync::Arc;
 
 use sibia_arch::dsm::{DsmUnit, SkipSide};
 use sibia_arch::energy::{EnergyBreakdown, EnergyModel, EventCounts};
 use sibia_arch::extmem::HyperRam;
 use sibia_arch::tech::TechNode;
 use sibia_compress::rle::SUBWORD_BITS;
-use sibia_compress::{CompressionMode, RleCodec};
+use sibia_compress::CompressionMode;
 use sibia_nn::{Layer, Network, Reduction, SynthSource};
-use sibia_sbr::subword::{to_subwords, zero_subword_fraction};
-use sibia_sbr::{conv, sbr};
 
+use crate::cache::{DecompCache, LayerDecomp, LayerTensors, OperandStats, DMU_INDEX_BITS};
 use crate::spec::{ArchSpec, Repr, SkipGranularity, SkipPolicy};
 
 /// RF accesses per executed MAC (operand staging + accumulator traffic),
@@ -194,6 +194,10 @@ impl Simulator {
     /// sample standard deviation of the total cycle count — the error bar
     /// of the synthetic-tensor methodology.
     ///
+    /// The seeds fan out over the parallel worker pool
+    /// ([`crate::parallel::ParallelEngine`]); per-layer RNG streams make the
+    /// result bit-identical to a serial walk of the seeds.
+    ///
     /// # Panics
     ///
     /// Panics if `seeds` is empty.
@@ -204,19 +208,19 @@ impl Simulator {
         seeds: &[u64],
     ) -> (f64, f64) {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let cycles: Vec<f64> = seeds
+        let grid = crate::parallel::ParallelEngine::new().simulate_grid(
+            self,
+            std::slice::from_ref(arch),
+            std::slice::from_ref(net),
+            seeds,
+        );
+        let cycles: Vec<f64> = grid
+            .cells()
             .iter()
-            .map(|&seed| {
-                let mut sim = *self;
-                sim.seed = seed;
-                sim.simulate_network(arch, net).total_cycles() as f64
-            })
+            .map(|c| c.result.total_cycles() as f64)
             .collect();
         let mean = cycles.iter().sum::<f64>() / cycles.len() as f64;
-        let var = cycles
-            .iter()
-            .map(|c| (c - mean).powi(2))
-            .sum::<f64>()
+        let var = cycles.iter().map(|c| (c - mean).powi(2)).sum::<f64>()
             / (cycles.len() as f64 - 1.0).max(1.0);
         (mean, var.sqrt())
     }
@@ -236,17 +240,38 @@ impl Simulator {
         net: &Network,
         scales: Option<&[f64]>,
     ) -> NetworkResult {
+        self.simulate_network_cached(arch, net, scales, &DecompCache::new())
+    }
+
+    /// [`Self::simulate_network_scaled`] against a shared decomposition
+    /// cache. Sweeps that run one network through several architecture
+    /// variants (fig10/fig11 run five) should share one cache: synthesis
+    /// and decomposition are keyed by `(layer, seed, repr)` and therefore
+    /// paid once per representation instead of once per variant. The result
+    /// is bit-identical with and without the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is provided with a length different from the
+    /// layer count.
+    pub fn simulate_network_cached(
+        &self,
+        arch: &ArchSpec,
+        net: &Network,
+        scales: Option<&[f64]>,
+        cache: &DecompCache,
+    ) -> NetworkResult {
         if let Some(s) = scales {
             assert_eq!(s.len(), net.layers().len(), "one scale per layer");
         }
-        let mut src = SynthSource::new(self.seed);
         let layers: Vec<LayerResult> = net
             .layers()
             .iter()
             .enumerate()
             .map(|(i, l)| {
                 let scale = scales.map_or(1.0, |s| s[i]);
-                self.simulate_layer(arch, l, &mut src, scale)
+                let decomp = self.decompose_layer(l, i, arch.repr, cache);
+                self.simulate_layer_from(arch, l, &decomp, scale)
             })
             .collect();
         let counts: EventCounts = layers.iter().map(|l| l.events).sum();
@@ -260,67 +285,115 @@ impl Simulator {
         }
     }
 
-    /// Simulates one layer. `workload_scale` multiplies the layer's MAC
-    /// workload (1.0 = unscaled).
+    /// Synthesizes (or recalls) the operand tensors of one layer. The RNG
+    /// stream is derived from `(self.seed, layer_index)`, so the result
+    /// does not depend on which other layers have been synthesized.
+    pub fn synthesize_layer(
+        &self,
+        layer: &Layer,
+        layer_index: usize,
+        cache: &DecompCache,
+    ) -> Arc<LayerTensors> {
+        cache.tensors(layer, self.seed, layer_index, self.sample_cap, || {
+            let mut src = SynthSource::for_layer(self.seed, layer_index);
+            let inputs = src.activations(layer, self.sample_cap);
+            let weights = src.weights(layer, self.sample_cap);
+            LayerTensors {
+                input_codes: inputs.codes().data().to_vec(),
+                weight_codes: weights.codes().data().to_vec(),
+            }
+        })
+    }
+
+    /// Measures (or recalls) the slice-decomposition statistics of one
+    /// layer under `repr`.
+    pub fn decompose_layer(
+        &self,
+        layer: &Layer,
+        layer_index: usize,
+        repr: Repr,
+        cache: &DecompCache,
+    ) -> Arc<LayerDecomp> {
+        cache.decomp(layer, self.seed, layer_index, self.sample_cap, repr, || {
+            let tensors = self.synthesize_layer(layer, layer_index, cache);
+            let (ki, kw) = match repr {
+                Repr::Sbr => (
+                    layer.input_precision().sbr_slices(),
+                    layer.weight_precision().sbr_slices(),
+                ),
+                Repr::Conventional => (
+                    layer.input_precision().conv_slices(),
+                    layer.weight_precision().conv_slices(),
+                ),
+            };
+            LayerDecomp {
+                ki,
+                kw,
+                input: OperandStats::measure(&tensors.input_codes, layer.input_precision(), repr),
+                weight: OperandStats::measure(
+                    &tensors.weight_codes,
+                    layer.weight_precision(),
+                    repr,
+                ),
+            }
+        })
+    }
+
+    /// Non-zero fraction per slice order at the architecture's skip
+    /// granularity, derived from cached integer counts with exactly the
+    /// divisions the direct scalar measurement performs.
+    fn nz_fractions(op: &OperandStats, granularity: SkipGranularity) -> Vec<f64> {
+        match granularity {
+            SkipGranularity::Slice => op
+                .planes
+                .iter()
+                .map(|p| 1.0 - p.zero_slices as f64 / p.len.max(1) as f64)
+                .collect(),
+            SkipGranularity::SubWord => op
+                .planes
+                .iter()
+                .map(|p| 1.0 - p.zero_subword_fraction())
+                .collect(),
+            SkipGranularity::ValueSubword => {
+                // A group is skippable only when all four *values* are
+                // zero; every slice order sees the same fraction.
+                let total = op.value_groups.max(1);
+                vec![1.0 - op.zero_value_groups as f64 / total as f64; op.planes.len()]
+            }
+        }
+    }
+
+    /// Simulates one layer from its decomposition statistics.
+    /// `workload_scale` multiplies the layer's MAC workload (1.0 =
+    /// unscaled).
     ///
     /// # Panics
     ///
     /// Panics if `workload_scale` is not positive.
-    pub fn simulate_layer(
+    pub fn simulate_layer_from(
         &self,
         arch: &ArchSpec,
         layer: &Layer,
-        src: &mut SynthSource,
+        decomp: &LayerDecomp,
         workload_scale: f64,
     ) -> LayerResult {
         assert!(workload_scale > 0.0, "workload scale must be positive");
-        let inputs = src.activations(layer, self.sample_cap);
-        let weights = src.weights(layer, self.sample_cap);
-        let (input_planes, weight_planes, ki, kw) = match arch.repr {
-            Repr::Sbr => (
-                sbr::planes(inputs.codes().data(), layer.input_precision()),
-                sbr::planes(weights.codes().data(), layer.weight_precision()),
-                layer.input_precision().sbr_slices(),
-                layer.weight_precision().sbr_slices(),
-            ),
-            Repr::Conventional => (
-                conv::planes(inputs.codes().data(), layer.input_precision()),
-                conv::planes(weights.codes().data(), layer.weight_precision()),
-                layer.input_precision().conv_slices(),
-                layer.weight_precision().conv_slices(),
-            ),
-        };
-        // Non-zero fraction per slice order at the skip granularity.
-        let nz = |planes: &[Vec<i8>], codes: &[i32]| -> Vec<f64> {
-            match arch.granularity {
-                SkipGranularity::Slice => planes
-                    .iter()
-                    .map(|p| {
-                        1.0 - p.iter().filter(|&&d| d == 0).count() as f64 / p.len().max(1) as f64
-                    })
-                    .collect(),
-                SkipGranularity::SubWord => planes
-                    .iter()
-                    .map(|p| 1.0 - zero_subword_fraction(p))
-                    .collect(),
-                SkipGranularity::ValueSubword => {
-                    // A group is skippable only when all four *values* are
-                    // zero; every slice order sees the same fraction.
-                    let groups = codes.chunks(4);
-                    let total = codes.len().div_ceil(4).max(1);
-                    let zeros = groups.filter(|g| g.iter().all(|&v| v == 0)).count();
-                    vec![1.0 - zeros as f64 / total as f64; planes.len()]
-                }
-            }
-        };
-        let nz_input = nz(&input_planes, inputs.codes().data());
-        let nz_weight = nz(&weight_planes, weights.codes().data());
+        let (ki, kw) = (decomp.ki, decomp.kw);
+        let nz_input = Self::nz_fractions(&decomp.input, arch.granularity);
+        let nz_weight = Self::nz_fractions(&decomp.weight, arch.granularity);
 
         // Skip-side decision.
         let skip_side = match arch.policy {
             SkipPolicy::None => SkipSide::None,
             SkipPolicy::InputOnly => SkipSide::Input,
-            SkipPolicy::Hybrid => DsmUnit::new().decide(&input_planes, &weight_planes).side,
+            SkipPolicy::Hybrid => {
+                DsmUnit::new()
+                    .decide_from_sparsity(
+                        decomp.input.subword_sparsity(),
+                        decomp.weight.subword_sparsity(),
+                    )
+                    .side
+            }
         };
 
         // Output speculation (max-pool / softmax reduction layers): the
@@ -340,7 +413,10 @@ impl Simulator {
                     // Most attention rows are peaked enough to speculate on;
                     // the rest complete at full precision.
                     const DOMINANT_ROWS: f64 = 0.9;
-                    ((1, 1), DOMINANT_ROWS * (row_len - c) as f64 / row_len as f64)
+                    (
+                        (1, 1),
+                        DOMINANT_ROWS * (row_len - c) as f64 / row_len as f64,
+                    )
                 }
                 _ => ((0, 0), 0.0),
             };
@@ -373,8 +449,8 @@ impl Simulator {
                     (_, SkipSide::Weight) => nz_weight[ow],
                     (_, SkipSide::None) => 1.0,
                 };
-                let is_pre = oi >= ki.saturating_sub(pre_kept.0)
-                    && ow >= kw.saturating_sub(pre_kept.1);
+                let is_pre =
+                    oi >= ki.saturating_sub(pre_kept.0) && ow >= kw.saturating_sub(pre_kept.1);
                 if speculating && !is_pre {
                     factor *= 1.0 - output_skip_fraction;
                 }
@@ -385,19 +461,9 @@ impl Simulator {
         let compute_cycles = compute_cycles.ceil() as u64;
 
         // External-memory traffic: compressed inputs/weights, raw outputs.
-        let input_bits = (self.stored_bits(
-            &input_planes,
-            inputs.codes().len(),
-            layer.kind().input_len(),
-            arch,
-        ) as f64
+        let input_bits = (Self::stored_bits(&decomp.input, layer.kind().input_len(), arch) as f64
             * layer.dram_input_fraction()) as u64;
-        let weight_bits = self.stored_bits(
-            &weight_planes,
-            weights.codes().len(),
-            layer.kind().weight_len(),
-            arch,
-        );
+        let weight_bits = Self::stored_bits(&decomp.weight, layer.kind().weight_len(), arch);
         let output_bits =
             layer.kind().output_len() as u64 * u64::from(layer.input_precision().bits());
         let dram_bits = input_bits + weight_bits + output_bits;
@@ -447,27 +513,23 @@ impl Simulator {
     }
 
     /// Stored size in bits of a tensor under the architecture's compression
-    /// mode, extrapolated from the sampled planes to the full tensor.
-    fn stored_bits(
-        &self,
-        planes: &[Vec<i8>],
-        sampled: usize,
-        full_len: usize,
-        arch: &ArchSpec,
-    ) -> u64 {
-        let codec = RleCodec::default();
+    /// mode, extrapolated from the sampled planes to the full tensor. The
+    /// RLE sizes come from the cached entry counts, which are bit-exact
+    /// with `RleCodec::default().compress(..).size_bits()`.
+    fn stored_bits(op: &OperandStats, full_len: usize, arch: &ArchSpec) -> u64 {
+        let entry_bits = SUBWORD_BITS + usize::from(DMU_INDEX_BITS);
         let mut bits = 0f64;
-        for plane in planes {
-            let words = to_subwords(plane);
-            let raw = words.len() * SUBWORD_BITS;
+        for plane in &op.planes {
+            let raw = plane.subwords * SUBWORD_BITS;
+            let rle = plane.rle_entries * entry_bits;
             let stored = match arch.compression {
                 CompressionMode::None => raw,
-                CompressionMode::Rle => codec.compress(&words).size_bits(),
-                CompressionMode::Hybrid => codec.compress(&words).size_bits().min(raw),
+                CompressionMode::Rle => rle,
+                CompressionMode::Hybrid => rle.min(raw),
             };
             bits += stored as f64;
         }
-        let scale = full_len as f64 / sampled.max(1) as f64;
+        let scale = full_len as f64 / op.sampled.max(1) as f64;
         (bits * scale).ceil() as u64
     }
 }
@@ -513,7 +575,10 @@ mod tests {
         assert!(s_hnpu > 1.0, "hnpu {s_hnpu}");
         assert!(s_sibia > s_hnpu, "sibia {s_sibia} vs hnpu {s_hnpu}");
         // Dense (ELU) data: HNPU gains little, Sibia gains a lot.
-        assert!(s_hnpu < 2.2, "hnpu should gain little on dense data: {s_hnpu}");
+        assert!(
+            s_hnpu < 2.2,
+            "hnpu should gain little on dense data: {s_hnpu}"
+        );
         assert!(s_sibia > 1.8, "sibia {s_sibia}");
     }
 
@@ -560,8 +625,7 @@ mod tests {
         let sim = Simulator::new(13);
         let net = small_net();
         let full = sim.simulate_network(&ArchSpec::bit_fusion(), &net);
-        let scaled =
-            sim.simulate_network_scaled(&ArchSpec::bit_fusion(), &net, Some(&[1.0, 0.25]));
+        let scaled = sim.simulate_network_scaled(&ArchSpec::bit_fusion(), &net, Some(&[1.0, 0.25]));
         assert!(scaled.total_cycles() < full.total_cycles());
         assert_eq!(scaled.layers[1].macs, full.layers[1].macs / 4);
     }
@@ -609,7 +673,8 @@ mod tests {
         // coefficient of variation stays within a few percent.
         let sim = Simulator::new(0);
         let net = small_net();
-        let (mean, std) = sim.simulate_network_multi(&ArchSpec::sibia_hybrid(), &net, &[1, 2, 3, 4, 5]);
+        let (mean, std) =
+            sim.simulate_network_multi(&ArchSpec::sibia_hybrid(), &net, &[1, 2, 3, 4, 5]);
         assert!(mean > 0.0);
         // The tiny two-layer test net is the worst case; real benchmarks
         // average over many layers and land well below this.

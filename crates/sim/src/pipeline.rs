@@ -113,8 +113,8 @@ impl PipelineSim {
             }
             // Deterministic proportional interleave of the remaining zero
             // and non-zero sub-words.
-            let take_zero = zeros_left * 2 > nonzero_left + zeros_left
-                || (nonzero_left == 0 && zeros_left > 0);
+            let take_zero =
+                zeros_left * 2 > nonzero_left + zeros_left || (nonzero_left == 0 && zeros_left > 0);
             if take_zero {
                 zeros_left -= 1; // dropped at the skip unit, no MAC issue
             } else {

@@ -35,7 +35,8 @@ pub fn network_csv(result: &NetworkResult) -> String {
 
 /// Renders a [`DetailedTrace`]'s per-pass rows as CSV (with header).
 pub fn detailed_csv(trace: &DetailedTrace) -> String {
-    let mut out = String::from("layer,input_order,weight_order,cycles,nonzero_fraction,fetch_stalls\n");
+    let mut out =
+        String::from("layer,input_order,weight_order,cycles,nonzero_fraction,fetch_stalls\n");
     for p in &trace.passes {
         writeln!(
             out,

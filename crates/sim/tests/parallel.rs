@@ -1,0 +1,148 @@
+//! Determinism of the parallel grid engine.
+//!
+//! The acceptance bar for `sim::parallel` is not "statistically close": a
+//! grid simulated with any worker count must be **byte-identical** to a
+//! serial walk of the same cells. That holds because (1) each layer's RNG
+//! stream is derived from `(seed, layer_index)` rather than draw order, and
+//! (2) the cycle model computes every float from cached integer counts with
+//! a fixed division order, so neither scheduling nor cache hits can perturb
+//! a result. `NetworkResult` contains `f64`s; `assert_eq!` on it therefore
+//! checks bit-level float equality.
+
+use sibia_nn::network::{DensityClass, TaskDomain};
+use sibia_nn::{Activation, Layer, Network};
+use sibia_sim::{ArchSpec, DecompCache, ParallelEngine, Simulator};
+
+fn nets() -> Vec<Network> {
+    vec![
+        Network::new(
+            "det-dense",
+            TaskDomain::Vision2d,
+            DensityClass::Dense,
+            vec![
+                Layer::conv2d("c1", 16, 24, 3, 1, 1, 12)
+                    .with_activation(Activation::ELU_1)
+                    .with_input_sparsity(0.15),
+                Layer::conv2d("c2", 24, 24, 3, 1, 1, 12)
+                    .with_activation(Activation::Gelu)
+                    .with_input_sparsity(0.1),
+                Layer::linear("fc", 24, 64, 10).with_activation(Activation::Identity),
+            ],
+        ),
+        Network::new(
+            "det-sparse",
+            TaskDomain::Vision2d,
+            DensityClass::Sparse,
+            vec![
+                Layer::conv2d("c1", 8, 16, 3, 1, 1, 16)
+                    .with_activation(Activation::Relu)
+                    .with_input_sparsity(0.5),
+                Layer::conv2d("c2", 16, 16, 3, 1, 1, 16)
+                    .with_activation(Activation::Relu)
+                    .with_input_sparsity(0.6),
+            ],
+        ),
+    ]
+}
+
+fn archs() -> Vec<ArchSpec> {
+    vec![
+        ArchSpec::bit_fusion(),
+        ArchSpec::hnpu(),
+        ArchSpec::sibia_no_sbr(),
+        ArchSpec::sibia_hybrid(),
+    ]
+}
+
+fn small_sim() -> Simulator {
+    let mut sim = Simulator::new(0);
+    sim.sample_cap = 4096;
+    sim
+}
+
+#[test]
+fn grid_is_bit_identical_to_serial_at_every_thread_count() {
+    let sim = small_sim();
+    let archs = archs();
+    let nets = nets();
+    let seeds = [1u64, 2, 42];
+
+    // Serial reference: plain per-cell simulation, no sharing, no pool.
+    let mut serial = Vec::new();
+    for arch in &archs {
+        for net in &nets {
+            for &seed in &seeds {
+                let mut cell_sim = sim;
+                cell_sim.seed = seed;
+                serial.push(cell_sim.simulate_network(arch, net));
+            }
+        }
+    }
+
+    for threads in [1usize, 2, 8] {
+        let grid = ParallelEngine::with_threads(threads).simulate_grid(&sim, &archs, &nets, &seeds);
+        assert_eq!(grid.cells().len(), serial.len());
+        for (cell, reference) in grid.cells().iter().zip(&serial) {
+            // Full-struct equality: every cycle count, every f64 energy
+            // term, every per-layer result, bit for bit.
+            assert_eq!(
+                &cell.result, reference,
+                "threads={threads} arch={} net={} seed={}",
+                cell.arch_index, cell.network_index, cell.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_cache_does_not_perturb_results() {
+    let sim = small_sim();
+    let cache = DecompCache::new();
+    let net = &nets()[0];
+    for arch in archs() {
+        let cached = sim.simulate_network_cached(&arch, net, None, &cache);
+        let fresh = sim.simulate_network(&arch, net);
+        assert_eq!(cached, fresh, "arch={}", arch.name);
+    }
+    // Two representations were exercised → exactly two decomps per layer,
+    // one tensor entry per layer.
+    assert_eq!(cache.tensor_entries(), net.layers().len());
+    assert_eq!(cache.decomp_entries(), 2 * net.layers().len());
+}
+
+#[test]
+fn multi_seed_summary_matches_manual_serial_walk() {
+    let sim = small_sim();
+    let net = &nets()[1];
+    let arch = ArchSpec::sibia_hybrid();
+    let seeds = [3u64, 5, 7, 11];
+    let (mean, std) = sim.simulate_network_multi(&arch, net, &seeds);
+    let cycles: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let mut cell = sim;
+            cell.seed = s;
+            cell.simulate_network(&arch, net).total_cycles() as f64
+        })
+        .collect();
+    let m = cycles.iter().sum::<f64>() / cycles.len() as f64;
+    let v = cycles.iter().map(|c| (c - m).powi(2)).sum::<f64>() / (cycles.len() as f64 - 1.0);
+    assert_eq!(mean, m);
+    assert_eq!(std, v.sqrt());
+}
+
+#[test]
+fn layer_order_does_not_change_layer_tensors() {
+    // Per-layer RNG derivation: simulating a single layer in isolation
+    // must reproduce the same result the layer gets inside a network walk.
+    let sim = small_sim();
+    let arch = ArchSpec::sibia_hybrid();
+    let net = &nets()[0];
+    let whole = sim.simulate_network(&arch, net);
+    for (i, layer) in net.layers().iter().enumerate() {
+        let cache = DecompCache::new();
+        let decomp = sim.decompose_layer(layer, i, arch.repr, &cache);
+        let alone = sim.simulate_layer_from(&arch, layer, &decomp, 1.0);
+        assert_eq!(alone, whole.layers[i], "layer {i}");
+    }
+}

@@ -58,7 +58,10 @@ impl Speculator {
     ///
     /// Panics if either kept count is zero.
     pub fn new(repr: SliceRepr, input_kept: usize, weight_kept: usize) -> Self {
-        assert!(input_kept > 0 && weight_kept > 0, "must keep at least one slice");
+        assert!(
+            input_kept > 0 && weight_kept > 0,
+            "must keep at least one slice"
+        );
         Self {
             repr,
             input_kept,

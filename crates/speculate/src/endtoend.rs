@@ -59,7 +59,12 @@ impl PointNetLite {
     /// Requantizes accumulator-precision values back to the network
     /// precision by a power-of-two shift (integer-only inter-layer scaling).
     fn requantize(&self, acc: &[i64]) -> Vec<i32> {
-        let max = acc.iter().map(|v| v.unsigned_abs()).max().unwrap_or(0).max(1);
+        let max = acc
+            .iter()
+            .map(|v| v.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let limit = self.precision.max_magnitude() as u64;
         let mut shift = 0u32;
         while (max >> shift) > limit {
@@ -136,8 +141,7 @@ impl PointNetLite {
             .map(|s1q| {
                 (0..self.h)
                     .map(|j| {
-                        let col: Vec<i32> =
-                            (0..self.h).map(|i| self.w2[i * self.h + j]).collect();
+                        let col: Vec<i32> = (0..self.h).map(|i| self.w2[i * self.h + j]).collect();
                         spec.speculate_dot(s1q, &col, self.precision, self.precision)
                     })
                     .collect()
@@ -213,11 +217,11 @@ pub fn pooling_error_stats(
         for j in 0..net.hidden() {
             let exact: Vec<i64> = s1.iter().map(|s| net.stage2_exact(s, j)).collect();
             let true_max = *exact.iter().max().expect("non-empty cloud");
-            let col: Vec<i32> = (0..net.hidden()).map(|i| net.w2[i * net.hidden() + j]).collect();
+            let col: Vec<i32> = (0..net.hidden())
+                .map(|i| net.w2[i * net.hidden() + j])
+                .collect();
             let mut idx: Vec<usize> = (0..s1.len()).collect();
-            idx.sort_by_key(|&q_| {
-                std::cmp::Reverse(spec.speculate_dot(&s1[q_], &col, p, p))
-            });
+            idx.sort_by_key(|&q_| std::cmp::Reverse(spec.speculate_dot(&s1[q_], &col, p, p)));
             let got = idx
                 .iter()
                 .take(candidates.min(s1.len()))

@@ -40,7 +40,11 @@ impl PoolConfig {
 
 impl fmt::Display for PoolConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}-to-1 pool, {} candidates", self.group, self.candidates)
+        write!(
+            f,
+            "{}-to-1 pool, {} candidates",
+            self.group, self.candidates
+        )
     }
 }
 

@@ -37,7 +37,11 @@ impl SoftmaxConfig {
 
 impl fmt::Display for SoftmaxConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "softmax rows of {}, margin {}", self.row_len, self.dominance_margin)
+        write!(
+            f,
+            "softmax rows of {}, margin {}",
+            self.row_len, self.dominance_margin
+        )
     }
 }
 

@@ -18,7 +18,10 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Self { stride: 1, padding: 0 }
+        Self {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ pub fn matmul(a: &Tensor<i32>, b: &Tensor<i32>) -> Tensor<i64> {
 /// padded input.
 pub fn conv2d(input: &Tensor<i32>, weight: &Tensor<i32>, params: Conv2dParams) -> Tensor<i64> {
     assert_eq!(input.shape().rank(), 3, "conv2d input must be [C,H,W]");
-    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be [Co,Ci,KH,KW]");
+    assert_eq!(
+        weight.shape().rank(),
+        4,
+        "conv2d weight must be [Co,Ci,KH,KW]"
+    );
     let (ci, h, w) = (
         input.shape().dim(0),
         input.shape().dim(1),
@@ -116,11 +123,7 @@ pub fn conv2d(input: &Tensor<i32>, weight: &Tensor<i32>, params: Conv2dParams) -
 /// # Panics
 ///
 /// Panics if `input` is not rank 3 or the kernel does not fit.
-pub fn im2col(
-    input: &Tensor<i32>,
-    kernel: (usize, usize),
-    params: Conv2dParams,
-) -> Tensor<i32> {
+pub fn im2col(input: &Tensor<i32>, kernel: (usize, usize), params: Conv2dParams) -> Tensor<i32> {
     assert_eq!(input.shape().rank(), 3, "im2col input must be [C,H,W]");
     let (ci, h, w) = (
         input.shape().dim(0),
@@ -337,11 +340,25 @@ mod tests {
     fn conv2d_padding_and_stride() {
         let x = Tensor::from_vec(vec![1, 2, 3, 4], Shape::new(&[1, 2, 2]));
         let w = Tensor::from_vec(vec![1; 9], Shape::new(&[1, 1, 3, 3]));
-        let y = conv2d(&x, &w, Conv2dParams { stride: 1, padding: 1 });
+        let y = conv2d(
+            &x,
+            &w,
+            Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        );
         assert_eq!(y.shape().dims(), &[1, 2, 2]);
         // Each output sums the in-bounds neighbourhood.
         assert_eq!(y.data(), &[10, 10, 10, 10]);
-        let ys = conv2d(&x, &w, Conv2dParams { stride: 2, padding: 1 });
+        let ys = conv2d(
+            &x,
+            &w,
+            Conv2dParams {
+                stride: 2,
+                padding: 1,
+            },
+        );
         assert_eq!(ys.shape().dims(), &[1, 1, 1]);
         assert_eq!(ys.data(), &[10]);
     }
@@ -358,11 +375,11 @@ mod tests {
     #[test]
     fn im2col_matches_conv2d() {
         let x = Tensor::from_vec((1..=18).collect(), Shape::new(&[2, 3, 3]));
-        let w = Tensor::from_vec(
-            vec![1, -1, 2, -2, 3, -3, 4, -4],
-            Shape::new(&[1, 2, 2, 2]),
-        );
-        let params = Conv2dParams { stride: 1, padding: 1 };
+        let w = Tensor::from_vec(vec![1, -1, 2, -2, 3, -3, 4, -4], Shape::new(&[1, 2, 2, 2]));
+        let params = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
         let direct = conv2d(&x, &w, params);
         let cols = im2col(&x, (2, 2), params);
         let wf = Tensor::from_vec(w.data().to_vec(), Shape::new(&[1, 8]));
@@ -415,19 +432,38 @@ mod tests {
         // conv2d with padding == conv2d of pad2d'd input with no padding.
         let x = Tensor::from_vec((1..=8).collect(), Shape::new(&[2, 2, 2]));
         let w = Tensor::from_vec(vec![1, -1, 2, -2, 3, -3, 4, -4], Shape::new(&[1, 2, 2, 2]));
-        let with_pad = conv2d(&x, &w, Conv2dParams { stride: 1, padding: 1 });
+        let with_pad = conv2d(
+            &x,
+            &w,
+            Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        );
         let pre_padded = conv2d(&pad2d(&x, 1), &w, Conv2dParams::default());
         assert_eq!(with_pad.data(), pre_padded.data());
     }
 
     #[test]
     fn batched_matmul_matches_per_batch() {
-        let a = Tensor::from_vec((0..2 * 2 * 3).map(|i| i - 5).collect(), Shape::new(&[2, 2, 3]));
-        let b = Tensor::from_vec((0..2 * 3 * 2).map(|i| i * 2 - 6).collect(), Shape::new(&[2, 3, 2]));
+        let a = Tensor::from_vec(
+            (0..2 * 2 * 3).map(|i| i - 5).collect(),
+            Shape::new(&[2, 2, 3]),
+        );
+        let b = Tensor::from_vec(
+            (0..2 * 3 * 2).map(|i| i * 2 - 6).collect(),
+            Shape::new(&[2, 3, 2]),
+        );
         let batched = batched_matmul(&a, &b);
         for batch in 0..2 {
-            let am = Tensor::from_vec(a.data()[batch * 6..(batch + 1) * 6].to_vec(), Shape::new(&[2, 3]));
-            let bm = Tensor::from_vec(b.data()[batch * 6..(batch + 1) * 6].to_vec(), Shape::new(&[3, 2]));
+            let am = Tensor::from_vec(
+                a.data()[batch * 6..(batch + 1) * 6].to_vec(),
+                Shape::new(&[2, 3]),
+            );
+            let bm = Tensor::from_vec(
+                b.data()[batch * 6..(batch + 1) * 6].to_vec(),
+                Shape::new(&[3, 2]),
+            );
             assert_eq!(
                 &batched.data()[batch * 4..(batch + 1) * 4],
                 matmul(&am, &bm).data()

@@ -16,7 +16,11 @@ fn main() {
     let quantizer = Quantizer::fit(&raw, Precision::BITS7);
     let codes = quantizer.quantize_all(&raw);
     let baseline_bits = codes.len() * 7;
-    println!("tile: {} values at 7-bit = {} bits baseline", codes.len(), baseline_bits);
+    println!(
+        "tile: {} values at 7-bit = {} bits baseline",
+        codes.len(),
+        baseline_bits
+    );
 
     // The SBR unit streams the values through its borrow/lend registers.
     let unit = SbrUnit::new(Precision::BITS7);

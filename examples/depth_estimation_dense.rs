@@ -17,8 +17,16 @@ fn main() {
 
     // ── Per-region skipping behaviour ───────────────────────────────────
     let sibia = Accelerator::sibia().run_network(&net);
-    let enc: Vec<_> = sibia.layers.iter().filter(|l| l.name.starts_with("layer")).collect();
-    let dec: Vec<_> = sibia.layers.iter().filter(|l| l.name.starts_with("dec")).collect();
+    let enc: Vec<_> = sibia
+        .layers
+        .iter()
+        .filter(|l| l.name.starts_with("layer"))
+        .collect();
+    let dec: Vec<_> = sibia
+        .layers
+        .iter()
+        .filter(|l| l.name.starts_with("dec"))
+        .collect();
     let mean_work = |ls: &[&sibia::sim::LayerResult]| {
         ls.iter().map(|l| l.work_fraction).sum::<f64>() / ls.len() as f64
     };
@@ -30,14 +38,18 @@ fn main() {
 
     // ── Compression of the dense ELU decoder activations ────────────────
     let mut src = SynthSource::new(7);
-    let dec_layer = net.layers().iter().find(|l| l.name() == "dec1.iconv").unwrap();
+    let dec_layer = net
+        .layers()
+        .iter()
+        .find(|l| l.name() == "dec1.iconv")
+        .unwrap();
     let acts = src.activations(dec_layer, 32_768);
-    for mode in [CompressionMode::None, CompressionMode::Rle, CompressionMode::Hybrid] {
-        let r = CompressionReport::analyze(
-            acts.codes().data(),
-            dec_layer.input_precision(),
-            mode,
-        );
+    for mode in [
+        CompressionMode::None,
+        CompressionMode::Rle,
+        CompressionMode::Hybrid,
+    ] {
+        let r = CompressionReport::analyze(acts.codes().data(), dec_layer.input_precision(), mode);
         println!("  decoder activations, {mode}: ratio {:.2}x", r.ratio());
     }
 

@@ -12,7 +12,10 @@ use sibia::speculate::SliceRepr;
 fn main() {
     // ── Speculation accuracy: balanced vs unbalanced slices ─────────────
     println!("32-to-1 max-pool speculation success (4-bit/4-bit pre-compute):");
-    println!("{:>6}  {:>14}  {:>14}", "cand", "signed (SBR)", "conventional");
+    println!(
+        "{:>6}  {:>14}  {:>14}",
+        "cand", "signed (SBR)", "conventional"
+    );
     for candidates in [1usize, 2, 4, 8] {
         let sc = MaxPoolScenario::votenet_32to1(candidates);
         let sbr = sc.run(SliceRepr::Signed);

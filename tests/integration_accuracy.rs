@@ -67,7 +67,10 @@ fn speculation_orderings_hold_end_to_end() {
         };
         let sbr = sc.run(SliceRepr::Signed);
         let conv = sc.run(SliceRepr::Conventional);
-        assert!(sbr.success_rate >= conv.success_rate - 0.02, "candidates={candidates}");
+        assert!(
+            sbr.success_rate >= conv.success_rate - 0.02,
+            "candidates={candidates}"
+        );
         assert!(sbr.success_rate >= last_sbr - 0.02);
         last_sbr = sbr.success_rate;
     }

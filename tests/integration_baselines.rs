@@ -1,8 +1,8 @@
 //! Baseline-comparison integration: the paper's headline orderings hold on
 //! the real benchmark networks (Fig. 10, Fig. 11, Table I shapes).
 
-use sibia::prelude::*;
 use sibia::nn::zoo::{self, GlueTask};
+use sibia::prelude::*;
 
 fn run(arch: ArchSpec, net: &Network) -> NetworkResult {
     Accelerator::from_spec(arch)
@@ -110,7 +110,11 @@ fn table1_peak_ordering() {
     assert!(sibia.efficiency_tops_w() > 1.7 * bf.efficiency_tops_w());
     // Absolute ballpark: BF ≈ 144 GOPS at 7-bit in the paper; the revised
     // core's dense 7-bit rate is 768/4 × utilization.
-    assert!((100.0..=250.0).contains(&bf.throughput_gops()), "{}", bf.throughput_gops());
+    assert!(
+        (100.0..=250.0).contains(&bf.throughput_gops()),
+        "{}",
+        bf.throughput_gops()
+    );
 }
 
 /// Output skipping monotonically increases throughput as candidates shrink
@@ -122,7 +126,11 @@ fn output_skip_candidate_sweep_is_monotone() {
         for candidates in [16usize, 8, 4, 2] {
             let r = run(ArchSpec::sibia_output_skip(candidates), &net);
             let cycles = r.total_cycles() as f64;
-            assert!(cycles <= last * 1.001, "{}: candidates={candidates}", net.name());
+            assert!(
+                cycles <= last * 1.001,
+                "{}: candidates={candidates}",
+                net.name()
+            );
             last = cycles;
         }
     }

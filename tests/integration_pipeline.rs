@@ -60,9 +60,7 @@ fn pe_skip_counts_match_compressed_stream() {
     for order in 0..2 {
         for c in 0..k {
             let sw: Vec<i8> = (0..4)
-                .map(|s| {
-                    sbr::planes(&[a.data()[s * k + c]], Precision::BITS7)[order][0]
-                })
+                .map(|s| sbr::planes(&[a.data()[s * k + c]], Precision::BITS7)[order][0])
                 .collect();
             if sw.iter().all(|&d| d == 0) {
                 zero_subwords += 1;
@@ -134,8 +132,13 @@ fn all_networks_run_on_all_architectures() {
             assert!(r.total_cycles() > 0, "{} on {}", arch.name, net.name());
             assert!(r.throughput_gops() > 0.0);
             assert!(r.energy.total_pj() > 0.0);
-            assert!(r.power_mw() > 1.0 && r.power_mw() < 5_000.0,
-                "{} on {}: {} mW", arch.name, net.name(), r.power_mw());
+            assert!(
+                r.power_mw() > 1.0 && r.power_mw() < 5_000.0,
+                "{} on {}: {} mW",
+                arch.name,
+                net.name(),
+                r.power_mw()
+            );
         }
     }
 }

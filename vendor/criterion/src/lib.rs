@@ -1,0 +1,155 @@
+//! Minimal, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! The build container has no network access, so the real `criterion` cannot
+//! be fetched. This vendored stand-in keeps the bench files
+//! source-compatible: `b.iter(..)` times an adaptive number of iterations
+//! and each benchmark prints a single `name: median ns/iter` line. There are
+//! no statistical comparisons, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Iterations used to estimate the per-iteration cost before measuring.
+const PROBE_ITERS: u32 = 3;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group; the stand-in only uses the name as an id prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, adapting the iteration count to [`TARGET`].
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Probe to size the measured batch.
+        let probe_start = Instant::now();
+        for _ in 0..PROBE_ITERS {
+            black_box(f());
+        }
+        let per_iter = probe_start.elapsed().as_secs_f64() / f64::from(PROBE_ITERS);
+        let iters = ((TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.nanos_per_iter = Some(total * 1e9 / iters as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.nanos_per_iter {
+        Some(ns) if ns >= 1e6 => println!("{id:<50} {:>12.3} ms/iter", ns / 1e6),
+        Some(ns) if ns >= 1e3 => println!("{id:<50} {:>12.3} µs/iter", ns / 1e3),
+        Some(ns) => println!("{id:<50} {:>12.1} ns/iter", ns),
+        None => println!("{id:<50} (no measurement)"),
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.nanos_per_iter.is_some());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}
