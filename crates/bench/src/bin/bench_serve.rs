@@ -1,0 +1,217 @@
+//! Load generator for the serve daemon.
+//!
+//! Opens many concurrent client connections, drives a mixed
+//! encode/simulate/ping workload through each, and reports throughput plus
+//! *exact* client-side latency percentiles (every request is individually
+//! timed; no histogram rounding) to `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--addr HOST:PORT] [--connections N] [--requests N] [--sample-cap N]
+//! ```
+//!
+//! Without `--addr` an in-process daemon is started on an ephemeral port
+//! (queue sized to the connection count so the bench measures service time,
+//! not admission rejections). Typed server errors (e.g. `overloaded`) are
+//! counted but tolerated; **protocol** errors — malformed responses, broken
+//! framing, id mismatches — fail the run with a non-zero exit code.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use sibia_serve::json::Json;
+use sibia_serve::server::{ServeConfig, Server};
+use sibia_serve::{Client, ClientError};
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    requests: usize,
+    sample_cap: usize,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    Args {
+        addr: flag_value(&args, "--addr"),
+        connections: flag_value(&args, "--connections")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100),
+        requests: flag_value(&args, "--requests")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20),
+        sample_cap: flag_value(&args, "--sample-cap")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512),
+    }
+}
+
+/// Per-connection tallies.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    server_errors: u64,
+    protocol_errors: u64,
+    latencies: Vec<Duration>,
+}
+
+/// The workload one connection runs: a rotating encode/simulate/ping mix,
+/// seeds and payloads varied per connection so the shared cache sees both
+/// hits and misses.
+fn drive(addr: &str, conn: usize, requests: usize, sample_cap: usize) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.protocol_errors += requests as u64;
+            return tally;
+        }
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_secs(120)));
+    let archs = ["sibia", "bitfusion", "hnpu", "no-sbr", "input-skip"];
+    let payload: Vec<i32> = (0..256)
+        .map(|i| ((i * 37 + conn) % 127) as i32 - 63)
+        .collect();
+    for r in 0..requests {
+        let t = Instant::now();
+        let outcome = match r % 4 {
+            0 => client.simulate(
+                archs[(conn + r) % archs.len()],
+                "dgcnn",
+                (conn % 3) as u64 + 1,
+                Some(sample_cap),
+            ),
+            1 => client.encode(&payload, 7, Some(3)),
+            2 => client.simulate("sibia", "alexnet", (conn % 2) as u64 + 1, Some(sample_cap)),
+            _ => client.ping(),
+        };
+        let elapsed = t.elapsed();
+        match outcome {
+            Ok(_) => {
+                tally.ok += 1;
+                tally.latencies.push(elapsed);
+            }
+            Err(ClientError::Server(_)) => tally.server_errors += 1,
+            Err(ClientError::Io(_) | ClientError::Protocol(_)) => {
+                tally.protocol_errors += 1;
+                return tally; // the connection is unusable
+            }
+        }
+    }
+    tally
+}
+
+/// Exact quantile from a sorted latency list: the rank-`ceil(q*n)` sample.
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // In-process daemon unless aimed at an external one.
+    let local = if args.addr.is_none() {
+        let server = Server::start(ServeConfig {
+            queue_capacity: args.connections.max(64),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        Some(server)
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .clone()
+        .unwrap_or_else(|| local.as_ref().expect("local server").addr().to_string());
+
+    println!(
+        "bench_serve: {} connections x {} requests against {addr} (sample_cap {})",
+        args.connections, args.requests, args.sample_cap
+    );
+
+    let barrier = Arc::new(Barrier::new(args.connections));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.connections)
+        .map(|conn| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let requests = args.requests;
+            let sample_cap = args.sample_cap;
+            std::thread::spawn(move || {
+                barrier.wait();
+                drive(&addr, conn, requests, sample_cap)
+            })
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    let mut server_errors = 0u64;
+    let mut protocol_errors = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for h in handles {
+        let t = h.join().expect("connection thread");
+        ok += t.ok;
+        server_errors += t.server_errors;
+        protocol_errors += t.protocol_errors;
+        latencies.extend(t.latencies);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let throughput = ok as f64 / wall_s;
+    let p50 = quantile_ms(&latencies, 0.5);
+    let p99 = quantile_ms(&latencies, 0.99);
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / latencies.len() as f64 * 1e3
+    };
+
+    println!("  ok {ok}  server_errors {server_errors}  protocol_errors {protocol_errors}");
+    println!("  wall {wall_s:.2}s  throughput {throughput:.0} req/s");
+    println!("  latency ms: mean {mean:.2}  p50 {p50:.2}  p99 {p99:.2}");
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::from("serve_load")),
+        ("connections", Json::from(args.connections)),
+        ("requests_per_connection", Json::from(args.requests)),
+        ("sample_cap", Json::from(args.sample_cap)),
+        ("ok", Json::from(ok)),
+        ("server_errors", Json::from(server_errors)),
+        ("protocol_errors", Json::from(protocol_errors)),
+        ("wall_s", Json::from(wall_s)),
+        ("throughput_rps", Json::from(throughput)),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("mean", Json::from(mean)),
+                ("p50", Json::from(p50)),
+                ("p99", Json::from(p99)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_serve.json", format!("{report}\n")).expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+
+    if let Some(server) = local {
+        server.shutdown();
+        println!("  in-process daemon drained");
+    }
+
+    if protocol_errors > 0 {
+        eprintln!("bench_serve: {protocol_errors} protocol errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

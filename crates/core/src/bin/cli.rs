@@ -6,6 +6,7 @@
 //! sibia-cli sparsity <network>            slice-sparsity report
 //! sibia-cli simulate <network> [--arch A] run the performance simulator
 //! sibia-cli compare <network>             all architectures side by side
+//! sibia-cli serve [--port P]              NDJSON simulation daemon
 //! ```
 
 use std::env;
@@ -15,20 +16,15 @@ use sibia::nn::zoo;
 use sibia::prelude::*;
 use sibia::sbr::conv::MsbSlices;
 use sibia::sbr::stats::SparsityReport;
+use sibia::serve::server::{ServeConfig, Server};
 
 fn find_network(name: &str) -> Option<Network> {
     zoo::by_name(name)
 }
 
+// One registry for CLI and daemon: the protocol module owns the names.
 fn arch_by_name(name: &str) -> Option<ArchSpec> {
-    Some(match name {
-        "bitfusion" | "bit-fusion" => ArchSpec::bit_fusion(),
-        "hnpu" => ArchSpec::hnpu(),
-        "sibia" | "hybrid" => ArchSpec::sibia_hybrid(),
-        "input-skip" => ArchSpec::sibia_input_skip(),
-        "no-sbr" => ArchSpec::sibia_no_sbr(),
-        _ => return None,
-    })
+    sibia::serve::protocol::arch_by_name(name)
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -48,8 +44,10 @@ fn usage() -> ExitCode {
          \x20 simulate <network> [--arch A] [--seed S]\n\
          \x20                                    run the cycle/energy simulator\n\
          \x20 compare <network> [--seed S]       all architectures side by side\n\
+         \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
+         \x20                                    newline-delimited-JSON simulation daemon\n\
          \n\
-         architectures: bitfusion, hnpu, no-sbr, input-skip, sibia"
+         architectures: bitfusion, hnpu, no-sbr, input-skip, sibia, output-skip"
     );
     ExitCode::FAILURE
 }
@@ -189,6 +187,44 @@ fn main() -> ExitCode {
                     r.speedup_over(&bf)
                 );
             }
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let port = match flag_value(&args, "--port") {
+                Some(p) => match p.parse() {
+                    Ok(port) => port,
+                    Err(_) => {
+                        eprintln!("serve: invalid --port {p}");
+                        return usage();
+                    }
+                },
+                None => 7878,
+            };
+            let defaults = ServeConfig::default();
+            let config = ServeConfig {
+                port,
+                host: flag_value(&args, "--host").unwrap_or_else(|| defaults.host.clone()),
+                workers: flag_value(&args, "--threads")
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(defaults.workers),
+                queue_capacity: flag_value(&args, "--queue")
+                    .and_then(|q| q.parse().ok())
+                    .unwrap_or(defaults.queue_capacity),
+                cache_capacity: flag_value(&args, "--cache-entries")
+                    .and_then(|c| c.parse().ok())
+                    .unwrap_or(defaults.cache_capacity),
+                engine_threads: defaults.engine_threads,
+            };
+            let server = match Server::start(config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: bind failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("sibia-serve listening on {}", server.addr());
+            server.run_until_signalled();
+            println!("shutdown complete");
             ExitCode::SUCCESS
         }
         _ => usage(),

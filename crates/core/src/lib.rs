@@ -40,11 +40,13 @@
 //! | [`arch`] | hardware config, area/energy models, NoC, DSM |
 //! | [`speculate`] | bit-slice output speculation |
 //! | [`sim`] | functional PE datapath + cycle/energy simulators |
+//! | [`serve`] | the std-only accelerator-as-a-service TCP daemon |
 
 pub use sibia_arch as arch;
 pub use sibia_compress as compress;
 pub use sibia_nn as nn;
 pub use sibia_sbr as sbr;
+pub use sibia_serve as serve;
 pub use sibia_sim as sim;
 pub use sibia_speculate as speculate;
 pub use sibia_tensor as tensor;

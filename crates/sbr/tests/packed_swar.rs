@@ -1,0 +1,128 @@
+//! Property tests pinning the SWAR kernels in `sbr::packed` to independent
+//! scalar per-`i8` references.
+//!
+//! The packed plane answers three questions — zero slices, zero sub-words,
+//! RLE entry count — with branch-free word arithmetic; the simulator's
+//! sparsity accounting is only correct if those answers are *exactly* the
+//! scalar definitions. Each property below recomputes the count the slow,
+//! obvious way from the raw digit plane and demands equality, over random
+//! planes in the full packable digit range `[-8, 15]` plus the adversarial
+//! uniform planes (all-zero, all `-8` — the digit whose nibble pattern
+//! `1000` has no set low bits beyond bit 3).
+
+use proptest::prelude::*;
+use sibia_sbr::packed::{zero_digit_count, zero_subword_count_unpacked, PackedPlane};
+use sibia_sbr::subword::SUBWORD_LANES;
+
+/// Scalar reference: zero digits, one `i8` at a time.
+fn ref_zero_slices(plane: &[i8]) -> usize {
+    plane.iter().filter(|&&d| d == 0).count()
+}
+
+/// Scalar reference: zero sub-words over `SUBWORD_LANES`-digit groups, the
+/// tail group zero-padded (a partial group is zero iff its present digits
+/// are).
+fn ref_zero_subwords(plane: &[i8]) -> usize {
+    plane
+        .chunks(SUBWORD_LANES)
+        .filter(|g| g.iter().all(|&d| d == 0))
+        .count()
+}
+
+/// Scalar reference for the DMU RLE entry count: walk the zero-padded
+/// sub-word stream; a zero sub-word extends the current run, a run
+/// saturated at `2^index_bits - 1` flushes through a padding entry, a
+/// non-zero sub-word always emits one entry, and trailing zeros are
+/// implicit except for the padding entries their saturated runs force.
+fn ref_rle_entries(plane: &[i8], index_bits: u8) -> usize {
+    let cycle = 1usize << index_bits;
+    let mut entries = 0usize;
+    let mut run = 0usize;
+    for group in plane.chunks(SUBWORD_LANES) {
+        if group.iter().all(|&d| d == 0) {
+            run += 1;
+            if run == cycle {
+                entries += 1;
+                run = 0;
+            }
+        } else {
+            entries += 1;
+            run = 0;
+        }
+    }
+    entries
+}
+
+/// Digit planes in the packable range, weighted toward the interesting
+/// shapes: dense random, mostly-zero (long runs for the RLE path), and the
+/// two uniform edge cases from the pack-losslessness argument.
+fn arb_plane() -> impl Strategy<Value = Vec<i8>> {
+    prop_oneof![
+        4 => prop::collection::vec(-8i8..=15, 0..600),
+        3 => prop::collection::vec(prop_oneof![9 => Just(0i8), 1 => Just(5i8)], 0..600),
+        1 => (0usize..600).prop_map(|n| vec![0i8; n]),
+        1 => (0usize..600).prop_map(|n| vec![-8i8; n]),
+    ]
+}
+
+proptest! {
+    /// Packed zero-slice count == scalar digit-by-digit count; the two
+    /// byte-mask helpers agree too.
+    #[test]
+    fn packed_zero_slices_match_scalar(plane in arb_plane()) {
+        let packed = PackedPlane::pack(&plane);
+        let expected = ref_zero_slices(&plane);
+        prop_assert_eq!(packed.len(), plane.len());
+        prop_assert_eq!(packed.zero_slice_count(), expected);
+        prop_assert_eq!(packed.nonzero_slice_count(), plane.len() - expected);
+        prop_assert_eq!(zero_digit_count(&plane), expected);
+    }
+
+    /// Packed sub-word counts == scalar group-of-four counts.
+    #[test]
+    fn packed_zero_subwords_match_scalar(plane in arb_plane()) {
+        let packed = PackedPlane::pack(&plane);
+        prop_assert_eq!(packed.subword_count(), plane.len().div_ceil(SUBWORD_LANES));
+        prop_assert_eq!(packed.zero_subword_count(), ref_zero_subwords(&plane));
+        prop_assert_eq!(zero_subword_count_unpacked(&plane), ref_zero_subwords(&plane));
+    }
+
+    /// Packed RLE entry count == the scalar run-length walk, across index
+    /// widths (narrow widths exercise run saturation, wide ones the
+    /// trailing-zero elision).
+    #[test]
+    fn packed_rle_entries_match_scalar((plane, index_bits) in (arb_plane(), 1u8..=15)) {
+        let packed = PackedPlane::pack(&plane);
+        prop_assert_eq!(
+            packed.rle_entry_count(index_bits),
+            ref_rle_entries(&plane, index_bits),
+            "index_bits={}", index_bits
+        );
+    }
+
+    /// The all-zero plane in every length: no slices, no sub-words, and no
+    /// RLE entries except the padding entries forced by saturated runs.
+    #[test]
+    fn all_zero_planes_compress_to_padding_only(n in 0usize..600, index_bits in 1u8..=15) {
+        let plane = vec![0i8; n];
+        let packed = PackedPlane::pack(&plane);
+        prop_assert_eq!(packed.zero_slice_count(), n);
+        prop_assert_eq!(packed.zero_subword_count(), packed.subword_count());
+        prop_assert_eq!(
+            packed.rle_entry_count(index_bits),
+            packed.subword_count() / (1usize << index_bits)
+        );
+    }
+
+    /// The all-`-8` plane: its nibble pattern is `1000`, so only bit 3 is
+    /// set — a mask that would fool any fold forgetting the `>> 3` term.
+    /// Nothing is zero anywhere, and every sub-word costs one RLE entry.
+    #[test]
+    fn all_minus_eight_planes_have_no_zero_structure(n in 1usize..600, index_bits in 1u8..=15) {
+        let plane = vec![-8i8; n];
+        let packed = PackedPlane::pack(&plane);
+        prop_assert_eq!(packed.zero_slice_count(), 0);
+        prop_assert_eq!(packed.zero_subword_count(), 0);
+        prop_assert_eq!(packed.rle_entry_count(index_bits), packed.subword_count());
+    }
+}

@@ -1,0 +1,216 @@
+//! Blocking NDJSON client for the serve daemon.
+//!
+//! One [`Client`] owns one TCP connection and issues requests serially:
+//! write a request line, read the matching response line. Request ids are
+//! assigned from a local counter and checked on receipt, so a desynced
+//! stream surfaces as a typed [`ClientError::Protocol`] instead of silently
+//! pairing the wrong response with a call.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{parse_response, ErrorCode, ServeError};
+
+/// What a request can fail with, from the caller's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or could not be established).
+    Io(std::io::Error),
+    /// The server answered, but not with valid protocol (bad JSON, missing
+    /// fields, mismatched id).
+    Protocol(String),
+    /// The server answered with a well-formed error response.
+    Server(ServeError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server(e) => {
+                write!(f, "server error [{}]: {}", e.code.as_str(), e.message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, if this is a server-reported error.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server(e) => Some(e.code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a serve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: i64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sets (or clears) the read timeout used while waiting for a response.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one raw request object (must contain `"kind"`; `"id"` is
+    /// assigned here) and returns the server's `result` payload.
+    pub fn call(&mut self, mut request: Json) -> Result<Json, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Json::Object(fields) = &mut request {
+            fields.retain(|(k, _)| k != "id");
+            fields.insert(0, ("id".to_string(), Json::Int(id)));
+        } else {
+            return Err(ClientError::Protocol(
+                "request must be a JSON object".into(),
+            ));
+        }
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let parsed = Json::parse(response.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match parsed.get("id") {
+            Some(&Json::Int(got)) if got == id => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "response id {other:?} does not match request id {id}"
+                )))
+            }
+        }
+        parse_response(&parsed).map_err(ClientError::Server)
+    }
+
+    /// Round-trip liveness check.
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.call(Json::obj(vec![("kind", Json::from("ping"))]))
+    }
+
+    /// Slice statistics for `values` at `bits` (optionally also GSBR at
+    /// `gsbr_width`).
+    pub fn encode(
+        &mut self,
+        values: &[i32],
+        bits: u8,
+        gsbr_width: Option<u8>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![
+            ("kind", Json::from("encode")),
+            (
+                "values",
+                Json::Array(values.iter().map(|&v| Json::Int(v as i64)).collect()),
+            ),
+            ("bits", Json::from(bits as i64)),
+        ];
+        if let Some(w) = gsbr_width {
+            fields.push(("gsbr_width", Json::from(w as i64)));
+        }
+        self.call(Json::obj(fields))
+    }
+
+    /// Simulates one (arch, network, seed) cell.
+    pub fn simulate(
+        &mut self,
+        arch: &str,
+        network: &str,
+        seed: u64,
+        sample_cap: Option<usize>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![
+            ("kind", Json::from("simulate")),
+            ("arch", Json::from(arch)),
+            ("network", Json::from(network)),
+            ("seed", Json::from(seed)),
+        ];
+        if let Some(cap) = sample_cap {
+            fields.push(("sample_cap", Json::from(cap)));
+        }
+        self.call(Json::obj(fields))
+    }
+
+    /// Simulates a full (archs × networks × seeds) grid.
+    pub fn sweep(
+        &mut self,
+        archs: &[&str],
+        networks: &[&str],
+        seeds: &[u64],
+        sample_cap: Option<usize>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![
+            ("kind", Json::from("sweep")),
+            (
+                "archs",
+                Json::Array(archs.iter().map(|&a| Json::from(a)).collect()),
+            ),
+            (
+                "networks",
+                Json::Array(networks.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            (
+                "seeds",
+                Json::Array(seeds.iter().map(|&s| Json::from(s)).collect()),
+            ),
+        ];
+        if let Some(cap) = sample_cap {
+            fields.push(("sample_cap", Json::from(cap)));
+        }
+        self.call(Json::obj(fields))
+    }
+
+    /// The server's metrics snapshot.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.call(Json::obj(vec![("kind", Json::from("metrics"))]))
+    }
+}

@@ -1,0 +1,328 @@
+//! Lock-free server counters and an in-repo latency histogram.
+//!
+//! Everything here is `AtomicU64`-based so the request hot path never takes
+//! a lock to record an observation. The histogram trades exactness for
+//! bounded memory: latencies land in power-of-two microsecond buckets, so a
+//! reported quantile is the *upper bound* of its bucket — at most 2× the
+//! true value, which is plenty for spotting p99 regressions — while the
+//! whole structure is 64 counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::ErrorCode;
+
+/// Power-of-two-microsecond latency histogram (`bucket i` covers
+/// `[2^i, 2^(i+1))` µs; bucket 0 also catches sub-microsecond samples).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket count: 2^47 µs ≈ 4.5 years caps the top bucket.
+    const BUCKETS: usize = 48;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        (63 - u64::leading_zeros(us.max(1)) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds, as the upper bound
+    /// of the bucket holding the rank-`ceil(q*n)` observation; 0 when
+    /// empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return (1u64 << (i + 1)) as f64 / 1e3;
+            }
+        }
+        (1u64 << Self::BUCKETS) as f64 / 1e3
+    }
+}
+
+/// All server counters.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Successful requests by kind, `KINDS` order.
+    ok_by_kind: [AtomicU64; KINDS.len()],
+    /// Errors by code, `CODES` order.
+    err_by_code: [AtomicU64; CODES.len()],
+    /// Accepted connections.
+    connections: AtomicU64,
+    /// End-to-end request latency (receipt → response serialized).
+    latency: LatencyHistogram,
+}
+
+/// Request kinds, in metrics order.
+const KINDS: [&str; 5] = ["ping", "encode", "simulate", "sweep", "metrics"];
+/// Error codes, in metrics order (mirrors [`ErrorCode`]).
+const CODES: [&str; 7] = [
+    "bad_request",
+    "unknown_arch",
+    "unknown_network",
+    "overloaded",
+    "deadline_exceeded",
+    "shutting_down",
+    "internal",
+];
+
+fn code_index(code: ErrorCode) -> usize {
+    match code {
+        ErrorCode::BadRequest => 0,
+        ErrorCode::UnknownArch => 1,
+        ErrorCode::UnknownNetwork => 2,
+        ErrorCode::Overloaded => 3,
+        ErrorCode::DeadlineExceeded => 4,
+        ErrorCode::ShuttingDown => 5,
+        ErrorCode::Internal => 6,
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed request: its kind label, outcome, and latency.
+    pub fn request(&self, kind: &str, outcome: Result<(), ErrorCode>, latency: Duration) {
+        match outcome {
+            Ok(()) => {
+                if let Some(i) = KINDS.iter().position(|k| *k == kind) {
+                    self.ok_by_kind[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(code) => {
+                self.err_by_code[code_index(code)].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency.record(latency);
+    }
+
+    /// Total successful requests.
+    pub fn ok_total(&self) -> u64 {
+        self.ok_by_kind
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total errored requests.
+    pub fn err_total(&self) -> u64 {
+        self.err_by_code
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Errors recorded under one code.
+    pub fn errors(&self, code: ErrorCode) -> u64 {
+        self.err_by_code[code_index(code)].load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Serializes the counters plus caller-supplied gauges (queue depth and
+    /// cache statistics, which live outside this struct).
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_entries: usize,
+    ) -> Json {
+        let lookups = cache_hits + cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / lookups as f64
+        };
+        Json::obj(vec![
+            (
+                "requests",
+                Json::obj(vec![
+                    (
+                        "ok_by_kind",
+                        Json::Object(
+                            KINDS
+                                .iter()
+                                .zip(&self.ok_by_kind)
+                                .map(|(k, c)| {
+                                    ((*k).to_owned(), Json::from(c.load(Ordering::Relaxed)))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "errors_by_code",
+                        Json::Object(
+                            CODES
+                                .iter()
+                                .zip(&self.err_by_code)
+                                .map(|(k, c)| {
+                                    ((*k).to_owned(), Json::from(c.load(Ordering::Relaxed)))
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("ok_total", Json::from(self.ok_total())),
+                    ("error_total", Json::from(self.err_total())),
+                ]),
+            ),
+            (
+                "connections",
+                Json::from(self.connections.load(Ordering::Relaxed)),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::from(queue_depth)),
+                    ("capacity", Json::from(queue_capacity)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::from(cache_hits)),
+                    ("misses", Json::from(cache_misses)),
+                    ("hit_rate", Json::from(hit_rate)),
+                    ("entries", Json::from(cache_entries)),
+                ]),
+            ),
+            (
+                "latency_ms",
+                Json::obj(vec![
+                    ("count", Json::from(self.latency.count())),
+                    ("mean", Json::from(self.latency.mean_ms())),
+                    ("p50", Json::from(self.latency.quantile_ms(0.5))),
+                    ("p99", Json::from(self.latency.quantile_ms(0.99))),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        // 99 fast samples (~100 µs) and one slow (~50 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.5);
+        let p99 = h.quantile_ms(0.99);
+        let p100 = h.quantile_ms(1.0);
+        // p50 lands in the [64, 128) µs bucket → upper bound 0.128 ms.
+        assert!((0.1..0.3).contains(&p50), "p50 {p50}");
+        assert!(p99 <= p50 * 2.0, "p99 {p99} is still a fast sample");
+        // The slow sample is rank 100: [32768, 65536) µs → 65.536 ms.
+        assert!((50.0..132.0).contains(&p100), "p100 {p100}");
+        assert!(h.mean_ms() > 0.4 && h.mean_ms() < 1.0, "{}", h.mean_ms());
+    }
+
+    #[test]
+    fn counters_split_by_kind_and_code() {
+        let m = ServeMetrics::new();
+        m.connection();
+        m.request("simulate", Ok(()), Duration::from_millis(2));
+        m.request("simulate", Ok(()), Duration::from_millis(2));
+        m.request("encode", Ok(()), Duration::from_micros(30));
+        m.request(
+            "sweep",
+            Err(ErrorCode::Overloaded),
+            Duration::from_micros(5),
+        );
+        assert_eq!(m.ok_total(), 3);
+        assert_eq!(m.err_total(), 1);
+        assert_eq!(m.errors(ErrorCode::Overloaded), 1);
+        let j = m.to_json(2, 64, 30, 10, 12);
+        assert_eq!(
+            j.get("requests")
+                .unwrap()
+                .get("ok_by_kind")
+                .unwrap()
+                .get("simulate"),
+            Some(&Json::Int(2))
+        );
+        assert_eq!(
+            j.get("requests")
+                .unwrap()
+                .get("errors_by_code")
+                .unwrap()
+                .get("overloaded"),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(j.get("queue").unwrap().get("depth"), Some(&Json::Int(2)));
+        assert_eq!(
+            j.get("cache").unwrap().get("hit_rate"),
+            Some(&Json::Float(0.75))
+        );
+        assert_eq!(
+            j.get("latency_ms").unwrap().get("count"),
+            Some(&Json::Int(4))
+        );
+    }
+}

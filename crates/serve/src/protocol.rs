@@ -1,0 +1,678 @@
+//! The serve wire protocol: request parsing and canonical response
+//! serialization.
+//!
+//! ## Grammar
+//!
+//! The transport is **newline-delimited JSON** over TCP: every request is
+//! one JSON object on one line, every response is one JSON object on one
+//! line, and a connection's responses come back in request order.
+//!
+//! ```text
+//! request  = { "kind": KIND, ["id": any], ["timeout_ms": int], ...params }
+//! KIND     = "ping" | "encode" | "simulate" | "sweep" | "metrics"
+//! response = { ["id": any], "ok": true,  "result": object }
+//!          | { ["id": any], "ok": false, "error": { "code": CODE, "message": string } }
+//! CODE     = "bad_request" | "unknown_arch" | "unknown_network"
+//!          | "overloaded" | "deadline_exceeded" | "shutting_down" | "internal"
+//! ```
+//!
+//! Per kind:
+//!
+//! * `encode` — `values: [int]`, `bits: int (2..=16, default 7)`, optional
+//!   `gsbr_width: int (2..=8)`; returns SBR / conventional / GSBR
+//!   slice-sparsity statistics of the payload.
+//! * `simulate` — `arch: string`, `network: string`, `seed: int`, optional
+//!   `sample_cap: int`; returns one canonical [`NetworkResult`].
+//! * `sweep` — `archs: [string]`, `networks: [string]`, `seeds: [int]`,
+//!   optional `sample_cap: int`; returns the full grid in row-major
+//!   (arch, network, seed) order, exactly as [`sibia_sim::ParallelEngine`]
+//!   produces it.
+//! * `metrics` — no params; returns the server's counters.
+//!
+//! ## Determinism guarantee
+//!
+//! `simulate` and `sweep` responses are serialized with
+//! [`network_result_to_json`] / [`grid_to_json`], which are pure functions
+//! of the simulation result; combined with the engine's seed-derived RNG
+//! streams this makes a served response **byte-identical** to serializing
+//! the direct library call's result, regardless of server thread counts,
+//! cache state, or request interleaving.
+
+use crate::json::Json;
+use sibia_arch::dsm::SkipSide;
+use sibia_sbr::packed::PackedPlane;
+use sibia_sbr::{gsbr::GenSlices, Precision};
+use sibia_sim::cache::DMU_INDEX_BITS;
+use sibia_sim::perf::NetworkResult;
+use sibia_sim::{ArchSpec, GridResult};
+
+/// Typed protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not a valid request object.
+    BadRequest,
+    /// `arch` named no known architecture.
+    UnknownArch,
+    /// `network` named no known zoo network.
+    UnknownNetwork,
+    /// The job queue was full; the request was rejected at admission.
+    Overloaded,
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExceeded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// A server-side failure (worker died).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownArch => "unknown_arch",
+            ErrorCode::UnknownNetwork => "unknown_network",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A typed protocol error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The typed code.
+    pub code: ErrorCode,
+    /// Details for the client log.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request body (the work to do).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe, answered inline.
+    Ping,
+    /// Slice statistics of a payload.
+    Encode {
+        /// The quantized values to decompose.
+        values: Vec<i32>,
+        /// Precision in bits.
+        bits: u8,
+        /// Optional generalized-SBR slice width to report alongside.
+        gsbr_width: Option<u8>,
+    },
+    /// One simulation cell.
+    Simulate {
+        /// Architecture name (see [`arch_by_name`]).
+        arch: String,
+        /// Zoo network name.
+        network: String,
+        /// Synthesis seed.
+        seed: u64,
+        /// Per-tensor statistics sample cap (default 32768, the library
+        /// default).
+        sample_cap: Option<usize>,
+    },
+    /// A full (arch × network × seed) grid.
+    Sweep {
+        /// Architecture names.
+        archs: Vec<String>,
+        /// Zoo network names.
+        networks: Vec<String>,
+        /// Seeds.
+        seeds: Vec<u64>,
+        /// Per-tensor statistics sample cap.
+        sample_cap: Option<usize>,
+    },
+    /// The server's counters, answered inline.
+    Metrics,
+}
+
+impl Request {
+    /// The request kind's wire name (used as the metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Encode { .. } => "encode",
+            Request::Simulate { .. } => "simulate",
+            Request::Sweep { .. } => "sweep",
+            Request::Metrics => "metrics",
+        }
+    }
+}
+
+/// A parsed request envelope: the body plus per-request metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Echoed back verbatim in the response, if present.
+    pub id: Option<Json>,
+    /// Per-request deadline in milliseconds from receipt.
+    pub timeout_ms: Option<u64>,
+    /// The work.
+    pub request: Request,
+}
+
+/// The CLI/protocol architecture registry.
+pub const ARCH_NAMES: [&str; 6] = [
+    "bitfusion",
+    "hnpu",
+    "no-sbr",
+    "input-skip",
+    "sibia",
+    "output-skip",
+];
+
+/// Resolves a protocol architecture name (the same names `sibia-cli`
+/// accepts).
+pub fn arch_by_name(name: &str) -> Option<ArchSpec> {
+    Some(match name {
+        "bitfusion" | "bit-fusion" => ArchSpec::bit_fusion(),
+        "hnpu" => ArchSpec::hnpu(),
+        "sibia" | "hybrid" => ArchSpec::sibia_hybrid(),
+        "input-skip" => ArchSpec::sibia_input_skip(),
+        "no-sbr" => ArchSpec::sibia_no_sbr(),
+        "output-skip" => ArchSpec::sibia_output_skip(4),
+        _ => return None,
+    })
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            ServeError::new(
+                ErrorCode::BadRequest,
+                format!("'{key}' must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn field_str_vec(v: &Json, key: &str) -> Result<Vec<String>, ServeError> {
+    let arr = v.get(key).and_then(Json::as_array).ok_or_else(|| {
+        ServeError::new(ErrorCode::BadRequest, format!("'{key}' must be an array"))
+    })?;
+    arr.iter()
+        .map(|x| {
+            x.as_str().map(str::to_owned).ok_or_else(|| {
+                ServeError::new(ErrorCode::BadRequest, format!("'{key}' must hold strings"))
+            })
+        })
+        .collect()
+}
+
+/// Parses one request line into an envelope.
+pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
+    let v = Json::parse(line)
+        .map_err(|e| ServeError::new(ErrorCode::BadRequest, format!("invalid json: {e}")))?;
+    if !matches!(v, Json::Object(_)) {
+        return Err(ServeError::new(
+            ErrorCode::BadRequest,
+            "request must be a json object",
+        ));
+    }
+    let id = v.get("id").cloned();
+    let timeout_ms = field_u64(&v, "timeout_ms")?;
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'kind'"))?;
+    let request = match kind {
+        "ping" => Request::Ping,
+        "metrics" => Request::Metrics,
+        "encode" => {
+            let raw = v.get("values").and_then(Json::as_array).ok_or_else(|| {
+                ServeError::new(ErrorCode::BadRequest, "'values' must be an array")
+            })?;
+            let values: Vec<i32> = raw
+                .iter()
+                .map(|x| {
+                    x.as_i64()
+                        .and_then(|n| i32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            ServeError::new(
+                                ErrorCode::BadRequest,
+                                "'values' must hold i32 integers",
+                            )
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let bits = field_u64(&v, "bits")?.unwrap_or(7);
+            if !(2..=16).contains(&bits) {
+                return Err(ServeError::new(
+                    ErrorCode::BadRequest,
+                    "'bits' must be in [2, 16]",
+                ));
+            }
+            let gsbr_width = field_u64(&v, "gsbr_width")?;
+            if let Some(w) = gsbr_width {
+                if !(2..=8).contains(&w) {
+                    return Err(ServeError::new(
+                        ErrorCode::BadRequest,
+                        "'gsbr_width' must be in [2, 8]",
+                    ));
+                }
+            }
+            Request::Encode {
+                values,
+                bits: bits as u8,
+                gsbr_width: gsbr_width.map(|w| w as u8),
+            }
+        }
+        "simulate" => Request::Simulate {
+            arch: v
+                .get("arch")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'arch'"))?
+                .to_owned(),
+            network: v
+                .get("network")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'network'"))?
+                .to_owned(),
+            seed: field_u64(&v, "seed")?.unwrap_or(1),
+            sample_cap: field_u64(&v, "sample_cap")?.map(|c| c as usize),
+        },
+        "sweep" => {
+            let archs = field_str_vec(&v, "archs")?;
+            let networks = field_str_vec(&v, "networks")?;
+            let seeds = match v.get("seeds") {
+                None | Some(Json::Null) => vec![1],
+                Some(s) => s
+                    .as_array()
+                    .ok_or_else(|| {
+                        ServeError::new(ErrorCode::BadRequest, "'seeds' must be an array")
+                    })?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64().ok_or_else(|| {
+                            ServeError::new(ErrorCode::BadRequest, "'seeds' must hold integers")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            if archs.is_empty() || networks.is_empty() || seeds.is_empty() {
+                return Err(ServeError::new(
+                    ErrorCode::BadRequest,
+                    "'archs', 'networks', and 'seeds' must be non-empty",
+                ));
+            }
+            Request::Sweep {
+                archs,
+                networks,
+                seeds,
+                sample_cap: field_u64(&v, "sample_cap")?.map(|c| c as usize),
+            }
+        }
+        other => {
+            return Err(ServeError::new(
+                ErrorCode::BadRequest,
+                format!("unknown kind '{other}'"),
+            ))
+        }
+    };
+    Ok(Envelope {
+        id,
+        timeout_ms,
+        request,
+    })
+}
+
+/// Builds a success response line (without the trailing newline).
+pub fn ok_response(id: Option<&Json>, result: Json) -> Json {
+    let mut members = Vec::with_capacity(3);
+    if let Some(id) = id {
+        members.push(("id".to_owned(), id.clone()));
+    }
+    members.push(("ok".to_owned(), Json::Bool(true)));
+    members.push(("result".to_owned(), result));
+    Json::Object(members)
+}
+
+/// Builds an error response line (without the trailing newline).
+pub fn error_response(id: Option<&Json>, error: &ServeError) -> Json {
+    let mut members = Vec::with_capacity(3);
+    if let Some(id) = id {
+        members.push(("id".to_owned(), id.clone()));
+    }
+    members.push(("ok".to_owned(), Json::Bool(false)));
+    members.push((
+        "error".to_owned(),
+        Json::obj(vec![
+            ("code", Json::from(error.code.as_str())),
+            ("message", Json::from(error.message.as_str())),
+        ]),
+    ));
+    Json::Object(members)
+}
+
+/// Parses a response object into `Ok(result)` / `Err(ServeError)`.
+///
+/// Unknown error codes map to [`ErrorCode::Internal`] with the original
+/// spelling preserved in the message.
+pub fn parse_response(v: &Json) -> Result<Json, ServeError> {
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => v
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ServeError::new(ErrorCode::Internal, "ok response without result")),
+        Some(false) => {
+            let err = v.get("error");
+            let code_str = err
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("internal");
+            let message = err
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let code = match code_str {
+                "bad_request" => ErrorCode::BadRequest,
+                "unknown_arch" => ErrorCode::UnknownArch,
+                "unknown_network" => ErrorCode::UnknownNetwork,
+                "overloaded" => ErrorCode::Overloaded,
+                "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+                "shutting_down" => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Internal,
+            };
+            Err(if code == ErrorCode::Internal && code_str != "internal" {
+                ServeError::new(code, format!("{code_str}: {message}"))
+            } else {
+                ServeError::new(code, message)
+            })
+        }
+        None => Err(ServeError::new(
+            ErrorCode::Internal,
+            "response missing 'ok'",
+        )),
+    }
+}
+
+/// Canonical serialization of one simulated network result. Pure function
+/// of the result — the byte-identity guarantee of the protocol.
+pub fn network_result_to_json(r: &NetworkResult) -> Json {
+    Json::obj(vec![
+        ("arch", Json::from(r.arch.as_str())),
+        ("network", Json::from(r.network.as_str())),
+        ("frequency_mhz", Json::from(u64::from(r.frequency_mhz))),
+        ("total_cycles", Json::from(r.total_cycles())),
+        ("total_macs", Json::from(r.total_macs())),
+        ("time_s", Json::from(r.time_s())),
+        ("throughput_gops", Json::from(r.throughput_gops())),
+        ("efficiency_tops_w", Json::from(r.efficiency_tops_w())),
+        (
+            "energy",
+            Json::obj(vec![
+                ("mac_pj", Json::from(r.energy.mac_pj)),
+                ("rf_pj", Json::from(r.energy.rf_pj)),
+                ("sram_pj", Json::from(r.energy.sram_pj)),
+                ("noc_pj", Json::from(r.energy.noc_pj)),
+                ("dram_pj", Json::from(r.energy.dram_pj)),
+                ("control_pj", Json::from(r.energy.control_pj)),
+            ]),
+        ),
+        (
+            "layers",
+            Json::Array(
+                r.layers
+                    .iter()
+                    .map(|l| {
+                        Json::obj(vec![
+                            ("name", Json::from(l.name.as_str())),
+                            ("macs", Json::from(l.macs)),
+                            ("slice_pairs", Json::from(l.slice_pairs)),
+                            ("compute_cycles", Json::from(l.compute_cycles)),
+                            ("memory_cycles", Json::from(l.memory_cycles)),
+                            ("cycles", Json::from(l.cycles)),
+                            (
+                                "skip_side",
+                                Json::from(match l.skip_side {
+                                    SkipSide::Input => "input",
+                                    SkipSide::Weight => "weight",
+                                    SkipSide::None => "none",
+                                }),
+                            ),
+                            (
+                                "input_compression_ratio",
+                                Json::from(l.input_compression_ratio),
+                            ),
+                            ("work_fraction", Json::from(l.work_fraction)),
+                            (
+                                "events",
+                                Json::obj(vec![
+                                    ("mac_ops", Json::from(l.events.mac_ops)),
+                                    ("rf_accesses", Json::from(l.events.rf_accesses)),
+                                    ("sram_accesses", Json::from(l.events.sram_accesses)),
+                                    ("noc_flit_hops", Json::from(l.events.noc_flit_hops)),
+                                    ("dram_bits", Json::from(l.events.dram_bits)),
+                                    ("cycles", Json::from(l.events.cycles)),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Canonical serialization of a sweep grid, cells in the engine's row-major
+/// (arch, network, seed) order.
+pub fn grid_to_json(grid: &GridResult) -> Json {
+    Json::obj(vec![("cells", {
+        Json::Array(
+            grid.cells()
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("arch_index", Json::from(c.arch_index)),
+                        ("network_index", Json::from(c.network_index)),
+                        ("seed", Json::from(c.seed)),
+                        ("result", network_result_to_json(&c.result)),
+                    ])
+                })
+                .collect(),
+        )
+    })])
+}
+
+fn plane_stats_json(planes: &[Vec<i8>]) -> Json {
+    Json::Array(
+        planes
+            .iter()
+            .map(|p| {
+                let packed = PackedPlane::pack(p);
+                Json::obj(vec![
+                    ("len", Json::from(packed.len())),
+                    ("zero_slices", Json::from(packed.zero_slice_count())),
+                    ("subwords", Json::from(packed.subword_count())),
+                    ("zero_subwords", Json::from(packed.zero_subword_count())),
+                    (
+                        "rle_entries",
+                        Json::from(packed.rle_entry_count(DMU_INDEX_BITS)),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Slice statistics for an `encode` payload: SBR and conventional
+/// decompositions at `bits`, plus optional generalized-SBR zero-digit
+/// counts at `gsbr_width`.
+///
+/// # Errors
+///
+/// `bad_request` when a value is outside the symmetric range of `bits`.
+pub fn encode_stats(values: &[i32], bits: u8, gsbr_width: Option<u8>) -> Result<Json, ServeError> {
+    let precision = Precision::new(bits);
+    if let Some(&v) = values.iter().find(|&&v| !precision.contains(v)) {
+        return Err(ServeError::new(
+            ErrorCode::BadRequest,
+            format!("value {v} outside the symmetric {bits}-bit range"),
+        ));
+    }
+    let sbr_planes = sibia_sbr::sbr::planes(values, precision);
+    let conv_planes = sibia_sbr::conv::planes(values, precision);
+    let mut members = vec![
+        ("values", Json::from(values.len())),
+        ("bits", Json::from(u64::from(bits))),
+        (
+            "full_zero_values",
+            Json::from(values.iter().filter(|&&v| v == 0).count()),
+        ),
+        ("sbr", plane_stats_json(&sbr_planes)),
+        ("conventional", plane_stats_json(&conv_planes)),
+    ];
+    if let Some(width) = gsbr_width {
+        let k = GenSlices::slice_count(precision, width);
+        let mut zero_digits = vec![0usize; k];
+        for &v in values {
+            for (order, &d) in GenSlices::encode(v, precision, width)
+                .digits()
+                .iter()
+                .enumerate()
+            {
+                if d == 0 {
+                    zero_digits[order] += 1;
+                }
+            }
+        }
+        members.push((
+            "gsbr",
+            Json::obj(vec![
+                ("width", Json::from(u64::from(width))),
+                ("orders", Json::from(k)),
+                (
+                    "zero_digits",
+                    Json::Array(zero_digits.into_iter().map(Json::from).collect()),
+                ),
+            ]),
+        ));
+    }
+    Ok(Json::obj(members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sibia_nn::zoo;
+
+    #[test]
+    fn parses_all_request_kinds() {
+        let e = parse_request("{\"kind\":\"ping\",\"id\":7}").unwrap();
+        assert_eq!(e.request, Request::Ping);
+        assert_eq!(e.id, Some(Json::Int(7)));
+
+        let e = parse_request("{\"kind\":\"encode\",\"values\":[0,-3,5],\"bits\":7}").unwrap();
+        assert_eq!(
+            e.request,
+            Request::Encode {
+                values: vec![0, -3, 5],
+                bits: 7,
+                gsbr_width: None
+            }
+        );
+
+        let e = parse_request(
+            "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\"seed\":3}",
+        )
+        .unwrap();
+        assert_eq!(e.request.kind(), "simulate");
+
+        let e = parse_request(
+            "{\"kind\":\"sweep\",\"archs\":[\"sibia\"],\"networks\":[\"dgcnn\"],\"seeds\":[1,2],\
+             \"timeout_ms\":500}",
+        )
+        .unwrap();
+        assert_eq!(e.timeout_ms, Some(500));
+        assert_eq!(e.request.kind(), "sweep");
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_bad_request() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{\"kind\":\"nope\"}",
+            "{\"id\":1}",
+            "{\"kind\":\"encode\",\"values\":\"x\"}",
+            "{\"kind\":\"encode\",\"values\":[1],\"bits\":40}",
+            "{\"kind\":\"simulate\",\"network\":\"dgcnn\"}",
+            "{\"kind\":\"sweep\",\"archs\":[],\"networks\":[\"dgcnn\"]}",
+            "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\"seed\":-1}",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let id = Json::Str("r1".to_owned());
+        let ok = ok_response(Some(&id), Json::obj(vec![("x", Json::Int(1))]));
+        assert_eq!(
+            ok.to_string(),
+            "{\"id\":\"r1\",\"ok\":true,\"result\":{\"x\":1}}"
+        );
+        assert_eq!(
+            parse_response(&ok).unwrap(),
+            Json::obj(vec![("x", Json::Int(1))])
+        );
+
+        let err = error_response(None, &ServeError::new(ErrorCode::Overloaded, "queue full"));
+        assert_eq!(
+            err.to_string(),
+            "{\"ok\":false,\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}"
+        );
+        let back = parse_response(&err).unwrap_err();
+        assert_eq!(back.code, ErrorCode::Overloaded);
+        assert_eq!(back.message, "queue full");
+    }
+
+    #[test]
+    fn arch_registry_matches_cli_names() {
+        for name in ARCH_NAMES {
+            assert!(arch_by_name(name).is_some(), "{name}");
+        }
+        assert!(arch_by_name("gpu").is_none());
+    }
+
+    #[test]
+    fn encode_stats_counts_zero_slices() {
+        // -3 in SBR is [-3, 0]: one zero slice in the high plane.
+        let r = encode_stats(&[-3], 7, Some(3)).unwrap();
+        let sbr = r.get("sbr").and_then(Json::as_array).unwrap();
+        assert_eq!(sbr.len(), 2);
+        assert_eq!(sbr[1].get("zero_slices"), Some(&Json::Int(1)));
+        assert_eq!(sbr[0].get("zero_slices"), Some(&Json::Int(0)));
+        assert!(r.get("gsbr").is_some());
+        assert!(encode_stats(&[1000], 7, None).is_err());
+    }
+
+    #[test]
+    fn network_result_serialization_is_deterministic() {
+        use sibia_sim::Simulator;
+        let sim = Simulator::new(3);
+        let net = zoo::dgcnn();
+        let a = network_result_to_json(&sim.simulate_network(&ArchSpec::sibia_hybrid(), &net));
+        let b = network_result_to_json(&sim.simulate_network(&ArchSpec::sibia_hybrid(), &net));
+        assert_eq!(a.to_string(), b.to_string());
+        // And a parse → serialize round trip preserves every byte.
+        let reparsed = Json::parse(&a.to_string()).unwrap();
+        assert_eq!(reparsed.to_string(), a.to_string());
+    }
+}

@@ -1,0 +1,462 @@
+//! The accelerator-as-a-service daemon.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept thread ──spawns──▶ connection threads (one per client)
+//!                               │  parse line → admission control
+//!                               ▼
+//!                        bounded JobQueue  ──▶ worker pool (N threads)
+//!                               ▲                   │ simulate / encode / sweep
+//!                               │                   ▼
+//!                        overloaded reject    reply channel → connection thread
+//! ```
+//!
+//! Cheap requests (`ping`, `metrics`) are answered inline on the connection
+//! thread so the daemon stays observable while saturated. Work requests
+//! (`encode`, `simulate`, `sweep`) pass through the bounded [`JobQueue`]:
+//! when it is full the request is rejected *immediately* with a typed
+//! `overloaded` error — never queued unboundedly, never blocked.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or SIGTERM/ctrl-c via [`crate::signal`] in
+//! the CLI) flips one atomic flag. The accept loop stops admitting
+//! connections, the queue closes (pending jobs still drain, so every
+//! admitted request gets its response), workers are joined, connection
+//! threads notice the flag on their next read tick and close, and the
+//! accept thread joins them all before returning.
+//!
+//! ## Determinism
+//!
+//! All simulation state lives in the long-lived, *bounded* [`DecompCache`];
+//! cache hits, evictions, worker interleaving, and sweep thread counts are
+//! all invisible in responses (see `crate::protocol` for the guarantee).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sibia_nn::zoo;
+use sibia_sim::{DecompCache, ParallelEngine, Simulator};
+
+use crate::json::Json;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{
+    arch_by_name, encode_stats, error_response, grid_to_json, network_result_to_json, ok_response,
+    parse_request, Envelope, ErrorCode, Request, ServeError,
+};
+use crate::queue::{JobQueue, PushError};
+
+/// Library-default statistics sample cap (matches `Simulator::new`).
+pub const DEFAULT_SAMPLE_CAP: usize = 32_768;
+
+/// How often blocked reads wake up to check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Idle sleep of the accept loop between polls.
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// Longest accepted request line (16 MiB covers ~2M-value encode payloads).
+const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind host.
+    pub host: String,
+    /// Bind port; 0 asks the OS for an ephemeral port (the bound port is on
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Worker threads executing queued jobs.
+    pub workers: usize,
+    /// Job-queue bound: pending jobs beyond this are rejected `overloaded`.
+    pub queue_capacity: usize,
+    /// Threads each `sweep` grid fans out over.
+    pub engine_threads: usize,
+    /// Per-level entry cap of the shared decomposition cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            host: "127.0.0.1".to_owned(),
+            port: 0,
+            workers: cores.min(8),
+            queue_capacity: 64,
+            engine_threads: cores,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    envelope: Envelope,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<Json, ServeError>>,
+}
+
+/// Shared server state.
+struct Shared {
+    queue: JobQueue<Job>,
+    metrics: ServeMetrics,
+    cache: DecompCache,
+    engine: ParallelEngine,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn metrics_json(&self) -> Json {
+        self.metrics.to_json(
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.tensor_entries() + self.cache.decomp_entries(),
+        )
+    }
+}
+
+/// Executes one work request against the shared cache/engine.
+fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
+    match request {
+        Request::Encode {
+            values,
+            bits,
+            gsbr_width,
+        } => encode_stats(values, *bits, *gsbr_width),
+        Request::Simulate {
+            arch,
+            network,
+            seed,
+            sample_cap,
+        } => {
+            let spec = arch_by_name(arch).ok_or_else(|| {
+                ServeError::new(ErrorCode::UnknownArch, format!("unknown arch '{arch}'"))
+            })?;
+            let net = zoo::by_name(network).ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::UnknownNetwork,
+                    format!("unknown network '{network}'"),
+                )
+            })?;
+            let mut sim = Simulator::new(*seed);
+            sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
+            let result = sim.simulate_network_cached(&spec, &net, None, &shared.cache);
+            Ok(network_result_to_json(&result))
+        }
+        Request::Sweep {
+            archs,
+            networks,
+            seeds,
+            sample_cap,
+        } => {
+            let specs = archs
+                .iter()
+                .map(|a| {
+                    arch_by_name(a).ok_or_else(|| {
+                        ServeError::new(ErrorCode::UnknownArch, format!("unknown arch '{a}'"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let nets = networks
+                .iter()
+                .map(|n| {
+                    zoo::by_name(n).ok_or_else(|| {
+                        ServeError::new(ErrorCode::UnknownNetwork, format!("unknown network '{n}'"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut sim = Simulator::new(seeds[0]);
+            sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
+            let grid =
+                shared
+                    .engine
+                    .simulate_grid_cached(&sim, &specs, &nets, seeds, &shared.cache);
+            Ok(grid_to_json(&grid))
+        }
+        // Ping/Metrics are answered inline by the connection thread.
+        Request::Ping | Request::Metrics => Err(ServeError::new(
+            ErrorCode::Internal,
+            "inline request reached the worker pool",
+        )),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let outcome = match job.deadline {
+            Some(deadline) if Instant::now() > deadline => Err(ServeError::new(
+                ErrorCode::DeadlineExceeded,
+                "deadline passed while queued",
+            )),
+            _ => execute(shared, &job.envelope.request),
+        };
+        // A dropped receiver means the client hung up; nothing to do.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+/// Accumulates stream bytes and yields complete newline-terminated lines,
+/// surviving read-timeout ticks without losing partial input (which
+/// `BufReader::read_line` cannot guarantee).
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Scan resume offset into `pending` (bytes before it hold no `\n`).
+    scanned: usize,
+}
+
+enum ReadEvent {
+    /// One complete line, `\n` stripped (and a trailing `\r`, for telnet).
+    Line(String),
+    /// The peer closed the connection.
+    Eof,
+    /// Read timeout: check the shutdown flag and try again.
+    Tick,
+    /// Unrecoverable stream or framing error.
+    Broken,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(READ_TICK))?;
+        Ok(Self {
+            stream,
+            pending: Vec::new(),
+            scanned: 0,
+        })
+    }
+
+    fn next(&mut self) -> ReadEvent {
+        loop {
+            if let Some(pos) = self.pending[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let pos = self.scanned + pos;
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                return match String::from_utf8(line) {
+                    Ok(s) => ReadEvent::Line(s),
+                    Err(_) => ReadEvent::Broken,
+                };
+            }
+            self.scanned = self.pending.len();
+            if self.pending.len() > MAX_LINE_BYTES {
+                return ReadEvent::Broken;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadEvent::Eof,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return ReadEvent::Tick
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadEvent::Broken,
+            }
+        }
+    }
+}
+
+/// Handles one client connection until EOF, error, or shutdown.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    shared.metrics.connection();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = match LineReader::new(stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match reader.next() {
+            ReadEvent::Line(l) => l,
+            ReadEvent::Tick => continue,
+            ReadEvent::Eof | ReadEvent::Broken => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let received = Instant::now();
+        let (kind, id, outcome) = match parse_request(&line) {
+            Err(e) => ("invalid", None, Err(e)),
+            Ok(envelope) => {
+                let id = envelope.id.clone();
+                let kind = envelope.request.kind();
+                let outcome = match &envelope.request {
+                    Request::Ping => Ok(Json::obj(vec![("pong", Json::Bool(true))])),
+                    Request::Metrics => Ok(shared.metrics_json()),
+                    _ => submit(shared, envelope, received),
+                };
+                (kind, id, outcome)
+            }
+        };
+        let response = match &outcome {
+            Ok(result) => ok_response(id.as_ref(), result.clone()),
+            Err(e) => error_response(id.as_ref(), e),
+        };
+        shared.metrics.request(
+            kind,
+            outcome.as_ref().map(|_| ()).map_err(|e| e.code),
+            received.elapsed(),
+        );
+        if writer
+            .write_all(response.to_string().as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Admission control: queue the job or reject it immediately.
+fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> Result<Json, ServeError> {
+    let deadline = envelope
+        .timeout_ms
+        .map(|ms| received + Duration::from_millis(ms));
+    let (reply, rx) = mpsc::channel();
+    let job = Job {
+        envelope,
+        deadline,
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            return Err(ServeError::new(
+                ErrorCode::Overloaded,
+                format!(
+                    "job queue full ({} pending); retry with backoff",
+                    shared.queue.capacity()
+                ),
+            ))
+        }
+        Err(PushError::Closed(_)) => {
+            return Err(ServeError::new(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            ))
+        }
+    }
+    // The queue was admitted, so a worker owns the job and always replies
+    // (the pool drains the queue fully before exiting on shutdown).
+    rx.recv()
+        .unwrap_or_else(|_| Err(ServeError::new(ErrorCode::Internal, "worker pool gone")))
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+}
+
+/// Public alias: `Server::start` returns the handle type.
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and accept thread, and returns
+    /// immediately.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            metrics: ServeMetrics::new(),
+            cache: DecompCache::with_capacity(config.cache_capacity.max(1)),
+            engine: ParallelEngine::with_threads(config.engine_threads),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.clamp(1, 256))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(shared, &listener, workers))
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            accept,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live queue depth (pending jobs).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Requests the graceful drain and blocks until every thread has
+    /// exited: pending jobs finish and get responses, new work is refused,
+    /// connections close.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+    }
+
+    /// Blocks until [`crate::signal::signalled`] (SIGTERM/ctrl-c latched),
+    /// then drains gracefully. The CLI's foreground path.
+    pub fn run_until_signalled(self) {
+        crate::signal::install();
+        while !crate::signal::signalled() {
+            std::thread::sleep(ACCEPT_TICK);
+        }
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: &TcpListener, workers: Vec<JoinHandle<()>>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                connections.push(std::thread::spawn(move || connection_loop(&shared, stream)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+        // Reap finished connection threads so a long-lived daemon does not
+        // accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: refuse new jobs, let workers finish the admitted ones, then
+    // wait for connections to notice the flag and hang up.
+    shared.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}

@@ -23,8 +23,18 @@
 //! decomposing; two threads racing the same key may both compute it, but the
 //! value is a pure function of the key, so whichever insert lands first is
 //! indistinguishable from the other.
+//!
+//! Long-lived owners (the `sibia-serve` daemon keeps one cache for its whole
+//! lifetime) bound memory with [`DecompCache::with_capacity`]: each level
+//! keeps at most `cap` entries, evicting the least-recently-used one on
+//! overflow. Eviction only ever discards memoized values — a later request
+//! for an evicted key recomputes the identical value — so a bounded cache
+//! changes memory and wall-clock, never results. Hit/miss counters feed the
+//! daemon's `metrics` endpoint.
 
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sibia_nn::Layer;
@@ -164,27 +174,128 @@ struct DecompKey {
     repr: Repr,
 }
 
-/// Thread-safe two-level memo of synthesis and decomposition results.
-#[derive(Debug, Default)]
+/// One bounded, LRU-ish memo level: entries carry a last-use stamp from a
+/// per-level logical clock; on overflow the smallest stamp is evicted.
+/// Eviction scans linearly — "LRU-ish" — which is exact LRU behaviour at
+/// O(n) evict cost, fine for the few-thousand-entry caps a server uses.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            Arc::clone(v)
+        })
+    }
+
+    /// Inserts (keeping an existing value if a racing thread beat us),
+    /// evicts down to `cap`, and returns the stored value.
+    fn insert(&mut self, key: K, value: Arc<V>, cap: Option<usize>) -> Arc<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let stored = Arc::clone(
+            &self
+                .map
+                .entry(key)
+                .and_modify(|(_, stamp)| *stamp = tick)
+                .or_insert((value, tick))
+                .0,
+        );
+        if let Some(cap) = cap {
+            while self.map.len() > cap {
+                let oldest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map");
+                self.map.remove(&oldest);
+            }
+        }
+        stored
+    }
+}
+
+/// Thread-safe two-level memo of synthesis and decomposition results,
+/// optionally bounded per level.
+#[derive(Debug)]
 pub struct DecompCache {
-    tensors: Mutex<HashMap<TensorKey, Arc<LayerTensors>>>,
-    decomps: Mutex<HashMap<DecompKey, Arc<LayerDecomp>>>,
+    tensors: Mutex<Shard<TensorKey, LayerTensors>>,
+    decomps: Mutex<Shard<DecompKey, LayerDecomp>>,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl DecompCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (sweep-scoped use: the working set is the
+    /// grid's layer count, naturally bounded).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            tensors: Mutex::new(Shard::new()),
+            decomps: Mutex::new(Shard::new()),
+            capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty cache holding at most `cap` (≥ 1) entries *per level*, with
+    /// least-recently-used eviction. Long-lived owners (the serve daemon)
+    /// use this to keep memory bounded across an unbounded request stream.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            capacity: Some(cap.max(1)),
+            ..Self::new()
+        }
+    }
+
+    /// The per-level entry cap, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of cached layer tensors.
     pub fn tensor_entries(&self) -> usize {
-        self.tensors.lock().expect("cache lock").len()
+        self.tensors.lock().expect("cache lock").map.len()
     }
 
     /// Number of cached layer decompositions.
     pub fn decomp_entries(&self) -> usize {
-        self.decomps.lock().expect("cache lock").len()
+        self.decomps.lock().expect("cache lock").map.len()
+    }
+
+    /// Lookups answered from the cache (both levels).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute (both levels).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction over all lookups; 0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
     }
 
     /// Returns the synthesized tensors for a key, computing them with
@@ -204,16 +315,15 @@ impl DecompCache {
             sample_cap,
         };
         if let Some(hit) = self.tensors.lock().expect("cache lock").get(&key) {
-            return Arc::clone(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(synth());
-        Arc::clone(
-            self.tensors
-                .lock()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(value),
-        )
+        self.tensors
+            .lock()
+            .expect("cache lock")
+            .insert(key, value, self.capacity)
     }
 
     /// Returns the decomposition statistics for a key, computing them with
@@ -235,16 +345,21 @@ impl DecompCache {
             repr,
         };
         if let Some(hit) = self.decomps.lock().expect("cache lock").get(&key) {
-            return Arc::clone(hit);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(measure());
-        Arc::clone(
-            self.decomps
-                .lock()
-                .expect("cache lock")
-                .entry(key)
-                .or_insert(value),
-        )
+        self.decomps
+            .lock()
+            .expect("cache lock")
+            .insert(key, value, self.capacity)
+    }
+}
+
+impl Default for DecompCache {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -307,5 +422,57 @@ mod tests {
             weight_codes: vec![],
         });
         assert_eq!(cache.tensor_entries(), 2);
+    }
+
+    #[test]
+    fn capacity_is_respected_with_lru_eviction() {
+        use sibia_nn::Layer;
+        let cache = DecompCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let layer = Layer::linear("l", 4, 8, 8);
+        let fill = |codes: Vec<i32>| LayerTensors {
+            input_codes: codes,
+            weight_codes: vec![],
+        };
+        // Three distinct keys (layer indices 0/1/2) through a cap of 2.
+        cache.tensors(&layer, 1, 0, 64, || fill(vec![0]));
+        cache.tensors(&layer, 1, 1, 64, || fill(vec![1]));
+        assert_eq!(cache.tensor_entries(), 2);
+        // Touch index 0 so index 1 becomes the LRU victim.
+        cache.tensors(&layer, 1, 0, 64, || unreachable!("hit"));
+        cache.tensors(&layer, 1, 2, 64, || fill(vec![2]));
+        assert_eq!(cache.tensor_entries(), 2, "cap respected");
+        // Index 0 survived (hit), index 1 was evicted (recompute runs).
+        let mut recomputed = false;
+        cache.tensors(&layer, 1, 0, 64, || unreachable!("still cached"));
+        cache.tensors(&layer, 1, 1, 64, || {
+            recomputed = true;
+            fill(vec![1])
+        });
+        assert!(recomputed, "LRU victim was index 1");
+        // Counters: misses = 4 computes (0, 1, 2, 1-again), hits = 2.
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.hit_rate(), 2.0 / 6.0);
+    }
+
+    #[test]
+    fn counters_track_both_levels() {
+        use sibia_nn::Layer;
+        let cache = DecompCache::new();
+        assert_eq!(cache.hit_rate(), 0.0);
+        let layer = Layer::linear("l", 4, 8, 8);
+        let values: Vec<i32> = (-10..10).collect();
+        for _ in 0..3 {
+            cache.decomp(&layer, 1, 0, 64, Repr::Sbr, || LayerDecomp {
+                ki: 2,
+                kw: 2,
+                input: OperandStats::measure(&values, Precision::BITS7, Repr::Sbr),
+                weight: OperandStats::measure(&values, Precision::BITS7, Repr::Sbr),
+            });
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.decomp_entries(), 1);
     }
 }

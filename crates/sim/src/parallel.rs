@@ -94,14 +94,20 @@ impl ParallelEngine {
         )
     }
 
-    /// An engine with an explicit worker count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
+    /// Upper bound on the worker count: grids never profit from more
+    /// workers than cells, and an absurd request (`usize::MAX` from a bad
+    /// config division) must not try to spawn that many OS threads.
+    pub const MAX_THREADS: usize = 1024;
+
+    /// An engine with an explicit worker count, clamped into
+    /// `[1, Self::MAX_THREADS]`. Zero (a common result of misconfigured
+    /// `available_parallelism` arithmetic) means 1, not a panic or a
+    /// spin — the worker count only ever changes wall-clock time, so
+    /// clamping is always safe.
     pub fn with_threads(threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker");
-        Self { threads }
+        Self {
+            threads: threads.clamp(1, Self::MAX_THREADS),
+        }
     }
 
     /// The worker count.
@@ -126,11 +132,29 @@ impl ParallelEngine {
         networks: &[Network],
         seeds: &[u64],
     ) -> GridResult {
+        self.simulate_grid_cached(sim, archs, networks, seeds, &DecompCache::new())
+    }
+
+    /// [`Self::simulate_grid`] against a caller-owned [`DecompCache`].
+    /// Long-lived owners (the serve daemon) pass a shared, bounded cache so
+    /// repeated grids over the same layers skip synthesis entirely; results
+    /// are bit-identical to a fresh cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs`, `networks`, or `seeds` is empty.
+    pub fn simulate_grid_cached(
+        &self,
+        sim: &Simulator,
+        archs: &[ArchSpec],
+        networks: &[Network],
+        seeds: &[u64],
+        cache: &DecompCache,
+    ) -> GridResult {
         assert!(!archs.is_empty(), "need at least one architecture");
         assert!(!networks.is_empty(), "need at least one network");
         assert!(!seeds.is_empty(), "need at least one seed");
         let jobs = archs.len() * networks.len() * seeds.len();
-        let cache = DecompCache::new();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<GridCell>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
 
@@ -144,7 +168,7 @@ impl ParallelEngine {
                 &archs[arch_index],
                 &networks[network_index],
                 None,
-                &cache,
+                cache,
             );
             GridCell {
                 arch_index,
@@ -224,8 +248,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_are_rejected() {
-        let _ = ParallelEngine::with_threads(0);
+    fn extreme_worker_counts_clamp_instead_of_panicking() {
+        assert_eq!(ParallelEngine::with_threads(0).threads(), 1);
+        assert_eq!(ParallelEngine::with_threads(1).threads(), 1);
+        assert_eq!(
+            ParallelEngine::with_threads(usize::MAX).threads(),
+            ParallelEngine::MAX_THREADS
+        );
     }
 }

@@ -111,6 +111,47 @@ fn shared_cache_does_not_perturb_results() {
 }
 
 #[test]
+fn zero_and_overflow_thread_counts_clamp_and_still_simulate() {
+    // Regression: `with_threads(0)` used to panic; it now clamps to one
+    // worker, and absurd counts clamp to `MAX_THREADS`, both producing the
+    // exact same grid as any other worker count.
+    let sim = small_sim();
+    let archs = [ArchSpec::sibia_hybrid()];
+    let nets = nets();
+    let seeds = [9u64];
+    let clamped = ParallelEngine::with_threads(0);
+    assert_eq!(clamped.threads(), 1);
+    assert_eq!(
+        ParallelEngine::with_threads(usize::MAX).threads(),
+        ParallelEngine::MAX_THREADS
+    );
+    let from_zero = clamped.simulate_grid(&sim, &archs, &nets, &seeds);
+    let from_two = ParallelEngine::with_threads(2).simulate_grid(&sim, &archs, &nets, &seeds);
+    assert_eq!(from_zero, from_two);
+}
+
+#[test]
+fn shared_cache_grid_is_bit_identical_and_reuses_entries() {
+    // The serve daemon's usage pattern: many grids against one long-lived,
+    // bounded cache. Results must match the fresh-cache engine bit for bit,
+    // and the second pass must be answered from the cache.
+    let sim = small_sim();
+    let archs = archs();
+    let nets = nets();
+    let seeds = [1u64, 2];
+    let cache = DecompCache::with_capacity(256);
+    let engine = ParallelEngine::with_threads(4);
+    let first = engine.simulate_grid_cached(&sim, &archs, &nets, &seeds, &cache);
+    let fresh = engine.simulate_grid(&sim, &archs, &nets, &seeds);
+    assert_eq!(first, fresh);
+    let misses_after_first = cache.misses();
+    let second = engine.simulate_grid_cached(&sim, &archs, &nets, &seeds, &cache);
+    assert_eq!(second, fresh);
+    assert_eq!(cache.misses(), misses_after_first, "second grid all hits");
+    assert!(cache.hits() > 0);
+}
+
+#[test]
 fn multi_seed_summary_matches_manual_serial_walk() {
     let sim = small_sim();
     let net = &nets()[1];

@@ -16,4 +16,25 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> serve smoke test"
+# Daemon on an ephemeral port, short bench_serve burst, graceful SIGTERM.
+serve_log="$(mktemp)"
+./target/release/sibia-cli serve --port 0 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+serve_addr=""
+for _ in $(seq 1 50); do
+  serve_addr="$(sed -n 's/^sibia-serve listening on //p' "$serve_log")"
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "serve daemon never came up"; cat "$serve_log"; exit 1; }
+./target/release/bench_serve --addr "$serve_addr" --connections 8 --requests 5 --sample-cap 512
+grep -q '"protocol_errors":0' BENCH_serve.json
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+trap - EXIT
+grep -q "shutdown complete" "$serve_log" || { echo "daemon did not drain cleanly"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log"
+
 echo "CI OK"
