@@ -116,6 +116,76 @@ fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
     sorted[rank - 1].as_secs_f64() * 1e3
 }
 
+/// Pulls the server's `metrics` and `trace` views and cross-checks them.
+/// Returns the server-side phase summary (for the report) and the number of
+/// consistency violations found.
+fn check_observability(probe: &mut Client) -> (Json, u64) {
+    let _ = probe.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut errors = 0u64;
+    let metrics = match probe.metrics() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_serve: post-run metrics failed: {e}");
+            return (Json::Null, 1);
+        }
+    };
+    let total_count = metrics
+        .get("latency_ms")
+        .and_then(|l| l.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let total_us = metrics
+        .get("latency_ms")
+        .and_then(|l| l.get("total_us"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let mut phase_sum_us = 0u64;
+    for phase in ["queue_wait", "compute", "serialize"] {
+        let h = metrics.get("phases_ms").and_then(|p| p.get(phase));
+        let count = h
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if count != total_count {
+            eprintln!("bench_serve: phase {phase} saw {count} requests, total saw {total_count}");
+            errors += 1;
+        }
+        phase_sum_us += h
+            .and_then(|h| h.get("total_us"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+    }
+    if phase_sum_us > total_us {
+        eprintln!("bench_serve: phase sum {phase_sum_us}µs exceeds total {total_us}µs");
+        errors += 1;
+    }
+    match probe.trace(Some(8)) {
+        Ok(trace) => {
+            let spans = trace
+                .get("spans")
+                .and_then(Json::as_array)
+                .map_or(0, |s| s.len());
+            if spans == 0 {
+                eprintln!("bench_serve: trace buffer empty after a full load run");
+                errors += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_serve: post-run trace failed: {e}");
+            errors += 1;
+        }
+    }
+    println!(
+        "  server phases: sum {:.1}ms of {:.1}ms total across {total_count} requests",
+        phase_sum_us as f64 / 1e3,
+        total_us as f64 / 1e3
+    );
+    (
+        metrics.get("phases_ms").cloned().unwrap_or(Json::Null),
+        errors,
+    )
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
 
@@ -182,6 +252,20 @@ fn main() -> ExitCode {
     println!("  wall {wall_s:.2}s  throughput {throughput:.0} req/s");
     println!("  latency ms: mean {mean:.2}  p50 {p50:.2}  p99 {p99:.2}");
 
+    // Post-run observability check: the server's phase histograms must be
+    // internally consistent (every phase saw every request; their exact-µs
+    // sum never exceeds the total), and the trace buffer must hold spans.
+    // An inconsistency is a server bug, so it fails the run like a protocol
+    // error would.
+    let (phases_json, consistency_errors) = match Client::connect(&addr) {
+        Ok(mut probe) => check_observability(&mut probe),
+        Err(e) => {
+            eprintln!("bench_serve: post-run probe connect failed: {e}");
+            (Json::Null, 1)
+        }
+    };
+    protocol_errors += consistency_errors;
+
     let report = Json::obj(vec![
         ("benchmark", Json::from("serve_load")),
         ("connections", Json::from(args.connections)),
@@ -200,6 +284,7 @@ fn main() -> ExitCode {
                 ("p99", Json::from(p99)),
             ]),
         ),
+        ("server_phases_ms", phases_json),
     ]);
     std::fs::write("BENCH_serve.json", format!("{report}\n")).expect("write BENCH_serve.json");
     println!("  wrote BENCH_serve.json");

@@ -7,7 +7,12 @@
 //! sibia-cli simulate <network> [--arch A] run the performance simulator
 //! sibia-cli compare <network>             all architectures side by side
 //! sibia-cli serve [--port P]              NDJSON simulation daemon
+//! sibia-cli trace-check <path>            validate a --trace-out profile
 //! ```
+//!
+//! `simulate` and `compare` accept `--trace-out <path>`: the run executes
+//! with span tracing enabled and writes a Chrome `trace_event` JSONL
+//! profile (open it at `ui.perfetto.dev` or `chrome://tracing`).
 
 use std::env;
 use std::process::ExitCode;
@@ -33,6 +38,30 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+// Turns span tracing on when `--trace-out PATH` is present and returns the
+// path; the run then records sim.network/sim.layer spans as a side effect.
+fn trace_out(args: &[String]) -> Option<String> {
+    let path = flag_value(args, "--trace-out")?;
+    sibia::obs::tracer().enable();
+    Some(path)
+}
+
+fn write_trace(path: &str) -> ExitCode {
+    let tracer = sibia::obs::tracer();
+    tracer.disable();
+    let spans = tracer.records().len();
+    match std::fs::write(path, tracer.export_chrome()) {
+        Ok(()) => {
+            eprintln!("wrote {spans} spans to {path} (open at ui.perfetto.dev)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-out: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sibia-cli <command>\n\
@@ -41,13 +70,17 @@ fn usage() -> ExitCode {
          \x20 networks                           list benchmark networks\n\
          \x20 encode <value> [--bits N]          show slice decompositions of a value\n\
          \x20 sparsity <network>                 slice-sparsity report (seeded synthesis)\n\
-         \x20 simulate <network> [--arch A] [--seed S]\n\
+         \x20 simulate <network> [--arch A] [--seed S] [--trace-out PATH]\n\
          \x20                                    run the cycle/energy simulator\n\
-         \x20 compare <network> [--seed S]       all architectures side by side\n\
+         \x20 compare <network> [--seed S] [--trace-out PATH]\n\
+         \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
          \x20                                    newline-delimited-JSON simulation daemon\n\
+         \x20 trace-check <path> [--network NAME]\n\
+         \x20                                    validate a --trace-out Chrome trace profile\n\
          \n\
-         architectures: bitfusion, hnpu, no-sbr, input-skip, sibia, output-skip"
+         architectures: bitfusion, hnpu, no-sbr, input-skip, sibia, output-skip\n\
+         --trace-out writes a Chrome trace_event JSONL profile (Perfetto-loadable)"
     );
     ExitCode::FAILURE
 }
@@ -137,6 +170,7 @@ fn main() -> ExitCode {
             let seed = flag_value(&args, "--seed")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1);
+            let trace_path = trace_out(&args);
             let r = Accelerator::from_spec(arch)
                 .with_seed(seed)
                 .run_network(&net);
@@ -153,7 +187,10 @@ fn main() -> ExitCode {
                     l.skip_side
                 );
             }
-            ExitCode::SUCCESS
+            match trace_path {
+                Some(path) => write_trace(&path),
+                None => ExitCode::SUCCESS,
+            }
         }
         "compare" => {
             let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
@@ -163,6 +200,7 @@ fn main() -> ExitCode {
             let seed = flag_value(&args, "--seed")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(1);
+            let trace_path = trace_out(&args);
             let bf = Accelerator::bit_fusion().with_seed(seed).run_network(&net);
             println!(
                 "{:<18} {:>10} {:>10} {:>9} {:>9}",
@@ -187,7 +225,10 @@ fn main() -> ExitCode {
                     r.speedup_over(&bf)
                 );
             }
-            ExitCode::SUCCESS
+            match trace_path {
+                Some(path) => write_trace(&path),
+                None => ExitCode::SUCCESS,
+            }
         }
         "serve" => {
             let port = match flag_value(&args, "--port") {
@@ -225,6 +266,68 @@ fn main() -> ExitCode {
             println!("sibia-serve listening on {}", server.addr());
             server.run_until_signalled();
             println!("shutdown complete");
+            ExitCode::SUCCESS
+        }
+        "trace-check" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("trace-check: need a trace file path");
+                return usage();
+            };
+            let data = match std::fs::read_to_string(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("trace-check: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut spans = 0usize;
+            let mut layer_spans = 0usize;
+            for (lineno, line) in data.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let event = match sibia::obs::Json::parse(line) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("trace-check: {path}:{}: invalid JSON: {e}", lineno + 1);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let name = event.get("name").and_then(|n| n.as_str());
+                let is_complete = event.get("ph").and_then(|p| p.as_str()) == Some("X");
+                let timed = event.get("ts").is_some() && event.get("dur").is_some();
+                if name.is_none() || !is_complete || !timed {
+                    eprintln!(
+                        "trace-check: {path}:{}: not a complete trace_event \
+                         (need name, ph:\"X\", ts, dur)",
+                        lineno + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+                spans += 1;
+                if name == Some("sim.layer") {
+                    layer_spans += 1;
+                }
+            }
+            if spans == 0 {
+                eprintln!("trace-check: {path} contains no spans");
+                return ExitCode::FAILURE;
+            }
+            if let Some(name) = flag_value(&args, "--network") {
+                let Some(net) = find_network(&name) else {
+                    eprintln!("trace-check: unknown network {name}");
+                    return ExitCode::FAILURE;
+                };
+                if layer_spans < net.layers().len() {
+                    eprintln!(
+                        "trace-check: {path} has {layer_spans} sim.layer spans, \
+                         expected at least {} for {name}",
+                        net.layers().len()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!("trace-check: {path} ok ({spans} spans, {layer_spans} sim.layer)");
             ExitCode::SUCCESS
         }
         _ => usage(),

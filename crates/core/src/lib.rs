@@ -41,10 +41,12 @@
 //! | [`speculate`] | bit-slice output speculation |
 //! | [`sim`] | functional PE datapath + cycle/energy simulators |
 //! | [`serve`] | the std-only accelerator-as-a-service TCP daemon |
+//! | [`obs`] | span tracing, metrics registry, Chrome-trace export |
 
 pub use sibia_arch as arch;
 pub use sibia_compress as compress;
 pub use sibia_nn as nn;
+pub use sibia_obs as obs;
 pub use sibia_sbr as sbr;
 pub use sibia_serve as serve;
 pub use sibia_sim as sim;

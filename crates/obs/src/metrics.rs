@@ -1,0 +1,366 @@
+//! Unified metrics: counters, gauges, power-of-two histograms, and the
+//! [`Registry`] that names and deduplicates them.
+//!
+//! ## Naming convention
+//!
+//! Metric names are lowercase, dot-separated paths of the form
+//! `<subsystem>.<component>.<metric>[_<unit>]` — e.g.
+//! `serve.latency.total_us`, `sim.cache.hits`,
+//! `sim.engine.worker.0.busy_us`. The registry deduplicates by exact name:
+//! asking twice for the same name returns the same instrument, so every
+//! subsystem can hold its own `Arc` handle to a shared counter without any
+//! coordination beyond the name.
+//!
+//! ## Hot-path cost
+//!
+//! Every instrument is `AtomicU64`-based: recording an observation is one
+//! to three relaxed atomic RMWs and never takes a lock or allocates. The
+//! registry's `Mutex` is only touched at registration and snapshot time.
+//!
+//! ## Histogram scheme
+//!
+//! [`Histogram`] keeps the power-of-two microsecond bucket scheme the serve
+//! daemon's latency histogram introduced (bucket `i` covers
+//! `[2^i, 2^(i+1))` µs, 48 buckets, bucket 0 also catching sub-microsecond
+//! samples): a reported quantile is the *upper bound* of its bucket — at
+//! most 2× the true value — while the whole structure is 64 counters. The
+//! saturating top bucket reports the exact observed maximum instead of its
+//! (meaningless) nominal upper edge.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two-microsecond histogram (`bucket i` covers `[2^i, 2^(i+1))`
+/// µs; bucket 0 also catches sub-microsecond samples).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket count: 2^47 µs ≈ 4.5 years caps the top bucket.
+    pub const BUCKETS: usize = 48;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        (63 - u64::leading_zeros(us.max(1)) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Records one observation, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        self.record_us(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in microseconds (exact, unlike quantiles).
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Mean in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us() as f64 / n as f64 / 1e3
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds, as the upper bound
+    /// of the bucket holding the rank-`ceil(q*n)` observation; 0 when
+    /// empty. The saturating top bucket reports the exact observed maximum
+    /// (its nominal upper edge would not be an upper bound at all).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == Self::BUCKETS - 1 {
+                    self.max_us() as f64 / 1e3
+                } else {
+                    (1u64 << (i + 1)) as f64 / 1e3
+                };
+            }
+        }
+        self.max_us() as f64 / 1e3
+    }
+
+    /// Compact JSON summary (`count`, `mean`, `p50`, `p99`, `max` in ms).
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::from(self.count())),
+            ("mean", Json::from(self.mean_ms())),
+            ("p50", Json::from(self.quantile_ms(0.5))),
+            ("p99", Json::from(self.quantile_ms(0.99))),
+            ("max", Json::from(self.max_us() as f64 / 1e3)),
+        ])
+    }
+}
+
+/// Named, deduplicated instruments with a canonical snapshot serialization.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use. The
+    /// same name always returns the same instrument.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Canonical snapshot: every instrument, name-sorted (the `BTreeMap`
+    /// order), counters/gauges as numbers and histograms as compact
+    /// summaries. Two snapshots of identical state serialize to identical
+    /// bytes.
+    pub fn snapshot(&self) -> Json {
+        let counters = Json::Object(
+            self.counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, c)| (k.clone(), Json::from(c.get())))
+                .collect(),
+        );
+        let gauges = Json::Object(
+            self.gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, g)| (k.clone(), Json::Int(g.get())))
+                .collect(),
+        );
+        let histograms = Json::Object(
+            self.histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary_json()))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms_ms", histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("test.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("test.hits").get(), 5, "same name, same counter");
+        let g = r.gauge("test.depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(r.gauge("test.depth").get(), 4);
+    }
+
+    #[test]
+    fn histogram_empty_single_and_saturating() {
+        let h = Histogram::new();
+        // Empty: everything is 0, no division by zero.
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.quantile_ms(1.0), 0.0);
+
+        // Single observation: every quantile lands in its bucket and
+        // reports that bucket's upper bound ([64, 128) µs → 0.128 ms).
+        h.record(Duration::from_micros(100));
+        for q in [0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ms(q), 0.128, "q={q}");
+        }
+        assert_eq!(h.mean_ms(), 0.1);
+        assert_eq!(h.max_us(), 100);
+
+        // Saturating top bucket: the nominal upper edge of bucket 47 would
+        // *under*-report a larger sample; the observed max must win.
+        let h = Histogram::new();
+        let big_us = (1u64 << 50) + 12345;
+        h.record(Duration::from_micros(big_us));
+        assert_eq!(h.quantile_ms(1.0), big_us as f64 / 1e3);
+        assert_eq!(h.quantile_ms(0.5), big_us as f64 / 1e3);
+    }
+
+    #[test]
+    fn histogram_quantile_rank_boundaries() {
+        let h = Histogram::new();
+        // 2 samples in bucket [1,2) µs, 2 in [1024, 2048) µs.
+        h.record_us(1);
+        h.record_us(1);
+        h.record_us(1500);
+        h.record_us(1600);
+        // Rank math: q=0.5 → rank 2 → still the fast bucket (upper bound
+        // 2 µs = 0.002 ms); q=0.75 → rank 3 → slow bucket (2048 µs).
+        assert_eq!(h.quantile_ms(0.5), 0.002);
+        assert_eq!(h.quantile_ms(0.75), 2.048);
+        assert_eq!(h.quantile_ms(1.0), 2.048);
+        assert_eq!(h.total_us(), 1 + 1 + 1500 + 1600);
+    }
+
+    #[test]
+    fn snapshot_is_canonical_and_parses() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").inc();
+        r.gauge("z.depth").set(-3);
+        r.histogram("lat.total_us").record(Duration::from_millis(5));
+        let s1 = r.snapshot().to_string();
+        let s2 = r.snapshot().to_string();
+        assert_eq!(s1, s2, "snapshots of identical state are byte-identical");
+        let back = Json::parse(&s1).expect("snapshot parses");
+        assert_eq!(
+            back.get("counters").unwrap().get("a.first"),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(
+            back.get("gauges").unwrap().get("z.depth"),
+            Some(&Json::Int(-3))
+        );
+        assert!(back
+            .get("histograms_ms")
+            .unwrap()
+            .get("lat.total_us")
+            .unwrap()
+            .get("p99")
+            .is_some());
+        // Name-sorted: "a.first" serializes before "b.second".
+        let a = s1.find("a.first").unwrap();
+        let b = s1.find("b.second").unwrap();
+        assert!(a < b);
+    }
+}

@@ -213,4 +213,14 @@ impl Client {
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
         self.call(Json::obj(vec![("kind", Json::from("metrics"))]))
     }
+
+    /// The most recent completed request spans (newest first), up to
+    /// `limit` (server default when `None`).
+    pub fn trace(&mut self, limit: Option<usize>) -> Result<Json, ClientError> {
+        let mut fields = vec![("kind", Json::from("trace"))];
+        if let Some(n) = limit {
+            fields.push(("limit", Json::from(n)));
+        }
+        self.call(Json::obj(fields))
+    }
 }

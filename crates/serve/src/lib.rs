@@ -12,14 +12,17 @@
 //!
 //! The pieces, bottom-up:
 //!
-//! * [`json`] — a small parser/serializer whose canonical output makes
-//!   "byte-identical responses" a checkable property, not an aspiration;
-//! * [`protocol`] — request/response shapes, error codes, and the canonical
-//!   projection of simulator results into JSON;
+//! * [`json`] — the canonical parser/serializer (re-exported from
+//!   [`sibia_obs::json`]) whose canonical output makes "byte-identical
+//!   responses" a checkable property, not an aspiration;
+//! * [`protocol`] — request/response shapes, error codes, per-request
+//!   `trace_id`s, and the canonical projection of simulator results into
+//!   JSON;
 //! * [`queue`] — the bounded job queue behind admission control: producers
 //!   never block, overflow is a typed `overloaded` rejection;
-//! * [`metrics`] — lock-free request counters and a power-of-two latency
-//!   histogram backing the `metrics` request;
+//! * [`metrics`] — request counters and queue-wait / compute / serialize
+//!   latency histograms, registered in a unified [`sibia_obs`] registry
+//!   and backing the `metrics` request;
 //! * [`server`] — accept loop, worker pool, per-request deadlines, graceful
 //!   drain on shutdown;
 //! * [`client`] — a blocking connection with typed helpers, shared by the

@@ -1,107 +1,40 @@
-//! Lock-free server counters and an in-repo latency histogram.
+//! Server metrics, backed by the unified [`sibia_obs`] registry.
 //!
-//! Everything here is `AtomicU64`-based so the request hot path never takes
-//! a lock to record an observation. The histogram trades exactness for
-//! bounded memory: latencies land in power-of-two microsecond buckets, so a
-//! reported quantile is the *upper bound* of its bucket — at most 2× the
-//! true value, which is plenty for spotting p99 regressions — while the
-//! whole structure is 64 counters.
+//! Every instrument here is registered in one [`Registry`] under the
+//! `serve.*` naming convention (DESIGN.md §8), so the `metrics` response
+//! can serve a canonical name-sorted snapshot alongside the stable
+//! hand-shaped summary the dashboards already parse. The hot path is
+//! unchanged from the pre-registry implementation: recording an
+//! observation is a handful of relaxed atomic RMWs, never a lock.
+//!
+//! Request latency is recorded twice — once end-to-end
+//! (`serve.latency.total_us`) and once split into the three phases a slow
+//! request can hide in:
+//!
+//! * `queue_wait` — admission to worker pickup (0 for inline requests);
+//! * `compute` — executing the simulation/encode work;
+//! * `serialize` — rendering and writing the response line.
+//!
+//! The three phase histograms see exactly one observation per request, so
+//! their counts equal the total histogram's count and their `total_us`
+//! sums are bounded by (and within scheduling noise of) the total's — an
+//! invariant the integration tests assert.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use sibia_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
 use crate::json::Json;
 use crate::protocol::ErrorCode;
 
-/// Power-of-two-microsecond latency histogram (`bucket i` covers
-/// `[2^i, 2^(i+1))` µs; bucket 0 also catches sub-microsecond samples).
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; Self::BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Bucket count: 2^47 µs ≈ 4.5 years caps the top bucket.
-    const BUCKETS: usize = 48;
-
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_of(us: u64) -> usize {
-        (63 - u64::leading_zeros(us.max(1)) as usize).min(Self::BUCKETS - 1)
-    }
-
-    /// Records one latency observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in milliseconds (0 when empty).
-    pub fn mean_ms(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        self.total_us.load(Ordering::Relaxed) as f64 / n as f64 / 1e3
-    }
-
-    /// The `q`-quantile (`0 < q <= 1`) in milliseconds, as the upper bound
-    /// of the bucket holding the rank-`ceil(q*n)` observation; 0 when
-    /// empty.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return (1u64 << (i + 1)) as f64 / 1e3;
-            }
-        }
-        (1u64 << Self::BUCKETS) as f64 / 1e3
-    }
-}
-
-/// All server counters.
-#[derive(Debug, Default)]
-pub struct ServeMetrics {
-    /// Successful requests by kind, `KINDS` order.
-    ok_by_kind: [AtomicU64; KINDS.len()],
-    /// Errors by code, `CODES` order.
-    err_by_code: [AtomicU64; CODES.len()],
-    /// Accepted connections.
-    connections: AtomicU64,
-    /// End-to-end request latency (receipt → response serialized).
-    latency: LatencyHistogram,
-}
+/// The serve latency histogram type (the power-of-two-bucket scheme now
+/// lives in [`sibia_obs::metrics::Histogram`]; this alias keeps the
+/// original `serve::metrics::LatencyHistogram` name working).
+pub type LatencyHistogram = Histogram;
 
 /// Request kinds, in metrics order.
-const KINDS: [&str; 5] = ["ping", "encode", "simulate", "sweep", "metrics"];
+const KINDS: [&str; 6] = ["ping", "encode", "simulate", "sweep", "metrics", "trace"];
 /// Error codes, in metrics order (mirrors [`ErrorCode`]).
 const CODES: [&str; 7] = [
     "bad_request",
@@ -125,60 +58,149 @@ fn code_index(code: ErrorCode) -> usize {
     }
 }
 
+/// Where one request's time went. All phases default to zero so inline
+/// requests (`ping`, `metrics`, `trace`) only fill what they measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Admission → worker pickup.
+    pub queue_wait: Duration,
+    /// Executing the work itself.
+    pub compute: Duration,
+    /// Rendering + writing the response line.
+    pub serialize: Duration,
+}
+
+/// All server counters, held as `Arc` handles into one registry.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Arc<Registry>,
+    ok_by_kind: [Arc<Counter>; KINDS.len()],
+    err_by_code: [Arc<Counter>; CODES.len()],
+    connections: Arc<Counter>,
+    latency: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    compute: Arc<Histogram>,
+    serialize: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queue_capacity: Arc<Gauge>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ServeMetrics {
-    /// Fresh counters.
+    /// Fresh counters in a fresh registry (each server instance owns its
+    /// own, so side-by-side test servers never share counts).
     pub fn new() -> Self {
-        Self::default()
+        Self::in_registry(Arc::new(Registry::new()))
+    }
+
+    /// Registers this server's instruments in `registry`. Names follow the
+    /// `serve.<component>.<metric>[_<unit>]` convention; asking an existing
+    /// registry for the same names attaches to the same counters.
+    pub fn in_registry(registry: Arc<Registry>) -> Self {
+        let ok_by_kind =
+            std::array::from_fn(|i| registry.counter(&format!("serve.requests.ok.{}", KINDS[i])));
+        let err_by_code =
+            std::array::from_fn(|i| registry.counter(&format!("serve.requests.err.{}", CODES[i])));
+        Self {
+            ok_by_kind,
+            err_by_code,
+            connections: registry.counter("serve.connections.accepted"),
+            latency: registry.histogram("serve.latency.total_us"),
+            queue_wait: registry.histogram("serve.latency.queue_wait_us"),
+            compute: registry.histogram("serve.latency.compute_us"),
+            serialize: registry.histogram("serve.latency.serialize_us"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            queue_capacity: registry.gauge("serve.queue.capacity"),
+            cache_hits: registry.gauge("serve.cache.hits"),
+            cache_misses: registry.gauge("serve.cache.misses"),
+            cache_entries: registry.gauge("serve.cache.entries"),
+            registry,
+        }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Records an accepted connection.
     pub fn connection(&self) {
-        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.connections.inc();
     }
 
-    /// Records a completed request: its kind label, outcome, and latency.
-    pub fn request(&self, kind: &str, outcome: Result<(), ErrorCode>, latency: Duration) {
+    /// Records a completed request: its kind label, outcome, end-to-end
+    /// latency, and per-phase split. Every request lands in all four
+    /// histograms exactly once.
+    pub fn request(
+        &self,
+        kind: &str,
+        outcome: Result<(), ErrorCode>,
+        latency: Duration,
+        phases: PhaseTimings,
+    ) {
         match outcome {
             Ok(()) => {
                 if let Some(i) = KINDS.iter().position(|k| *k == kind) {
-                    self.ok_by_kind[i].fetch_add(1, Ordering::Relaxed);
+                    self.ok_by_kind[i].inc();
                 }
             }
             Err(code) => {
-                self.err_by_code[code_index(code)].fetch_add(1, Ordering::Relaxed);
+                self.err_by_code[code_index(code)].inc();
             }
         }
         self.latency.record(latency);
+        self.queue_wait.record(phases.queue_wait);
+        self.compute.record(phases.compute);
+        self.serialize.record(phases.serialize);
     }
 
     /// Total successful requests.
     pub fn ok_total(&self) -> u64 {
-        self.ok_by_kind
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.ok_by_kind.iter().map(|c| c.get()).sum()
     }
 
     /// Total errored requests.
     pub fn err_total(&self) -> u64 {
-        self.err_by_code
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .sum()
+        self.err_by_code.iter().map(|c| c.get()).sum()
     }
 
     /// Errors recorded under one code.
     pub fn errors(&self, code: ErrorCode) -> u64 {
-        self.err_by_code[code_index(code)].load(Ordering::Relaxed)
+        self.err_by_code[code_index(code)].get()
     }
 
-    /// The latency histogram.
-    pub fn latency(&self) -> &LatencyHistogram {
+    /// The end-to-end latency histogram.
+    pub fn latency(&self) -> &Histogram {
         &self.latency
     }
 
+    /// The (queue-wait, compute, serialize) phase histograms.
+    pub fn phases(&self) -> (&Histogram, &Histogram, &Histogram) {
+        (&self.queue_wait, &self.compute, &self.serialize)
+    }
+
+    fn histogram_json(h: &Histogram) -> Json {
+        // The compact summary plus the exact microsecond sum, which lets
+        // clients check the phase-summation invariant without bucket error.
+        let mut j = h.summary_json();
+        if let Json::Object(members) = &mut j {
+            members.push(("total_us".to_owned(), Json::from(h.total_us())));
+        }
+        j
+    }
+
     /// Serializes the counters plus caller-supplied gauges (queue depth and
-    /// cache statistics, which live outside this struct).
+    /// cache statistics, which live outside this struct). The gauges are
+    /// also published into the registry so the appended canonical snapshot
+    /// carries them.
     pub fn to_json(
         &self,
         queue_depth: usize,
@@ -187,6 +209,11 @@ impl ServeMetrics {
         cache_misses: u64,
         cache_entries: usize,
     ) -> Json {
+        self.queue_depth.set(queue_depth as i64);
+        self.queue_capacity.set(queue_capacity as i64);
+        self.cache_hits.set(cache_hits as i64);
+        self.cache_misses.set(cache_misses as i64);
+        self.cache_entries.set(cache_entries as i64);
         let lookups = cache_hits + cache_misses;
         let hit_rate = if lookups == 0 {
             0.0
@@ -203,9 +230,7 @@ impl ServeMetrics {
                             KINDS
                                 .iter()
                                 .zip(&self.ok_by_kind)
-                                .map(|(k, c)| {
-                                    ((*k).to_owned(), Json::from(c.load(Ordering::Relaxed)))
-                                })
+                                .map(|(k, c)| ((*k).to_owned(), Json::from(c.get())))
                                 .collect(),
                         ),
                     ),
@@ -215,9 +240,7 @@ impl ServeMetrics {
                             CODES
                                 .iter()
                                 .zip(&self.err_by_code)
-                                .map(|(k, c)| {
-                                    ((*k).to_owned(), Json::from(c.load(Ordering::Relaxed)))
-                                })
+                                .map(|(k, c)| ((*k).to_owned(), Json::from(c.get())))
                                 .collect(),
                         ),
                     ),
@@ -225,10 +248,7 @@ impl ServeMetrics {
                     ("error_total", Json::from(self.err_total())),
                 ]),
             ),
-            (
-                "connections",
-                Json::from(self.connections.load(Ordering::Relaxed)),
-            ),
+            ("connections", Json::from(self.connections.get())),
             (
                 "queue",
                 Json::obj(vec![
@@ -245,15 +265,16 @@ impl ServeMetrics {
                     ("entries", Json::from(cache_entries)),
                 ]),
             ),
+            ("latency_ms", Self::histogram_json(&self.latency)),
             (
-                "latency_ms",
+                "phases_ms",
                 Json::obj(vec![
-                    ("count", Json::from(self.latency.count())),
-                    ("mean", Json::from(self.latency.mean_ms())),
-                    ("p50", Json::from(self.latency.quantile_ms(0.5))),
-                    ("p99", Json::from(self.latency.quantile_ms(0.99))),
+                    ("queue_wait", Self::histogram_json(&self.queue_wait)),
+                    ("compute", Self::histogram_json(&self.compute)),
+                    ("serialize", Self::histogram_json(&self.serialize)),
                 ]),
             ),
+            ("registry", self.registry.snapshot()),
         ])
     }
 }
@@ -287,13 +308,24 @@ mod tests {
     fn counters_split_by_kind_and_code() {
         let m = ServeMetrics::new();
         m.connection();
-        m.request("simulate", Ok(()), Duration::from_millis(2));
-        m.request("simulate", Ok(()), Duration::from_millis(2));
-        m.request("encode", Ok(()), Duration::from_micros(30));
+        let phases = PhaseTimings {
+            queue_wait: Duration::from_micros(10),
+            compute: Duration::from_micros(1900),
+            serialize: Duration::from_micros(80),
+        };
+        m.request("simulate", Ok(()), Duration::from_millis(2), phases);
+        m.request("simulate", Ok(()), Duration::from_millis(2), phases);
+        m.request(
+            "encode",
+            Ok(()),
+            Duration::from_micros(30),
+            PhaseTimings::default(),
+        );
         m.request(
             "sweep",
             Err(ErrorCode::Overloaded),
             Duration::from_micros(5),
+            PhaseTimings::default(),
         );
         assert_eq!(m.ok_total(), 3);
         assert_eq!(m.err_total(), 1);
@@ -323,6 +355,80 @@ mod tests {
         assert_eq!(
             j.get("latency_ms").unwrap().get("count"),
             Some(&Json::Int(4))
+        );
+    }
+
+    #[test]
+    fn phase_histograms_see_every_request_and_sum_below_total() {
+        let m = ServeMetrics::new();
+        for i in 0..10u64 {
+            m.request(
+                "simulate",
+                Ok(()),
+                Duration::from_micros(1000 + i),
+                PhaseTimings {
+                    queue_wait: Duration::from_micros(100),
+                    compute: Duration::from_micros(800 + i),
+                    serialize: Duration::from_micros(50),
+                },
+            );
+        }
+        let (qw, cp, sz) = m.phases();
+        assert_eq!(qw.count(), m.latency().count());
+        assert_eq!(cp.count(), m.latency().count());
+        assert_eq!(sz.count(), m.latency().count());
+        let phase_sum = qw.total_us() + cp.total_us() + sz.total_us();
+        assert!(phase_sum <= m.latency().total_us());
+        // The exact sums surface in the metrics response for clients to
+        // make the same check.
+        let j = m.to_json(0, 64, 0, 0, 0);
+        let total_us = j
+            .get("latency_ms")
+            .unwrap()
+            .get("total_us")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let phases = j.get("phases_ms").unwrap();
+        let sum: u64 = ["queue_wait", "compute", "serialize"]
+            .iter()
+            .map(|p| {
+                phases
+                    .get(p)
+                    .unwrap()
+                    .get("total_us")
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(sum, phase_sum);
+        assert!(sum <= total_us);
+    }
+
+    #[test]
+    fn registry_snapshot_rides_along_in_the_response() {
+        let m = ServeMetrics::new();
+        m.connection();
+        m.request(
+            "ping",
+            Ok(()),
+            Duration::from_micros(5),
+            PhaseTimings::default(),
+        );
+        let j = m.to_json(1, 8, 3, 1, 2);
+        let registry = j.get("registry").expect("registry snapshot");
+        let counters = registry.get("counters").unwrap();
+        assert_eq!(
+            counters.get("serve.requests.ok.ping"),
+            Some(&Json::Int(1)),
+            "registry names follow serve.<component>.<metric>"
+        );
+        let gauges = registry.get("gauges").unwrap();
+        assert_eq!(gauges.get("serve.cache.hits"), Some(&Json::Int(3)));
+        assert_eq!(gauges.get("serve.queue.capacity"), Some(&Json::Int(8)));
+        // Canonical: two snapshots of the same state are byte-identical.
+        assert_eq!(
+            m.to_json(1, 8, 3, 1, 2).to_string(),
+            m.to_json(1, 8, 3, 1, 2).to_string()
         );
     }
 }

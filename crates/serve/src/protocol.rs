@@ -9,12 +9,18 @@
 //!
 //! ```text
 //! request  = { "kind": KIND, ["id": any], ["timeout_ms": int], ...params }
-//! KIND     = "ping" | "encode" | "simulate" | "sweep" | "metrics"
-//! response = { ["id": any], "ok": true,  "result": object }
-//!          | { ["id": any], "ok": false, "error": { "code": CODE, "message": string } }
+//! KIND     = "ping" | "encode" | "simulate" | "sweep" | "metrics" | "trace"
+//! response = { ["id": any], "ok": true,  ["trace_id": string], "result": object }
+//!          | { ["id": any], "ok": false, ["trace_id": string], "error": { "code": CODE, "message": string } }
 //! CODE     = "bad_request" | "unknown_arch" | "unknown_network"
 //!          | "overloaded" | "deadline_exceeded" | "shutting_down" | "internal"
 //! ```
+//!
+//! `trace_id` is a server-assigned per-request identifier, echoed in the
+//! response **envelope** (never inside `result`, which stays byte-identical
+//! to the library serialization) and attached to the request's span in the
+//! server's trace buffer, so a slow response can be looked up with a
+//! `trace` request.
 //!
 //! Per kind:
 //!
@@ -28,6 +34,8 @@
 //!   (arch, network, seed) order, exactly as [`sibia_sim::ParallelEngine`]
 //!   produces it.
 //! * `metrics` — no params; returns the server's counters.
+//! * `trace` — optional `limit: int` (default 32); returns the most recent
+//!   completed request spans as Chrome `trace_event` objects, newest first.
 //!
 //! ## Determinism guarantee
 //!
@@ -138,6 +146,11 @@ pub enum Request {
     },
     /// The server's counters, answered inline.
     Metrics,
+    /// The most recent completed request spans, answered inline.
+    Trace {
+        /// Maximum spans to return (default 32).
+        limit: Option<usize>,
+    },
 }
 
 impl Request {
@@ -149,6 +162,7 @@ impl Request {
             Request::Simulate { .. } => "simulate",
             Request::Sweep { .. } => "sweep",
             Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
         }
     }
 }
@@ -232,6 +246,9 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
     let request = match kind {
         "ping" => Request::Ping,
         "metrics" => Request::Metrics,
+        "trace" => Request::Trace {
+            limit: field_u64(&v, "limit")?.map(|n| n as usize),
+        },
         "encode" => {
             let raw = v.get("values").and_then(Json::as_array).ok_or_else(|| {
                 ServeError::new(ErrorCode::BadRequest, "'values' must be an array")
@@ -331,23 +348,31 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
 }
 
 /// Builds a success response line (without the trailing newline).
-pub fn ok_response(id: Option<&Json>, result: Json) -> Json {
-    let mut members = Vec::with_capacity(3);
+/// `trace_id` goes in the envelope only — `result` stays the byte-identical
+/// library serialization.
+pub fn ok_response(id: Option<&Json>, trace_id: Option<&str>, result: Json) -> Json {
+    let mut members = Vec::with_capacity(4);
     if let Some(id) = id {
         members.push(("id".to_owned(), id.clone()));
     }
     members.push(("ok".to_owned(), Json::Bool(true)));
+    if let Some(t) = trace_id {
+        members.push(("trace_id".to_owned(), Json::from(t)));
+    }
     members.push(("result".to_owned(), result));
     Json::Object(members)
 }
 
 /// Builds an error response line (without the trailing newline).
-pub fn error_response(id: Option<&Json>, error: &ServeError) -> Json {
-    let mut members = Vec::with_capacity(3);
+pub fn error_response(id: Option<&Json>, trace_id: Option<&str>, error: &ServeError) -> Json {
+    let mut members = Vec::with_capacity(4);
     if let Some(id) = id {
         members.push(("id".to_owned(), id.clone()));
     }
     members.push(("ok".to_owned(), Json::Bool(false)));
+    if let Some(t) = trace_id {
+        members.push(("trace_id".to_owned(), Json::from(t)));
+    }
     members.push((
         "error".to_owned(),
         Json::obj(vec![
@@ -600,6 +625,11 @@ mod tests {
         .unwrap();
         assert_eq!(e.timeout_ms, Some(500));
         assert_eq!(e.request.kind(), "sweep");
+
+        let e = parse_request("{\"kind\":\"trace\",\"limit\":5}").unwrap();
+        assert_eq!(e.request, Request::Trace { limit: Some(5) });
+        let e = parse_request("{\"kind\":\"trace\"}").unwrap();
+        assert_eq!(e.request, Request::Trace { limit: None });
     }
 
     #[test]
@@ -623,7 +653,7 @@ mod tests {
     #[test]
     fn response_round_trip() {
         let id = Json::Str("r1".to_owned());
-        let ok = ok_response(Some(&id), Json::obj(vec![("x", Json::Int(1))]));
+        let ok = ok_response(Some(&id), None, Json::obj(vec![("x", Json::Int(1))]));
         assert_eq!(
             ok.to_string(),
             "{\"id\":\"r1\",\"ok\":true,\"result\":{\"x\":1}}"
@@ -633,7 +663,23 @@ mod tests {
             Json::obj(vec![("x", Json::Int(1))])
         );
 
-        let err = error_response(None, &ServeError::new(ErrorCode::Overloaded, "queue full"));
+        // trace_id rides in the envelope, between "ok" and "result", and
+        // never perturbs the result payload.
+        let traced = ok_response(Some(&id), Some("t42"), Json::obj(vec![("x", Json::Int(1))]));
+        assert_eq!(
+            traced.to_string(),
+            "{\"id\":\"r1\",\"ok\":true,\"trace_id\":\"t42\",\"result\":{\"x\":1}}"
+        );
+        assert_eq!(
+            parse_response(&traced).unwrap(),
+            parse_response(&ok).unwrap()
+        );
+
+        let err = error_response(
+            None,
+            None,
+            &ServeError::new(ErrorCode::Overloaded, "queue full"),
+        );
         assert_eq!(
             err.to_string(),
             "{\"ok\":false,\"error\":{\"code\":\"overloaded\",\"message\":\"queue full\"}}"

@@ -12,11 +12,20 @@
 //!                        overloaded reject    reply channel → connection thread
 //! ```
 //!
-//! Cheap requests (`ping`, `metrics`) are answered inline on the connection
-//! thread so the daemon stays observable while saturated. Work requests
-//! (`encode`, `simulate`, `sweep`) pass through the bounded [`JobQueue`]:
-//! when it is full the request is rejected *immediately* with a typed
-//! `overloaded` error — never queued unboundedly, never blocked.
+//! Cheap requests (`ping`, `metrics`, `trace`) are answered inline on the
+//! connection thread so the daemon stays observable while saturated. Work
+//! requests (`encode`, `simulate`, `sweep`) pass through the bounded
+//! [`JobQueue`]: when it is full the request is rejected *immediately* with
+//! a typed `overloaded` error — never queued unboundedly, never blocked.
+//!
+//! ## Observability
+//!
+//! Every request gets a server-assigned `trace_id` echoed in its response
+//! envelope, and its latency is split into queue-wait / compute / serialize
+//! phase histograms (`serve.latency.*` in the unified registry — see
+//! DESIGN.md §8). The completed request becomes a `serve.request` span in a
+//! bounded in-memory tracer; a `trace` request returns the most recent N
+//! spans as Chrome `trace_event` objects.
 //!
 //! ## Shutdown
 //!
@@ -35,16 +44,17 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sibia_nn::zoo;
+use sibia_obs::Tracer;
 use sibia_sim::{DecompCache, ParallelEngine, Simulator};
 
 use crate::json::Json;
-use crate::metrics::ServeMetrics;
+use crate::metrics::{PhaseTimings, ServeMetrics};
 use crate::protocol::{
     arch_by_name, encode_stats, error_response, grid_to_json, network_result_to_json, ok_response,
     parse_request, Envelope, ErrorCode, Request, ServeError,
@@ -62,6 +72,12 @@ const ACCEPT_TICK: Duration = Duration::from_millis(20);
 
 /// Longest accepted request line (16 MiB covers ~2M-value encode payloads).
 const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Completed request spans kept for `trace` requests (oldest evicted).
+const TRACE_CAPACITY: usize = 4096;
+
+/// Default span count returned by a `trace` request without `limit`.
+const TRACE_DEFAULT_LIMIT: usize = 32;
 
 /// Daemon configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,11 +111,16 @@ impl Default for ServeConfig {
     }
 }
 
+/// What a worker sends back for one job: the outcome plus where the time
+/// went (queue wait, then compute).
+type JobReply = (Result<Json, ServeError>, Duration, Duration);
+
 /// One admitted unit of work.
 struct Job {
     envelope: Envelope,
+    queued_at: Instant,
     deadline: Option<Instant>,
-    reply: mpsc::Sender<Result<Json, ServeError>>,
+    reply: mpsc::Sender<JobReply>,
 }
 
 /// Shared server state.
@@ -108,6 +129,12 @@ struct Shared {
     metrics: ServeMetrics,
     cache: DecompCache,
     engine: ParallelEngine,
+    /// Always-enabled bounded tracer holding completed `serve.request`
+    /// spans (the `trace` request reads it; `--trace-out`-style export is
+    /// the sim-side global tracer's job).
+    tracer: Tracer,
+    /// Per-request trace-id sequence (`t1`, `t2`, …).
+    trace_seq: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -120,6 +147,19 @@ impl Shared {
             self.cache.misses(),
             self.cache.tensor_entries() + self.cache.decomp_entries(),
         )
+    }
+
+    /// The most recent completed request spans, newest first, as Chrome
+    /// `trace_event` objects.
+    fn trace_json(&self, limit: usize) -> Json {
+        let spans = self.tracer.recent(Some("serve.request"), limit);
+        Json::obj(vec![
+            (
+                "spans",
+                Json::Array(spans.iter().map(|s| s.to_chrome_json()).collect()),
+            ),
+            ("dropped", Json::from(self.tracer.dropped())),
+        ])
     }
 }
 
@@ -181,8 +221,8 @@ fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
                     .simulate_grid_cached(&sim, &specs, &nets, seeds, &shared.cache);
             Ok(grid_to_json(&grid))
         }
-        // Ping/Metrics are answered inline by the connection thread.
-        Request::Ping | Request::Metrics => Err(ServeError::new(
+        // Ping/Metrics/Trace are answered inline by the connection thread.
+        Request::Ping | Request::Metrics | Request::Trace { .. } => Err(ServeError::new(
             ErrorCode::Internal,
             "inline request reached the worker pool",
         )),
@@ -191,6 +231,8 @@ fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.queued_at.elapsed();
+        let compute_start = Instant::now();
         let outcome = match job.deadline {
             Some(deadline) if Instant::now() > deadline => Err(ServeError::new(
                 ErrorCode::DeadlineExceeded,
@@ -199,7 +241,9 @@ fn worker_loop(shared: &Shared) {
             _ => execute(shared, &job.envelope.request),
         };
         // A dropped receiver means the client hung up; nothing to do.
-        let _ = job.reply.send(outcome);
+        let _ = job
+            .reply
+            .send((outcome, queue_wait, compute_start.elapsed()));
     }
 }
 
@@ -294,71 +338,129 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             continue;
         }
         let received = Instant::now();
+        let trace_id = format!("t{}", shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        let mut phases = PhaseTimings::default();
         let (kind, id, outcome) = match parse_request(&line) {
             Err(e) => ("invalid", None, Err(e)),
             Ok(envelope) => {
                 let id = envelope.id.clone();
                 let kind = envelope.request.kind();
+                // Inline requests: queue wait is genuinely zero and compute
+                // is the handler itself. Queued work reports both phases
+                // from the worker.
+                let inline = |handler: &dyn Fn() -> Json, phases: &mut PhaseTimings| {
+                    let compute_start = Instant::now();
+                    let result = handler();
+                    phases.compute = compute_start.elapsed();
+                    Ok(result)
+                };
                 let outcome = match &envelope.request {
-                    Request::Ping => Ok(Json::obj(vec![("pong", Json::Bool(true))])),
-                    Request::Metrics => Ok(shared.metrics_json()),
-                    _ => submit(shared, envelope, received),
+                    Request::Ping => {
+                        inline(&|| Json::obj(vec![("pong", Json::Bool(true))]), &mut phases)
+                    }
+                    Request::Metrics => inline(&|| shared.metrics_json(), &mut phases),
+                    Request::Trace { limit } => {
+                        let limit = limit.unwrap_or(TRACE_DEFAULT_LIMIT);
+                        inline(&|| shared.trace_json(limit), &mut phases)
+                    }
+                    _ => {
+                        let (outcome, queue_wait, compute) = submit(shared, envelope, received);
+                        phases.queue_wait = queue_wait;
+                        phases.compute = compute;
+                        outcome
+                    }
                 };
                 (kind, id, outcome)
             }
         };
+        let serialize_start = Instant::now();
         let response = match &outcome {
-            Ok(result) => ok_response(id.as_ref(), result.clone()),
-            Err(e) => error_response(id.as_ref(), e),
+            Ok(result) => ok_response(id.as_ref(), Some(&trace_id), result.clone()),
+            Err(e) => error_response(id.as_ref(), Some(&trace_id), e),
         };
-        shared.metrics.request(
-            kind,
-            outcome.as_ref().map(|_| ()).map_err(|e| e.code),
-            received.elapsed(),
-        );
-        if writer
+        let write_result = writer
             .write_all(response.to_string().as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .is_err()
-        {
+            .and_then(|()| writer.write_all(b"\n"));
+        phases.serialize = serialize_start.elapsed();
+        let total = received.elapsed();
+        let outcome_code = outcome.as_ref().map(|_| ()).map_err(|e| e.code);
+        shared.metrics.request(kind, outcome_code, total, phases);
+        shared.tracer.record_span(
+            "serve.request",
+            received,
+            total.as_micros().min(u128::from(u64::MAX)) as u64,
+            vec![
+                ("trace_id".to_owned(), trace_id),
+                ("kind".to_owned(), kind.to_owned()),
+                ("ok".to_owned(), outcome_code.is_ok().to_string()),
+                (
+                    "queue_wait_us".to_owned(),
+                    phases.queue_wait.as_micros().to_string(),
+                ),
+                (
+                    "compute_us".to_owned(),
+                    phases.compute.as_micros().to_string(),
+                ),
+                (
+                    "serialize_us".to_owned(),
+                    phases.serialize.as_micros().to_string(),
+                ),
+            ],
+        );
+        if write_result.is_err() {
             return;
         }
     }
 }
 
-/// Admission control: queue the job or reject it immediately.
-fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> Result<Json, ServeError> {
+/// Admission control: queue the job or reject it immediately. Returns the
+/// outcome plus the measured (queue-wait, compute) durations.
+fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> JobReply {
     let deadline = envelope
         .timeout_ms
         .map(|ms| received + Duration::from_millis(ms));
     let (reply, rx) = mpsc::channel();
     let job = Job {
         envelope,
+        queued_at: Instant::now(),
         deadline,
         reply,
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
-            return Err(ServeError::new(
-                ErrorCode::Overloaded,
-                format!(
-                    "job queue full ({} pending); retry with backoff",
-                    shared.queue.capacity()
-                ),
-            ))
+            return (
+                Err(ServeError::new(
+                    ErrorCode::Overloaded,
+                    format!(
+                        "job queue full ({} pending); retry with backoff",
+                        shared.queue.capacity()
+                    ),
+                )),
+                Duration::ZERO,
+                Duration::ZERO,
+            )
         }
         Err(PushError::Closed(_)) => {
-            return Err(ServeError::new(
-                ErrorCode::ShuttingDown,
-                "server is draining",
-            ))
+            return (
+                Err(ServeError::new(
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                )),
+                Duration::ZERO,
+                Duration::ZERO,
+            )
         }
     }
     // The queue was admitted, so a worker owns the job and always replies
     // (the pool drains the queue fully before exiting on shutdown).
-    rx.recv()
-        .unwrap_or_else(|_| Err(ServeError::new(ErrorCode::Internal, "worker pool gone")))
+    rx.recv().unwrap_or_else(|_| {
+        (
+            Err(ServeError::new(ErrorCode::Internal, "worker pool gone")),
+            Duration::ZERO,
+            Duration::ZERO,
+        )
+    })
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server; call
@@ -379,11 +481,15 @@ impl Server {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        tracer.enable();
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             metrics: ServeMetrics::new(),
             cache: DecompCache::with_capacity(config.cache_capacity.max(1)),
             engine: ParallelEngine::with_threads(config.engine_threads),
+            tracer,
+            trace_seq: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
 

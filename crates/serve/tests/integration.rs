@@ -277,6 +277,163 @@ fn repeated_simulates_hit_the_shared_cache() {
     let metrics = client.metrics().unwrap();
     let cache = metrics.get("cache").expect("cache metrics");
     let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_u64).unwrap();
+    let entries = cache.get("entries").and_then(Json::as_u64).unwrap();
+    let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap();
     assert!(hits > 0, "second identical simulate must hit the cache");
+    assert!(misses > 0, "the first simulate must populate via misses");
+    assert!(entries > 0, "populated cache must report its entries");
+    assert!(
+        hit_rate > 0.0 && hit_rate <= 1.0,
+        "hit_rate {hit_rate} must be a fraction of lookups"
+    );
+
+    // The same numbers appear under their canonical registry names.
+    let gauges = metrics
+        .get("registry")
+        .and_then(|r| r.get("gauges"))
+        .expect("registry gauges ride along in the metrics response");
+    assert_eq!(
+        gauges.get("serve.cache.hits").and_then(Json::as_u64),
+        Some(hits)
+    );
+    assert_eq!(
+        gauges.get("serve.cache.misses").and_then(Json::as_u64),
+        Some(misses)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn trace_ids_are_echoed_and_unique_per_request() {
+    // The trace_id lives in the response *envelope* (never in `result`, so
+    // byte-identity of served results is untouched); the typed Client strips
+    // it, so read the raw lines.
+    let server = default_server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let mut seen = Vec::new();
+    for id in 0..3 {
+        writer
+            .write_all(format!("{{\"id\":{id},\"kind\":\"ping\"}}\n").as_bytes())
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = Json::parse(line.trim_end()).expect("response is json");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        let trace_id = v
+            .get("trace_id")
+            .and_then(|t| t.as_str())
+            .expect("every response carries a trace_id")
+            .to_owned();
+        assert!(trace_id.starts_with('t'), "got {trace_id}");
+        assert!(
+            v.get("result").and_then(|r| r.get("trace_id")).is_none(),
+            "trace_id must stay out of the result payload"
+        );
+        seen.push(trace_id);
+    }
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), 3, "trace ids must be unique per request");
+    server.shutdown();
+}
+
+#[test]
+fn trace_request_returns_chrome_spans_that_round_trip() {
+    let server = default_server();
+    let mut client = connect(server.addr());
+
+    client.ping().expect("ping");
+    client
+        .simulate("sibia", "dgcnn", 1, Some(1024))
+        .expect("simulate");
+
+    let trace = client.trace(Some(16)).expect("trace");
+    let spans = trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("spans array");
+    // The ping and the simulate completed before this trace request did.
+    assert!(spans.len() >= 2, "got {} spans", spans.len());
+    assert!(trace.get("dropped").and_then(Json::as_u64).is_some());
+
+    let mut kinds = Vec::new();
+    for span in spans {
+        // Chrome trace_event complete-event shape, one object per span.
+        assert_eq!(
+            span.get("name").and_then(|n| n.as_str()),
+            Some("serve.request")
+        );
+        assert_eq!(span.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert!(span.get("ts").and_then(Json::as_u64).is_some());
+        assert!(span.get("dur").and_then(Json::as_u64).is_some());
+        let args = span.get("args").expect("args");
+        assert!(args.get("trace_id").is_some());
+        kinds.push(
+            args.get("kind")
+                .and_then(|k| k.as_str())
+                .unwrap()
+                .to_owned(),
+        );
+
+        // The exported JSON round-trips through the canonical parser.
+        let reparsed = Json::parse(&span.to_string()).expect("span reparses");
+        assert_eq!(&reparsed, span);
+    }
+    assert!(kinds.iter().any(|k| k == "ping"));
+    assert!(kinds.iter().any(|k| k == "simulate"));
+    // Newest-completed-first ordering: the simulate finished after the ping.
+    let ping_pos = kinds.iter().position(|k| k == "ping").unwrap();
+    let sim_pos = kinds.iter().position(|k| k == "simulate").unwrap();
+    assert!(sim_pos < ping_pos, "kinds newest-first, got {kinds:?}");
+    server.shutdown();
+}
+
+#[test]
+fn phase_histograms_account_for_total_latency() {
+    let server = default_server();
+    let mut client = connect(server.addr());
+
+    client.ping().expect("ping");
+    client
+        .simulate("sibia", "dgcnn", 2, Some(1024))
+        .expect("simulate");
+    client.ping().expect("ping again");
+
+    let metrics = client.metrics().expect("metrics");
+    let latency = metrics.get("latency_ms").expect("latency_ms");
+    let phases = metrics.get("phases_ms").expect("phases_ms");
+    let total_count = latency.get("count").and_then(Json::as_u64).unwrap();
+    let total_us = latency.get("total_us").and_then(Json::as_u64).unwrap();
+
+    let mut phase_sum_us = 0;
+    for phase in ["queue_wait", "compute", "serialize"] {
+        let h = phases.get(phase).expect(phase);
+        assert_eq!(
+            h.get("count").and_then(Json::as_u64),
+            Some(total_count),
+            "{phase} must see every request the total histogram sees"
+        );
+        phase_sum_us += h.get("total_us").and_then(Json::as_u64).unwrap();
+    }
+    // The phases are measured inside the [received, responded] window, so
+    // their exact-µs sum can never exceed the total (only undershoot by the
+    // untimed parse/dispatch slivers).
+    assert!(
+        phase_sum_us <= total_us,
+        "phase sum {phase_sum_us}µs exceeds total {total_us}µs"
+    );
+    // And the simulate's compute dominates: the sum must be a meaningful
+    // fraction of the total, not rounding dust.
+    assert!(
+        phase_sum_us * 2 >= total_us,
+        "phase sum {phase_sum_us}µs implausibly small vs total {total_us}µs"
+    );
     server.shutdown();
 }

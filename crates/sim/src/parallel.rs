@@ -25,6 +25,7 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use sibia_nn::Network;
 
@@ -162,6 +163,10 @@ impl ParallelEngine {
             let seed_index = flat % seeds.len();
             let network_index = (flat / seeds.len()) % networks.len();
             let arch_index = flat / (seeds.len() * networks.len());
+            let mut span = sibia_obs::tracer().span("sim.cell");
+            span.attr("arch", &archs[arch_index].name);
+            span.attr("network", networks[network_index].name());
+            span.attr("seed", seeds[seed_index]);
             let mut cell_sim = *sim;
             cell_sim.seed = seeds[seed_index];
             let result = cell_sim.simulate_network_cached(
@@ -178,15 +183,47 @@ impl ParallelEngine {
             }
         };
 
+        let mut grid_span = sibia_obs::tracer().span("sim.grid");
+        grid_span.attr("archs", archs.len());
+        grid_span.attr("networks", networks.len());
+        grid_span.attr("seeds", seeds.len());
+        grid_span.attr("cells", jobs);
+        grid_span.attr("threads", self.threads.min(jobs));
+
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(jobs) {
-                scope.spawn(|| loop {
-                    let flat = next.fetch_add(1, Ordering::Relaxed);
-                    if flat >= jobs {
-                        break;
+            for worker_index in 0..self.threads.min(jobs) {
+                let next = &next;
+                let slots = &slots;
+                let run_cell = &run_cell;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut busy = Duration::ZERO;
+                    let mut cells_run = 0u64;
+                    loop {
+                        let flat = next.fetch_add(1, Ordering::Relaxed);
+                        if flat >= jobs {
+                            break;
+                        }
+                        let claimed = Instant::now();
+                        let cell = run_cell(flat);
+                        busy += claimed.elapsed();
+                        cells_run += 1;
+                        *slots[flat].lock().expect("slot lock") = Some(cell);
                     }
-                    let cell = run_cell(flat);
-                    *slots[flat].lock().expect("slot lock") = Some(cell);
+                    // Per-worker accounting in the process-wide registry.
+                    // There is no work stealing to report — workers claim
+                    // cells from a shared counter — so busy vs idle time
+                    // plus the claimed-cell count captures the skew.
+                    let total = started.elapsed();
+                    let registry = sibia_obs::registry();
+                    let prefix = format!("sim.engine.worker.{worker_index}");
+                    registry.counter(&format!("{prefix}.cells")).add(cells_run);
+                    registry
+                        .counter(&format!("{prefix}.busy_us"))
+                        .add(busy.as_micros() as u64);
+                    registry
+                        .counter(&format!("{prefix}.idle_us"))
+                        .add(total.saturating_sub(busy).as_micros() as u64);
                 });
             }
         });

@@ -264,14 +264,25 @@ impl Simulator {
         if let Some(s) = scales {
             assert_eq!(s.len(), net.layers().len(), "one scale per layer");
         }
+        // Spans go to the process-wide tracer; with tracing disabled (the
+        // default) each call is a single atomic load.
+        let mut net_span = sibia_obs::tracer().span("sim.network");
+        net_span.attr("arch", &arch.name);
+        net_span.attr("network", net.name());
+        net_span.attr("seed", self.seed);
         let layers: Vec<LayerResult> = net
             .layers()
             .iter()
             .enumerate()
             .map(|(i, l)| {
+                let mut span = sibia_obs::tracer().span("sim.layer");
+                span.attr("layer", l.name());
                 let scale = scales.map_or(1.0, |s| s[i]);
                 let decomp = self.decompose_layer(l, i, arch.repr, cache);
-                self.simulate_layer_from(arch, l, &decomp, scale)
+                let result = self.simulate_layer_from(arch, l, &decomp, scale);
+                span.attr("cycles", result.cycles);
+                span.attr("skip_side", format!("{:?}", result.skip_side));
+                result
             })
             .collect();
         let counts: EventCounts = layers.iter().map(|l| l.events).sum();

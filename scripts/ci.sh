@@ -16,6 +16,16 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> obs smoke test"
+# A traced simulate must emit a Perfetto-loadable Chrome trace_event JSONL
+# profile with at least one span per layer; trace-check validates both.
+trace_out="$(mktemp)"
+./target/release/sibia-cli simulate dgcnn --trace-out "$trace_out"
+./target/release/sibia-cli trace-check "$trace_out" --network dgcnn
+rm -f "$trace_out"
+# Disabled tracing must stay allocation-free (counting-allocator test).
+cargo test -q -p sibia-obs --test noalloc
+
 echo "==> serve smoke test"
 # Daemon on an ephemeral port, short bench_serve burst, graceful SIGTERM.
 serve_log="$(mktemp)"
