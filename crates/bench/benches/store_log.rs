@@ -1,0 +1,87 @@
+//! Criterion bench: persistent-store hot paths — append+fsync throughput
+//! of the record log, replay (open) speed over a populated log, and the
+//! read path a warm-started daemon takes (`get` + canonical-JSON parse).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sibia::obs::Json;
+use sibia::store::{crc32, Store, StoreKey};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sibia-bench-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn key(i: u64) -> StoreKey {
+    StoreKey::new("bench", "net", i, "sbr", "cfg")
+}
+
+/// A value shaped like a small simulation result (~300 bytes canonical).
+fn value(i: u64) -> Json {
+    Json::obj(vec![
+        ("network", Json::from("bench-net")),
+        ("seed", Json::from(i.to_string())),
+        (
+            "layers",
+            Json::Array(
+                (0..8)
+                    .map(|l| {
+                        Json::obj(vec![
+                            ("cycles", Json::from(1_000 + l * 17 + i)),
+                            ("macs", Json::from(50_000 + l * 911)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..65_536u32).map(|i| (i * 31) as u8).collect();
+    c.bench_function("store_crc32_64k", |b| {
+        b.iter(|| black_box(crc32(black_box(&payload))))
+    });
+}
+
+fn bench_put(c: &mut Criterion) {
+    let dir = temp_dir("put");
+    let store = Store::open(&dir).expect("open store");
+    let mut i = 0u64;
+    // Each iteration is one durable append: frame + CRC + write + fsync.
+    c.bench_function("store_put_fsync", |b| {
+        b.iter(|| {
+            store.put(&key(i), &value(i)).expect("put");
+            i += 1;
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_replay_and_get(c: &mut Criterion) {
+    let dir = temp_dir("replay");
+    {
+        let store = Store::open(&dir).expect("open store");
+        for i in 0..1_000 {
+            store.put(&key(i), &value(i)).expect("put");
+        }
+    }
+    // Warm-restart cost: checksum-scan and index 1000 records.
+    c.bench_function("store_open_replay_1k", |b| {
+        b.iter(|| black_box(Store::open(&dir).expect("reopen")))
+    });
+    let store = Store::open(&dir).expect("open store");
+    let mut i = 0u64;
+    c.bench_function("store_get_hit", |b| {
+        b.iter(|| {
+            let v = store.get(black_box(&key(i % 1_000))).expect("hit");
+            i += 1;
+            black_box(v)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_crc, bench_put, bench_replay_and_get);
+criterion_main!(benches);

@@ -7,21 +7,32 @@
 //! sibia-cli simulate <network> [--arch A] run the performance simulator
 //! sibia-cli compare <network>             all architectures side by side
 //! sibia-cli serve [--port P]              NDJSON simulation daemon
+//! sibia-cli store <stats|verify|compact>  inspect the persistent store
 //! sibia-cli trace-check <path>            validate a --trace-out profile
 //! ```
 //!
 //! `simulate` and `compare` accept `--trace-out <path>`: the run executes
 //! with span tracing enabled and writes a Chrome `trace_event` JSONL
 //! profile (open it at `ui.perfetto.dev` or `chrome://tracing`).
+//!
+//! `simulate` and `serve` accept `--store-dir <dir>`: results persist in a
+//! crash-safe on-disk store (DESIGN.md §9) and later runs over the same
+//! `(network, seed, arch, config)` coordinates are served from disk.
+//!
+//! Flag parsing is strict: an unknown flag, a flag without its value, or a
+//! value that does not parse is an error — exit code is nonzero and the
+//! usage text is printed. Nothing silently falls back to a default.
 
 use std::env;
 use std::process::ExitCode;
+use std::str::FromStr;
 
 use sibia::nn::zoo;
 use sibia::prelude::*;
 use sibia::sbr::conv::MsbSlices;
 use sibia::sbr::stats::SparsityReport;
 use sibia::serve::server::{ServeConfig, Server};
+use sibia::store::Store;
 
 fn find_network(name: &str) -> Option<Network> {
     zoo::by_name(name)
@@ -36,6 +47,41 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Typed `--flag VALUE` lookup: absent is `Ok(None)`; a missing or
+/// malformed value is an `Err` that the caller turns into a nonzero exit
+/// plus the usage text. (The old parser swallowed parse failures with
+/// `.ok()` and fell back to the default, so `--seed abc` exited 0 having
+/// quietly simulated seed 1.)
+fn parse_flag<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("{flag}: invalid value '{raw}'"))
+}
+
+/// Rejects any `--flag` token the command does not define. Unknown flags
+/// used to be ignored outright, so a typo like `--sede 7` exited 0.
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for a in args {
+        if a.starts_with("--") && !allowed.contains(&a.as_str()) {
+            return Err(format!("unknown flag {a}"));
+        }
+    }
+    Ok(())
+}
+
+/// Error exit shared by every bad-input path: message, then usage, then a
+/// nonzero code.
+fn fail(cmd: &str, msg: &str) -> ExitCode {
+    eprintln!("{cmd}: {msg}");
+    usage()
 }
 
 // Turns span tracing on when `--trace-out PATH` is present and returns the
@@ -70,19 +116,83 @@ fn usage() -> ExitCode {
          \x20 networks                           list benchmark networks\n\
          \x20 encode <value> [--bits N]          show slice decompositions of a value\n\
          \x20 sparsity <network>                 slice-sparsity report (seeded synthesis)\n\
-         \x20 simulate <network> [--arch A] [--seed S] [--trace-out PATH]\n\
+         \x20 simulate <network> [--arch A] [--seed S] [--store-dir DIR] [--trace-out PATH]\n\
          \x20                                    run the cycle/energy simulator\n\
          \x20 compare <network> [--seed S] [--trace-out PATH]\n\
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
-         \x20                                    newline-delimited-JSON simulation daemon\n\
+         \x20       [--store-dir DIR]            newline-delimited-JSON simulation daemon\n\
+         \x20 store <stats|verify|compact> --store-dir DIR\n\
+         \x20                                    inspect / check / rewrite the result store\n\
          \x20 trace-check <path> [--network NAME]\n\
          \x20                                    validate a --trace-out Chrome trace profile\n\
          \n\
          architectures: bitfusion, hnpu, no-sbr, input-skip, sibia, output-skip\n\
-         --trace-out writes a Chrome trace_event JSONL profile (Perfetto-loadable)"
+         --trace-out writes a Chrome trace_event JSONL profile (Perfetto-loadable)\n\
+         --store-dir persists results in a crash-safe store (DESIGN.md \u{a7}9)"
     );
     ExitCode::FAILURE
+}
+
+/// `store stats|verify|compact --store-dir DIR`.
+///
+/// `verify` is read-only: it checksum-scans the log and exits nonzero on
+/// the first corrupt record *without* repairing (open-time recovery is what
+/// truncates torn tails — `stats` and `compact` open the store and
+/// therefore repair as a side effect).
+fn store_command(args: &[String]) -> ExitCode {
+    let Some(action) = args.get(1) else {
+        return fail("store", "need an action: stats | verify | compact");
+    };
+    if let Err(e) = check_flags(args, &["--store-dir"]) {
+        return fail("store", &e);
+    }
+    let Some(dir) = flag_value(args, "--store-dir") else {
+        return fail("store", "need --store-dir DIR");
+    };
+    let dir = std::path::PathBuf::from(dir);
+    match action.as_str() {
+        "stats" => match Store::open(&dir) {
+            Ok(store) => {
+                println!("{}", store.stats().to_json());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store stats: cannot open {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        },
+        "verify" => match Store::verify_dir(&dir) {
+            Ok(records) => {
+                println!("store verify: ok ({records} records)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store verify: {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        },
+        "compact" => match Store::open(&dir) {
+            Ok(store) => {
+                let before = store.stats().log_bytes;
+                if let Err(e) = store.compact() {
+                    eprintln!("store compact: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let after = store.stats();
+                println!(
+                    "store compact: {} entries, {before} -> {} bytes",
+                    after.entries, after.log_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store compact: cannot open {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        },
+        other => fail("store", &format!("unknown action '{other}'")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -92,6 +202,9 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "networks" => {
+            if let Err(e) = check_flags(&args, &[]) {
+                return fail("networks", &e);
+            }
             for name in zoo::NETWORK_NAMES {
                 let net = zoo::by_name(name).expect("registered name");
                 println!("{name:<14} {net}");
@@ -99,13 +212,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "encode" => {
+            if let Err(e) = check_flags(&args, &["--bits"]) {
+                return fail("encode", &e);
+            }
             let Some(value) = args.get(1).and_then(|v| v.parse::<i32>().ok()) else {
-                eprintln!("encode: need an integer value");
-                return usage();
+                return fail("encode", "need an integer value");
             };
-            let bits = flag_value(&args, "--bits")
-                .and_then(|b| b.parse::<u8>().ok())
-                .unwrap_or(7);
+            let bits = match parse_flag::<u8>(&args, "--bits") {
+                Ok(b) => b.unwrap_or(7),
+                Err(e) => return fail("encode", &e),
+            };
             let p = Precision::new(bits);
             if !p.contains(value) {
                 eprintln!("value {value} outside the symmetric {p} range");
@@ -125,9 +241,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "sparsity" => {
+            if let Err(e) = check_flags(&args, &[]) {
+                return fail("sparsity", &e);
+            }
             let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
-                eprintln!("sparsity: unknown network (try `sibia-cli networks`)");
-                return ExitCode::FAILURE;
+                return fail("sparsity", "unknown network (try `sibia-cli networks`)");
             };
             let mut src = SynthSource::new(1);
             println!("{net}\n");
@@ -153,28 +271,50 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => {
+            if let Err(e) = check_flags(&args, &["--arch", "--seed", "--store-dir", "--trace-out"])
+            {
+                return fail("simulate", &e);
+            }
             let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
-                eprintln!("simulate: unknown network (try `sibia-cli networks`)");
-                return ExitCode::FAILURE;
+                return fail("simulate", "unknown network (try `sibia-cli networks`)");
             };
             let arch = match flag_value(&args, "--arch") {
                 Some(a) => match arch_by_name(&a) {
                     Some(spec) => spec,
-                    None => {
-                        eprintln!("unknown architecture {a}");
-                        return usage();
-                    }
+                    None => return fail("simulate", &format!("unknown architecture {a}")),
                 },
                 None => ArchSpec::sibia_hybrid(),
             };
-            let seed = flag_value(&args, "--seed")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1);
+            let seed = match parse_flag::<u64>(&args, "--seed") {
+                Ok(s) => s.unwrap_or(1),
+                Err(e) => return fail("simulate", &e),
+            };
+            let store = match flag_value(&args, "--store-dir") {
+                Some(dir) => match Store::open(&dir) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("simulate: cannot open store at {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
             let trace_path = trace_out(&args);
-            let r = Accelerator::from_spec(arch)
-                .with_seed(seed)
-                .run_network(&net);
+            let acc = Accelerator::from_spec(arch).with_seed(seed);
+            let r = match &store {
+                Some(store) => acc.run_network_stored(&net, store),
+                None => acc.run_network(&net),
+            };
             println!("{r}");
+            if let Some(store) = &store {
+                let stats = store.stats();
+                eprintln!(
+                    "store: {} ({} entries, {} bytes)",
+                    if stats.hits > 0 { "hit" } else { "miss" },
+                    stats.entries,
+                    stats.log_bytes
+                );
+            }
             println!("\nbusiest layers:");
             let mut layers: Vec<_> = r.layers.iter().collect();
             layers.sort_by_key(|l| std::cmp::Reverse(l.cycles));
@@ -193,13 +333,16 @@ fn main() -> ExitCode {
             }
         }
         "compare" => {
+            if let Err(e) = check_flags(&args, &["--seed", "--trace-out"]) {
+                return fail("compare", &e);
+            }
             let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
-                eprintln!("compare: unknown network (try `sibia-cli networks`)");
-                return ExitCode::FAILURE;
+                return fail("compare", "unknown network (try `sibia-cli networks`)");
             };
-            let seed = flag_value(&args, "--seed")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1);
+            let seed = match parse_flag::<u64>(&args, "--seed") {
+                Ok(s) => s.unwrap_or(1),
+                Err(e) => return fail("compare", &e),
+            };
             let trace_path = trace_out(&args);
             let bf = Accelerator::bit_fusion().with_seed(seed).run_network(&net);
             println!(
@@ -231,30 +374,40 @@ fn main() -> ExitCode {
             }
         }
         "serve" => {
-            let port = match flag_value(&args, "--port") {
-                Some(p) => match p.parse() {
-                    Ok(port) => port,
-                    Err(_) => {
-                        eprintln!("serve: invalid --port {p}");
-                        return usage();
-                    }
-                },
-                None => 7878,
-            };
+            if let Err(e) = check_flags(
+                &args,
+                &[
+                    "--host",
+                    "--port",
+                    "--threads",
+                    "--queue",
+                    "--cache-entries",
+                    "--store-dir",
+                ],
+            ) {
+                return fail("serve", &e);
+            }
             let defaults = ServeConfig::default();
             let config = ServeConfig {
-                port,
+                port: match parse_flag::<u16>(&args, "--port") {
+                    Ok(p) => p.unwrap_or(7878),
+                    Err(e) => return fail("serve", &e),
+                },
                 host: flag_value(&args, "--host").unwrap_or_else(|| defaults.host.clone()),
-                workers: flag_value(&args, "--threads")
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or(defaults.workers),
-                queue_capacity: flag_value(&args, "--queue")
-                    .and_then(|q| q.parse().ok())
-                    .unwrap_or(defaults.queue_capacity),
-                cache_capacity: flag_value(&args, "--cache-entries")
-                    .and_then(|c| c.parse().ok())
-                    .unwrap_or(defaults.cache_capacity),
+                workers: match parse_flag::<usize>(&args, "--threads") {
+                    Ok(w) => w.unwrap_or(defaults.workers),
+                    Err(e) => return fail("serve", &e),
+                },
+                queue_capacity: match parse_flag::<usize>(&args, "--queue") {
+                    Ok(q) => q.unwrap_or(defaults.queue_capacity),
+                    Err(e) => return fail("serve", &e),
+                },
+                cache_capacity: match parse_flag::<usize>(&args, "--cache-entries") {
+                    Ok(c) => c.unwrap_or(defaults.cache_capacity),
+                    Err(e) => return fail("serve", &e),
+                },
                 engine_threads: defaults.engine_threads,
+                store_dir: flag_value(&args, "--store-dir").map(std::path::PathBuf::from),
             };
             let server = match Server::start(config) {
                 Ok(s) => s,
@@ -268,10 +421,13 @@ fn main() -> ExitCode {
             println!("shutdown complete");
             ExitCode::SUCCESS
         }
+        "store" => store_command(&args),
         "trace-check" => {
+            if let Err(e) = check_flags(&args, &["--network"]) {
+                return fail("trace-check", &e);
+            }
             let Some(path) = args.get(1) else {
-                eprintln!("trace-check: need a trace file path");
-                return usage();
+                return fail("trace-check", "need a trace file path");
             };
             let data = match std::fs::read_to_string(path) {
                 Ok(d) => d,
@@ -330,6 +486,6 @@ fn main() -> ExitCode {
             println!("trace-check: {path} ok ({spans} spans, {layer_spans} sim.layer)");
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        other => fail("sibia-cli", &format!("unknown command '{other}'")),
     }
 }

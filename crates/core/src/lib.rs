@@ -41,6 +41,7 @@
 //! | [`speculate`] | bit-slice output speculation |
 //! | [`sim`] | functional PE datapath + cycle/energy simulators |
 //! | [`serve`] | the std-only accelerator-as-a-service TCP daemon |
+//! | [`store`] | crash-safe persistent result store (warm restarts) |
 //! | [`obs`] | span tracing, metrics registry, Chrome-trace export |
 
 pub use sibia_arch as arch;
@@ -51,11 +52,12 @@ pub use sibia_sbr as sbr;
 pub use sibia_serve as serve;
 pub use sibia_sim as sim;
 pub use sibia_speculate as speculate;
+pub use sibia_store as store;
 pub use sibia_tensor as tensor;
 
 use sibia_nn::Network;
 use sibia_sim::perf::{LatencyModel, NetworkResult, Simulator};
-use sibia_sim::ArchSpec;
+use sibia_sim::{ArchSpec, DecompCache};
 
 /// Commonly used items, re-exported for `use sibia::prelude::*`.
 pub mod prelude {
@@ -157,6 +159,25 @@ impl Accelerator {
     /// Runs a network through the performance simulator.
     pub fn run_network(&self, network: &Network) -> NetworkResult {
         self.simulator.simulate_network(&self.spec, network)
+    }
+
+    /// [`Self::run_network`] with read-through/write-back against the
+    /// persistent [`store`]: a previously stored result for this exact
+    /// `(network, seed, arch, config)` is returned from disk without
+    /// simulating; a miss simulates and writes back. Bit-identical either
+    /// way (see `sibia_sim::stored`).
+    pub fn run_network_stored(
+        &self,
+        network: &Network,
+        store: &sibia_store::Store,
+    ) -> NetworkResult {
+        sibia_sim::simulate_network_stored(
+            &self.simulator,
+            &self.spec,
+            network,
+            &DecompCache::new(),
+            store,
+        )
     }
 
     /// Runs a network with per-layer workload scales (see

@@ -134,6 +134,14 @@ impl Json {
         }
     }
 
+    /// The value as an object's member slice, in insertion order.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Builds an object from `(key, value)` pairs, preserving order.
     pub fn obj(members: Vec<(&str, Json)>) -> Json {
         Json::Object(
@@ -543,6 +551,17 @@ mod tests {
         assert_eq!(v.to_string(), "{\"z\":1,\"a\":2,\"m\":3}");
         assert_eq!(v.get("a"), Some(&Json::Int(2)));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_object_exposes_members_in_insertion_order() {
+        let v = Json::parse("{\"z\":1,\"a\":2}").unwrap();
+        let members = v.as_object().expect("object");
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0], ("z".to_owned(), Json::Int(1)));
+        assert_eq!(members[1], ("a".to_owned(), Json::Int(2)));
+        assert_eq!(Json::Int(1).as_object(), None);
+        assert_eq!(Json::Array(vec![]).as_object(), None);
     }
 
     #[test]

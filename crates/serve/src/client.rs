@@ -138,6 +138,11 @@ impl Client {
         self.call(Json::obj(vec![("kind", Json::from("ping"))]))
     }
 
+    /// The server's crate version and protocol revision.
+    pub fn version(&mut self) -> Result<Json, ClientError> {
+        self.call(Json::obj(vec![("kind", Json::from("version"))]))
+    }
+
     /// Slice statistics for `values` at `bits` (optionally also GSBR at
     /// `gsbr_width`).
     pub fn encode(

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sibia_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use sibia_store::StoreStats;
 
 use crate::json::Json;
 use crate::protocol::ErrorCode;
@@ -34,7 +35,9 @@ use crate::protocol::ErrorCode;
 pub type LatencyHistogram = Histogram;
 
 /// Request kinds, in metrics order.
-const KINDS: [&str; 6] = ["ping", "encode", "simulate", "sweep", "metrics", "trace"];
+const KINDS: [&str; 7] = [
+    "ping", "version", "encode", "simulate", "sweep", "metrics", "trace",
+];
 /// Error codes, in metrics order (mirrors [`ErrorCode`]).
 const CODES: [&str; 7] = [
     "bad_request",
@@ -86,6 +89,12 @@ pub struct ServeMetrics {
     cache_hits: Arc<Gauge>,
     cache_misses: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
+    store_hits: Arc<Gauge>,
+    store_misses: Arc<Gauge>,
+    store_puts: Arc<Gauge>,
+    store_log_bytes: Arc<Gauge>,
+    store_compactions: Arc<Gauge>,
+    store_entries: Arc<Gauge>,
 }
 
 impl Default for ServeMetrics {
@@ -122,6 +131,15 @@ impl ServeMetrics {
             cache_hits: registry.gauge("serve.cache.hits"),
             cache_misses: registry.gauge("serve.cache.misses"),
             cache_entries: registry.gauge("serve.cache.entries"),
+            // The persistent-store gauges use the bare `store.*` prefix:
+            // they describe the store subsystem, which outlives any one
+            // server (the same names appear in `sibia-cli store stats`).
+            store_hits: registry.gauge("store.hits"),
+            store_misses: registry.gauge("store.misses"),
+            store_puts: registry.gauge("store.puts"),
+            store_log_bytes: registry.gauge("store.log_bytes"),
+            store_compactions: registry.gauge("store.compactions"),
+            store_entries: registry.gauge("store.entries"),
             registry,
         }
     }
@@ -197,10 +215,13 @@ impl ServeMetrics {
         j
     }
 
-    /// Serializes the counters plus caller-supplied gauges (queue depth and
-    /// cache statistics, which live outside this struct). The gauges are
-    /// also published into the registry so the appended canonical snapshot
-    /// carries them.
+    /// Serializes the counters plus caller-supplied gauges (queue depth,
+    /// cache statistics, and — when a store is configured — persistent-store
+    /// statistics, which live outside this struct). The gauges are also
+    /// published into the registry so the appended canonical snapshot
+    /// carries them. `store: None` (no `--store-dir`) serializes the
+    /// `store` member as `null`, which distinguishes "no store" from "store
+    /// with zero traffic".
     pub fn to_json(
         &self,
         queue_depth: usize,
@@ -208,12 +229,21 @@ impl ServeMetrics {
         cache_hits: u64,
         cache_misses: u64,
         cache_entries: usize,
+        store: Option<&StoreStats>,
     ) -> Json {
         self.queue_depth.set(queue_depth as i64);
         self.queue_capacity.set(queue_capacity as i64);
         self.cache_hits.set(cache_hits as i64);
         self.cache_misses.set(cache_misses as i64);
         self.cache_entries.set(cache_entries as i64);
+        if let Some(s) = store {
+            self.store_hits.set(s.hits as i64);
+            self.store_misses.set(s.misses as i64);
+            self.store_puts.set(s.puts as i64);
+            self.store_log_bytes.set(s.log_bytes as i64);
+            self.store_compactions.set(s.compactions as i64);
+            self.store_entries.set(s.entries as i64);
+        }
         let lookups = cache_hits + cache_misses;
         let hit_rate = if lookups == 0 {
             0.0
@@ -265,6 +295,7 @@ impl ServeMetrics {
                     ("entries", Json::from(cache_entries)),
                 ]),
             ),
+            ("store", store.map_or(Json::Null, StoreStats::to_json)),
             ("latency_ms", Self::histogram_json(&self.latency)),
             (
                 "phases_ms",
@@ -330,7 +361,7 @@ mod tests {
         assert_eq!(m.ok_total(), 3);
         assert_eq!(m.err_total(), 1);
         assert_eq!(m.errors(ErrorCode::Overloaded), 1);
-        let j = m.to_json(2, 64, 30, 10, 12);
+        let j = m.to_json(2, 64, 30, 10, 12, None);
         assert_eq!(
             j.get("requests")
                 .unwrap()
@@ -381,7 +412,7 @@ mod tests {
         assert!(phase_sum <= m.latency().total_us());
         // The exact sums surface in the metrics response for clients to
         // make the same check.
-        let j = m.to_json(0, 64, 0, 0, 0);
+        let j = m.to_json(0, 64, 0, 0, 0, None);
         let total_us = j
             .get("latency_ms")
             .unwrap()
@@ -414,7 +445,7 @@ mod tests {
             Duration::from_micros(5),
             PhaseTimings::default(),
         );
-        let j = m.to_json(1, 8, 3, 1, 2);
+        let j = m.to_json(1, 8, 3, 1, 2, None);
         let registry = j.get("registry").expect("registry snapshot");
         let counters = registry.get("counters").unwrap();
         assert_eq!(
@@ -427,8 +458,8 @@ mod tests {
         assert_eq!(gauges.get("serve.queue.capacity"), Some(&Json::Int(8)));
         // Canonical: two snapshots of the same state are byte-identical.
         assert_eq!(
-            m.to_json(1, 8, 3, 1, 2).to_string(),
-            m.to_json(1, 8, 3, 1, 2).to_string()
+            m.to_json(1, 8, 3, 1, 2, None).to_string(),
+            m.to_json(1, 8, 3, 1, 2, None).to_string()
         );
     }
 }

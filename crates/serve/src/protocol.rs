@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! request  = { "kind": KIND, ["id": any], ["timeout_ms": int], ...params }
-//! KIND     = "ping" | "encode" | "simulate" | "sweep" | "metrics" | "trace"
+//! KIND     = "ping" | "version" | "encode" | "simulate" | "sweep" | "metrics" | "trace"
 //! response = { ["id": any], "ok": true,  ["trace_id": string], "result": object }
 //!          | { ["id": any], "ok": false, ["trace_id": string], "error": { "code": CODE, "message": string } }
 //! CODE     = "bad_request" | "unknown_arch" | "unknown_network"
@@ -24,6 +24,11 @@
 //!
 //! Per kind:
 //!
+//! * `version` — no params; returns `crate_version` (this server's cargo
+//!   package version) and `protocol_revision` ([`PROTOCOL_REVISION`]), so a
+//!   client can gate on compatibility — e.g. store-backed warm restarts
+//!   (revision ≥ 2) — before relying on them. Answered inline, never
+//!   queued, so it works even when the job queue is saturated.
 //! * `encode` — `values: [int]`, `bits: int (2..=16, default 7)`, optional
 //!   `gsbr_width: int (2..=8)`; returns SBR / conventional / GSBR
 //!   slice-sparsity statistics of the payload.
@@ -47,12 +52,20 @@
 //! cache state, or request interleaving.
 
 use crate::json::Json;
-use sibia_arch::dsm::SkipSide;
 use sibia_sbr::packed::PackedPlane;
 use sibia_sbr::{gsbr::GenSlices, Precision};
 use sibia_sim::cache::DMU_INDEX_BITS;
-use sibia_sim::perf::NetworkResult;
-use sibia_sim::{ArchSpec, GridResult};
+use sibia_sim::ArchSpec;
+
+// The canonical result serializers moved down into `sibia_sim::jsonio` so
+// the persistent store can share them; re-exported here unchanged for
+// protocol consumers.
+pub use sibia_sim::jsonio::{grid_to_json, network_result_to_json};
+
+/// Protocol revision, echoed by the `version` request. Bump when the wire
+/// grammar changes in a way a client must gate on (revision 2 added the
+/// `version` request itself and the store-backed warm-restart semantics).
+pub const PROTOCOL_REVISION: u64 = 2;
 
 /// Typed protocol error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +125,8 @@ impl ServeError {
 pub enum Request {
     /// Liveness probe, answered inline.
     Ping,
+    /// Crate version + protocol revision, answered inline.
+    Version,
     /// Slice statistics of a payload.
     Encode {
         /// The quantized values to decompose.
@@ -158,6 +173,7 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Request::Ping => "ping",
+            Request::Version => "version",
             Request::Encode { .. } => "encode",
             Request::Simulate { .. } => "simulate",
             Request::Sweep { .. } => "sweep",
@@ -245,6 +261,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
         .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'kind'"))?;
     let request = match kind {
         "ping" => Request::Ping,
+        "version" => Request::Version,
         "metrics" => Request::Metrics,
         "trace" => Request::Trace {
             limit: field_u64(&v, "limit")?.map(|n| n as usize),
@@ -426,94 +443,6 @@ pub fn parse_response(v: &Json) -> Result<Json, ServeError> {
     }
 }
 
-/// Canonical serialization of one simulated network result. Pure function
-/// of the result — the byte-identity guarantee of the protocol.
-pub fn network_result_to_json(r: &NetworkResult) -> Json {
-    Json::obj(vec![
-        ("arch", Json::from(r.arch.as_str())),
-        ("network", Json::from(r.network.as_str())),
-        ("frequency_mhz", Json::from(u64::from(r.frequency_mhz))),
-        ("total_cycles", Json::from(r.total_cycles())),
-        ("total_macs", Json::from(r.total_macs())),
-        ("time_s", Json::from(r.time_s())),
-        ("throughput_gops", Json::from(r.throughput_gops())),
-        ("efficiency_tops_w", Json::from(r.efficiency_tops_w())),
-        (
-            "energy",
-            Json::obj(vec![
-                ("mac_pj", Json::from(r.energy.mac_pj)),
-                ("rf_pj", Json::from(r.energy.rf_pj)),
-                ("sram_pj", Json::from(r.energy.sram_pj)),
-                ("noc_pj", Json::from(r.energy.noc_pj)),
-                ("dram_pj", Json::from(r.energy.dram_pj)),
-                ("control_pj", Json::from(r.energy.control_pj)),
-            ]),
-        ),
-        (
-            "layers",
-            Json::Array(
-                r.layers
-                    .iter()
-                    .map(|l| {
-                        Json::obj(vec![
-                            ("name", Json::from(l.name.as_str())),
-                            ("macs", Json::from(l.macs)),
-                            ("slice_pairs", Json::from(l.slice_pairs)),
-                            ("compute_cycles", Json::from(l.compute_cycles)),
-                            ("memory_cycles", Json::from(l.memory_cycles)),
-                            ("cycles", Json::from(l.cycles)),
-                            (
-                                "skip_side",
-                                Json::from(match l.skip_side {
-                                    SkipSide::Input => "input",
-                                    SkipSide::Weight => "weight",
-                                    SkipSide::None => "none",
-                                }),
-                            ),
-                            (
-                                "input_compression_ratio",
-                                Json::from(l.input_compression_ratio),
-                            ),
-                            ("work_fraction", Json::from(l.work_fraction)),
-                            (
-                                "events",
-                                Json::obj(vec![
-                                    ("mac_ops", Json::from(l.events.mac_ops)),
-                                    ("rf_accesses", Json::from(l.events.rf_accesses)),
-                                    ("sram_accesses", Json::from(l.events.sram_accesses)),
-                                    ("noc_flit_hops", Json::from(l.events.noc_flit_hops)),
-                                    ("dram_bits", Json::from(l.events.dram_bits)),
-                                    ("cycles", Json::from(l.events.cycles)),
-                                ]),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Canonical serialization of a sweep grid, cells in the engine's row-major
-/// (arch, network, seed) order.
-pub fn grid_to_json(grid: &GridResult) -> Json {
-    Json::obj(vec![("cells", {
-        Json::Array(
-            grid.cells()
-                .iter()
-                .map(|c| {
-                    Json::obj(vec![
-                        ("arch_index", Json::from(c.arch_index)),
-                        ("network_index", Json::from(c.network_index)),
-                        ("seed", Json::from(c.seed)),
-                        ("result", network_result_to_json(&c.result)),
-                    ])
-                })
-                .collect(),
-        )
-    })])
-}
-
 fn plane_stats_json(planes: &[Vec<i8>]) -> Json {
     Json::Array(
         planes
@@ -601,6 +530,10 @@ mod tests {
         let e = parse_request("{\"kind\":\"ping\",\"id\":7}").unwrap();
         assert_eq!(e.request, Request::Ping);
         assert_eq!(e.id, Some(Json::Int(7)));
+
+        let e = parse_request("{\"kind\":\"version\"}").unwrap();
+        assert_eq!(e.request, Request::Version);
+        assert_eq!(e.request.kind(), "version");
 
         let e = parse_request("{\"kind\":\"encode\",\"values\":[0,-3,5],\"bits\":7}").unwrap();
         assert_eq!(

@@ -44,6 +44,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -52,12 +53,13 @@ use std::time::{Duration, Instant};
 use sibia_nn::zoo;
 use sibia_obs::Tracer;
 use sibia_sim::{DecompCache, ParallelEngine, Simulator};
+use sibia_store::Store;
 
 use crate::json::Json;
 use crate::metrics::{PhaseTimings, ServeMetrics};
 use crate::protocol::{
     arch_by_name, encode_stats, error_response, grid_to_json, network_result_to_json, ok_response,
-    parse_request, Envelope, ErrorCode, Request, ServeError,
+    parse_request, Envelope, ErrorCode, Request, ServeError, PROTOCOL_REVISION,
 };
 use crate::queue::{JobQueue, PushError};
 
@@ -95,6 +97,11 @@ pub struct ServeConfig {
     pub engine_threads: usize,
     /// Per-level entry cap of the shared decomposition cache.
     pub cache_capacity: usize,
+    /// Directory of the persistent result store. `None` (the default) runs
+    /// without persistence; `Some(dir)` opens (or creates) the store there,
+    /// so a restarted daemon serves previously computed results from disk
+    /// (see DESIGN.md §9).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +114,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             engine_threads: cores,
             cache_capacity: 4096,
+            store_dir: None,
         }
     }
 }
@@ -135,18 +143,33 @@ struct Shared {
     tracer: Tracer,
     /// Per-request trace-id sequence (`t1`, `t2`, …).
     trace_seq: AtomicU64,
+    /// Persistent result store, when the daemon was started with a
+    /// `store_dir`. Simulate/sweep read through it and write back.
+    store: Option<Store>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
     fn metrics_json(&self) -> Json {
+        let store_stats = self.store.as_ref().map(Store::stats);
         self.metrics.to_json(
             self.queue.depth(),
             self.queue.capacity(),
             self.cache.hits(),
             self.cache.misses(),
             self.cache.tensor_entries() + self.cache.decomp_entries(),
+            store_stats.as_ref(),
         )
+    }
+
+    /// The `version` response: crate version plus the wire-protocol
+    /// revision, so clients can gate on features (`version` itself arrived
+    /// in revision 2).
+    fn version_json(&self) -> Json {
+        Json::obj(vec![
+            ("crate_version", Json::from(env!("CARGO_PKG_VERSION"))),
+            ("protocol_revision", Json::from(PROTOCOL_REVISION)),
+        ])
     }
 
     /// The most recent completed request spans, newest first, as Chrome
@@ -188,7 +211,15 @@ fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
             })?;
             let mut sim = Simulator::new(*seed);
             sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
-            let result = sim.simulate_network_cached(&spec, &net, None, &shared.cache);
+            let result = match &shared.store {
+                Some(store) => {
+                    let result =
+                        sibia_sim::simulate_network_stored(&sim, &spec, &net, &shared.cache, store);
+                    let _ = store.maybe_compact();
+                    result
+                }
+                None => sim.simulate_network_cached(&spec, &net, None, &shared.cache),
+            };
             Ok(network_result_to_json(&result))
         }
         Request::Sweep {
@@ -215,17 +246,35 @@ fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
                 .collect::<Result<Vec<_>, _>>()?;
             let mut sim = Simulator::new(seeds[0]);
             sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
-            let grid =
-                shared
-                    .engine
-                    .simulate_grid_cached(&sim, &specs, &nets, seeds, &shared.cache);
+            let grid = match &shared.store {
+                Some(store) => {
+                    let grid = shared.engine.simulate_grid_stored(
+                        &sim,
+                        &specs,
+                        &nets,
+                        seeds,
+                        &shared.cache,
+                        store,
+                    );
+                    let _ = store.maybe_compact();
+                    grid
+                }
+                None => {
+                    shared
+                        .engine
+                        .simulate_grid_cached(&sim, &specs, &nets, seeds, &shared.cache)
+                }
+            };
             Ok(grid_to_json(&grid))
         }
-        // Ping/Metrics/Trace are answered inline by the connection thread.
-        Request::Ping | Request::Metrics | Request::Trace { .. } => Err(ServeError::new(
-            ErrorCode::Internal,
-            "inline request reached the worker pool",
-        )),
+        // Ping/Version/Metrics/Trace are answered inline by the connection
+        // thread.
+        Request::Ping | Request::Version | Request::Metrics | Request::Trace { .. } => {
+            Err(ServeError::new(
+                ErrorCode::Internal,
+                "inline request reached the worker pool",
+            ))
+        }
     }
 }
 
@@ -358,6 +407,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                     Request::Ping => {
                         inline(&|| Json::obj(vec![("pong", Json::Bool(true))]), &mut phases)
                     }
+                    Request::Version => inline(&|| shared.version_json(), &mut phases),
                     Request::Metrics => inline(&|| shared.metrics_json(), &mut phases),
                     Request::Trace { limit } => {
                         let limit = limit.unwrap_or(TRACE_DEFAULT_LIMIT);
@@ -483,6 +533,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let tracer = Tracer::with_capacity(TRACE_CAPACITY);
         tracer.enable();
+        let store = match &config.store_dir {
+            Some(dir) => Some(Store::open(dir).map_err(|e| {
+                std::io::Error::other(format!("opening store at {}: {e}", dir.display()))
+            })?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             metrics: ServeMetrics::new(),
@@ -490,6 +546,7 @@ impl Server {
             engine: ParallelEngine::with_threads(config.engine_threads),
             tracer,
             trace_seq: AtomicU64::new(0),
+            store,
             shutdown: AtomicBool::new(false),
         });
 

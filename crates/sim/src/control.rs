@@ -7,7 +7,7 @@
 //! DSM's interrupt reports, execute, store outputs — and the DMA double-
 //! buffers transfers against execution. This module models exactly those
 //! interactions: the instruction stream itself and the resulting
-//! compute/transfer timeline. It is not an ISA simulator (DESIGN.md §9).
+//! compute/transfer timeline. It is not an ISA simulator (DESIGN.md §10).
 
 use std::fmt;
 

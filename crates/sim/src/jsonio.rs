@@ -1,0 +1,232 @@
+//! Canonical JSON serialization of simulation results — and its inverse.
+//!
+//! These functions were born in `sibia-serve` as the wire serialization of
+//! `simulate`/`sweep` responses; they live here (one layer down) because
+//! the persistent store needs the same encoding for read-through caching,
+//! and serve re-exports them unchanged. They are pure functions of the
+//! result: the byte-identity guarantee of both the protocol and the store
+//! rests on that.
+//!
+//! The round trip is exact in both directions:
+//!
+//! * [`network_result_from_json`] `∘` [`network_result_to_json`] rebuilds
+//!   an equal [`NetworkResult`] (derived scalars like `total_cycles` are
+//!   serialized for human consumers but recomputed, not trusted, on read);
+//! * [`network_result_to_json`] `∘` [`network_result_from_json`] reproduces
+//!   the exact serialized bytes, because the JSON layer's canonical float
+//!   formatting makes `parse → serialize` the identity on canonical text.
+//!   This is what lets a warm store hit serve byte-identical responses.
+
+use sibia_arch::dsm::SkipSide;
+use sibia_arch::energy::{EnergyBreakdown, EventCounts};
+use sibia_obs::Json;
+
+use crate::parallel::GridResult;
+use crate::perf::{LayerResult, NetworkResult};
+
+/// Canonical serialization of one simulated network result. Pure function
+/// of the result — the byte-identity guarantee of the protocol and the
+/// persistent store.
+pub fn network_result_to_json(r: &NetworkResult) -> Json {
+    Json::obj(vec![
+        ("arch", Json::from(r.arch.as_str())),
+        ("network", Json::from(r.network.as_str())),
+        ("frequency_mhz", Json::from(u64::from(r.frequency_mhz))),
+        ("total_cycles", Json::from(r.total_cycles())),
+        ("total_macs", Json::from(r.total_macs())),
+        ("time_s", Json::from(r.time_s())),
+        ("throughput_gops", Json::from(r.throughput_gops())),
+        ("efficiency_tops_w", Json::from(r.efficiency_tops_w())),
+        (
+            "energy",
+            Json::obj(vec![
+                ("mac_pj", Json::from(r.energy.mac_pj)),
+                ("rf_pj", Json::from(r.energy.rf_pj)),
+                ("sram_pj", Json::from(r.energy.sram_pj)),
+                ("noc_pj", Json::from(r.energy.noc_pj)),
+                ("dram_pj", Json::from(r.energy.dram_pj)),
+                ("control_pj", Json::from(r.energy.control_pj)),
+            ]),
+        ),
+        (
+            "layers",
+            Json::Array(r.layers.iter().map(layer_result_to_json).collect()),
+        ),
+    ])
+}
+
+fn layer_result_to_json(l: &LayerResult) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(l.name.as_str())),
+        ("macs", Json::from(l.macs)),
+        ("slice_pairs", Json::from(l.slice_pairs)),
+        ("compute_cycles", Json::from(l.compute_cycles)),
+        ("memory_cycles", Json::from(l.memory_cycles)),
+        ("cycles", Json::from(l.cycles)),
+        (
+            "skip_side",
+            Json::from(match l.skip_side {
+                SkipSide::Input => "input",
+                SkipSide::Weight => "weight",
+                SkipSide::None => "none",
+            }),
+        ),
+        (
+            "input_compression_ratio",
+            Json::from(l.input_compression_ratio),
+        ),
+        ("work_fraction", Json::from(l.work_fraction)),
+        (
+            "events",
+            Json::obj(vec![
+                ("mac_ops", Json::from(l.events.mac_ops)),
+                ("rf_accesses", Json::from(l.events.rf_accesses)),
+                ("sram_accesses", Json::from(l.events.sram_accesses)),
+                ("noc_flit_hops", Json::from(l.events.noc_flit_hops)),
+                ("dram_bits", Json::from(l.events.dram_bits)),
+                ("cycles", Json::from(l.events.cycles)),
+            ]),
+        ),
+    ])
+}
+
+/// Canonical serialization of a sweep grid, cells in the engine's row-major
+/// (arch, network, seed) order.
+pub fn grid_to_json(grid: &GridResult) -> Json {
+    Json::obj(vec![("cells", {
+        Json::Array(
+            grid.cells()
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        ("arch_index", Json::from(c.arch_index)),
+                        ("network_index", Json::from(c.network_index)),
+                        ("seed", Json::from(c.seed)),
+                        ("result", network_result_to_json(&c.result)),
+                    ])
+                })
+                .collect(),
+        )
+    })])
+}
+
+/// Parses [`network_result_to_json`] output back into a [`NetworkResult`].
+///
+/// `None` on any missing or mistyped field — a store record that fails here
+/// is treated as foreign and recomputed, never half-trusted. Derived fields
+/// (`total_cycles`, `time_s`, …) are intentionally ignored: they are
+/// recomputed from the per-layer data, so a tampered summary cannot
+/// disagree with its layers.
+pub fn network_result_from_json(v: &Json) -> Option<NetworkResult> {
+    let layers = v
+        .get("layers")?
+        .as_array()?
+        .iter()
+        .map(layer_result_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let e = v.get("energy")?;
+    Some(NetworkResult {
+        arch: v.get("arch")?.as_str()?.to_owned(),
+        network: v.get("network")?.as_str()?.to_owned(),
+        frequency_mhz: u32::try_from(v.get("frequency_mhz")?.as_u64()?).ok()?,
+        layers,
+        energy: EnergyBreakdown {
+            mac_pj: e.get("mac_pj")?.as_f64()?,
+            rf_pj: e.get("rf_pj")?.as_f64()?,
+            sram_pj: e.get("sram_pj")?.as_f64()?,
+            noc_pj: e.get("noc_pj")?.as_f64()?,
+            dram_pj: e.get("dram_pj")?.as_f64()?,
+            control_pj: e.get("control_pj")?.as_f64()?,
+        },
+    })
+}
+
+fn layer_result_from_json(v: &Json) -> Option<LayerResult> {
+    let ev = v.get("events")?;
+    Some(LayerResult {
+        name: v.get("name")?.as_str()?.to_owned(),
+        macs: v.get("macs")?.as_u64()?,
+        slice_pairs: v.get("slice_pairs")?.as_u64()? as usize,
+        compute_cycles: v.get("compute_cycles")?.as_u64()?,
+        memory_cycles: v.get("memory_cycles")?.as_u64()?,
+        cycles: v.get("cycles")?.as_u64()?,
+        events: EventCounts {
+            mac_ops: ev.get("mac_ops")?.as_u64()?,
+            rf_accesses: ev.get("rf_accesses")?.as_u64()?,
+            sram_accesses: ev.get("sram_accesses")?.as_u64()?,
+            noc_flit_hops: ev.get("noc_flit_hops")?.as_u64()?,
+            dram_bits: ev.get("dram_bits")?.as_u64()?,
+            cycles: ev.get("cycles")?.as_u64()?,
+        },
+        skip_side: match v.get("skip_side")?.as_str()? {
+            "input" => SkipSide::Input,
+            "weight" => SkipSide::Weight,
+            "none" => SkipSide::None,
+            _ => return None,
+        },
+        input_compression_ratio: v.get("input_compression_ratio")?.as_f64()?,
+        work_fraction: v.get("work_fraction")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::Simulator;
+    use crate::spec::ArchSpec;
+    use sibia_nn::network::{DensityClass, TaskDomain};
+    use sibia_nn::{Activation, Layer, Network};
+
+    fn result() -> NetworkResult {
+        let net = Network::new(
+            "jsonio-net",
+            TaskDomain::Vision2d,
+            DensityClass::Dense,
+            vec![Layer::conv2d("c1", 8, 8, 3, 1, 1, 8)
+                .with_activation(Activation::Relu)
+                .with_input_sparsity(0.4)],
+        );
+        Simulator::new(5).simulate_network(&ArchSpec::sibia_hybrid(), &net)
+    }
+
+    #[test]
+    fn value_round_trip_is_exact() {
+        let r = result();
+        let back = network_result_from_json(&network_result_to_json(&r)).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        // serialize → parse-from-text → deserialize → serialize must be the
+        // identity on bytes: this is the warm-restart byte-identity lemma.
+        let r = result();
+        let first = network_result_to_json(&r).to_string();
+        let reparsed = Json::parse(&first).unwrap();
+        let back = network_result_from_json(&reparsed).expect("round trip");
+        assert_eq!(network_result_to_json(&back).to_string(), first);
+    }
+
+    #[test]
+    fn malformed_documents_yield_none_not_panics() {
+        for bad in [
+            Json::Null,
+            Json::obj(vec![]),
+            Json::obj(vec![("arch", Json::from("x"))]),
+            Json::parse(r#"{"arch":"a","network":"n","frequency_mhz":-1,"layers":[],"energy":{}}"#)
+                .unwrap(),
+        ] {
+            assert_eq!(network_result_from_json(&bad), None, "{bad}");
+        }
+        // A single bad layer poisons the whole document.
+        let mut good = network_result_to_json(&result());
+        if let Json::Object(members) = &mut good {
+            for (k, v) in members.iter_mut() {
+                if k == "layers" {
+                    *v = Json::Array(vec![Json::obj(vec![("name", Json::from("broken"))])]);
+                }
+            }
+        }
+        assert_eq!(network_result_from_json(&good), None);
+    }
+}

@@ -23,16 +23,20 @@ pub mod control;
 pub mod cycle;
 pub mod detailed;
 pub mod functional;
+pub mod jsonio;
 pub mod mpu;
 pub mod parallel;
 pub mod perf;
 pub mod pipeline;
 pub mod spec;
+pub mod stored;
 pub mod trace;
 
 pub use cache::DecompCache;
 pub use functional::{PeRun, PeSim};
+pub use jsonio::{grid_to_json, network_result_from_json, network_result_to_json};
 pub use parallel::{GridCell, GridResult, ParallelEngine};
 pub use perf::{LayerResult, NetworkResult, Simulator};
+pub use stored::{config_fingerprint, network_key, simulate_network_stored};
 
 pub use spec::{ArchSpec, Repr, SkipGranularity, SkipPolicy};

@@ -152,6 +152,41 @@ impl ParallelEngine {
         seeds: &[u64],
         cache: &DecompCache,
     ) -> GridResult {
+        self.run_grid(sim, archs, networks, seeds, cache, None)
+    }
+
+    /// [`Self::simulate_grid_cached`] with per-cell read-through against the
+    /// persistent store: a cell whose key is already stored skips simulation
+    /// entirely; a missed cell simulates and writes back. Keys are the same
+    /// `sim.network` keys single simulations use (see
+    /// [`crate::stored::network_key`]), so a sweep warms later single
+    /// requests and vice versa. Results are bit-identical to
+    /// [`Self::simulate_grid_cached`] either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs`, `networks`, or `seeds` is empty.
+    pub fn simulate_grid_stored(
+        &self,
+        sim: &Simulator,
+        archs: &[ArchSpec],
+        networks: &[Network],
+        seeds: &[u64],
+        cache: &DecompCache,
+        store: &sibia_store::Store,
+    ) -> GridResult {
+        self.run_grid(sim, archs, networks, seeds, cache, Some(store))
+    }
+
+    fn run_grid(
+        &self,
+        sim: &Simulator,
+        archs: &[ArchSpec],
+        networks: &[Network],
+        seeds: &[u64],
+        cache: &DecompCache,
+        store: Option<&sibia_store::Store>,
+    ) -> GridResult {
         assert!(!archs.is_empty(), "need at least one architecture");
         assert!(!networks.is_empty(), "need at least one network");
         assert!(!seeds.is_empty(), "need at least one seed");
@@ -169,12 +204,21 @@ impl ParallelEngine {
             span.attr("seed", seeds[seed_index]);
             let mut cell_sim = *sim;
             cell_sim.seed = seeds[seed_index];
-            let result = cell_sim.simulate_network_cached(
-                &archs[arch_index],
-                &networks[network_index],
-                None,
-                cache,
-            );
+            let result = match store {
+                Some(store) => crate::stored::simulate_network_stored(
+                    &cell_sim,
+                    &archs[arch_index],
+                    &networks[network_index],
+                    cache,
+                    store,
+                ),
+                None => cell_sim.simulate_network_cached(
+                    &archs[arch_index],
+                    &networks[network_index],
+                    None,
+                    cache,
+                ),
+            };
             GridCell {
                 arch_index,
                 network_index,

@@ -1,0 +1,124 @@
+//! Eviction properties of the bounded [`DecompCache`].
+//!
+//! Two invariants a long-lived daemon depends on:
+//!
+//! * **Bound**: `with_capacity(k)` never holds more than `k` entries per
+//!   level, at any observation point, no matter the key sequence or the
+//!   thread interleaving — an unbounded leak in the serve daemon's
+//!   process-lifetime cache would be a slow OOM.
+//! * **Accounting**: every lookup is counted exactly once, as a hit or a
+//!   miss, so `hits + misses` equals the total lookup count even when
+//!   threads race the same key (racing threads may *both* miss and both
+//!   compute — that is the documented design — but no lookup may vanish
+//!   from or double-count in the totals).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use sibia_nn::Layer;
+use sibia_sim::cache::LayerTensors;
+use sibia_sim::DecompCache;
+
+fn probe_layer() -> Layer {
+    Layer::conv2d("probe", 8, 8, 3, 1, 1, 8)
+}
+
+/// One synthetic lookup: the key varies by `(seed, layer_index)`; the value
+/// is trivial (the cache never inspects it).
+fn lookup(cache: &DecompCache, layer: &Layer, seed: u64, index: usize) {
+    cache.tensors(layer, seed, index, 64, || LayerTensors {
+        input_codes: vec![seed as i32],
+        weight_codes: vec![index as i32],
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serial key sequences: the entry count never exceeds the cap at any
+    /// point, and the counters account for every lookup.
+    #[test]
+    fn capacity_is_never_exceeded_serially(
+        cap in 1usize..8,
+        keys in prop::collection::vec((0u64..16, 0usize..4), 1..80),
+    ) {
+        let cache = DecompCache::with_capacity(cap);
+        let layer = probe_layer();
+        for &(seed, index) in &keys {
+            lookup(&cache, &layer, seed, index);
+            prop_assert!(
+                cache.tensor_entries() <= cap,
+                "{} entries with cap {cap}",
+                cache.tensor_entries()
+            );
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), keys.len() as u64);
+        // Distinct keys bound the misses from below (each distinct key
+        // misses at least once) and the hits from above.
+        let distinct: std::collections::HashSet<_> = keys.iter().collect();
+        prop_assert!(cache.misses() >= distinct.len() as u64);
+        prop_assert!(cache.hits() <= (keys.len() - distinct.len()) as u64);
+    }
+
+    /// Multithreaded interleavings: four threads hammer overlapping key
+    /// ranges; the bound holds at every observation point and the counter
+    /// total equals the exact number of lookups issued.
+    #[test]
+    fn capacity_and_counters_hold_under_threads(
+        cap in 1usize..6,
+        per_thread in prop::collection::vec((0u64..6, 0usize..3), 8..40),
+    ) {
+        let cache = DecompCache::with_capacity(cap);
+        let layer = probe_layer();
+        let lookups = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                let layer = &layer;
+                let lookups = &lookups;
+                let keys = &per_thread;
+                scope.spawn(move || {
+                    for &(seed, index) in keys {
+                        // Offset one thread's range so interleavings mix
+                        // shared keys (contention) with private ones
+                        // (eviction pressure).
+                        lookup(cache, layer, seed + (t % 2) * 3, index);
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                        assert!(
+                            cache.tensor_entries() <= cap,
+                            "cap {cap} exceeded under concurrency"
+                        );
+                    }
+                });
+            }
+        });
+        prop_assert!(cache.tensor_entries() <= cap);
+        prop_assert_eq!(
+            cache.hits() + cache.misses(),
+            lookups.load(Ordering::Relaxed),
+            "every lookup is exactly one hit or one miss"
+        );
+        prop_assert!(cache.misses() >= 1);
+    }
+}
+
+/// The documented race — two threads missing the same key and both
+/// computing — must still keep the bound and count both lookups.
+#[test]
+fn same_key_race_counts_both_lookups() {
+    let cache = DecompCache::with_capacity(2);
+    let layer = probe_layer();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let cache = &cache;
+            let layer = &layer;
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    lookup(cache, layer, 7, 0);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.hits() + cache.misses(), 8 * 50);
+    assert_eq!(cache.tensor_entries(), 1);
+}

@@ -1,0 +1,157 @@
+//! The typed key scheme of the persistent store.
+//!
+//! Every stored value is addressed by a [`StoreKey`] — the five fields that
+//! make a Sibia simulation artifact reproducible:
+//!
+//! * `kind` — what the value is (`sim.network` for a [`NetworkResult`]
+//!   serialization, `sim.decomp` for per-layer decomposition counts);
+//! * `network` — the workload identity (a zoo network name, or
+//!   `<network>/<layer-index>` for layer-scoped kinds);
+//! * `seed` — the synthesis seed;
+//! * `repr` — the slice representation (`sbr` / `conv`);
+//! * `config_hash` — an FNV-1a 64 hash over everything else that shapes the
+//!   value (architecture spec, sample cap, latency model, tech node,
+//!   external memory). Two configs that could produce different bytes must
+//!   hash differently; the fingerprint string is the caller's contract.
+//!
+//! The SBR slice statistics of a `(network, seed, repr)` triple are pure
+//! functions of the key — like BitWave's invariant bit-level structure,
+//! they never change between runs — which is what makes an on-disk memo
+//! sound: a hit is *by construction* byte-identical to a recompute.
+//!
+//! [`NetworkResult`]: https://docs.rs/sibia-sim
+
+use sibia_obs::Json;
+
+/// FNV-1a 64-bit hash of a byte string (deterministic across runs and
+/// platforms; used for [`StoreKey::config_hash`] fingerprints).
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A typed store key: `(kind, network, seed, repr, config_hash)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Value kind (e.g. `sim.network`, `sim.decomp`).
+    pub kind: String,
+    /// Workload identity (network name, possibly `/<layer-index>` scoped).
+    pub network: String,
+    /// Synthesis seed.
+    pub seed: u64,
+    /// Slice representation label (`sbr` / `conv`).
+    pub repr: String,
+    /// FNV-1a 64 hash of the remaining configuration fingerprint.
+    pub config_hash: u64,
+}
+
+impl StoreKey {
+    /// Builds a key, hashing `config_fingerprint` into `config_hash`.
+    pub fn new(
+        kind: impl Into<String>,
+        network: impl Into<String>,
+        seed: u64,
+        repr: impl Into<String>,
+        config_fingerprint: &str,
+    ) -> Self {
+        Self {
+            kind: kind.into(),
+            network: network.into(),
+            seed,
+            repr: repr.into(),
+            config_hash: fnv64(config_fingerprint.as_bytes()),
+        }
+    }
+
+    /// The canonical single-string form used as the in-memory index key and
+    /// in human-facing listings: `kind|network|seed|repr|cfg-<hex>`.
+    /// Unambiguous because `seed` and the hash are fixed-format and `kind`
+    /// and `repr` never contain `|` in practice (and the JSON record form,
+    /// not this string, is what's persisted).
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|cfg-{:016x}",
+            self.kind, self.network, self.seed, self.repr, self.config_hash
+        )
+    }
+
+    /// The JSON object form persisted inside each record. The seed and the
+    /// hash serialize as strings so the full `u64` range survives the
+    /// `i64`-ranged integer JSON without loss (or panics).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::from(self.kind.as_str())),
+            ("network", Json::from(self.network.as_str())),
+            ("seed", Json::from(self.seed.to_string())),
+            ("repr", Json::from(self.repr.as_str())),
+            ("cfg", Json::from(format!("{:016x}", self.config_hash))),
+        ])
+    }
+
+    /// Parses the JSON object form back into a key; `None` when a field is
+    /// missing or mistyped (the record is then treated as corrupt).
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            kind: v.get("kind")?.as_str()?.to_owned(),
+            network: v.get("network")?.as_str()?.to_owned(),
+            seed: v.get("seed")?.as_str()?.parse().ok()?,
+            repr: v.get("repr")?.as_str()?.to_owned(),
+            config_hash: u64::from_str_radix(v.get("cfg")?.as_str()?, 16).ok()?,
+        })
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let key = StoreKey::new("sim.network", "dgcnn", 7, "sbr", "arch=sibia|cap=4096");
+        let back = StoreKey::from_json(&key.to_json()).expect("round trip");
+        assert_eq!(back, key);
+        assert_eq!(back.canonical(), key.canonical());
+    }
+
+    #[test]
+    fn config_fingerprints_separate_keys() {
+        let a = StoreKey::new("sim.network", "dgcnn", 7, "sbr", "cap=4096");
+        let b = StoreKey::new("sim.network", "dgcnn", 7, "sbr", "cap=8192");
+        assert_ne!(a.config_hash, b.config_hash);
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn full_u64_range_survives_serialization() {
+        // Seeds and hashes above i64::MAX must round-trip: the JSON layer's
+        // u64→Int conversion would panic, so both ride as strings.
+        let key = StoreKey {
+            kind: "k".into(),
+            network: "n".into(),
+            seed: u64::MAX,
+            repr: "sbr".into(),
+            config_hash: u64::MAX - 1,
+        };
+        let back = StoreKey::from_json(&key.to_json()).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: a changed hash would silently orphan every existing
+        // store entry, so treat the constant as part of the on-disk format.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"sibia"), fnv64(b"sibia"));
+        assert_ne!(fnv64(b"sibia"), fnv64(b"sibiA"));
+    }
+}

@@ -26,6 +26,25 @@ rm -f "$trace_out"
 # Disabled tracing must stay allocation-free (counting-allocator test).
 cargo test -q -p sibia-obs --test noalloc
 
+echo "==> store smoke test"
+# Crash-safety end to end: populate the store, tear the log mid-record,
+# check that verify reports the damage (nonzero, read-only), that reopening
+# repairs the tail, and that verify then passes. The warm-restart
+# integration suite (serve --store-dir kill/restart byte-identity) runs
+# explicitly so a workspace test filter can never silently skip it.
+store_dir="$(mktemp -d)"
+./target/release/sibia-cli simulate dgcnn --seed 3 --store-dir "$store_dir" >/dev/null
+./target/release/sibia-cli store verify --store-dir "$store_dir" | grep -q "ok (1 records)"
+truncate -s -1 "$store_dir/store.log"   # torn tail: chop mid-record
+if ./target/release/sibia-cli store verify --store-dir "$store_dir" 2>/dev/null; then
+  echo "store verify accepted a torn log"; exit 1
+fi
+./target/release/sibia-cli store stats --store-dir "$store_dir" >/dev/null  # open repairs
+./target/release/sibia-cli store verify --store-dir "$store_dir"
+./target/release/sibia-cli store compact --store-dir "$store_dir"
+rm -rf "$store_dir"
+cargo test -q -p sibia-serve --test warm_restart
+
 echo "==> serve smoke test"
 # Daemon on an ephemeral port, short bench_serve burst, graceful SIGTERM.
 serve_log="$(mktemp)"
