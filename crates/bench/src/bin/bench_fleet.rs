@@ -1,0 +1,206 @@
+//! Scaling benchmark for the fleet coordinator.
+//!
+//! Starts four in-process serve daemons, runs the same sweep grid through
+//! a [`sibia_fleet::Fleet`] over 1, 2, and 4 of them, and reports wall
+//! time plus *exact* per-cell latency percentiles (the coordinator times
+//! every cell end to end; no histogram rounding) to `BENCH_fleet.json`.
+//!
+//! ```text
+//! bench_fleet [--archs A[,A...]] [--networks N[,N...]] [--seeds N]
+//!             [--sample-cap N] [--connections N]
+//! ```
+//!
+//! The merged documents of all three configurations are cross-checked for
+//! byte-equality — a mismatch (or any failed sweep) fails the run with a
+//! non-zero exit code, so the bench doubles as a determinism gate.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use sibia_fleet::{Fleet, FleetConfig};
+use sibia_serve::json::Json;
+use sibia_serve::server::{ServeConfig, Server};
+
+struct Args {
+    archs: Vec<String>,
+    networks: Vec<String>,
+    seeds: u64,
+    sample_cap: usize,
+    connections: usize,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_list(raw: Option<String>, default: &[&str]) -> Vec<String> {
+    match raw {
+        Some(s) => s.split(',').map(str::to_owned).collect(),
+        None => default.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    Args {
+        archs: parse_list(flag_value(&args, "--archs"), &["sibia", "bitfusion"]),
+        networks: parse_list(flag_value(&args, "--networks"), &["dgcnn"]),
+        seeds: flag_value(&args, "--seeds")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        sample_cap: flag_value(&args, "--sample-cap")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2048),
+        connections: flag_value(&args, "--connections")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+    }
+}
+
+/// Exact quantile from a sorted latency list: the rank-`ceil(q*n)` sample.
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Four identical daemons; each configuration uses a prefix of them.
+    let servers: Vec<Server> = (0..4)
+        .map(|_| {
+            Server::start(ServeConfig {
+                workers: 4,
+                engine_threads: 1,
+                ..ServeConfig::default()
+            })
+            .expect("bind ephemeral port")
+        })
+        .collect();
+    let endpoints: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+    let seeds: Vec<u64> = (1..=args.seeds).collect();
+    let cells = args.archs.len() * args.networks.len() * seeds.len();
+
+    println!(
+        "bench_fleet: {} archs x {} networks x {} seeds = {cells} cells (sample_cap {})",
+        args.archs.len(),
+        args.networks.len(),
+        seeds.len(),
+        args.sample_cap
+    );
+
+    let mut failed = false;
+    let mut baseline: Option<(String, f64)> = None;
+    let mut runs: Vec<Json> = Vec::new();
+    for n in [1usize, 2, 4] {
+        let mut config = FleetConfig::new(endpoints[..n].to_vec());
+        config.connections_per_backend = args.connections;
+        let fleet = match Fleet::new(config) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bench_fleet: fleet construction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let started = Instant::now();
+        let (json, stats) = match fleet.sweep_with_stats(
+            &args.archs,
+            &args.networks,
+            &seeds,
+            Some(args.sample_cap),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_fleet: {n}-backend sweep failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        let bytes = json.to_string();
+
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((bytes.clone(), wall_s));
+                1.0
+            }
+            Some((expected, base_wall)) => {
+                if *expected != bytes {
+                    eprintln!("bench_fleet: {n}-backend merge is NOT byte-identical to 1-backend");
+                    failed = true;
+                }
+                base_wall / wall_s
+            }
+        };
+
+        let mut latencies = stats.cell_latencies.clone();
+        latencies.sort_unstable();
+        let p50 = quantile_ms(&latencies, 0.5);
+        let p99 = quantile_ms(&latencies, 0.99);
+        println!(
+            "  {n} backend(s): wall {wall_s:.2}s  speedup x{speedup:.2}  cell p50 {p50:.1}ms \
+             p99 {p99:.1}ms  attempts {}  retries {}  failovers {}",
+            stats.attempts, stats.retries, stats.failovers
+        );
+        runs.push(Json::obj(vec![
+            ("backends", Json::from(n)),
+            ("wall_s", Json::from(wall_s)),
+            ("speedup_vs_1", Json::from(speedup)),
+            ("cells_per_s", Json::from(cells as f64 / wall_s)),
+            ("cell_p50_ms", Json::from(p50)),
+            ("cell_p99_ms", Json::from(p99)),
+            ("attempts", Json::from(stats.attempts)),
+            ("retries", Json::from(stats.retries)),
+            ("failovers", Json::from(stats.failovers)),
+            (
+                "per_backend_cells",
+                Json::Array(
+                    stats
+                        .per_backend_cells
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::from("fleet_scaling")),
+        (
+            "archs",
+            Json::Array(args.archs.iter().map(|a| Json::from(a.as_str())).collect()),
+        ),
+        (
+            "networks",
+            Json::Array(
+                args.networks
+                    .iter()
+                    .map(|n| Json::from(n.as_str()))
+                    .collect(),
+            ),
+        ),
+        ("seeds", Json::from(seeds.len())),
+        ("cells", Json::from(cells)),
+        ("sample_cap", Json::from(args.sample_cap)),
+        ("connections_per_backend", Json::from(args.connections)),
+        ("byte_identical", Json::Bool(!failed)),
+        ("runs", Json::Array(runs)),
+    ]);
+    std::fs::write("BENCH_fleet.json", format!("{report}\n")).expect("write BENCH_fleet.json");
+    println!("  wrote BENCH_fleet.json");
+
+    for s in servers {
+        s.shutdown();
+    }
+    if failed {
+        eprintln!("bench_fleet: FAILED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

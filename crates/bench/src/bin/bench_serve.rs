@@ -97,7 +97,7 @@ fn drive(addr: &str, conn: usize, requests: usize, sample_cap: usize) -> Tally {
                 tally.ok += 1;
                 tally.latencies.push(elapsed);
             }
-            Err(ClientError::Server(_)) => tally.server_errors += 1,
+            Err(ClientError::Server(_) | ClientError::Overloaded(_)) => tally.server_errors += 1,
             Err(ClientError::Io(_) | ClientError::Protocol(_)) => {
                 tally.protocol_errors += 1;
                 return tally; // the connection is unusable

@@ -7,9 +7,15 @@
 //! sibia-cli simulate <network> [--arch A] run the performance simulator
 //! sibia-cli compare <network>             all architectures side by side
 //! sibia-cli serve [--port P]              NDJSON simulation daemon
+//! sibia-cli fleet sweep --endpoints ...   shard a sweep across daemons
 //! sibia-cli store <stats|verify|compact>  inspect the persistent store
 //! sibia-cli trace-check <path>            validate a --trace-out profile
 //! ```
+//!
+//! `fleet sweep` dispatches a (archs × networks × seeds) grid across the
+//! given `sibia-serve` backends with retry/failover and prints the merged
+//! canonical document on stdout — byte-identical to `--local`, which runs
+//! the same grid in-process (the diff baseline the CI smoke step uses).
 //!
 //! `simulate` and `compare` accept `--trace-out <path>`: the run executes
 //! with span tracing enabled and writes a Chrome `trace_event` JSONL
@@ -122,6 +128,10 @@ fn usage() -> ExitCode {
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
          \x20       [--store-dir DIR]            newline-delimited-JSON simulation daemon\n\
+         \x20 fleet sweep (--endpoints H:P[,H:P...] | --local) --networks N[,N...]\n\
+         \x20       [--archs A[,A...]] [--seeds S[,S...]] [--sample-cap N] [--timeout-ms T]\n\
+         \x20       [--retries R] [--connections C] [--trace-out PATH]\n\
+         \x20                                    shard a sweep across serve daemons\n\
          \x20 store <stats|verify|compact> --store-dir DIR\n\
          \x20                                    inspect / check / rewrite the result store\n\
          \x20 trace-check <path> [--network NAME]\n\
@@ -192,6 +202,146 @@ fn store_command(args: &[String]) -> ExitCode {
             }
         },
         other => fail("store", &format!("unknown action '{other}'")),
+    }
+}
+
+/// `fleet sweep (--endpoints H:P[,...] | --local) --networks N[,...] ...`
+///
+/// Exactly one of `--endpoints` / `--local` must be given: the first
+/// shards the grid across live daemons, the second runs the identical
+/// grid in-process and prints the identical bytes — so
+/// `diff <(… --local …) <(… --endpoints … )` is the determinism check.
+fn fleet_command(args: &[String]) -> ExitCode {
+    use sibia::fleet::{Fleet, FleetConfig};
+    use sibia::serve::protocol::grid_to_json;
+
+    match args.get(1).map(String::as_str) {
+        Some("sweep") => {}
+        Some(other) => return fail("fleet", &format!("unknown action '{other}'")),
+        None => return fail("fleet", "need an action: sweep"),
+    }
+    if let Err(e) = check_flags(
+        args,
+        &[
+            "--endpoints",
+            "--local",
+            "--archs",
+            "--networks",
+            "--seeds",
+            "--sample-cap",
+            "--timeout-ms",
+            "--retries",
+            "--connections",
+            "--trace-out",
+        ],
+    ) {
+        return fail("fleet", &e);
+    }
+    let endpoints = flag_value(args, "--endpoints");
+    let local = args.iter().any(|a| a == "--local");
+    if endpoints.is_some() == local {
+        return fail("fleet", "need exactly one of --endpoints or --local");
+    }
+    let Some(networks_raw) = flag_value(args, "--networks") else {
+        return fail("fleet", "need --networks N[,N...]");
+    };
+    let networks: Vec<String> = networks_raw.split(',').map(str::to_owned).collect();
+    for n in &networks {
+        if find_network(n).is_none() {
+            return fail("fleet", &format!("unknown network {n}"));
+        }
+    }
+    let archs: Vec<String> = flag_value(args, "--archs")
+        .map(|raw| raw.split(',').map(str::to_owned).collect())
+        .unwrap_or_else(|| vec!["sibia".to_owned()]);
+    for a in &archs {
+        if arch_by_name(a).is_none() {
+            return fail("fleet", &format!("unknown architecture {a}"));
+        }
+    }
+    let seeds: Vec<u64> = match flag_value(args, "--seeds") {
+        None => vec![1],
+        Some(raw) => {
+            let parsed: Result<Vec<u64>, _> = raw.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(s) if !s.is_empty() => s,
+                _ => return fail("fleet", &format!("--seeds: invalid value '{raw}'")),
+            }
+        }
+    };
+    let sample_cap = match parse_flag::<usize>(args, "--sample-cap") {
+        Ok(c) => c,
+        Err(e) => return fail("fleet", &e),
+    };
+    let trace_path = trace_out(args);
+
+    if local {
+        // The in-process baseline: the same grid through the same engine
+        // semantics the daemons use, serialized canonically.
+        let specs: Vec<ArchSpec> = archs.iter().map(|a| arch_by_name(a).unwrap()).collect();
+        let nets: Vec<Network> = networks.iter().map(|n| find_network(n).unwrap()).collect();
+        let mut sim = Simulator::new(seeds[0]);
+        if let Some(cap) = sample_cap {
+            sim.sample_cap = cap.max(1);
+        }
+        let grid = ParallelEngine::new().simulate_grid(&sim, &specs, &nets, &seeds);
+        println!("{}", grid_to_json(&grid));
+        return match trace_path {
+            Some(path) => write_trace(&path),
+            None => ExitCode::SUCCESS,
+        };
+    }
+
+    let endpoint_list: Vec<String> = endpoints
+        .expect("checked above")
+        .split(',')
+        .map(str::to_owned)
+        .collect();
+    let mut config = FleetConfig::new(endpoint_list);
+    match parse_flag::<u64>(args, "--timeout-ms") {
+        Ok(Some(ms)) => config.request_timeout = std::time::Duration::from_millis(ms),
+        Ok(None) => {}
+        Err(e) => return fail("fleet", &e),
+    }
+    match parse_flag::<u32>(args, "--retries") {
+        Ok(Some(r)) => config.max_attempts_per_backend = r.max(1),
+        Ok(None) => {}
+        Err(e) => return fail("fleet", &e),
+    }
+    match parse_flag::<usize>(args, "--connections") {
+        Ok(Some(c)) => config.connections_per_backend = c.max(1),
+        Ok(None) => {}
+        Err(e) => return fail("fleet", &e),
+    }
+    let fleet = match Fleet::new(config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match fleet.sweep_with_stats(&archs, &networks, &seeds, sample_cap) {
+        Ok((json, stats)) => {
+            println!("{json}");
+            eprintln!(
+                "fleet: {} cells over {} backends  attempts {}  retries {}  failovers {}  \
+                 per-backend {:?}",
+                stats.cells,
+                stats.backends,
+                stats.attempts,
+                stats.retries,
+                stats.failovers,
+                stats.per_backend_cells
+            );
+            match trace_path {
+                Some(path) => write_trace(&path),
+                None => ExitCode::SUCCESS,
+            }
+        }
+        Err(e) => {
+            eprintln!("fleet: sweep failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -421,6 +571,7 @@ fn main() -> ExitCode {
             println!("shutdown complete");
             ExitCode::SUCCESS
         }
+        "fleet" => fleet_command(&args),
         "store" => store_command(&args),
         "trace-check" => {
             if let Err(e) = check_flags(&args, &["--network"]) {

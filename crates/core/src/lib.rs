@@ -41,11 +41,13 @@
 //! | [`speculate`] | bit-slice output speculation |
 //! | [`sim`] | functional PE datapath + cycle/energy simulators |
 //! | [`serve`] | the std-only accelerator-as-a-service TCP daemon |
+//! | [`fleet`] | sharded multi-backend sweep coordinator with failover |
 //! | [`store`] | crash-safe persistent result store (warm restarts) |
 //! | [`obs`] | span tracing, metrics registry, Chrome-trace export |
 
 pub use sibia_arch as arch;
 pub use sibia_compress as compress;
+pub use sibia_fleet as fleet;
 pub use sibia_nn as nn;
 pub use sibia_obs as obs;
 pub use sibia_sbr as sbr;

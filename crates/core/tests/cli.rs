@@ -180,6 +180,114 @@ fn happy_paths_still_exit_zero() {
 }
 
 #[test]
+fn fleet_subcommand_validates_its_input() {
+    // Missing action / unknown action.
+    assert!(!cli(&["fleet"]).status.success());
+    let out = cli(&["fleet", "scatter"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown action 'scatter'"));
+
+    // Exactly one of --endpoints / --local.
+    let out = cli(&["fleet", "sweep", "--networks", "dgcnn"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("exactly one of --endpoints or --local"));
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--local",
+        "--endpoints",
+        "127.0.0.1:1",
+        "--networks",
+        "dgcnn",
+    ]);
+    assert!(!out.status.success());
+
+    // Missing --networks, unknown names, malformed values, unknown flags.
+    assert!(!cli(&["fleet", "sweep", "--local"]).status.success());
+    let out = cli(&["fleet", "sweep", "--local", "--networks", "no-such-net"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown network no-such-net"));
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--local",
+        "--networks",
+        "dgcnn",
+        "--archs",
+        "gpu",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown architecture gpu"));
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--local",
+        "--networks",
+        "dgcnn",
+        "--seeds",
+        "1,x",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid value"));
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--local",
+        "--networks",
+        "dgcnn",
+        "--shards",
+        "4",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag"));
+}
+
+#[test]
+fn fleet_sweep_against_a_dead_endpoint_fails_fast_and_nonzero() {
+    // Bind then drop a listener so the port is dead but well-formed.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--endpoints",
+        &addr,
+        "--networks",
+        "dgcnn",
+        "--sample-cap",
+        "64",
+        "--retries",
+        "1",
+    ]);
+    assert!(!out.status.success(), "dead backend must exit nonzero");
+    assert!(stderr(&out).contains("sweep failed"), "{}", stderr(&out));
+}
+
+#[test]
+fn fleet_local_sweep_prints_the_canonical_grid() {
+    let out = cli(&[
+        "fleet",
+        "sweep",
+        "--local",
+        "--networks",
+        "dgcnn",
+        "--archs",
+        "sibia,bitfusion",
+        "--seeds",
+        "1,2",
+        "--sample-cap",
+        "256",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let doc = sibia::obs::Json::parse(stdout(&out).trim()).expect("canonical grid JSON");
+    let cells = doc.get("cells").and_then(|c| c.as_array()).expect("cells");
+    assert_eq!(cells.len(), 4, "2 archs x 1 network x 2 seeds");
+    // Canonical text: parse ∘ serialize is the identity.
+    assert_eq!(format!("{doc}\n"), stdout(&out));
+}
+
+#[test]
 fn simulate_with_store_dir_hits_on_second_run() {
     let dir = temp_dir("simulate-store");
     let args = [

@@ -1,0 +1,807 @@
+//! The sweep coordinator: shard, dispatch, retry, fail over, merge.
+//!
+//! A [`Fleet`] owns a static list of `sibia-serve` endpoints and runs a
+//! sweep grid across them as independent per-cell `simulate` requests:
+//!
+//! 1. every `(arch, network, seed)` cell is assigned a *home* backend by
+//!    the deterministic FNV shard ([`crate::shard`]);
+//! 2. per-backend dispatch workers drain their queue over pooled
+//!    connections with a per-request deadline (`timeout_ms` on the wire);
+//! 3. `overloaded` / `deadline_exceeded` answers retry the **same**
+//!    backend after a deterministic-jitter backoff ([`crate::backoff`]) —
+//!    the backend is healthy, just busy;
+//! 4. transport faults and server-side faults (`internal`,
+//!    `shutting_down`) trip the backend's circuit breaker
+//!    ([`crate::breaker`]) and **fail the cell over** to the next healthy
+//!    backend;
+//! 5. deterministic rejections (`bad_request`, `unknown_arch`,
+//!    `unknown_network`) abort the whole sweep — every backend would
+//!    reject the same way, so retrying anywhere is futile;
+//! 6. completed cells land in a slot table indexed by the cell's flat
+//!    grid position, and the merged document is emitted in row-major
+//!    (arch, network, seed) order.
+//!
+//! ## Why the merge is byte-identical
+//!
+//! The server's `simulate` handler computes each cell with the same
+//! `Simulator` configuration the grid engine gives a cell (same seed
+//! override, same default sample cap) and serializes it with the *pure*
+//! [`sibia_serve::protocol::network_result_to_json`]; the canonical JSON
+//! layer makes `parse ∘ serialize` the identity on canonical text, so the
+//! `result` payload the coordinator reads back is byte-for-byte what
+//! `grid_to_json` would have embedded for that cell. Reassembling the
+//! slots in flat order therefore reproduces `grid_to_json(simulate_grid(…))`
+//! exactly — regardless of backend count, which backend computed which
+//! cell, how often a cell was retried, or the order cells completed in.
+//! The integration suite pins this against live servers, including a
+//! mid-sweep kill.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sibia_obs::{registry, tracer, Counter, Histogram, Json};
+use sibia_serve::{Client, ClientError, ErrorCode, ServeError};
+
+use crate::backoff::BackoffPolicy;
+use crate::breaker::CircuitBreaker;
+use crate::pool::ClientPool;
+use crate::shard::backend_for_cell;
+
+/// How a sweep can fail, from the caller's point of view.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The endpoint list was empty.
+    NoEndpoints,
+    /// `archs`, `networks`, or `seeds` was empty.
+    EmptyGrid,
+    /// A backend deterministically rejected a cell (`bad_request`,
+    /// `unknown_arch`, `unknown_network`): every backend would answer the
+    /// same, so the sweep aborts instead of retrying.
+    Rejected(ServeError),
+    /// One cell exhausted its attempt budget across all backends.
+    CellFailed {
+        /// Architecture name of the failed cell.
+        arch: String,
+        /// Network name of the failed cell.
+        network: String,
+        /// Seed of the failed cell.
+        seed: u64,
+        /// Total dispatch attempts spent on the cell.
+        attempts: u32,
+        /// The last error observed, for the log.
+        last_error: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NoEndpoints => write!(f, "fleet has no endpoints"),
+            FleetError::EmptyGrid => write!(f, "sweep grid is empty"),
+            FleetError::Rejected(e) => {
+                write!(f, "backend rejected sweep [{}]: {}", e.code.as_str(), e.message)
+            }
+            FleetError::CellFailed {
+                arch,
+                network,
+                seed,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "cell ({arch}, {network}, seed {seed}) failed after {attempts} attempts: {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Coordinator configuration. [`FleetConfig::new`] gives defaults tuned
+/// for LAN backends; every knob is public.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Backend endpoints (`host:port`), order-significant: the shard
+    /// assignment and failover rotation are relative to this list.
+    pub endpoints: Vec<String>,
+    /// Concurrent dispatch workers (and pooled connections) per backend.
+    pub connections_per_backend: usize,
+    /// TCP connect timeout per dial.
+    pub connect_timeout: Duration,
+    /// Per-request deadline, sent as `timeout_ms` and enforced locally via
+    /// the socket read timeout (with slack for transit).
+    pub request_timeout: Duration,
+    /// Retry budget *per backend* for back-off-able answers
+    /// (`overloaded`, `deadline_exceeded`); the total attempt budget of a
+    /// cell is `max_attempts_per_backend × endpoints.len()`.
+    pub max_attempts_per_backend: u32,
+    /// Retry delay policy (deterministic jitter).
+    pub backoff: BackoffPolicy,
+    /// Consecutive faults that open a backend's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before admitting a trial.
+    pub breaker_cooldown: Duration,
+    /// Health-probe (`ping`) period; probes feed the breakers.
+    pub probe_interval: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults for the given endpoints.
+    pub fn new(endpoints: Vec<String>) -> Self {
+        Self {
+            endpoints,
+            connections_per_backend: 2,
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(60),
+            max_attempts_per_backend: 3,
+            backoff: BackoffPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            probe_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What one sweep did, beyond the result document.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Grid cells dispatched.
+    pub cells: usize,
+    /// Backends configured.
+    pub backends: usize,
+    /// Total dispatch attempts (incl. retries and failovers).
+    pub attempts: u64,
+    /// Same-backend retries after `overloaded`/`deadline_exceeded`.
+    pub retries: u64,
+    /// Cells re-dispatched to a different backend.
+    pub failovers: u64,
+    /// Cells completed per backend (by endpoint index).
+    pub per_backend_cells: Vec<u64>,
+    /// End-to-end latency of every completed cell (dispatch to slot),
+    /// unsorted.
+    pub cell_latencies: Vec<Duration>,
+}
+
+/// Cached handles to the `fleet.*` instruments in the global registry.
+struct FleetMetrics {
+    cells_total: Arc<Counter>,
+    dispatch_total: Arc<Counter>,
+    retry_total: Arc<Counter>,
+    failover_total: Arc<Counter>,
+    overloaded_total: Arc<Counter>,
+    breaker_open_total: Arc<Counter>,
+    probe_total: Arc<Counter>,
+    probe_failures: Arc<Counter>,
+    pool_dials: Arc<Counter>,
+    pool_reuses: Arc<Counter>,
+    cell_us: Arc<Histogram>,
+    attempt_us: Arc<Histogram>,
+}
+
+impl FleetMetrics {
+    fn new() -> Self {
+        let r = registry();
+        Self {
+            cells_total: r.counter("fleet.cells_total"),
+            dispatch_total: r.counter("fleet.dispatch_total"),
+            retry_total: r.counter("fleet.retry_total"),
+            failover_total: r.counter("fleet.failover_total"),
+            overloaded_total: r.counter("fleet.overloaded_total"),
+            breaker_open_total: r.counter("fleet.breaker_open_total"),
+            probe_total: r.counter("fleet.probe_total"),
+            probe_failures: r.counter("fleet.probe_failures"),
+            pool_dials: r.counter("fleet.pool.dials"),
+            pool_reuses: r.counter("fleet.pool.reuses"),
+            cell_us: r.histogram("fleet.cell_us"),
+            attempt_us: r.histogram("fleet.attempt_us"),
+        }
+    }
+}
+
+/// One cell traveling through the dispatch machinery.
+#[derive(Debug, Clone, Copy)]
+struct CellJob {
+    /// Flat row-major grid index (also the slot index).
+    flat: usize,
+    /// Dispatch attempts spent so far, across all backends.
+    attempts: u32,
+}
+
+/// What one dispatch attempt concluded.
+enum Attempt {
+    /// The cell's canonical result payload.
+    Done(Json),
+    /// Back off and retry the same backend (`true` = overloaded,
+    /// `false` = deadline).
+    Retry(bool),
+    /// Deterministic rejection: abort the sweep.
+    Reject(ServeError),
+    /// Transport or server fault: trip the breaker, move the cell.
+    Fault(String),
+}
+
+/// Shared per-sweep state, borrowed by the worker scope.
+struct SweepState<'a> {
+    archs: &'a [String],
+    networks: &'a [String],
+    seeds: &'a [u64],
+    sample_cap: Option<usize>,
+    slots: Vec<Mutex<Option<Json>>>,
+    senders: Vec<Sender<CellJob>>,
+    remaining: AtomicUsize,
+    fatal: Mutex<Option<FleetError>>,
+    abort: AtomicBool,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    per_backend_cells: Vec<AtomicU64>,
+    latencies: Mutex<Vec<Duration>>,
+}
+
+impl SweepState<'_> {
+    fn cell_coords(&self, flat: usize) -> (&str, &str, u64) {
+        let per_arch = self.networks.len() * self.seeds.len();
+        (
+            &self.archs[flat / per_arch],
+            &self.networks[(flat / self.seeds.len()) % self.networks.len()],
+            self.seeds[flat % self.seeds.len()],
+        )
+    }
+
+    fn done(&self) -> bool {
+        self.abort.load(Ordering::Relaxed) || self.remaining.load(Ordering::Relaxed) == 0
+    }
+
+    fn fail(&self, err: FleetError) {
+        let mut fatal = self.fatal.lock().expect("fatal lock");
+        if fatal.is_none() {
+            *fatal = Some(err);
+        }
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    /// Abort-aware sleep in small increments so workers stay responsive.
+    fn sleep(&self, total: Duration) {
+        let mut left = total;
+        while !left.is_zero() && !self.done() {
+            let step = left.min(Duration::from_millis(20));
+            thread::sleep(step);
+            left = left.saturating_sub(step);
+        }
+    }
+}
+
+/// A sharded multi-backend sweep coordinator.
+pub struct Fleet {
+    config: FleetConfig,
+    pools: Vec<Arc<ClientPool>>,
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    metrics: FleetMetrics,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("endpoints", &self.config.endpoints)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a coordinator over the configured endpoints. No connection
+    /// is dialed yet — backends may come up later; the breakers and the
+    /// per-cell retry budget absorb a slow start.
+    pub fn new(config: FleetConfig) -> Result<Self, FleetError> {
+        if config.endpoints.is_empty() {
+            return Err(FleetError::NoEndpoints);
+        }
+        // Socket read timeout = request deadline + slack, so the server
+        // gets to answer `deadline_exceeded` itself before the client cuts
+        // the connection (a typed answer retries; a cut connection would
+        // needlessly count as a backend fault).
+        let io_timeout = config.request_timeout + Duration::from_secs(10);
+        let pools = config
+            .endpoints
+            .iter()
+            .map(|e| {
+                Arc::new(ClientPool::new(
+                    e.clone(),
+                    config.connect_timeout,
+                    io_timeout,
+                    config.connections_per_backend,
+                ))
+            })
+            .collect();
+        let breakers = config
+            .endpoints
+            .iter()
+            .map(|_| {
+                Mutex::new(CircuitBreaker::new(
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                ))
+            })
+            .collect();
+        registry()
+            .gauge("fleet.backends")
+            .set(config.endpoints.len() as i64);
+        Ok(Self {
+            config,
+            pools,
+            breakers,
+            metrics: FleetMetrics::new(),
+        })
+    }
+
+    /// The configured endpoints.
+    pub fn endpoints(&self) -> &[String] {
+        &self.config.endpoints
+    }
+
+    /// Runs the (archs × networks × seeds) grid and returns the merged
+    /// document — byte-identical to `grid_to_json` of a direct
+    /// `simulate_grid` call — plus dispatch statistics.
+    pub fn sweep_with_stats(
+        &self,
+        archs: &[String],
+        networks: &[String],
+        seeds: &[u64],
+        sample_cap: Option<usize>,
+    ) -> Result<(Json, SweepStats), FleetError> {
+        if archs.is_empty() || networks.is_empty() || seeds.is_empty() {
+            return Err(FleetError::EmptyGrid);
+        }
+        let mut sweep_span = tracer().span("fleet.sweep");
+        sweep_span.attr("cells", archs.len() * networks.len() * seeds.len());
+        sweep_span.attr("backends", self.config.endpoints.len());
+
+        let n_backends = self.config.endpoints.len();
+        let cells = archs.len() * networks.len() * seeds.len();
+        self.metrics.cells_total.add(cells as u64);
+        let pool_before: Vec<(u64, u64)> = self.pools.iter().map(|p| p.stats()).collect();
+
+        let mut senders = Vec::with_capacity(n_backends);
+        let mut receivers = Vec::with_capacity(n_backends);
+        for _ in 0..n_backends {
+            let (tx, rx) = mpsc::channel::<CellJob>();
+            senders.push(tx);
+            receivers.push(Arc::new(Mutex::new(rx)));
+        }
+
+        let state = SweepState {
+            archs,
+            networks,
+            seeds,
+            sample_cap,
+            slots: (0..cells).map(|_| Mutex::new(None)).collect(),
+            senders,
+            remaining: AtomicUsize::new(cells),
+            fatal: Mutex::new(None),
+            abort: AtomicBool::new(false),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            per_backend_cells: (0..n_backends).map(|_| AtomicU64::new(0)).collect(),
+            latencies: Mutex::new(Vec::with_capacity(cells)),
+        };
+
+        // Seed every cell into its home backend's queue.
+        for flat in 0..cells {
+            let (arch, network, seed) = state.cell_coords(flat);
+            let home = backend_for_cell(arch, network, seed, n_backends);
+            state.senders[home]
+                .send(CellJob { flat, attempts: 0 })
+                .expect("receiver alive");
+        }
+
+        thread::scope(|s| {
+            for (b, rx) in receivers.iter().enumerate() {
+                for _ in 0..self.config.connections_per_backend.max(1) {
+                    let rx = Arc::clone(rx);
+                    let state = &state;
+                    s.spawn(move || self.worker_loop(b, &rx, state));
+                }
+            }
+            {
+                let state = &state;
+                s.spawn(move || self.prober_loop(state));
+            }
+
+            while !state.done() {
+                thread::sleep(Duration::from_millis(2));
+            }
+            state.abort.store(true, Ordering::Relaxed);
+        });
+
+        if let Some(err) = state.fatal.lock().expect("fatal lock").take() {
+            return Err(err);
+        }
+
+        let merged = Json::obj(vec![(
+            "cells",
+            Json::Array(
+                state
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .map(|(flat, slot)| {
+                        let result = slot
+                            .lock()
+                            .expect("slot lock")
+                            .take()
+                            .expect("all cells complete");
+                        let per_arch = networks.len() * seeds.len();
+                        Json::obj(vec![
+                            ("arch_index", Json::from(flat / per_arch)),
+                            (
+                                "network_index",
+                                Json::from((flat / seeds.len()) % networks.len()),
+                            ),
+                            ("seed", Json::from(seeds[flat % seeds.len()])),
+                            ("result", result),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+
+        for (pool, before) in self.pools.iter().zip(pool_before) {
+            let (dials, reuses) = pool.stats();
+            self.metrics.pool_dials.add(dials - before.0);
+            self.metrics.pool_reuses.add(reuses - before.1);
+        }
+        let stats = SweepStats {
+            cells,
+            backends: n_backends,
+            attempts: state.attempts.load(Ordering::Relaxed),
+            retries: state.retries.load(Ordering::Relaxed),
+            failovers: state.failovers.load(Ordering::Relaxed),
+            per_backend_cells: state
+                .per_backend_cells
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            cell_latencies: state.latencies.lock().expect("latency lock").clone(),
+        };
+        sweep_span.attr("attempts", stats.attempts);
+        sweep_span.attr("failovers", stats.failovers);
+        Ok((merged, stats))
+    }
+
+    /// [`Fleet::sweep_with_stats`] without the statistics.
+    pub fn sweep(
+        &self,
+        archs: &[String],
+        networks: &[String],
+        seeds: &[u64],
+        sample_cap: Option<usize>,
+    ) -> Result<Json, FleetError> {
+        self.sweep_with_stats(archs, networks, seeds, sample_cap)
+            .map(|(json, _)| json)
+    }
+
+    fn worker_loop(&self, backend: usize, rx: &Mutex<Receiver<CellJob>>, state: &SweepState<'_>) {
+        loop {
+            if state.done() {
+                return;
+            }
+            let job = {
+                let rx = rx.lock().expect("queue lock");
+                rx.recv_timeout(Duration::from_millis(20))
+            };
+            match job {
+                Ok(job) => self.run_cell(backend, job, state),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Drives one cell on `backend` until it completes, retries out its
+    /// same-backend budget, fails over, or aborts the sweep.
+    fn run_cell(&self, backend: usize, mut job: CellJob, state: &SweepState<'_>) {
+        if !self.breakers[backend]
+            .lock()
+            .expect("breaker lock")
+            .is_available()
+        {
+            // The skip consumes attempt budget: when every breaker is open
+            // the cell bounces at most `budget` times and then fails,
+            // instead of ping-ponging between dead backends forever.
+            job.attempts += 1;
+            self.failover(backend, job, "circuit breaker open", state);
+            return;
+        }
+        let started = Instant::now();
+        let mut local_attempt = 0u32;
+        loop {
+            if state.done() {
+                return;
+            }
+            job.attempts += 1;
+            state.attempts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.dispatch_total.inc();
+            let attempt_start = Instant::now();
+            let outcome = {
+                let mut span = tracer().span("fleet.dispatch");
+                span.attr("backend", backend);
+                span.attr("cell", job.flat);
+                span.attr("attempt", job.attempts);
+                self.attempt_cell(backend, job.flat, state)
+            };
+            self.metrics.attempt_us.record(attempt_start.elapsed());
+            match outcome {
+                Attempt::Done(result) => {
+                    self.breakers[backend]
+                        .lock()
+                        .expect("breaker lock")
+                        .record_success();
+                    *state.slots[job.flat].lock().expect("slot lock") = Some(result);
+                    state.per_backend_cells[backend].fetch_add(1, Ordering::Relaxed);
+                    let latency = started.elapsed();
+                    self.metrics.cell_us.record(latency);
+                    state.latencies.lock().expect("latency lock").push(latency);
+                    state.remaining.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                Attempt::Retry(overloaded) => {
+                    // Healthy-but-busy: the breaker is NOT fed, the cell
+                    // stays on its backend, and the retry waits out a
+                    // deterministic-jitter backoff.
+                    if overloaded {
+                        self.metrics.overloaded_total.inc();
+                    }
+                    state.retries.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.retry_total.inc();
+                    local_attempt += 1;
+                    if local_attempt >= self.config.max_attempts_per_backend {
+                        self.failover(
+                            backend,
+                            job,
+                            if overloaded {
+                                "overloaded"
+                            } else {
+                                "deadline exceeded"
+                            },
+                            state,
+                        );
+                        return;
+                    }
+                    let delay = self
+                        .config
+                        .backoff
+                        .delay(job.flat as u64, local_attempt - 1);
+                    let mut span = tracer().span("fleet.retry");
+                    span.attr("backend", backend);
+                    span.attr("cell", job.flat);
+                    span.attr("delay_us", delay.as_micros());
+                    drop(span);
+                    state.sleep(delay);
+                }
+                Attempt::Reject(err) => {
+                    state.fail(FleetError::Rejected(err));
+                    return;
+                }
+                Attempt::Fault(message) => {
+                    let newly_opened = self.breakers[backend]
+                        .lock()
+                        .expect("breaker lock")
+                        .record_failure();
+                    if newly_opened {
+                        self.metrics.breaker_open_total.inc();
+                    }
+                    self.failover(backend, job, &message, state);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One wire round trip for one cell against one backend.
+    fn attempt_cell(&self, backend: usize, flat: usize, state: &SweepState<'_>) -> Attempt {
+        let mut client = match self.pools[backend].checkout() {
+            Ok(c) => c,
+            Err(e) => return Attempt::Fault(format!("connect: {e}")),
+        };
+        let (arch, network, seed) = state.cell_coords(flat);
+        let mut fields = vec![
+            ("kind", Json::from("simulate")),
+            ("arch", Json::from(arch)),
+            ("network", Json::from(network)),
+            ("seed", Json::from(seed)),
+            (
+                "timeout_ms",
+                Json::from(
+                    self.config
+                        .request_timeout
+                        .as_millis()
+                        .min(u128::from(u64::MAX)) as u64,
+                ),
+            ),
+        ];
+        if let Some(cap) = state.sample_cap {
+            fields.push(("sample_cap", Json::from(cap)));
+        }
+        match client.call(Json::obj(fields)) {
+            Ok(result) => {
+                self.pools[backend].checkin(client);
+                Attempt::Done(result)
+            }
+            Err(ClientError::Overloaded(_)) => {
+                // The connection is fine — the admission queue was full.
+                self.pools[backend].checkin(client);
+                Attempt::Retry(true)
+            }
+            Err(ClientError::Server(e)) => match e.code {
+                ErrorCode::DeadlineExceeded => {
+                    self.pools[backend].checkin(client);
+                    Attempt::Retry(false)
+                }
+                ErrorCode::BadRequest | ErrorCode::UnknownArch | ErrorCode::UnknownNetwork => {
+                    self.pools[backend].checkin(client);
+                    Attempt::Reject(e)
+                }
+                // shutting_down, internal, and anything future-unknown:
+                // the backend is in trouble; connection dropped.
+                _ => Attempt::Fault(format!("server fault [{}]: {}", e.code.as_str(), e.message)),
+            },
+            Err(ClientError::Io(e)) => Attempt::Fault(format!("io: {e}")),
+            Err(ClientError::Protocol(msg)) => Attempt::Fault(format!("protocol: {msg}")),
+        }
+    }
+
+    /// Moves a cell to the next healthy backend (or the next backend
+    /// outright when every breaker is open — the attempt cap, not the
+    /// breaker state, is what finally fails a cell).
+    fn failover(&self, from: usize, job: CellJob, why: &str, state: &SweepState<'_>) {
+        let budget =
+            self.config.max_attempts_per_backend * self.config.endpoints.len().max(1) as u32;
+        if job.attempts >= budget {
+            let (arch, network, seed) = state.cell_coords(job.flat);
+            state.fail(FleetError::CellFailed {
+                arch: arch.to_owned(),
+                network: network.to_owned(),
+                seed,
+                attempts: job.attempts,
+                last_error: why.to_owned(),
+            });
+            return;
+        }
+        state.failovers.fetch_add(1, Ordering::Relaxed);
+        self.metrics.failover_total.inc();
+        let n = self.config.endpoints.len();
+        let mut target = (from + 1) % n;
+        for k in 1..=n {
+            let candidate = (from + k) % n;
+            if self.breakers[candidate]
+                .lock()
+                .expect("breaker lock")
+                .is_available()
+            {
+                target = candidate;
+                break;
+            }
+        }
+        // The receiver can only be gone after abort; losing the job then
+        // is fine because nobody will wait on it.
+        let _ = state.senders[target].send(job);
+    }
+
+    /// Background `ping` prober: keeps breaker state honest even while no
+    /// requests are flowing to a backend (e.g. everything failed over away
+    /// from it and its cooldown is the only way back).
+    fn prober_loop(&self, state: &SweepState<'_>) {
+        loop {
+            state.sleep(self.config.probe_interval);
+            if state.done() {
+                return;
+            }
+            for (b, endpoint) in self.config.endpoints.iter().enumerate() {
+                self.metrics.probe_total.inc();
+                let alive = Client::with_timeouts(
+                    endpoint.as_str(),
+                    Some(self.config.connect_timeout.min(Duration::from_millis(500))),
+                    Some(Duration::from_secs(1)),
+                    Some(Duration::from_secs(1)),
+                )
+                .and_then(|mut c| c.ping())
+                .is_ok();
+                let mut breaker = self.breakers[b].lock().expect("breaker lock");
+                if alive {
+                    breaker.record_success();
+                } else {
+                    self.metrics.probe_failures.inc();
+                    if breaker.record_failure() {
+                        self.metrics.breaker_open_total.inc();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_endpoint_list_is_rejected() {
+        assert!(matches!(
+            Fleet::new(FleetConfig::new(vec![])),
+            Err(FleetError::NoEndpoints)
+        ));
+    }
+
+    #[test]
+    fn empty_grid_is_rejected_without_dialing() {
+        // The endpoint is a black hole; an empty grid must error before
+        // any connection attempt.
+        let fleet = Fleet::new(FleetConfig::new(vec!["127.0.0.1:1".into()])).unwrap();
+        assert!(matches!(
+            fleet.sweep(&[], &["dgcnn".into()], &[1], None),
+            Err(FleetError::EmptyGrid)
+        ));
+        assert!(matches!(
+            fleet.sweep(&["sibia".into()], &[], &[1], None),
+            Err(FleetError::EmptyGrid)
+        ));
+        assert!(matches!(
+            fleet.sweep(&["sibia".into()], &["dgcnn".into()], &[], None),
+            Err(FleetError::EmptyGrid)
+        ));
+    }
+
+    #[test]
+    fn cell_coords_walk_the_grid_row_major() {
+        let archs = vec!["a".to_string(), "b".to_string()];
+        let networks = vec!["x".to_string(), "y".to_string()];
+        let seeds = vec![1u64, 2];
+        let state = SweepState {
+            archs: &archs,
+            networks: &networks,
+            seeds: &seeds,
+            sample_cap: None,
+            slots: Vec::new(),
+            senders: Vec::new(),
+            remaining: AtomicUsize::new(0),
+            fatal: Mutex::new(None),
+            abort: AtomicBool::new(false),
+            attempts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            per_backend_cells: Vec::new(),
+            latencies: Mutex::new(Vec::new()),
+        };
+        let mut flat = 0;
+        for a in ["a", "b"] {
+            for n in ["x", "y"] {
+                for s in [1u64, 2] {
+                    assert_eq!(state.cell_coords(flat), (a, n, s));
+                    flat += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_endpoints_dead_fails_with_cell_failed_not_a_hang() {
+        // Two unreachable backends: the cell must burn its budget and the
+        // sweep must return CellFailed (never deadlock).
+        let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let l2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let (a1, a2) = (l1.local_addr().unwrap(), l2.local_addr().unwrap());
+        drop((l1, l2));
+        let mut config = FleetConfig::new(vec![a1.to_string(), a2.to_string()]);
+        config.max_attempts_per_backend = 1;
+        config.connect_timeout = Duration::from_millis(200);
+        config.probe_interval = Duration::from_secs(30); // stay out of the way
+        let fleet = Fleet::new(config).unwrap();
+        match fleet.sweep(&["sibia".into()], &["dgcnn".into()], &[1], Some(64)) {
+            Err(FleetError::CellFailed { attempts, .. }) => assert!(attempts >= 2),
+            other => panic!("expected CellFailed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # sibia-fleet — sharded multi-backend sweep coordination
+//!
+//! The first horizontal-scaling layer of the Sibia stack: a std-only
+//! coordinator that takes a sweep grid, shards its cells across a static
+//! list of `sibia-serve` backends, and merges the answers into a document
+//! **byte-identical** to a direct [`sibia_sim::ParallelEngine`] grid run —
+//! regardless of backend count, failures, retries, or completion order.
+//!
+//! | module | what it provides |
+//! |---|---|
+//! | [`shard`] | deterministic FNV-1a cell → backend assignment |
+//! | [`backoff`] | bounded exponential backoff with deterministic jitter (SynthRng, no `rand`) |
+//! | [`breaker`] | per-backend Closed/Open/HalfOpen circuit breaker |
+//! | [`pool`] | per-backend blocking connection pool over [`sibia_serve::Client`] |
+//! | [`coordinator`] | the [`Fleet`] itself: dispatch workers, retry/failover policy, ping prober, result merge |
+//!
+//! ## Failure policy in one paragraph
+//!
+//! `overloaded` and `deadline_exceeded` mean *healthy but busy*: the cell
+//! retries the **same** backend after a deterministic-jitter backoff and
+//! the circuit breaker is not touched. Transport faults and server faults
+//! (`internal`, `shutting_down`) mean *backend in trouble*: the breaker
+//! records the failure and the cell **fails over** to the next healthy
+//! backend. Deterministic rejections (`bad_request`, `unknown_arch`,
+//! `unknown_network`) abort the whole sweep — every backend would answer
+//! identically, so retrying anywhere is futile. A background `ping`
+//! prober keeps breaker state honest even for backends no request is
+//! currently reaching.
+//!
+//! Everything is observable through the global [`sibia_obs`] registry
+//! (`fleet.*` counters and histograms — `fleet.failover_total` is the one
+//! the integration suite pins) and tracer (`fleet.sweep`,
+//! `fleet.dispatch`, `fleet.retry` spans).
+
+pub mod backoff;
+pub mod breaker;
+pub mod coordinator;
+pub mod pool;
+pub mod shard;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::CircuitBreaker;
+pub use coordinator::{Fleet, FleetConfig, FleetError, SweepStats};
+pub use pool::ClientPool;
+pub use shard::{backend_for_cell, cell_key};

@@ -1,0 +1,310 @@
+//! Fleet integration: live backends, byte-identity, and failover.
+//!
+//! The acceptance property pinned here: a fleet sweep's merged document is
+//! **byte-identical** to `grid_to_json` of a direct `simulate_grid` call —
+//! for 1, 2, and 4 backends, when a backend answers `overloaded`, when a
+//! backend drops every connection mid-request, and when a real backend is
+//! shut down mid-sweep. The crash-backend test additionally asserts
+//! `fleet.failover_total >= 1` (and the per-sweep failover count), the
+//! overload test pins the retry path, and the store test shows re-runs are
+//! warm hits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sibia_fleet::{Fleet, FleetConfig, FleetError};
+use sibia_obs::registry;
+use sibia_serve::json::Json;
+use sibia_serve::protocol::{arch_by_name, error_response, grid_to_json, ErrorCode, ServeError};
+use sibia_serve::server::{ServeConfig, Server};
+use sibia_serve::Client;
+use sibia_sim::{ParallelEngine, Simulator};
+
+const ARCHS: [&str; 2] = ["sibia", "bitfusion"];
+const NETWORKS: [&str; 1] = ["dgcnn"];
+const SEEDS: [u64; 3] = [1, 2, 3];
+const SAMPLE_CAP: usize = 512;
+
+fn start_server() -> Server {
+    Server::start(ServeConfig {
+        workers: 2,
+        engine_threads: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn owned(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// The ground truth: the direct library grid, serialized canonically.
+fn direct_grid_bytes(seeds: &[u64]) -> String {
+    let specs: Vec<_> = ARCHS.iter().map(|a| arch_by_name(a).unwrap()).collect();
+    let networks: Vec<_> = NETWORKS
+        .iter()
+        .map(|n| sibia_nn::zoo::by_name(n).unwrap())
+        .collect();
+    let mut sim = Simulator::new(seeds[0]);
+    sim.sample_cap = SAMPLE_CAP;
+    let grid = ParallelEngine::with_threads(1).simulate_grid(&sim, &specs, &networks, seeds);
+    grid_to_json(&grid).to_string()
+}
+
+fn fleet_config(endpoints: Vec<String>) -> FleetConfig {
+    let mut config = FleetConfig::new(endpoints);
+    config.backoff.base = Duration::from_millis(1);
+    config.backoff.cap = Duration::from_millis(20);
+    // Keep the prober out of the deterministic tests' way; the breakers
+    // are exercised through request outcomes.
+    config.probe_interval = Duration::from_secs(30);
+    config
+}
+
+fn fleet_sweep_bytes(fleet: &Fleet, seeds: &[u64]) -> String {
+    fleet
+        .sweep(&owned(&ARCHS), &owned(&NETWORKS), seeds, Some(SAMPLE_CAP))
+        .expect("fleet sweep")
+        .to_string()
+}
+
+#[test]
+fn merged_sweep_is_byte_identical_for_1_2_and_4_backends() {
+    let servers: Vec<Server> = (0..4).map(|_| start_server()).collect();
+    let endpoints: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+    let expected = direct_grid_bytes(&SEEDS);
+
+    for n in [1usize, 2, 4] {
+        let fleet = Fleet::new(fleet_config(endpoints[..n].to_vec())).unwrap();
+        let (json, stats) = fleet
+            .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &SEEDS, Some(SAMPLE_CAP))
+            .expect("fleet sweep");
+        assert_eq!(
+            json.to_string(),
+            expected,
+            "{n}-backend merge must be byte-identical to the direct grid"
+        );
+        assert_eq!(stats.cells, ARCHS.len() * NETWORKS.len() * SEEDS.len());
+        assert_eq!(stats.backends, n);
+        assert_eq!(
+            stats.per_backend_cells.iter().sum::<u64>(),
+            stats.cells as u64
+        );
+        if n > 1 {
+            assert!(
+                stats.per_backend_cells.iter().filter(|&&c| c > 0).count() > 1,
+                "sharding must spread cells: {:?}",
+                stats.per_backend_cells
+            );
+        }
+    }
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// A backend that accepts connections and drops each one after reading a
+/// single line — every request dies mid-flight, deterministically, like a
+/// process being SIGKILLed between read and reply.
+fn spawn_crash_backend() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind crash backend");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            // Dropping the stream here cuts the connection with no reply.
+        }
+    });
+    addr
+}
+
+#[test]
+fn crashing_backend_fails_over_and_keeps_bytes_identical() {
+    let healthy = start_server();
+    let crash_addr = spawn_crash_backend();
+    let endpoints = vec![healthy.addr().to_string(), crash_addr.to_string()];
+
+    // Seeds chosen so the FNV shard homes at least one cell on each
+    // backend (pinned below) — the crash backend's cells MUST fail over.
+    let seeds: Vec<u64> = (1..=6).collect();
+    let homes: std::collections::BTreeSet<usize> = ARCHS
+        .iter()
+        .flat_map(|a| seeds.iter().map(move |&s| (a, s)))
+        .map(|(a, s)| sibia_fleet::backend_for_cell(a, NETWORKS[0], s, 2))
+        .collect();
+    assert_eq!(homes.len(), 2, "grid must span both backends");
+
+    let failovers_before = registry().counter("fleet.failover_total").get();
+    let fleet = Fleet::new(fleet_config(endpoints)).unwrap();
+    let (json, stats) = fleet
+        .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &seeds, Some(SAMPLE_CAP))
+        .expect("sweep must survive the crashing backend");
+
+    assert_eq!(json.to_string(), direct_grid_bytes(&seeds));
+    assert!(
+        stats.failovers >= 1,
+        "cells homed on the crash backend must fail over (stats: {stats:?})"
+    );
+    assert!(
+        registry().counter("fleet.failover_total").get() - failovers_before >= 1,
+        "fleet.failover_total must record the failover"
+    );
+    // Every completed cell was computed by the healthy backend.
+    assert_eq!(stats.per_backend_cells[0], stats.cells as u64);
+    assert_eq!(stats.per_backend_cells[1], 0);
+    healthy.shutdown();
+}
+
+/// A backend that answers every request with a well-formed `overloaded`
+/// error (echoing the request id, as the client requires), forever.
+fn spawn_overloaded_backend() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind overloaded backend");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let id = Json::parse(line.trim_end())
+                    .ok()
+                    .and_then(|v| v.get("id").cloned());
+                let mut reply = error_response(
+                    id.as_ref(),
+                    None,
+                    &ServeError::new(ErrorCode::Overloaded, "synthetic overload"),
+                )
+                .to_string();
+                reply.push('\n');
+                if writer.write_all(reply.as_bytes()).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn overloaded_backend_is_retried_then_failed_over_with_identical_bytes() {
+    let healthy = start_server();
+    let busy_addr = spawn_overloaded_backend();
+    let endpoints = vec![healthy.addr().to_string(), busy_addr.to_string()];
+
+    let seeds: Vec<u64> = (1..=6).collect();
+    let fleet = Fleet::new(fleet_config(endpoints)).unwrap();
+    let (json, stats) = fleet
+        .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &seeds, Some(SAMPLE_CAP))
+        .expect("sweep must route around the overloaded backend");
+
+    assert_eq!(json.to_string(), direct_grid_bytes(&seeds));
+    assert!(
+        stats.retries >= 1,
+        "overloaded answers must be retried on the same backend first (stats: {stats:?})"
+    );
+    assert!(
+        stats.failovers >= 1,
+        "an always-overloaded backend must eventually lose its cells"
+    );
+    assert_eq!(stats.per_backend_cells[0], stats.cells as u64);
+    assert!(registry().counter("fleet.overloaded_total").get() >= 1);
+    healthy.shutdown();
+}
+
+#[test]
+fn real_backend_shut_down_mid_sweep_keeps_bytes_identical() {
+    let survivor = start_server();
+    let victim = start_server();
+    let endpoints = vec![survivor.addr().to_string(), victim.addr().to_string()];
+
+    // A grid big enough to still be in flight when the victim goes down.
+    let seeds: Vec<u64> = (1..=10).collect();
+    let fleet = Fleet::new(fleet_config(endpoints)).unwrap();
+
+    let bytes = std::thread::scope(|s| {
+        let fleet = &fleet;
+        let seeds_ref = &seeds;
+        let sweep = s.spawn(move || fleet_sweep_bytes(fleet, seeds_ref));
+        std::thread::sleep(Duration::from_millis(150));
+        victim.shutdown();
+        sweep.join().expect("sweep thread")
+    });
+    assert_eq!(bytes, direct_grid_bytes(&seeds));
+    survivor.shutdown();
+}
+
+#[test]
+fn store_backed_backends_serve_the_second_sweep_warm() {
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sibia-fleet-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+    // One store directory per backend: the store is single-process.
+    let dirs = [temp_dir("b0"), temp_dir("b1")];
+    let servers: Vec<Server> = dirs
+        .iter()
+        .map(|d| {
+            Server::start(ServeConfig {
+                workers: 2,
+                engine_threads: 1,
+                store_dir: Some(d.clone()),
+                ..ServeConfig::default()
+            })
+            .expect("bind")
+        })
+        .collect();
+    let endpoints: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+
+    let fleet = Fleet::new(fleet_config(endpoints)).unwrap();
+    let cold = fleet_sweep_bytes(&fleet, &SEEDS);
+    let warm = fleet_sweep_bytes(&fleet, &SEEDS);
+    assert_eq!(cold, warm, "warm sweep must be byte-identical to cold");
+    assert_eq!(cold, direct_grid_bytes(&SEEDS));
+
+    // The deterministic shard sends each cell to the same backend both
+    // times, so the second sweep is served from the stores.
+    let mut total_hits = 0;
+    for server in &servers {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let metrics = client.metrics().expect("metrics");
+        if let Some(store) = metrics.get("store") {
+            total_hits += store.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
+        }
+    }
+    assert!(
+        total_hits >= 1,
+        "the warm sweep must hit the backends' stores"
+    );
+    for s in servers {
+        s.shutdown();
+    }
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn unknown_arch_aborts_the_sweep_with_a_typed_rejection() {
+    let server = start_server();
+    let fleet = Fleet::new(fleet_config(vec![server.addr().to_string()])).unwrap();
+    match fleet.sweep(
+        &["not-an-arch".to_string()],
+        &owned(&NETWORKS),
+        &[1],
+        Some(SAMPLE_CAP),
+    ) {
+        Err(FleetError::Rejected(e)) => assert_eq!(e.code, ErrorCode::UnknownArch),
+        other => panic!("expected Rejected(unknown_arch), got {other:?}"),
+    }
+    server.shutdown();
+}

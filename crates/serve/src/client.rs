@@ -21,6 +21,11 @@ pub enum ClientError {
     /// The server answered, but not with valid protocol (bad JSON, missing
     /// fields, mismatched id).
     Protocol(String),
+    /// The server's admission queue rejected the request. The connection is
+    /// still good and the server is healthy — the right reaction is to back
+    /// off and retry the *same* backend, which is why this is split out from
+    /// [`ClientError::Server`]: retry policies must not treat it as a fault.
+    Overloaded(String),
     /// The server answered with a well-formed error response.
     Server(ServeError),
 }
@@ -30,6 +35,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
             ClientError::Server(e) => {
                 write!(f, "server error [{}]: {}", e.code.as_str(), e.message)
             }
@@ -50,6 +56,7 @@ impl ClientError {
     pub fn server_code(&self) -> Option<ErrorCode> {
         match self {
             ClientError::Server(e) => Some(e.code),
+            ClientError::Overloaded(_) => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -71,9 +78,63 @@ impl std::fmt::Debug for Client {
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Default connect timeout for [`Client::connect`].
+    pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+    /// Default read/write timeout for [`Client::connect`] — generous enough
+    /// for a cold full-grid sweep, but no longer "hang forever".
+    pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) with the default
+    /// timeouts ([`Self::DEFAULT_CONNECT_TIMEOUT`], [`Self::DEFAULT_IO_TIMEOUT`]).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::with_timeouts(
+            addr,
+            Some(Self::DEFAULT_CONNECT_TIMEOUT),
+            Some(Self::DEFAULT_IO_TIMEOUT),
+            Some(Self::DEFAULT_IO_TIMEOUT),
+        )
+    }
+
+    /// Connects with explicit timeouts (`None` means "block forever").
+    ///
+    /// The connect timeout is applied per resolved address: if `addr`
+    /// resolves to several socket addresses, each is tried in turn and the
+    /// last error is returned when all fail.
+    pub fn with_timeouts<A: ToSocketAddrs>(
+        addr: A,
+        connect: Option<Duration>,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<Self, ClientError> {
+        let stream = match connect {
+            None => TcpStream::connect(addr)?,
+            Some(limit) => {
+                let mut last_err: Option<std::io::Error> = None;
+                let mut stream = None;
+                for sock_addr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock_addr, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(ClientError::Io(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
+        stream.set_read_timeout(read)?;
+        stream.set_write_timeout(write)?;
         Self::from_stream(stream)
     }
 
@@ -130,7 +191,10 @@ impl Client {
                 )))
             }
         }
-        parse_response(&parsed).map_err(ClientError::Server)
+        parse_response(&parsed).map_err(|e| match e.code {
+            ErrorCode::Overloaded => ClientError::Overloaded(e.message),
+            _ => ClientError::Server(e),
+        })
     }
 
     /// Round-trip liveness check.

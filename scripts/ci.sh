@@ -66,4 +66,42 @@ trap - EXIT
 grep -q "shutdown complete" "$serve_log" || { echo "daemon did not drain cleanly"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log"
 
+echo "==> fleet smoke test"
+# Two store-backed daemons, a sharded sweep, and a SIGKILL of one backend
+# mid-run: the merged document must still be byte-identical to the
+# single-process grid. This is the end-to-end failover determinism gate.
+fleet_dir="$(mktemp -d)"
+mkdir -p "$fleet_dir/store-a" "$fleet_dir/store-b"
+./target/release/sibia-cli serve --port 0 --store-dir "$fleet_dir/store-a" \
+  >"$fleet_dir/a.log" 2>&1 &
+fleet_pid_a=$!
+./target/release/sibia-cli serve --port 0 --store-dir "$fleet_dir/store-b" \
+  >"$fleet_dir/b.log" 2>&1 &
+fleet_pid_b=$!
+trap 'kill "$fleet_pid_a" "$fleet_pid_b" 2>/dev/null || true' EXIT
+fleet_addr_a=""; fleet_addr_b=""
+for _ in $(seq 1 50); do
+  fleet_addr_a="$(sed -n 's/^sibia-serve listening on //p' "$fleet_dir/a.log")"
+  fleet_addr_b="$(sed -n 's/^sibia-serve listening on //p' "$fleet_dir/b.log")"
+  [ -n "$fleet_addr_a" ] && [ -n "$fleet_addr_b" ] && break
+  sleep 0.1
+done
+[ -n "$fleet_addr_a" ] && [ -n "$fleet_addr_b" ] \
+  || { echo "fleet backends never came up"; cat "$fleet_dir"/*.log; exit 1; }
+fleet_grid=(--archs sibia,bitfusion --networks dgcnn --seeds 1,2,3,4,5,6 --sample-cap 512)
+./target/release/sibia-cli fleet sweep --local "${fleet_grid[@]}" >"$fleet_dir/direct.json"
+./target/release/sibia-cli fleet sweep --endpoints "$fleet_addr_a,$fleet_addr_b" \
+  "${fleet_grid[@]}" >"$fleet_dir/fleet.json" 2>"$fleet_dir/fleet.log" &
+fleet_sweep_pid=$!
+sleep 0.3
+kill -9 "$fleet_pid_b" 2>/dev/null || true
+wait "$fleet_sweep_pid"   # set -e: a failed sweep fails CI here
+cmp "$fleet_dir/direct.json" "$fleet_dir/fleet.json" \
+  || { echo "fleet merge is not byte-identical to the direct grid"; exit 1; }
+kill -TERM "$fleet_pid_a"
+wait "$fleet_pid_a" || true
+wait "$fleet_pid_b" 2>/dev/null || true
+trap - EXIT
+rm -rf "$fleet_dir"
+
 echo "CI OK"
