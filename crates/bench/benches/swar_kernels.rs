@@ -1,11 +1,24 @@
-//! Criterion bench: SWAR sparsity kernels vs their scalar definitions —
-//! the per-plane zero-count / zero-sub-word / RLE-entry measurements the
-//! performance simulator runs on every layer of every sweep cell.
+//! Criterion bench: the sparsity-kernel tier matrix — scalar reference,
+//! portable SWAR, and the SSE2/AVX2 `core::arch` implementations — on the
+//! per-plane measurements the performance simulator runs for every layer of
+//! every sweep cell. Each group benches every tier the host supports, with
+//! the tier name in the benchmark id, so a single run shows the speedup
+//! ladder (`scalar` → `swar` → `sse2` → `avx2`) per kernel.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sibia_compress::RleCodec;
-use sibia_sbr::packed::{zero_digit_count, zero_subword_count_unpacked, PackedPlane};
-use sibia_sbr::subword::{to_subwords, zero_subword_fraction};
+use sibia_sbr::kernels::{ops_for, KernelOps, KernelTier};
+use sibia_sbr::subword::to_subwords;
+use sibia_sbr::Precision;
+
+/// Every tier the host supports, best last.
+fn tiers() -> Vec<&'static KernelOps> {
+    KernelTier::ALL
+        .into_iter()
+        .filter(|t| t.supported())
+        .map(|t| ops_for(t).expect("supported tier"))
+        .collect()
+}
 
 /// A 64k-digit plane at roughly `zeros_in_10/10` zero fraction.
 fn plane(zeros_in_10: u64) -> Vec<i8> {
@@ -24,19 +37,36 @@ fn plane(zeros_in_10: u64) -> Vec<i8> {
         .collect()
 }
 
-fn bench_zero_fraction(c: &mut Criterion) {
+/// A 64k-value tensor in the 7-bit symmetric range, ~30% exact zeros.
+fn values() -> Vec<i32> {
+    let mut x = 0x0123_4567_89AB_CDEFu64;
+    (0..65_536)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (x >> 29) % 10 < 3 {
+                0
+            } else {
+                ((x >> 40) % 127) as i32 - 63
+            }
+        })
+        .collect()
+}
+
+fn bench_zero_digits(c: &mut Criterion) {
     let p = plane(8);
-    let mut g = c.benchmark_group("zero_fraction_64k");
-    g.bench_function("scalar_filter", |b| {
-        b.iter(|| black_box(p.iter().filter(|&&d| d == 0).count()))
-    });
-    g.bench_function("swar_bytes", |b| b.iter(|| black_box(zero_digit_count(&p))));
+    let mut g = c.benchmark_group("zero_digits_64k");
+    for ops in tiers() {
+        g.bench_function(ops.tier.name(), |b| {
+            b.iter(|| black_box(ops.zero_digit_count(black_box(&p))))
+        });
+    }
     g.finish();
 }
 
 fn bench_zero_subwords(c: &mut Criterion) {
     let p = plane(8);
-    let packed = PackedPlane::pack(&p);
     let mut g = c.benchmark_group("zero_subwords_64k");
     g.bench_function("scalar_vec_subword", |b| {
         b.iter(|| {
@@ -44,15 +74,26 @@ fn bench_zero_subwords(c: &mut Criterion) {
             black_box(sw.iter().filter(|s| s.is_zero()).count())
         })
     });
-    g.bench_function("swar_unpacked", |b| {
-        b.iter(|| black_box(zero_subword_count_unpacked(black_box(&p))))
-    });
-    g.bench_function("swar_packed", |b| {
-        b.iter(|| black_box(packed.zero_subword_count()))
-    });
-    g.bench_function("fraction_api", |b| {
-        b.iter(|| black_box(zero_subword_fraction(black_box(&p))))
-    });
+    for ops in tiers() {
+        g.bench_function(ops.tier.name(), |b| {
+            b.iter(|| black_box(ops.zero_subword_count(black_box(&p))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plane_counts(c: &mut Criterion) {
+    // The simulator's hot path: zero digits + zero sub-words + RLE entries
+    // in one pass over the raw plane, no packing.
+    let mut g = c.benchmark_group("plane_counts_64k");
+    for zeros_in_10 in [2u64, 8] {
+        let p = plane(zeros_in_10);
+        for ops in tiers() {
+            g.bench_function(format!("{}/z{zeros_in_10}", ops.tier.name()), |b| {
+                b.iter(|| black_box(ops.plane_counts(black_box(&p), 4)))
+            });
+        }
+    }
     g.finish();
 }
 
@@ -60,33 +101,63 @@ fn bench_rle_count(c: &mut Criterion) {
     let mut g = c.benchmark_group("rle_entry_count_64k");
     for zeros_in_10 in [2u64, 8] {
         let p = plane(zeros_in_10);
-        let packed = PackedPlane::pack(&p);
+        let subwords = p.len().div_ceil(4);
+        let mut words = vec![0u64; p.len().div_ceil(16)];
+        ops_for(KernelTier::Swar)
+            .expect("swar always supported")
+            .pack_words(&p, &mut words);
         let codec = RleCodec::default();
         g.bench_function(format!("codec_compress/z{zeros_in_10}"), |b| {
             b.iter(|| {
-                let words = to_subwords(black_box(&p));
-                black_box(codec.compress(&words).entries().len())
+                let sw = to_subwords(black_box(&p));
+                black_box(codec.compress(&sw).entries().len())
             })
         });
-        g.bench_function(format!("swar_count/z{zeros_in_10}"), |b| {
-            b.iter(|| black_box(packed.rle_entry_count(4)))
-        });
+        for ops in tiers() {
+            g.bench_function(format!("{}/z{zeros_in_10}", ops.tier.name()), |b| {
+                b.iter(|| black_box(ops.rle_entry_count_words(black_box(&words), subwords, 4)))
+            });
+        }
     }
     g.finish();
 }
 
 fn bench_pack(c: &mut Criterion) {
     let p = plane(5);
-    c.bench_function("pack_plane_64k", |b| {
-        b.iter(|| black_box(PackedPlane::pack(black_box(&p))))
-    });
+    let mut g = c.benchmark_group("pack_plane_64k");
+    for ops in tiers() {
+        g.bench_function(ops.tier.name(), |b| {
+            b.iter(|| {
+                let mut words = vec![0u64; p.len().div_ceil(16)];
+                ops.pack_words(black_box(&p), &mut words);
+                black_box(words)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let v = values();
+    let mut g = c.benchmark_group("decompose_64k");
+    for ops in tiers() {
+        g.bench_function(format!("sbr/{}", ops.tier.name()), |b| {
+            b.iter(|| black_box(ops.sbr_planes(black_box(&v), Precision::BITS7)))
+        });
+        g.bench_function(format!("conv/{}", ops.tier.name()), |b| {
+            b.iter(|| black_box(ops.conv_planes(black_box(&v), Precision::BITS7)))
+        });
+    }
+    g.finish();
 }
 
 criterion_group!(
     benches,
-    bench_zero_fraction,
+    bench_zero_digits,
     bench_zero_subwords,
+    bench_plane_counts,
     bench_rle_count,
-    bench_pack
+    bench_pack,
+    bench_decompose
 );
 criterion_main!(benches);

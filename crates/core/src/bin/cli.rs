@@ -346,6 +346,13 @@ fn fleet_command(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Resolve the kernel tier up front so a bad `SIBIA_FORCE_KERNEL` is a
+    // typed error exit before any command runs, never a silent fallback or
+    // a mid-simulation panic.
+    if let Err(e) = sibia::sbr::kernels::try_active() {
+        eprintln!("sibia-cli: {}: {e}", sibia::sbr::kernels::FORCE_ENV);
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();

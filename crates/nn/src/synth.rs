@@ -108,6 +108,56 @@ fn weight_outlier_gain(p: Precision) -> f32 {
     }
 }
 
+/// Zeroes the smallest-magnitude non-zero codes until at least `want` codes
+/// are zero (or every code is). Selection is by counting rather than
+/// sorting: a magnitude histogram locates the threshold, then one forward
+/// pass zeroes every code strictly below it plus the earliest codes *at* it
+/// until the quota is met — exactly the set a stable
+/// sort-by-`unsigned_abs` followed by `take(want - zeros)` picks, in O(n)
+/// instead of O(n log n). Quantized magnitudes are tiny (≤ the precision's
+/// symmetric maximum), so the histogram is a few hundred slots at most.
+fn zero_smallest_codes(codes: &mut [i32], want: usize) {
+    let zeros = codes.iter().filter(|&&c| c == 0).count();
+    if zeros >= want {
+        return;
+    }
+    let need = want - zeros;
+    let max_mag = codes.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0) as usize;
+    let mut hist = vec![0usize; max_mag + 1];
+    for &c in codes.iter() {
+        hist[c.unsigned_abs() as usize] += 1;
+    }
+    if need >= codes.len() - zeros {
+        // Quota exceeds the non-zero population: everything goes.
+        codes.fill(0);
+        return;
+    }
+    // Smallest magnitude `t` with at least `need` non-zero codes at or
+    // below it; `below` counts those strictly below.
+    let mut below = 0usize;
+    let mut threshold = max_mag;
+    for (mag, &count) in hist.iter().enumerate().skip(1) {
+        if below + count >= need {
+            threshold = mag;
+            break;
+        }
+        below += count;
+    }
+    let mut at_threshold = need - below;
+    for c in codes.iter_mut() {
+        let mag = c.unsigned_abs() as usize;
+        if mag == 0 || mag > threshold {
+            continue;
+        }
+        if mag < threshold {
+            *c = 0;
+        } else if at_threshold > 0 {
+            *c = 0;
+            at_threshold -= 1;
+        }
+    }
+}
+
 impl SynthSource {
     /// Creates a source with a fixed seed.
     pub fn new(seed: u64) -> Self {
@@ -163,14 +213,7 @@ impl SynthSource {
         // smallest-magnitude codes up to the target fraction.
         let mut codes = qt.codes().clone().into_vec();
         let want = (WEIGHT_ZERO_FRACTION * n as f64) as usize;
-        let zeros = codes.iter().filter(|&&c| c == 0).count();
-        if zeros < want {
-            let mut idx: Vec<usize> = (0..n).filter(|&i| codes[i] != 0).collect();
-            idx.sort_by_key(|&i| codes[i].unsigned_abs());
-            for &i in idx.iter().take(want - zeros) {
-                codes[i] = 0;
-            }
-        }
+        zero_smallest_codes(&mut codes, want);
         QuantTensor::from_codes(
             sibia_tensor::Tensor::from_vec(codes, Shape::new(&[n])),
             *qt.quantizer(),
@@ -525,6 +568,56 @@ mod tests {
         let near_zero = acts.codes().data().iter().filter(|&&c| c.abs() < 8).count() as f64
             / acts.codes().len() as f64;
         assert!(near_zero > 0.7, "got {near_zero}");
+    }
+
+    #[test]
+    fn counting_selection_matches_stable_sort_reference() {
+        // The former implementation: stable sort by magnitude, zero the
+        // first `want - zeros` non-zero codes. The counting selection must
+        // reproduce it exactly, ties and all.
+        fn reference(codes: &[i32], want: usize) -> Vec<i32> {
+            let mut out = codes.to_vec();
+            let zeros = out.iter().filter(|&&c| c == 0).count();
+            if zeros < want {
+                let mut idx: Vec<usize> = (0..out.len()).filter(|&i| out[i] != 0).collect();
+                idx.sort_by_key(|&i| out[i].unsigned_abs());
+                for &i in idx.iter().take(want - zeros) {
+                    out[i] = 0;
+                }
+            }
+            out
+        }
+
+        let mut cases: Vec<Vec<i32>> = vec![
+            vec![],
+            vec![0, 0, 0],
+            vec![5],
+            vec![-3, 3, -3, 3, 2, -2, 1, 0, -1],  // heavy ties
+            vec![-512, 511, -1, 1, 0, 256, -256], // widest quantized range
+        ];
+        // Deterministic pseudo-random code vectors in the quantized range.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for len in [17usize, 64, 257] {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.push(((x >> 40) as i64 % 17 - 8) as i32);
+            }
+            cases.push(v);
+        }
+        for codes in &cases {
+            for want in [0usize, 1, codes.len() / 3, codes.len(), codes.len() + 7] {
+                let mut counted = codes.clone();
+                zero_smallest_codes(&mut counted, want);
+                assert_eq!(
+                    counted,
+                    reference(codes, want),
+                    "codes={codes:?} want={want}"
+                );
+            }
+        }
     }
 
     #[test]

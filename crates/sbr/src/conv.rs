@@ -260,19 +260,14 @@ impl fmt::Display for MsbSlices {
 
 /// Decomposes a tensor into per-order radix-16 digit planes (HNPU's view).
 ///
+/// Runs on the active [`crate::kernels`] tier; every tier is byte-identical
+/// to encoding each value with [`ConvSlices::encode`].
+///
 /// # Panics
 ///
 /// Panics if any value is outside the symmetric range of `precision`.
 pub fn planes(values: &[i32], precision: Precision) -> Vec<Vec<i8>> {
-    let k = precision.conv_slices();
-    let mut planes = vec![Vec::with_capacity(values.len()); k];
-    for &v in values {
-        let s = ConvSlices::encode(v, precision);
-        for (order, plane) in planes.iter_mut().enumerate() {
-            plane.push(s.digit(order));
-        }
-    }
-    planes
+    crate::kernels::active().conv_planes(values, precision)
 }
 
 #[cfg(test)]

@@ -1,0 +1,196 @@
+//! Portable SWAR tier: SIMD-within-a-register over `u64` words.
+//!
+//! These are the PR-1 kernels, relocated here so every tier lives behind
+//! the same dispatch table. Raw-plane counting works from a per-digit
+//! non-zero bitmap — 64 digits to a `u64`, built eight bytes at a time with
+//! the carry trick and compressed with a movemask multiply — fed to the
+//! shared drivers in [`super::detail`]. Packed-word counting folds nibble
+//! and sub-word masks exactly as `PackedPlane` always has.
+//!
+//! Decomposition has no data-parallel trick at word width that beats the
+//! compiler on the scalar recurrence, so this tier shares the scalar
+//! implementations; the x86 tiers are where decomposition vectorizes.
+
+pub(super) use super::scalar::{conv_planes, sbr_planes};
+
+use crate::subword::SUBWORD_LANES;
+
+use super::detail::{self, NIBBLE_LO};
+use super::PlaneCounts;
+
+/// Sub-words (u16 lanes) per packed `u64` word.
+const SUBWORDS_PER_WORD: usize = 16 / SUBWORD_LANES;
+
+/// Low bit of every u16 lane.
+const U16_LO: u64 = 0x0001_0001_0001_0001;
+
+/// Per-nibble non-zero mask: bit `4i` of the result is set iff nibble `i`
+/// of `w` is non-zero. Exact — the intra-nibble shifts cannot leak bits
+/// across lanes into bit 0.
+#[inline]
+fn nonzero_nibble_mask(w: u64) -> u64 {
+    (w | (w >> 1) | (w >> 2) | (w >> 3)) & NIBBLE_LO
+}
+
+/// Per-sub-word non-zero mask from a nibble mask: bit `16j` is set iff any
+/// of sub-word `j`'s four nibble bits is set.
+#[inline]
+fn nonzero_subword_mask(nibble_mask: u64) -> u64 {
+    (nibble_mask | (nibble_mask >> 4) | (nibble_mask >> 8) | (nibble_mask >> 12)) & U16_LO
+}
+
+/// Per-byte non-zero mask: bit 7 of each byte lane of the result is set iff
+/// that byte of `x` is non-zero. `(x & 0x7F…) + 0x7F…` carries into bit 7
+/// exactly when the low seven bits are non-zero and cannot carry across
+/// lanes; OR-ing `x` back in folds bit 7 itself.
+#[inline]
+fn nonzero_byte_mask(x: u64) -> u64 {
+    const LOW7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    ((x & LOW7).wrapping_add(LOW7) | x) & HI
+}
+
+/// Loads eight digits little-endian, so byte `i` of the word is digit `i`
+/// on every host endianness.
+#[inline]
+fn bytes_of(c: &[i8]) -> u64 {
+    let mut b = [0u8; 8];
+    for (dst, &s) in b.iter_mut().zip(c) {
+        *dst = s as u8;
+    }
+    u64::from_le_bytes(b)
+}
+
+/// Movemask multiplier: gathers the per-byte mask bits `7, 15, …, 63` into
+/// bits `56..=63`. Its set bits `{0, 7, 14, 21, 28, 35, 42, 49}` make every
+/// partial-product bit position distinct (`8k − 7j` collides only at
+/// `k = k', j = j'`), so no carries occur and the top byte is exact.
+const MOVEMASK_MUL: u64 = 0x0002_0408_1020_4081;
+
+/// Per-digit non-zero bitmap of a 64-digit chunk: bit `i` set iff digit `i`
+/// is non-zero.
+#[inline]
+fn nonzero_mask64(chunk: &[i8]) -> u64 {
+    debug_assert_eq!(chunk.len(), 64);
+    let mut out = 0u64;
+    for (j, bytes) in chunk.chunks_exact(8).enumerate() {
+        let m = nonzero_byte_mask(bytes_of(bytes));
+        out |= (m.wrapping_mul(MOVEMASK_MUL) >> 56) << (8 * j);
+    }
+    out
+}
+
+/// Number of zero digits in an unpacked plane, eight bytes per step.
+pub(super) fn zero_digit_count(plane: &[i8]) -> usize {
+    let chunks = plane.chunks_exact(8);
+    let tail = chunks.remainder();
+    let nonzero: usize = chunks
+        .map(|c| nonzero_byte_mask(bytes_of(c)).count_ones() as usize)
+        .sum();
+    (plane.len() - tail.len()) - nonzero + tail.iter().filter(|&&s| s == 0).count()
+}
+
+/// Number of zero sub-words (groups of four digits, tail zero-padded) in an
+/// unpacked plane, without materialising `SubWord`s.
+pub(super) fn zero_subword_count(plane: &[i8]) -> usize {
+    let chunks = plane.chunks_exact(8);
+    let tail = chunks.remainder();
+    let mut zeros: usize = chunks
+        .map(|c| {
+            let m = nonzero_byte_mask(bytes_of(c));
+            usize::from(m as u32 == 0) + usize::from((m >> 32) as u32 == 0)
+        })
+        .sum();
+    for group in tail.chunks(SUBWORD_LANES) {
+        zeros += usize::from(group.iter().all(|&s| s == 0));
+    }
+    zeros
+}
+
+pub(super) fn plane_counts(plane: &[i8], index_bits: u8) -> PlaneCounts {
+    detail::plane_counts_with(plane, index_bits, nonzero_mask64)
+}
+
+/// Packs sixteen digits per `u64` with three mask-and-fold compaction
+/// steps per eight-digit half instead of a per-digit shift loop.
+pub(super) fn pack_words(plane: &[i8], words: &mut [u64]) {
+    #[inline]
+    fn compact8(w: u64) -> u64 {
+        // Keep each byte's low nibble, then halve the stride three times:
+        // bytes → nibble pairs → quads → one contiguous 32-bit octet.
+        let x = w & 0x0F0F_0F0F_0F0F_0F0F;
+        let x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+        let x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+        (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+    }
+    let mut chunks = plane.chunks_exact(16);
+    let mut w = 0usize;
+    for chunk in &mut chunks {
+        let lo = compact8(bytes_of(&chunk[..8]));
+        let hi = compact8(bytes_of(&chunk[8..]));
+        words[w] = lo | (hi << 32);
+        w += 1;
+    }
+    for (i, &s) in chunks.remainder().iter().enumerate() {
+        words[w] |= u64::from((s as u8) & 0xF) << (4 * i);
+    }
+}
+
+pub(super) fn nonzero_slice_count_words(words: &[u64]) -> usize {
+    words
+        .iter()
+        .map(|&w| nonzero_nibble_mask(w).count_ones() as usize)
+        .sum()
+}
+
+pub(super) fn nonzero_subword_count_words(words: &[u64]) -> usize {
+    words
+        .iter()
+        .map(|&w| nonzero_subword_mask(nonzero_nibble_mask(w)).count_ones() as usize)
+        .sum()
+}
+
+/// RLE entry count over packed words: the lane walk is inherently
+/// sequential, but an all-zero word advances the run four lanes at a time
+/// with one divide. Shared by the x86 tiers (raw-plane RLE counting via
+/// [`plane_counts`] is their vectorized path).
+pub(super) fn rle_entry_count_words(words: &[u64], subwords: usize, index_bits: u8) -> usize {
+    assert!(
+        (1..=15).contains(&index_bits),
+        "index bits must be in [1, 15], got {index_bits}"
+    );
+    // A saturated run plus its flushing zero consume `cycle` zeros and
+    // emit one padding entry.
+    let cycle = 1usize << index_bits;
+    let mut entries = 0usize;
+    let mut run = 0usize;
+    let mut done = 0usize;
+    for &w in words {
+        let lanes = (subwords - done).min(SUBWORDS_PER_WORD);
+        if lanes == 0 {
+            break;
+        }
+        let nz = nonzero_subword_mask(nonzero_nibble_mask(w));
+        if nz == 0 {
+            // All lanes zero: advance the run in bulk.
+            run += lanes;
+            entries += run / cycle;
+            run %= cycle;
+        } else {
+            for lane in 0..lanes {
+                if (nz >> (16 * lane)) & 1 == 0 {
+                    run += 1;
+                    if run == cycle {
+                        entries += 1;
+                        run = 0;
+                    }
+                } else {
+                    entries += 1;
+                    run = 0;
+                }
+            }
+        }
+        done += lanes;
+    }
+    entries
+}

@@ -36,6 +36,7 @@ pub mod encoder;
 pub mod error;
 pub mod fixed;
 pub mod gsbr;
+pub mod kernels;
 pub mod packed;
 pub mod precision;
 pub mod quant;

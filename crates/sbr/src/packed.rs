@@ -1,38 +1,26 @@
-//! SWAR kernels over nibble-packed slice planes.
+//! Nibble-packed slice planes and their zero-structure queries.
 //!
 //! The performance simulator spends most of its time asking three questions
 //! about a slice plane: how many slices are zero, how many 4-slice sub-words
 //! are zero, and how many entries the DMU's run-length code would emit.
-//! Answering them one `i8` at a time (and materialising a `Vec<SubWord>`
-//! first) dominated the profile, so this module packs a plane into `u64`
-//! words — sixteen 4-bit slices per word — and answers all three with
-//! branch-free SIMD-within-a-register arithmetic:
-//!
-//! * a slice nibble is non-zero iff `(w | w>>1 | w>>2 | w>>3)` has its low
-//!   bit set (the three shifts stay inside the nibble, so the masked fold is
-//!   exact);
-//! * a sub-word (one `u16` lane, four adjacent nibbles) is non-zero iff the
-//!   nibble mask folded by 4/8/12 has the lane's low bit set;
-//! * RLE entry counting walks sub-word lanes, but an all-zero word advances
-//!   the zero run four lanes at a time with one divide.
+//! This module stores a plane as `u64` words — sixteen 4-bit slices per
+//! word — and answers all three through the runtime-dispatched kernel table
+//! in [`crate::kernels`]: scalar reference, portable SWAR, or
+//! SSE2/AVX2 depending on the host (overridable via `SIBIA_FORCE_KERNEL`).
 //!
 //! All counts are exact replicas of the scalar definitions in
 //! [`crate::stats`], [`crate::subword`], and the `sibia-compress` RLE codec —
-//! property tests pin the equivalence — so callers can switch freely between
-//! the scalar and packed paths without perturbing simulation output.
+//! property tests pin the equivalence across every tier — so callers can
+//! switch freely between the scalar and packed paths (and between kernel
+//! tiers) without perturbing simulation output. Hot paths that only need
+//! the counts can skip packing entirely via
+//! [`crate::kernels::KernelOps::plane_counts`].
 
 use crate::precision::Precision;
 use crate::subword::SUBWORD_LANES;
 
 /// Slices per packed `u64` word.
 pub const LANES_PER_WORD: usize = 16;
-/// Sub-words (u16 lanes) per packed `u64` word.
-const SUBWORDS_PER_WORD: usize = LANES_PER_WORD / SUBWORD_LANES;
-
-/// Low bit of every nibble lane.
-const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
-/// Low bit of every u16 lane.
-const U16_LO: u64 = 0x0001_0001_0001_0001;
 
 /// A slice plane packed sixteen nibbles to a `u64`.
 ///
@@ -48,28 +36,11 @@ pub struct PackedPlane {
     len: usize,
 }
 
-/// Per-nibble non-zero mask: bit `4i` of the result is set iff nibble `i`
-/// of `w` is non-zero. Exact — the intra-nibble shifts cannot leak bits
-/// across lanes into bit 0.
-#[inline]
-fn nonzero_nibble_mask(w: u64) -> u64 {
-    (w | (w >> 1) | (w >> 2) | (w >> 3)) & NIBBLE_LO
-}
-
-/// Per-sub-word non-zero mask from a nibble mask: bit `16j` is set iff any
-/// of sub-word `j`'s four nibble bits is set.
-#[inline]
-fn nonzero_subword_mask(nibble_mask: u64) -> u64 {
-    (nibble_mask | (nibble_mask >> 4) | (nibble_mask >> 8) | (nibble_mask >> 12)) & U16_LO
-}
-
 impl PackedPlane {
-    /// Packs a plane of slice digits.
+    /// Packs a plane of slice digits through the active kernel tier.
     pub fn pack(plane: &[i8]) -> Self {
         let mut words = vec![0u64; plane.len().div_ceil(LANES_PER_WORD)];
-        for (i, &s) in plane.iter().enumerate() {
-            words[i / LANES_PER_WORD] |= u64::from((s as u8) & 0xF) << (4 * (i % LANES_PER_WORD));
-        }
+        crate::kernels::active().pack_words(plane, &mut words);
         Self {
             words,
             len: plane.len(),
@@ -104,10 +75,7 @@ impl PackedPlane {
     /// Number of non-zero slices. Tail padding is zero, so counting set
     /// mask bits needs no length correction.
     pub fn nonzero_slice_count(&self) -> usize {
-        self.words
-            .iter()
-            .map(|&w| nonzero_nibble_mask(w).count_ones() as usize)
-            .sum()
+        crate::kernels::active().nonzero_slice_count_words(&self.words)
     }
 
     /// Number of zero slices.
@@ -127,10 +95,7 @@ impl PackedPlane {
 
     /// Number of non-zero sub-words.
     pub fn nonzero_subword_count(&self) -> usize {
-        self.words
-            .iter()
-            .map(|&w| nonzero_subword_mask(nonzero_nibble_mask(w)).count_ones() as usize)
-            .sum()
+        crate::kernels::active().nonzero_subword_count_words(&self.words)
     }
 
     /// Number of zero (skippable) sub-words.
@@ -160,45 +125,11 @@ impl PackedPlane {
     ///
     /// Panics if `index_bits` is not in `[1, 15]` (the codec's own domain).
     pub fn rle_entry_count(&self, index_bits: u8) -> usize {
-        assert!(
-            (1..=15).contains(&index_bits),
-            "index bits must be in [1, 15], got {index_bits}"
-        );
-        // A saturated run plus its flushing zero consume `cycle` zeros and
-        // emit one padding entry.
-        let cycle = 1usize << index_bits;
-        let total = self.subword_count();
-        let mut entries = 0usize;
-        let mut run = 0usize;
-        let mut done = 0usize;
-        for &w in &self.words {
-            let lanes = (total - done).min(SUBWORDS_PER_WORD);
-            if lanes == 0 {
-                break;
-            }
-            let nz = nonzero_subword_mask(nonzero_nibble_mask(w));
-            if nz == 0 {
-                // All lanes zero: advance the run in bulk.
-                run += lanes;
-                entries += run / cycle;
-                run %= cycle;
-            } else {
-                for lane in 0..lanes {
-                    if (nz >> (16 * lane)) & 1 == 0 {
-                        run += 1;
-                        if run == cycle {
-                            entries += 1;
-                            run = 0;
-                        }
-                    } else {
-                        entries += 1;
-                        run = 0;
-                    }
-                }
-            }
-            done += lanes;
-        }
-        entries
+        crate::kernels::active().rle_entry_count_words(
+            &self.words,
+            self.subword_count(),
+            index_bits,
+        )
     }
 
     /// Compressed size in bits of the RLE stream (entries × (16-bit sub-word
@@ -236,51 +167,15 @@ pub fn pack_conv(values: &[i32], precision: Precision) -> Vec<PackedPlane> {
     pack_planes(&crate::conv::planes(values, precision))
 }
 
-/// Per-byte non-zero mask: bit 7 of each byte lane of the result is set iff
-/// that byte of `x` is non-zero. `(x & 0x7F…) + 0x7F…` carries into bit 7
-/// exactly when the low seven bits are non-zero and cannot carry across
-/// lanes; OR-ing `x` back in folds bit 7 itself.
-#[inline]
-fn nonzero_byte_mask(x: u64) -> u64 {
-    const LOW7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
-    const HI: u64 = 0x8080_8080_8080_8080;
-    ((x & LOW7).wrapping_add(LOW7) | x) & HI
-}
-
-#[inline]
-fn bytes_of(c: &[i8]) -> u64 {
-    let mut b = [0u8; 8];
-    for (dst, &s) in b.iter_mut().zip(c) {
-        *dst = s as u8;
-    }
-    u64::from_ne_bytes(b)
-}
-
-/// Number of zero digits in an unpacked plane, eight bytes per step.
+/// Number of zero digits in an unpacked plane (active kernel tier).
 pub fn zero_digit_count(plane: &[i8]) -> usize {
-    let chunks = plane.chunks_exact(8);
-    let tail = chunks.remainder();
-    let nonzero: usize = chunks
-        .map(|c| nonzero_byte_mask(bytes_of(c)).count_ones() as usize)
-        .sum();
-    (plane.len() - tail.len()) - nonzero + tail.iter().filter(|&&s| s == 0).count()
+    crate::kernels::active().zero_digit_count(plane)
 }
 
 /// Number of zero sub-words (groups of four digits, tail zero-padded) in an
-/// unpacked plane, without materialising `SubWord`s.
+/// unpacked plane, without materialising `SubWord`s (active kernel tier).
 pub fn zero_subword_count_unpacked(plane: &[i8]) -> usize {
-    let chunks = plane.chunks_exact(8);
-    let tail = chunks.remainder();
-    let mut zeros: usize = chunks
-        .map(|c| {
-            let m = nonzero_byte_mask(bytes_of(c));
-            usize::from(m as u32 == 0) + usize::from((m >> 32) as u32 == 0)
-        })
-        .sum();
-    for group in tail.chunks(SUBWORD_LANES) {
-        zeros += usize::from(group.iter().all(|&s| s == 0));
-    }
-    zeros
+    crate::kernels::active().zero_subword_count(plane)
 }
 
 #[cfg(test)]

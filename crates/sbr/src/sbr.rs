@@ -213,19 +213,14 @@ impl fmt::Display for SbrSlices {
 /// order. Planes are what the accelerator streams: sparsity, compression and
 /// skipping all operate per plane.
 ///
+/// Runs on the active [`crate::kernels`] tier; every tier is byte-identical
+/// to encoding each value with [`SbrSlices::encode`].
+///
 /// # Panics
 ///
 /// Panics if any value is outside the symmetric range of `precision`.
 pub fn planes(values: &[i32], precision: Precision) -> Vec<Vec<i8>> {
-    let k = precision.sbr_slices();
-    let mut planes = vec![Vec::with_capacity(values.len()); k];
-    for &v in values {
-        let s = SbrSlices::encode(v, precision);
-        for (order, plane) in planes.iter_mut().enumerate() {
-            plane.push(s.digit(order));
-        }
-    }
-    planes
+    crate::kernels::active().sbr_planes(values, precision)
 }
 
 /// Rebuilds fixed-point values from per-order digit planes.

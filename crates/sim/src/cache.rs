@@ -10,7 +10,8 @@
 //!   layer, keyed by `(layer fingerprint, seed, layer index, sample cap)`;
 //! * [`DecompCache::decomp`]-level — a [`LayerDecomp`]: the per-order
 //!   [`PlaneStats`] (zero-slice / zero-sub-word / RLE-entry counts measured
-//!   with the SWAR kernels in `sibia_sbr::packed`) plus value-group counts,
+//!   with the runtime-dispatched kernels in `sibia_sbr::kernels`) plus
+//!   value-group counts,
 //!   keyed additionally by [`Repr`].
 //!
 //! A [`LayerDecomp`] stores **integer counts, never fractions**: every
@@ -69,6 +70,20 @@ impl PlaneStats {
         }
     }
 
+    /// Measures an unpacked digit plane in one pass through the active
+    /// kernel tier — same counts as [`Self::measure`] (pinned by tests)
+    /// without materialising a [`PackedPlane`].
+    pub fn measure_plane(plane: &[i8]) -> Self {
+        let c = sibia_sbr::kernels::active().plane_counts(plane, DMU_INDEX_BITS);
+        Self {
+            len: c.len,
+            zero_slices: c.zero_digits,
+            subwords: c.subwords,
+            zero_subwords: c.zero_subwords,
+            rle_entries: c.rle_entries,
+        }
+    }
+
     /// Zero sub-word fraction, with the same empty-plane convention as
     /// `sibia_sbr::subword::zero_subword_fraction`.
     pub fn zero_subword_fraction(&self) -> f64 {
@@ -107,7 +122,7 @@ impl OperandStats {
         };
         let planes = planes
             .iter()
-            .map(|p| PlaneStats::measure(&PackedPlane::pack(p)))
+            .map(|p| PlaneStats::measure_plane(p))
             .collect();
         let zero_value_groups = codes
             .chunks(4)
@@ -385,6 +400,23 @@ mod tests {
                 assert_eq!(s.subwords, sw.len());
                 assert_eq!(s.zero_subwords, sw.iter().filter(|w| w.is_zero()).count());
                 assert_eq!(s.zero_subword_fraction(), zero_subword_fraction(p));
+            }
+        }
+    }
+
+    #[test]
+    fn measure_plane_matches_packed_measure() {
+        let values: Vec<i32> = (-63..=63).chain([0; 130]).collect();
+        for repr in [Repr::Sbr, Repr::Conventional] {
+            let planes = match repr {
+                Repr::Sbr => sibia_sbr::sbr::planes(&values, Precision::BITS7),
+                Repr::Conventional => sibia_sbr::conv::planes(&values, Precision::BITS7),
+            };
+            for p in &planes {
+                assert_eq!(
+                    PlaneStats::measure_plane(p),
+                    PlaneStats::measure(&PackedPlane::pack(p))
+                );
             }
         }
     }

@@ -8,12 +8,19 @@
 //!
 //! * jobs are claimed from a shared atomic counter, so workers stay busy
 //!   regardless of per-cell cost skew;
-//! * every worker writes its result into the cell's own slot, so the output
-//!   order is the deterministic row-major (arch, network, seed) order no
-//!   matter which worker ran which cell;
-//! * all workers share one [`DecompCache`], so the five fig10/fig11
-//!   architecture variants synthesize and decompose each layer once per
-//!   representation instead of five times.
+//! * a job is a **(network, seed) row** spanning every architecture, not a
+//!   single cell: the worker decomposes the row's layers once per slice
+//!   representation (via `Simulator::decompose_network`) and feeds the same
+//!   `Arc<LayerDecomp>`s to every architecture in the row
+//!   (`Simulator::simulate_network_from_decomps`), so the planes' statistics
+//!   stay cache-resident instead of being re-derived per cell through the
+//!   [`DecompCache`] miss path;
+//! * every worker writes each result into the cell's own slot, so the
+//!   output order is the deterministic row-major (arch, network, seed)
+//!   order no matter which worker ran which row;
+//! * all workers still share one [`DecompCache`], so rows that repeat a
+//!   layer shape (or later grids against a long-lived cache) skip synthesis
+//!   and decomposition entirely.
 //!
 //! Determinism does not stop at ordering: because each layer's RNG stream
 //! is derived from `(seed, layer_index)` (see `sibia_nn::SynthSource::
@@ -190,40 +197,88 @@ impl ParallelEngine {
         assert!(!archs.is_empty(), "need at least one architecture");
         assert!(!networks.is_empty(), "need at least one network");
         assert!(!seeds.is_empty(), "need at least one seed");
-        let jobs = archs.len() * networks.len() * seeds.len();
+        let cell_count = archs.len() * networks.len() * seeds.len();
+        // A job is a (network, seed) row across all architectures, so the
+        // row's decompositions are computed once per representation and
+        // consumed while still cache-resident.
+        let rows = networks.len() * seeds.len();
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<GridCell>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<GridCell>>> =
+            (0..cell_count).map(|_| Mutex::new(None)).collect();
 
-        let run_cell = |flat: usize| {
-            let seed_index = flat % seeds.len();
-            let network_index = (flat / seeds.len()) % networks.len();
-            let arch_index = flat / (seeds.len() * networks.len());
-            let mut span = sibia_obs::tracer().span("sim.cell");
-            span.attr("arch", &archs[arch_index].name);
-            span.attr("network", networks[network_index].name());
-            span.attr("seed", seeds[seed_index]);
+        let slot_of = |arch_index: usize, network_index: usize, seed_index: usize| {
+            (arch_index * networks.len() + network_index) * seeds.len() + seed_index
+        };
+        let run_row = |row: usize| {
+            let seed_index = row % seeds.len();
+            let network_index = row / seeds.len();
+            let net = &networks[network_index];
             let mut cell_sim = *sim;
             cell_sim.seed = seeds[seed_index];
-            let result = match store {
-                Some(store) => crate::stored::simulate_network_stored(
-                    &cell_sim,
-                    &archs[arch_index],
-                    &networks[network_index],
-                    cache,
-                    store,
-                ),
-                None => cell_sim.simulate_network_cached(
-                    &archs[arch_index],
-                    &networks[network_index],
-                    None,
-                    cache,
-                ),
-            };
-            GridCell {
-                arch_index,
-                network_index,
-                seed: seeds[seed_index],
-                result,
+
+            // Store fast path: a stored cell skips the row's decomposition
+            // work entirely; only the misses are computed below.
+            let mut pending: Vec<usize> = Vec::with_capacity(archs.len());
+            for (arch_index, arch) in archs.iter().enumerate() {
+                let stored =
+                    store.and_then(|store| crate::stored::try_stored(&cell_sim, arch, net, store));
+                match stored {
+                    Some(result) => {
+                        // One `sim.cell` span per cell either way; a stored
+                        // hit's span covers only the slot write.
+                        let mut span = sibia_obs::tracer().span("sim.cell");
+                        span.attr("arch", &arch.name);
+                        span.attr("network", net.name());
+                        span.attr("seed", cell_sim.seed);
+                        let cell = GridCell {
+                            arch_index,
+                            network_index,
+                            seed: cell_sim.seed,
+                            result,
+                        };
+                        *slots[slot_of(arch_index, network_index, seed_index)]
+                            .lock()
+                            .expect("slot lock") = Some(cell);
+                    }
+                    None => pending.push(arch_index),
+                }
+            }
+
+            // One decomposition per representation the pending architectures
+            // need — at most one per `Repr` variant per row.
+            let mut decomps = Vec::new();
+            for &arch_index in &pending {
+                let repr = archs[arch_index].repr;
+                if !decomps.iter().any(|(r, _)| *r == repr) {
+                    decomps.push((repr, cell_sim.decompose_network(net, repr, cache)));
+                }
+            }
+
+            for &arch_index in &pending {
+                let arch = &archs[arch_index];
+                let mut span = sibia_obs::tracer().span("sim.cell");
+                span.attr("arch", &arch.name);
+                span.attr("network", net.name());
+                span.attr("seed", cell_sim.seed);
+                let row_decomps = &decomps
+                    .iter()
+                    .find(|(r, _)| *r == arch.repr)
+                    .expect("repr decomposed above")
+                    .1;
+                let result = cell_sim.simulate_network_from_decomps(arch, net, None, row_decomps);
+                if let Some(store) = store {
+                    let key = crate::stored::network_key(&cell_sim, arch, net.name());
+                    crate::stored::put_best_effort(store, &key, &result);
+                }
+                let cell = GridCell {
+                    arch_index,
+                    network_index,
+                    seed: cell_sim.seed,
+                    result,
+                };
+                *slots[slot_of(arch_index, network_index, seed_index)]
+                    .lock()
+                    .expect("slot lock") = Some(cell);
             }
         };
 
@@ -231,28 +286,26 @@ impl ParallelEngine {
         grid_span.attr("archs", archs.len());
         grid_span.attr("networks", networks.len());
         grid_span.attr("seeds", seeds.len());
-        grid_span.attr("cells", jobs);
-        grid_span.attr("threads", self.threads.min(jobs));
+        grid_span.attr("cells", cell_count);
+        grid_span.attr("threads", self.threads.min(rows));
 
         std::thread::scope(|scope| {
-            for worker_index in 0..self.threads.min(jobs) {
+            for worker_index in 0..self.threads.min(rows) {
                 let next = &next;
-                let slots = &slots;
-                let run_cell = &run_cell;
+                let run_row = &run_row;
                 scope.spawn(move || {
                     let started = Instant::now();
                     let mut busy = Duration::ZERO;
                     let mut cells_run = 0u64;
                     loop {
-                        let flat = next.fetch_add(1, Ordering::Relaxed);
-                        if flat >= jobs {
+                        let row = next.fetch_add(1, Ordering::Relaxed);
+                        if row >= rows {
                             break;
                         }
                         let claimed = Instant::now();
-                        let cell = run_cell(flat);
+                        run_row(row);
                         busy += claimed.elapsed();
-                        cells_run += 1;
-                        *slots[flat].lock().expect("slot lock") = Some(cell);
+                        cells_run += archs.len() as u64;
                     }
                     // Per-worker accounting in the process-wide registry.
                     // There is no work stealing to report — workers claim

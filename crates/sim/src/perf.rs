@@ -261,6 +261,61 @@ impl Simulator {
         scales: Option<&[f64]>,
         cache: &DecompCache,
     ) -> NetworkResult {
+        self.simulate_network_with(arch, net, scales, |l, i| {
+            self.decompose_layer(l, i, arch.repr, cache)
+        })
+    }
+
+    /// Decomposes (or recalls) every layer of `net` under `repr` — the
+    /// cache-resident working set a grid row shares across the architecture
+    /// variants that use the same representation.
+    pub fn decompose_network(
+        &self,
+        net: &Network,
+        repr: Repr,
+        cache: &DecompCache,
+    ) -> Vec<Arc<LayerDecomp>> {
+        net.layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.decompose_layer(l, i, repr, cache))
+            .collect()
+    }
+
+    /// [`Self::simulate_network_cached`] from pre-computed per-layer
+    /// decompositions (see [`Self::decompose_network`]): identical spans and
+    /// result assembly, so the output is byte-identical to the cached path.
+    /// The batched grid uses this to decompose a (network, seed) row once
+    /// per representation and keep the planes' statistics cache-resident
+    /// while every architecture in the row consumes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decomps` or `scales` length differs from the layer count.
+    pub fn simulate_network_from_decomps(
+        &self,
+        arch: &ArchSpec,
+        net: &Network,
+        scales: Option<&[f64]>,
+        decomps: &[Arc<LayerDecomp>],
+    ) -> NetworkResult {
+        assert_eq!(
+            decomps.len(),
+            net.layers().len(),
+            "one decomposition per layer"
+        );
+        self.simulate_network_with(arch, net, scales, |_, i| Arc::clone(&decomps[i]))
+    }
+
+    /// The single simulation driver behind the cached and pre-decomposed
+    /// entry points: `decomp_for` supplies each layer's decomposition.
+    fn simulate_network_with(
+        &self,
+        arch: &ArchSpec,
+        net: &Network,
+        scales: Option<&[f64]>,
+        mut decomp_for: impl FnMut(&Layer, usize) -> Arc<LayerDecomp>,
+    ) -> NetworkResult {
         if let Some(s) = scales {
             assert_eq!(s.len(), net.layers().len(), "one scale per layer");
         }
@@ -278,7 +333,7 @@ impl Simulator {
                 let mut span = sibia_obs::tracer().span("sim.layer");
                 span.attr("layer", l.name());
                 let scale = scales.map_or(1.0, |s| s[i]);
-                let decomp = self.decompose_layer(l, i, arch.repr, cache);
+                let decomp = decomp_for(l, i);
                 let result = self.simulate_layer_from(arch, l, &decomp, scale);
                 span.attr("cycles", result.cycles);
                 span.attr("skip_side", format!("{:?}", result.skip_side));

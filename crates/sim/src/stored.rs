@@ -87,6 +87,23 @@ pub fn simulate_network_stored(
     result
 }
 
+/// The stored result for one `(sim, arch, network)` cell, if present and
+/// parsable; never computes anything. The batched grid probes every
+/// architecture of a row through this before deciding which cells still
+/// need a decomposition, so a fully warm row touches no planes at all.
+/// An unparsable stored value reads as a miss, exactly as
+/// [`simulate_network_stored`] treats it.
+pub(crate) fn try_stored(
+    sim: &Simulator,
+    arch: &ArchSpec,
+    net: &Network,
+    store: &Store,
+) -> Option<NetworkResult> {
+    store
+        .get(&network_key(sim, arch, net.name()))
+        .and_then(|stored| network_result_from_json(&stored))
+}
+
 /// Writes a result back without letting persistence failures poison the
 /// computation; failures count in the process registry.
 pub(crate) fn put_best_effort(store: &Store, key: &StoreKey, result: &NetworkResult) {
