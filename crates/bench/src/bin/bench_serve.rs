@@ -1,20 +1,30 @@
 //! Load generator for the serve daemon.
 //!
-//! Opens many concurrent client connections, drives a mixed
-//! encode/simulate/ping workload through each, and reports throughput plus
-//! *exact* client-side latency percentiles (every request is individually
-//! timed; no histogram rounding) to `BENCH_serve.json`.
+//! Sweeps connection counts against one or both front ends (blocking
+//! thread-per-connection vs the epoll reactor), drives a pipelined mixed
+//! ping/encode/simulate workload through every connection, and reports
+//! throughput plus *exact* client-side latency percentiles (every request
+//! is individually timed; no histogram rounding) as one JSON leg per
+//! (front, connection-count) pair.
 //!
 //! ```text
-//! bench_serve [--addr HOST:PORT] [--connections N] [--requests N] [--sample-cap N]
+//! bench_serve [--addr HOST:PORT] [--front blocking|reactor|both]
+//!             [--connections N[,N...]] [--requests N] [--pipeline D]
+//!             [--sample-cap N] [--threads T] [--out PATH] [--p99-bound-ms MS]
 //! ```
 //!
-//! Without `--addr` an in-process daemon is started on an ephemeral port
-//! (queue sized to the connection count so the bench measures service time,
-//! not admission rejections). Typed server errors (e.g. `overloaded`) are
-//! counted but tolerated; **protocol** errors — malformed responses, broken
-//! framing, id mismatches — fail the run with a non-zero exit code.
+//! Without `--addr` an in-process daemon is started per front on an
+//! ephemeral port (queue sized to the offered load so the bench measures
+//! service time, not admission rejections). The driver multiplexes the
+//! connections over `--threads` OS threads: each thread owns a shard of
+//! connections, pipelines `--pipeline` requests deep on every one
+//! ([`Client::send`]/[`Client::recv`] with id correlation), so all
+//! connections have requests in flight simultaneously. Typed server errors
+//! (e.g. `overloaded`) are counted but tolerated; **protocol** errors —
+//! malformed responses, broken framing, id mismatches — fail the run with
+//! a non-zero exit, as does a `--p99-bound-ms` breach on any leg.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -25,9 +35,14 @@ use sibia_serve::{Client, ClientError};
 
 struct Args {
     addr: Option<String>,
-    connections: usize,
+    fronts: Vec<bool>, // reactor?
+    connections: Vec<usize>,
     requests: usize,
+    pipeline: usize,
     sample_cap: usize,
+    threads: usize,
+    out: String,
+    p99_bound_ms: Option<f64>,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -36,23 +51,56 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    Args {
+    let fronts = match flag_value(&args, "--front").as_deref() {
+        None | Some("both") => vec![false, true],
+        Some("blocking") => vec![false],
+        Some("reactor") => vec![true],
+        Some(other) => return Err(format!("--front: '{other}' is not blocking|reactor|both")),
+    };
+    let connections = match flag_value(&args, "--connections") {
+        None => vec![100, 1000, 5000],
+        Some(list) => {
+            let mut parsed = Vec::new();
+            for part in list.split(',') {
+                parsed.push(
+                    part.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("--connections: bad count '{part}'"))?,
+                );
+            }
+            parsed
+        }
+    };
+    let numeric = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(&args, flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("{flag}: invalid value '{v}'")),
+        }
+    };
+    Ok(Args {
         addr: flag_value(&args, "--addr"),
-        connections: flag_value(&args, "--connections")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(100),
-        requests: flag_value(&args, "--requests")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(20),
-        sample_cap: flag_value(&args, "--sample-cap")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(512),
-    }
+        fronts,
+        connections,
+        requests: numeric("--requests", 6)?.max(1),
+        pipeline: numeric("--pipeline", 8)?.max(1),
+        sample_cap: numeric("--sample-cap", 256)?.max(1),
+        threads: numeric("--threads", 32)?.max(1),
+        out: flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned()),
+        p99_bound_ms: match flag_value(&args, "--p99-bound-ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<f64>()
+                    .map_err(|_| format!("--p99-bound-ms: invalid value '{v}'"))?,
+            ),
+        },
+    })
 }
 
-/// Per-connection tallies.
+/// Per-shard tallies.
 #[derive(Default)]
 struct Tally {
     ok: u64,
@@ -61,46 +109,161 @@ struct Tally {
     latencies: Vec<Duration>,
 }
 
-/// The workload one connection runs: a rotating encode/simulate/ping mix,
-/// seeds and payloads varied per connection so the shared cache sees both
-/// hits and misses.
-fn drive(addr: &str, conn: usize, requests: usize, sample_cap: usize) -> Tally {
-    let mut tally = Tally::default();
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(_) => {
-            tally.protocol_errors += requests as u64;
-            return tally;
-        }
-    };
-    let _ = client.set_read_timeout(Some(Duration::from_secs(120)));
-    let archs = ["sibia", "bitfusion", "hnpu", "no-sbr", "input-skip"];
-    let payload: Vec<i32> = (0..256)
-        .map(|i| ((i * 37 + conn) % 127) as i32 - 63)
-        .collect();
-    for r in 0..requests {
-        let t = Instant::now();
-        let outcome = match r % 4 {
-            0 => client.simulate(
-                archs[(conn + r) % archs.len()],
-                "dgcnn",
-                (conn % 3) as u64 + 1,
-                Some(sample_cap),
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.server_errors += other.server_errors;
+        self.protocol_errors += other.protocol_errors;
+        self.latencies.extend(other.latencies);
+    }
+}
+
+/// The request mix, varied per (connection, request) so the shared cache
+/// sees both hits and misses: mostly pings (serving overhead), with an
+/// encode and a small simulate mixed into every connection's stream.
+fn request_json(conn: usize, r: usize, sample_cap: usize) -> Json {
+    const ARCHS: [&str; 5] = ["sibia", "bitfusion", "hnpu", "no-sbr", "input-skip"];
+    match r % 6 {
+        0 => Json::obj(vec![
+            ("kind", Json::from("simulate")),
+            ("arch", Json::from(ARCHS[conn % ARCHS.len()])),
+            ("network", Json::from("dgcnn")),
+            ("seed", Json::from((conn % 3) as u64 + 1)),
+            ("sample_cap", Json::from(sample_cap)),
+        ]),
+        3 => Json::obj(vec![
+            ("kind", Json::from("encode")),
+            (
+                "values",
+                Json::Array(
+                    (0..128)
+                        .map(|i| Json::Int(((i * 37 + conn) % 127) as i64 - 63))
+                        .collect(),
+                ),
             ),
-            1 => client.encode(&payload, 7, Some(3)),
-            2 => client.simulate("sibia", "alexnet", (conn % 2) as u64 + 1, Some(sample_cap)),
-            _ => client.ping(),
-        };
-        let elapsed = t.elapsed();
-        match outcome {
-            Ok(_) => {
-                tally.ok += 1;
-                tally.latencies.push(elapsed);
+            ("bits", Json::from(7u64)),
+            ("gsbr_width", Json::from(3u64)),
+        ]),
+        _ => Json::obj(vec![("kind", Json::from("ping"))]),
+    }
+}
+
+/// Connects like a real load-generator client: a 5k-connection storm can
+/// overflow the daemon's listen backlog (the blocking front spawns a thread
+/// per accept, so it drains slowly), so refused or timed-out connects are
+/// retried with backoff before being counted as failures.
+fn connect_with_retry(addr: &str) -> Result<Client, ClientError> {
+    let mut delay = Duration::from_millis(100);
+    for _ in 0..4 {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay *= 2;
             }
-            Err(ClientError::Server(_) | ClientError::Overloaded(_)) => tally.server_errors += 1,
-            Err(ClientError::Io(_) | ClientError::Protocol(_)) => {
-                tally.protocol_errors += 1;
-                return tally; // the connection is unusable
+        }
+    }
+    Client::connect(addr)
+}
+
+/// Drives one shard of connections: opens them all, then pipelines
+/// `requests` deep (bounded by `pipeline`) on every connection
+/// simultaneously, timing each request send-to-receive.
+fn drive_shard(
+    addr: &str,
+    conns: std::ops::Range<usize>,
+    requests: usize,
+    pipeline: usize,
+    sample_cap: usize,
+    barrier: &Barrier,
+) -> Tally {
+    let mut tally = Tally::default();
+    struct ConnState {
+        client: Client,
+        conn: usize,
+        next_request: usize,
+        sent_at: HashMap<i64, Instant>,
+    }
+    let mut states: Vec<ConnState> = Vec::new();
+    for conn in conns.clone() {
+        // One unmeasured ping per connection before the barrier proves the
+        // daemon *accepted* it (connect() only proves the kernel completed
+        // the handshake, which it happily does from the listen backlog).
+        // Because each driver thread pings before its next connect, at most
+        // `threads` connections sit unaccepted at any instant — the backlog
+        // cannot overflow, at any connection count.
+        let connected = connect_with_retry(addr).and_then(|mut client| {
+            let _ = client.set_read_timeout(Some(Duration::from_secs(300)));
+            client.ping().map(|_| client)
+        });
+        match connected {
+            Ok(client) => states.push(ConnState {
+                client,
+                conn,
+                next_request: 0,
+                sent_at: HashMap::new(),
+            }),
+            Err(_) => tally.protocol_errors += requests as u64,
+        }
+    }
+    // Everyone connects before anyone sends: the measured window is all
+    // connections live and loaded.
+    barrier.wait();
+
+    // Round-robin over the shard: top every connection's window up to the
+    // pipeline depth, then collect one response per connection with work
+    // outstanding, until all requests are answered.
+    let mut live = states.len();
+    while live > 0 {
+        live = 0;
+        for state in &mut states {
+            while state.next_request < requests && state.client.outstanding() < pipeline {
+                let request = request_json(state.conn, state.next_request, sample_cap);
+                match state.client.send(request) {
+                    Ok(id) => {
+                        state.sent_at.insert(id, Instant::now());
+                        state.next_request += 1;
+                    }
+                    Err(_) => {
+                        // Connection is gone: every unanswered request on it
+                        // counts as a protocol error.
+                        tally.protocol_errors +=
+                            (requests - state.next_request) as u64 + state.sent_at.len() as u64;
+                        state.next_request = requests;
+                        state.sent_at.clear();
+                        break;
+                    }
+                }
+            }
+            if state.sent_at.is_empty() {
+                continue;
+            }
+            live += 1;
+            match state.client.recv() {
+                Ok((id, outcome)) => {
+                    match state.sent_at.remove(&id) {
+                        Some(sent) => match outcome {
+                            Ok(_) => {
+                                tally.ok += 1;
+                                tally.latencies.push(sent.elapsed());
+                            }
+                            Err(ClientError::Server(_) | ClientError::Overloaded(_)) => {
+                                tally.server_errors += 1
+                            }
+                            Err(_) => tally.protocol_errors += 1,
+                        },
+                        // recv() already validated the id against its own
+                        // outstanding set, so this cannot happen; count it
+                        // rather than trust it.
+                        None => tally.protocol_errors += 1,
+                    }
+                }
+                Err(_) => {
+                    tally.protocol_errors +=
+                        (requests - state.next_request) as u64 + state.sent_at.len() as u64;
+                    state.next_request = requests;
+                    state.sent_at.clear();
+                }
             }
         }
     }
@@ -186,116 +349,194 @@ fn check_observability(probe: &mut Client) -> (Json, u64) {
     )
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
+struct LegResult {
+    json: Json,
+    protocol_errors: u64,
+    p99_ms: f64,
+}
 
-    // In-process daemon unless aimed at an external one.
-    let local = if args.addr.is_none() {
-        let server = Server::start(ServeConfig {
-            queue_capacity: args.connections.max(64),
-            ..ServeConfig::default()
-        })
-        .expect("bind ephemeral port");
-        Some(server)
-    } else {
-        None
-    };
-    let addr = args
-        .addr
-        .clone()
-        .unwrap_or_else(|| local.as_ref().expect("local server").addr().to_string());
-
+/// One measured leg: `connections` concurrent pipelined connections against
+/// `addr`, multiplexed over the driver thread pool.
+fn run_leg(addr: &str, front: &str, connections: usize, args: &Args) -> LegResult {
+    let threads = args.threads.min(connections);
     println!(
-        "bench_serve: {} connections x {} requests against {addr} (sample_cap {})",
-        args.connections, args.requests, args.sample_cap
+        "bench_serve: [{front}] {connections} connections x {} requests (pipeline {}, {threads} driver threads)",
+        args.requests, args.pipeline
     );
-
-    let barrier = Arc::new(Barrier::new(args.connections));
+    let barrier = Arc::new(Barrier::new(threads));
     let started = Instant::now();
-    let handles: Vec<_> = (0..args.connections)
-        .map(|conn| {
-            let addr = addr.clone();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            // Spread connections over threads; the first `rem` threads take
+            // one extra.
+            let per = connections / threads;
+            let rem = connections % threads;
+            let lo = t * per + t.min(rem);
+            let hi = lo + per + usize::from(t < rem);
+            let addr = addr.to_owned();
             let barrier = Arc::clone(&barrier);
-            let requests = args.requests;
-            let sample_cap = args.sample_cap;
+            let (requests, pipeline, sample_cap) = (args.requests, args.pipeline, args.sample_cap);
             std::thread::spawn(move || {
-                barrier.wait();
-                drive(&addr, conn, requests, sample_cap)
+                drive_shard(&addr, lo..hi, requests, pipeline, sample_cap, &barrier)
             })
         })
         .collect();
-
-    let mut ok = 0u64;
-    let mut server_errors = 0u64;
-    let mut protocol_errors = 0u64;
-    let mut latencies: Vec<Duration> = Vec::new();
+    let mut tally = Tally::default();
     for h in handles {
-        let t = h.join().expect("connection thread");
-        ok += t.ok;
-        server_errors += t.server_errors;
-        protocol_errors += t.protocol_errors;
-        latencies.extend(t.latencies);
+        tally.absorb(h.join().expect("driver thread"));
     }
     let wall_s = started.elapsed().as_secs_f64();
-    latencies.sort_unstable();
+    tally.latencies.sort_unstable();
 
-    let throughput = ok as f64 / wall_s;
-    let p50 = quantile_ms(&latencies, 0.5);
-    let p99 = quantile_ms(&latencies, 0.99);
-    let mean = if latencies.is_empty() {
+    let throughput = tally.ok as f64 / wall_s;
+    let p50 = quantile_ms(&tally.latencies, 0.5);
+    let p99 = quantile_ms(&tally.latencies, 0.99);
+    let p999 = quantile_ms(&tally.latencies, 0.999);
+    let max = tally
+        .latencies
+        .last()
+        .map_or(0.0, |d| d.as_secs_f64() * 1e3);
+    let mean = if tally.latencies.is_empty() {
         0.0
     } else {
-        latencies.iter().map(Duration::as_secs_f64).sum::<f64>() / latencies.len() as f64 * 1e3
+        tally
+            .latencies
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
+            / tally.latencies.len() as f64
+            * 1e3
     };
 
-    println!("  ok {ok}  server_errors {server_errors}  protocol_errors {protocol_errors}");
+    println!(
+        "  ok {}  server_errors {}  protocol_errors {}",
+        tally.ok, tally.server_errors, tally.protocol_errors
+    );
     println!("  wall {wall_s:.2}s  throughput {throughput:.0} req/s");
-    println!("  latency ms: mean {mean:.2}  p50 {p50:.2}  p99 {p99:.2}");
+    println!(
+        "  latency ms: mean {mean:.2}  p50 {p50:.2}  p99 {p99:.2}  p999 {p999:.2}  max {max:.2}"
+    );
 
-    // Post-run observability check: the server's phase histograms must be
-    // internally consistent (every phase saw every request; their exact-µs
-    // sum never exceeds the total), and the trace buffer must hold spans.
-    // An inconsistency is a server bug, so it fails the run like a protocol
-    // error would.
-    let (phases_json, consistency_errors) = match Client::connect(&addr) {
-        Ok(mut probe) => check_observability(&mut probe),
+    LegResult {
+        json: Json::obj(vec![
+            ("front", Json::from(front)),
+            ("connections", Json::from(connections)),
+            ("requests_per_connection", Json::from(args.requests)),
+            ("pipeline_depth", Json::from(args.pipeline)),
+            ("sample_cap", Json::from(args.sample_cap)),
+            ("ok", Json::from(tally.ok)),
+            ("server_errors", Json::from(tally.server_errors)),
+            ("protocol_errors", Json::from(tally.protocol_errors)),
+            ("wall_s", Json::from(wall_s)),
+            ("throughput_rps", Json::from(throughput)),
+            (
+                "latency_ms",
+                Json::obj(vec![
+                    ("mean", Json::from(mean)),
+                    ("p50", Json::from(p50)),
+                    ("p99", Json::from(p99)),
+                    ("p999", Json::from(p999)),
+                    ("max", Json::from(max)),
+                ]),
+            ),
+        ]),
+        protocol_errors: tally.protocol_errors,
+        p99_ms: p99,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("bench_serve: post-run probe connect failed: {e}");
-            (Json::Null, 1)
+            eprintln!("bench_serve: {e}");
+            return ExitCode::FAILURE;
         }
     };
-    protocol_errors += consistency_errors;
+
+    let max_conns = args.connections.iter().copied().max().unwrap_or(100);
+    let mut legs: Vec<Json> = Vec::new();
+    let mut protocol_errors = 0u64;
+    let mut bound_breaches = 0u64;
+
+    // (front label, server handle or external addr) pairs to bench.
+    let targets: Vec<(String, Option<Server>, String)> = match &args.addr {
+        Some(addr) => {
+            // External daemon: learn its front from the version response.
+            let front = Client::connect(addr)
+                .and_then(|mut c| c.version())
+                .ok()
+                .and_then(|v| v.get("front").and_then(|f| f.as_str().map(str::to_owned)))
+                .unwrap_or_else(|| "unknown".to_owned());
+            vec![(front, None, addr.clone())]
+        }
+        None => args
+            .fronts
+            .iter()
+            .map(|&reactor| {
+                let server = Server::start(ServeConfig {
+                    reactor,
+                    // Size admission to the offered load so the bench
+                    // measures service time, not queue rejections.
+                    queue_capacity: (max_conns * args.pipeline).max(64),
+                    pipeline_depth: args.pipeline.max(64),
+                    ..ServeConfig::default()
+                })
+                .expect("bind ephemeral port");
+                let addr = server.addr().to_string();
+                let front = if reactor { "reactor" } else { "blocking" };
+                (front.to_owned(), Some(server), addr)
+            })
+            .collect(),
+    };
+
+    for (front, server, addr) in targets {
+        for &connections in &args.connections {
+            let leg = run_leg(&addr, &front, connections, &args);
+            protocol_errors += leg.protocol_errors;
+            if let Some(bound) = args.p99_bound_ms {
+                if leg.p99_ms > bound {
+                    eprintln!(
+                        "bench_serve: [{front}] {connections}-connection p99 {:.2}ms exceeds bound {bound}ms",
+                        leg.p99_ms
+                    );
+                    bound_breaches += 1;
+                }
+            }
+            legs.push(leg.json);
+        }
+        // Post-run observability check per server: the phase histograms
+        // must be internally consistent (every phase saw every request;
+        // their exact-µs sum never exceeds the total), and the trace
+        // buffer must hold spans. An inconsistency is a server bug, so it
+        // fails the run like a protocol error would.
+        let (_phases, consistency_errors) = match Client::connect(&addr) {
+            Ok(mut probe) => check_observability(&mut probe),
+            Err(e) => {
+                eprintln!("bench_serve: post-run probe connect failed: {e}");
+                (Json::Null, 1)
+            }
+        };
+        protocol_errors += consistency_errors;
+        if let Some(server) = server {
+            server.shutdown();
+            println!("  [{front}] in-process daemon drained");
+        }
+    }
 
     let report = Json::obj(vec![
         ("benchmark", Json::from("serve_load")),
-        ("connections", Json::from(args.connections)),
-        ("requests_per_connection", Json::from(args.requests)),
-        ("sample_cap", Json::from(args.sample_cap)),
-        ("ok", Json::from(ok)),
-        ("server_errors", Json::from(server_errors)),
-        ("protocol_errors", Json::from(protocol_errors)),
-        ("wall_s", Json::from(wall_s)),
-        ("throughput_rps", Json::from(throughput)),
-        (
-            "latency_ms",
-            Json::obj(vec![
-                ("mean", Json::from(mean)),
-                ("p50", Json::from(p50)),
-                ("p99", Json::from(p99)),
-            ]),
-        ),
-        ("server_phases_ms", phases_json),
+        ("legs", Json::Array(legs)),
     ]);
-    std::fs::write("BENCH_serve.json", format!("{report}\n")).expect("write BENCH_serve.json");
-    println!("  wrote BENCH_serve.json");
-
-    if let Some(server) = local {
-        server.shutdown();
-        println!("  in-process daemon drained");
-    }
+    std::fs::write(&args.out, format!("{report}\n")).expect("write bench report");
+    println!("  wrote {}", args.out);
 
     if protocol_errors > 0 {
         eprintln!("bench_serve: {protocol_errors} protocol errors");
+        return ExitCode::FAILURE;
+    }
+    if bound_breaches > 0 {
+        eprintln!("bench_serve: {bound_breaches} legs breached the p99 bound");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -127,7 +127,9 @@ fn usage() -> ExitCode {
          \x20 compare <network> [--seed S] [--trace-out PATH]\n\
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
-         \x20       [--store-dir DIR]            newline-delimited-JSON simulation daemon\n\
+         \x20       [--store-dir DIR] [--reactor] newline-delimited-JSON simulation daemon\n\
+         \x20                                    (--reactor: epoll front end, pipelined\n\
+         \x20                                    out-of-order responses; Linux only)\n\
          \x20 fleet sweep (--endpoints H:P[,H:P...] | --local) --networks N[,N...]\n\
          \x20       [--archs A[,A...]] [--seeds S[,S...]] [--sample-cap N] [--timeout-ms T]\n\
          \x20       [--retries R] [--connections C] [--trace-out PATH]\n\
@@ -540,6 +542,7 @@ fn main() -> ExitCode {
                     "--queue",
                     "--cache-entries",
                     "--store-dir",
+                    "--reactor",
                 ],
             ) {
                 return fail("serve", &e);
@@ -565,6 +568,8 @@ fn main() -> ExitCode {
                 },
                 engine_threads: defaults.engine_threads,
                 store_dir: flag_value(&args, "--store-dir").map(std::path::PathBuf::from),
+                reactor: args.iter().any(|a| a == "--reactor"),
+                ..defaults.clone()
             };
             let server = match Server::start(config) {
                 Ok(s) => s,

@@ -650,6 +650,9 @@ impl Fleet {
             },
             Err(ClientError::Io(e)) => Attempt::Fault(format!("io: {e}")),
             Err(ClientError::Protocol(msg)) => Attempt::Fault(format!("protocol: {msg}")),
+            // A desynced stream cannot be trusted for further calls:
+            // treat it like a broken connection.
+            Err(e @ ClientError::IdMismatch { .. }) => Attempt::Fault(format!("protocol: {e}")),
         }
     }
 

@@ -1,0 +1,330 @@
+//! Reused per-connection read/write buffers with incremental NDJSON frame
+//! splitting.
+//!
+//! Both buffers are plain `Vec<u8>`s with cursor indices, compacted by
+//! `copy_within` instead of reallocated, so the steady-state hot path — read
+//! a chunk, split frames, append a response, flush — performs no
+//! per-request allocation. After a burst (one oversized request or a deep
+//! response backlog) the capacity shrinks back to a watermark the next time
+//! the buffer empties, bounding per-connection memory over a long-lived
+//! daemon.
+
+use std::io::{ErrorKind, Read, Write};
+use std::ops::Range;
+
+/// Capacity retained across bursts; larger allocations shrink back to this
+/// once the buffer empties.
+const RETAIN_CAPACITY: usize = 64 * 1024;
+
+/// Read chunk size: how much spare room each `fill` call offers the socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What one nonblocking fill round produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Bytes arrived (the socket may still hold more).
+    Read(usize),
+    /// The peer closed its write half.
+    Eof,
+    /// The socket is drained for now (`EWOULDBLOCK`).
+    WouldBlock,
+}
+
+/// Incremental line-frame reader: bytes accumulate across reads, complete
+/// `\n`-terminated frames are handed out as ranges into the buffer, and the
+/// consumed prefix is reclaimed by compaction, never by reallocation.
+#[derive(Debug, Default)]
+pub struct ReadBuf {
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// Scan resume offset: `buf[start..scanned]` holds no `\n`.
+    scanned: usize,
+}
+
+impl ReadBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Reads one chunk from `r` (expected nonblocking). Consumed frames are
+    /// compacted away first, so repeated partial lines never grow the
+    /// buffer beyond the line length plus one chunk.
+    pub fn fill(&mut self, r: &mut impl Read) -> std::io::Result<FillOutcome> {
+        self.compact();
+        let len = self.buf.len();
+        self.buf.resize(len + READ_CHUNK, 0);
+        let outcome = loop {
+            match r.read(&mut self.buf[len..]) {
+                Ok(0) => break Ok(FillOutcome::Eof),
+                Ok(n) => {
+                    self.buf.truncate(len + n);
+                    return Ok(FillOutcome::Read(n));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    break Ok(FillOutcome::WouldBlock)
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.buf.truncate(len);
+        outcome
+    }
+
+    /// The next complete frame as a range into [`Self::frame`]'s buffer,
+    /// with the `\n` (and a trailing `\r`, for telnet-style clients)
+    /// stripped. Returns `None` until a full line has arrived.
+    pub fn next_frame(&mut self) -> Option<Range<usize>> {
+        let from = self.scanned.max(self.start);
+        let pos = from + self.buf[from..].iter().position(|&b| b == b'\n')?;
+        let mut end = pos;
+        if end > self.start && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let range = self.start..end;
+        self.start = pos + 1;
+        self.scanned = pos + 1;
+        Some(range)
+    }
+
+    /// The frame bytes for a range handed out by [`Self::next_frame`].
+    pub fn frame(&self, range: Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Drops everything buffered (used when a connection turns broken).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+        self.scanned = 0;
+        self.shrink();
+    }
+
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.shrink();
+        } else {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+        }
+        self.scanned = self.scanned.saturating_sub(self.start);
+        self.start = 0;
+    }
+
+    fn shrink(&mut self) {
+        if self.buf.capacity() > RETAIN_CAPACITY {
+            self.buf.shrink_to(RETAIN_CAPACITY);
+        }
+    }
+}
+
+/// Outbound byte queue with a flush cursor: responses append at the tail,
+/// [`WriteBuf::flush`] advances the head, and the storage is reused (and
+/// shrunk back to the watermark once drained).
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes queued but not yet written to the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Queues response bytes for the next flush.
+    pub fn append(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes as much as the socket accepts. `Ok(true)` means fully
+    /// drained; `Ok(false)` means the socket would block and the remainder
+    /// stays queued for the next writability edge.
+    pub fn flush(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while self.start < self.buf.len() {
+            match w.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        if self.buf.capacity() > RETAIN_CAPACITY {
+            self.buf.shrink_to(RETAIN_CAPACITY);
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Read` over scripted chunks, ending in WouldBlock.
+    struct Script {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.chunks.is_empty() {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            let chunk = self.chunks.remove(0);
+            buf[..chunk.len()].copy_from_slice(&chunk);
+            Ok(chunk.len())
+        }
+    }
+
+    fn frames(rb: &mut ReadBuf) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(range) = rb.next_frame() {
+            out.push(String::from_utf8(rb.frame(range).to_vec()).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn splits_frames_across_partial_reads() {
+        let mut rb = ReadBuf::new();
+        let mut src = Script {
+            chunks: vec![
+                b"{\"a\":1}\n{\"b\"".to_vec(),
+                b":2}\r\n".to_vec(),
+                b"\n{\"c\":3}\n".to_vec(),
+            ],
+        };
+        assert!(matches!(rb.fill(&mut src).unwrap(), FillOutcome::Read(_)));
+        assert_eq!(frames(&mut rb), vec!["{\"a\":1}"]);
+        assert_eq!(rb.pending(), 4, "partial frame stays buffered");
+        assert!(matches!(rb.fill(&mut src).unwrap(), FillOutcome::Read(_)));
+        assert_eq!(frames(&mut rb), vec!["{\"b\":2}"], "\\r\\n is stripped");
+        assert!(matches!(rb.fill(&mut src).unwrap(), FillOutcome::Read(_)));
+        // An empty line is a valid (ignorable) frame.
+        assert_eq!(frames(&mut rb), vec!["", "{\"c\":3}"]);
+        assert_eq!(rb.pending(), 0);
+        assert!(matches!(
+            rb.fill(&mut src).unwrap(),
+            FillOutcome::WouldBlock
+        ));
+    }
+
+    #[test]
+    fn eof_is_reported_and_consumed_prefix_is_compacted() {
+        let mut rb = ReadBuf::new();
+        let mut src = Script {
+            chunks: vec![b"one\ntwo\npart".to_vec(), Vec::new()],
+        };
+        rb.fill(&mut src).unwrap();
+        assert_eq!(frames(&mut rb), vec!["one", "two"]);
+        // The next fill compacts "part" to the front before reading EOF.
+        assert!(matches!(rb.fill(&mut src).unwrap(), FillOutcome::Eof));
+        assert_eq!(rb.pending(), 4);
+        assert_eq!(rb.frame(0..4), b"part");
+    }
+
+    #[test]
+    fn write_buf_flushes_across_short_writes() {
+        /// `Write` accepting at most 3 bytes per call, blocking every other
+        /// call.
+        struct Throttle {
+            sink: Vec<u8>,
+            block_next: bool,
+        }
+        impl Write for Throttle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.block_next {
+                    self.block_next = false;
+                    return Err(ErrorKind::WouldBlock.into());
+                }
+                self.block_next = true;
+                let n = buf.len().min(3);
+                self.sink.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut wb = WriteBuf::new();
+        wb.append(b"hello ");
+        wb.append(b"world\n");
+        let mut sock = Throttle {
+            sink: Vec::new(),
+            block_next: false,
+        };
+        let mut rounds = 0;
+        while !wb.flush(&mut sock).unwrap() {
+            rounds += 1;
+            assert!(rounds < 16, "flush must make progress");
+        }
+        assert_eq!(sock.sink, b"hello world\n");
+        assert_eq!(wb.pending(), 0);
+    }
+
+    #[test]
+    fn buffers_reuse_storage_and_shrink_after_bursts() {
+        let mut rb = ReadBuf::new();
+        let big = vec![b'x'; 512 * 1024];
+        let mut src = Script {
+            chunks: big.chunks(8192).map(<[u8]>::to_vec).collect(),
+        };
+        while matches!(rb.fill(&mut src).unwrap(), FillOutcome::Read(_)) {}
+        assert!(rb.pending() >= 512 * 1024);
+        rb.clear();
+        assert!(
+            rb.buf.capacity() <= RETAIN_CAPACITY,
+            "oversized read buffer must shrink back to the watermark"
+        );
+
+        let mut wb = WriteBuf::new();
+        wb.append(&big);
+        let mut sink = Vec::new();
+        assert!(wb.flush(&mut sink).unwrap());
+        assert!(
+            wb.buf.capacity() <= RETAIN_CAPACITY,
+            "oversized write buffer must shrink back to the watermark"
+        );
+        // Steady state: append/flush cycles of modest frames never grow
+        // capacity again.
+        let cap = wb.buf.capacity();
+        for _ in 0..100 {
+            wb.append(&[b'y'; 100]);
+            let mut sink = Vec::new();
+            assert!(wb.flush(&mut sink).unwrap());
+        }
+        assert_eq!(wb.buf.capacity(), cap);
+    }
+}

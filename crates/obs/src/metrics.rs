@@ -181,13 +181,15 @@ impl Histogram {
         self.max_us() as f64 / 1e3
     }
 
-    /// Compact JSON summary (`count`, `mean`, `p50`, `p99`, `max` in ms).
+    /// Compact JSON summary (`count`, `mean`, `p50`, `p99`, `p999`, `max`
+    /// in ms).
     pub fn summary_json(&self) -> Json {
         Json::obj(vec![
             ("count", Json::from(self.count())),
             ("mean", Json::from(self.mean_ms())),
             ("p50", Json::from(self.quantile_ms(0.5))),
             ("p99", Json::from(self.quantile_ms(0.99))),
+            ("p999", Json::from(self.quantile_ms(0.999))),
             ("max", Json::from(self.max_us() as f64 / 1e3)),
         ])
     }

@@ -1,10 +1,15 @@
 //! Blocking NDJSON client for the serve daemon.
 //!
-//! One [`Client`] owns one TCP connection and issues requests serially:
-//! write a request line, read the matching response line. Request ids are
-//! assigned from a local counter and checked on receipt, so a desynced
-//! stream surfaces as a typed [`ClientError::Protocol`] instead of silently
-//! pairing the wrong response with a call.
+//! One [`Client`] owns one TCP connection. The serial path is
+//! [`Client::call`]: write a request line, read the matching response line.
+//! Against the reactor front end ([`crate::ServeConfig::reactor`]) the
+//! split [`Client::send`] / [`Client::recv`] pair pipelines instead:
+//! several requests go out back-to-back, responses come back in whatever
+//! order the server completes them, and each is correlated to its request
+//! by the client-assigned `id` the server echoes. A response whose id was
+//! never sent (or already answered) surfaces as a typed
+//! [`ClientError::IdMismatch`] instead of silently pairing the wrong
+//! response with a call.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -19,8 +24,17 @@ pub enum ClientError {
     /// The connection broke (or could not be established).
     Io(std::io::Error),
     /// The server answered, but not with valid protocol (bad JSON, missing
-    /// fields, mismatched id).
+    /// fields).
     Protocol(String),
+    /// The response carried an id this client never sent, or one already
+    /// answered — the stream is desynced and the connection should be
+    /// abandoned.
+    IdMismatch {
+        /// The id the response carried (`None`: absent or not an integer).
+        got: Option<i64>,
+        /// Ids sent but not yet answered when the mismatch arrived.
+        outstanding: Vec<i64>,
+    },
     /// The server's admission queue rejected the request. The connection is
     /// still good and the server is healthy — the right reaction is to back
     /// off and retry the *same* backend, which is why this is split out from
@@ -35,6 +49,11 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::IdMismatch { got, outstanding } => write!(
+                f,
+                "response id {got:?} matches none of the {} outstanding request ids",
+                outstanding.len()
+            ),
             ClientError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
             ClientError::Server(e) => {
                 write!(f, "server error [{}]: {}", e.code.as_str(), e.message)
@@ -63,16 +82,23 @@ impl ClientError {
 }
 
 /// A blocking connection to a serve daemon.
+///
+/// Holds exactly **one** file descriptor: writes go through `&TcpStream`
+/// on the reader's underlying stream instead of a `try_clone` dup, so a
+/// 10k-connection load generator costs 10k fds, not 20k.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
     next_id: i64,
+    /// Ids sent ([`Client::send`]) whose responses have not yet been
+    /// received ([`Client::recv`]), in send order.
+    outstanding: Vec<i64>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("next_id", &self.next_id)
+            .field("outstanding", &self.outstanding.len())
             .finish()
     }
 }
@@ -141,11 +167,10 @@ impl Client {
     /// Wraps an already-connected stream.
     pub fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
-            writer,
             next_id: 0,
+            outstanding: Vec::new(),
         })
     }
 
@@ -157,7 +182,31 @@ impl Client {
 
     /// Sends one raw request object (must contain `"kind"`; `"id"` is
     /// assigned here) and returns the server's `result` payload.
-    pub fn call(&mut self, mut request: Json) -> Result<Json, ClientError> {
+    ///
+    /// The serial path: [`Client::send`] followed by [`Client::recv`],
+    /// insisting the response is this request's. Don't mix it into an
+    /// active pipeline — with other requests outstanding, whichever of
+    /// them completes first would surface here as
+    /// [`ClientError::IdMismatch`].
+    pub fn call(&mut self, request: Json) -> Result<Json, ClientError> {
+        let id = self.send(request)?;
+        let (got, outcome) = self.recv()?;
+        if got != id {
+            return Err(ClientError::IdMismatch {
+                got: Some(got),
+                outstanding: self.outstanding.clone(),
+            });
+        }
+        outcome
+    }
+
+    /// Pipelining: writes one request line without waiting for its
+    /// response, returning the assigned id. Pair with [`Client::recv`].
+    ///
+    /// Only the reactor front end (`"front": "reactor"` in the `version`
+    /// response) completes pipelined requests out of order; the blocking
+    /// front still answers in request order, which `recv` handles fine.
+    pub fn send(&mut self, mut request: Json) -> Result<i64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         if let Json::Object(fields) = &mut request {
@@ -170,9 +219,22 @@ impl Client {
         }
         let mut line = request.to_string();
         line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.flush()?;
+        let mut writer = self.reader.get_ref();
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+        self.outstanding.push(id);
+        Ok(id)
+    }
 
+    /// Reads the next response line and correlates it to an outstanding
+    /// [`Client::send`] by id. Returns the id plus that request's outcome.
+    ///
+    /// The outer `Result` is the connection's health (IO failure, garbage
+    /// framing, [`ClientError::IdMismatch`] desync); the inner one is the
+    /// per-request outcome, so one rejected request does not read as a
+    /// broken connection.
+    #[allow(clippy::type_complexity)]
+    pub fn recv(&mut self) -> Result<(i64, Result<Json, ClientError>), ClientError> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -183,18 +245,32 @@ impl Client {
         }
         let parsed = Json::parse(response.trim_end())
             .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
-        match parsed.get("id") {
-            Some(&Json::Int(got)) if got == id => {}
-            other => {
-                return Err(ClientError::Protocol(format!(
-                    "response id {other:?} does not match request id {id}"
-                )))
+        let got = match parsed.get("id") {
+            Some(&Json::Int(got)) => got,
+            _ => {
+                return Err(ClientError::IdMismatch {
+                    got: None,
+                    outstanding: self.outstanding.clone(),
+                })
             }
-        }
-        parse_response(&parsed).map_err(|e| match e.code {
+        };
+        let Some(pos) = self.outstanding.iter().position(|&id| id == got) else {
+            return Err(ClientError::IdMismatch {
+                got: Some(got),
+                outstanding: self.outstanding.clone(),
+            });
+        };
+        self.outstanding.remove(pos);
+        let outcome = parse_response(&parsed).map_err(|e| match e.code {
             ErrorCode::Overloaded => ClientError::Overloaded(e.message),
             _ => ClientError::Server(e),
-        })
+        });
+        Ok((got, outcome))
+    }
+
+    /// How many sent requests are still awaiting their response.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
     }
 
     /// Round-trip liveness check.

@@ -25,6 +25,9 @@
 //!   and backing the `metrics` request;
 //! * [`server`] — accept loop, worker pool, per-request deadlines, graceful
 //!   drain on shutdown;
+//! * `reactor_front` — the alternative epoll front end
+//!   (`ServeConfig::reactor`): one [`sibia_net`] reactor thread multiplexes
+//!   thousands of connections with pipelined, out-of-order responses;
 //! * [`client`] — a blocking connection with typed helpers, shared by the
 //!   load generator and the integration tests;
 //! * [`signal`] — SIGINT/SIGTERM latching via a self-declared `signal(2)`.
@@ -40,6 +43,7 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub(crate) mod reactor_front;
 pub mod server;
 pub mod signal;
 

@@ -4,8 +4,13 @@
 //! ## Grammar
 //!
 //! The transport is **newline-delimited JSON** over TCP: every request is
-//! one JSON object on one line, every response is one JSON object on one
-//! line, and a connection's responses come back in request order.
+//! one JSON object on one line and every response is one JSON object on
+//! one line. Under the blocking front end a connection's responses come
+//! back in request order; under the reactor front end
+//! (`ServeConfig::reactor`, advertised as `"front": "reactor"` by the
+//! `version` request) requests **pipeline** and responses may return in any
+//! order — clients must correlate by the `id` they supplied, which the
+//! server echoes verbatim in the response envelope.
 //!
 //! ```text
 //! request  = { "kind": KIND, ["id": any], ["timeout_ms": int], ...params }
@@ -64,8 +69,10 @@ pub use sibia_sim::jsonio::{grid_to_json, network_result_to_json};
 
 /// Protocol revision, echoed by the `version` request. Bump when the wire
 /// grammar changes in a way a client must gate on (revision 2 added the
-/// `version` request itself and the store-backed warm-restart semantics).
-pub const PROTOCOL_REVISION: u64 = 2;
+/// `version` request itself and the store-backed warm-restart semantics;
+/// revision 3 added the `front` field to `version` and, on the reactor
+/// front, out-of-request-order pipelined responses correlated by `id`).
+pub const PROTOCOL_REVISION: u64 = 3;
 
 /// Typed protocol error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -73,13 +73,13 @@ const READ_TICK: Duration = Duration::from_millis(50);
 const ACCEPT_TICK: Duration = Duration::from_millis(20);
 
 /// Longest accepted request line (16 MiB covers ~2M-value encode payloads).
-const MAX_LINE_BYTES: usize = 16 << 20;
+pub(crate) const MAX_LINE_BYTES: usize = 16 << 20;
 
 /// Completed request spans kept for `trace` requests (oldest evicted).
 const TRACE_CAPACITY: usize = 4096;
 
 /// Default span count returned by a `trace` request without `limit`.
-const TRACE_DEFAULT_LIMIT: usize = 32;
+pub(crate) const TRACE_DEFAULT_LIMIT: usize = 32;
 
 /// Daemon configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +102,20 @@ pub struct ServeConfig {
     /// so a restarted daemon serves previously computed results from disk
     /// (see DESIGN.md §9).
     pub store_dir: Option<PathBuf>,
+    /// Serve through the epoll reactor front end instead of the
+    /// thread-per-connection blocking front (see DESIGN.md §11): one
+    /// reactor thread multiplexes every connection, requests pipeline, and
+    /// responses may return out of request order (correlate by `id`).
+    /// Linux only; `Server::start` fails with `Unsupported` elsewhere.
+    pub reactor: bool,
+    /// Reactor front only: per-connection pipelining cap. A request
+    /// arriving while this many are already in flight on its connection is
+    /// rejected with a typed `overloaded` error.
+    pub pipeline_depth: usize,
+    /// Reactor front only: per-connection write budget. A work request
+    /// arriving while more than this many response bytes are queued unread
+    /// is rejected with a typed `overloaded` error.
+    pub write_budget_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -115,42 +129,60 @@ impl Default for ServeConfig {
             engine_threads: cores,
             cache_capacity: 4096,
             store_dir: None,
+            reactor: false,
+            pipeline_depth: 64,
+            write_budget_bytes: 1 << 20,
         }
     }
 }
 
 /// What a worker sends back for one job: the outcome plus where the time
 /// went (queue wait, then compute).
-type JobReply = (Result<Json, ServeError>, Duration, Duration);
+pub(crate) type JobReply = (Result<Json, ServeError>, Duration, Duration);
+
+/// Where a finished job's outcome goes.
+pub(crate) enum ReplySink {
+    /// Blocking front: the connection thread waits on this channel and
+    /// finishes the request itself (serialize, metrics, span).
+    Blocking(mpsc::Sender<JobReply>),
+    /// Reactor front: the worker finishes the request itself and pushes
+    /// the complete response line through the connection's completer
+    /// (see [`crate::reactor_front`]).
+    Reactor(crate::reactor_front::ReactorJob),
+}
 
 /// One admitted unit of work.
-struct Job {
-    envelope: Envelope,
-    queued_at: Instant,
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<JobReply>,
+pub(crate) struct Job {
+    pub(crate) envelope: Envelope,
+    pub(crate) queued_at: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: ReplySink,
 }
 
 /// Shared server state.
-struct Shared {
-    queue: JobQueue<Job>,
-    metrics: ServeMetrics,
-    cache: DecompCache,
-    engine: ParallelEngine,
+pub(crate) struct Shared {
+    pub(crate) queue: JobQueue<Job>,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) cache: DecompCache,
+    pub(crate) engine: ParallelEngine,
     /// Always-enabled bounded tracer holding completed `serve.request`
     /// spans (the `trace` request reads it; `--trace-out`-style export is
-    /// the sim-side global tracer's job).
-    tracer: Tracer,
+    /// the sim-side global tracer's job). `Arc` so the reactor can record
+    /// its connection-lifetime spans into the same buffer.
+    pub(crate) tracer: Arc<Tracer>,
     /// Per-request trace-id sequence (`t1`, `t2`, …).
-    trace_seq: AtomicU64,
+    pub(crate) trace_seq: AtomicU64,
     /// Persistent result store, when the daemon was started with a
     /// `store_dir`. Simulate/sweep read through it and write back.
-    store: Option<Store>,
-    shutdown: AtomicBool,
+    pub(crate) store: Option<Store>,
+    /// Which front end is serving (`"blocking"` or `"reactor"`), echoed by
+    /// the `version` request so clients can gate pipelining on it.
+    pub(crate) front: &'static str,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn metrics_json(&self) -> Json {
+    pub(crate) fn metrics_json(&self) -> Json {
         let store_stats = self.store.as_ref().map(Store::stats);
         self.metrics.to_json(
             self.queue.depth(),
@@ -162,19 +194,21 @@ impl Shared {
         )
     }
 
-    /// The `version` response: crate version plus the wire-protocol
-    /// revision, so clients can gate on features (`version` itself arrived
-    /// in revision 2).
-    fn version_json(&self) -> Json {
+    /// The `version` response: crate version, wire-protocol revision, and
+    /// the serving front end, so clients can gate on features (`version`
+    /// itself arrived in revision 2; `front` and out-of-order pipelined
+    /// responses in revision 3).
+    pub(crate) fn version_json(&self) -> Json {
         Json::obj(vec![
             ("crate_version", Json::from(env!("CARGO_PKG_VERSION"))),
             ("protocol_revision", Json::from(PROTOCOL_REVISION)),
+            ("front", Json::from(self.front)),
         ])
     }
 
     /// The most recent completed request spans, newest first, as Chrome
     /// `trace_event` objects.
-    fn trace_json(&self, limit: usize) -> Json {
+    pub(crate) fn trace_json(&self, limit: usize) -> Json {
         let spans = self.tracer.recent(Some("serve.request"), limit);
         Json::obj(vec![
             (
@@ -187,7 +221,7 @@ impl Shared {
 }
 
 /// Executes one work request against the shared cache/engine.
-fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
+pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
     match request {
         Request::Encode {
             values,
@@ -289,11 +323,53 @@ fn worker_loop(shared: &Shared) {
             )),
             _ => execute(shared, &job.envelope.request),
         };
-        // A dropped receiver means the client hung up; nothing to do.
-        let _ = job
-            .reply
-            .send((outcome, queue_wait, compute_start.elapsed()));
+        let compute = compute_start.elapsed();
+        match job.reply {
+            // A dropped receiver means the client hung up; nothing to do.
+            ReplySink::Blocking(tx) => {
+                let _ = tx.send((outcome, queue_wait, compute));
+            }
+            ReplySink::Reactor(rj) => {
+                crate::reactor_front::finish_job(shared, rj, outcome, queue_wait, compute);
+            }
+        }
     }
+}
+
+/// Records one completed request into the metrics and the trace buffer —
+/// shared by the blocking connection loop and the reactor front.
+pub(crate) fn record_request(
+    shared: &Shared,
+    kind: &str,
+    outcome_code: Result<(), ErrorCode>,
+    received: Instant,
+    total: Duration,
+    phases: PhaseTimings,
+    trace_id: String,
+) {
+    shared.metrics.request(kind, outcome_code, total, phases);
+    shared.tracer.record_span(
+        "serve.request",
+        received,
+        total.as_micros().min(u128::from(u64::MAX)) as u64,
+        vec![
+            ("trace_id".to_owned(), trace_id),
+            ("kind".to_owned(), kind.to_owned()),
+            ("ok".to_owned(), outcome_code.is_ok().to_string()),
+            (
+                "queue_wait_us".to_owned(),
+                phases.queue_wait.as_micros().to_string(),
+            ),
+            (
+                "compute_us".to_owned(),
+                phases.compute.as_micros().to_string(),
+            ),
+            (
+                "serialize_us".to_owned(),
+                phases.serialize.as_micros().to_string(),
+            ),
+        ],
+    );
 }
 
 /// Accumulates stream bytes and yields complete newline-terminated lines,
@@ -325,6 +401,11 @@ impl LineReader {
             pending: Vec::new(),
             scanned: 0,
         })
+    }
+
+    /// The underlying stream, for writing responses via `&TcpStream`.
+    fn stream(&self) -> &TcpStream {
+        &self.stream
     }
 
     fn next(&mut self) -> ReadEvent {
@@ -366,10 +447,6 @@ impl LineReader {
 /// Handles one client connection until EOF, error, or shutdown.
 fn connection_loop(shared: &Shared, stream: TcpStream) {
     shared.metrics.connection();
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
     let mut reader = match LineReader::new(stream) {
         Ok(r) => r,
         Err(_) => return,
@@ -428,34 +505,24 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             Ok(result) => ok_response(id.as_ref(), Some(&trace_id), result.clone()),
             Err(e) => error_response(id.as_ref(), Some(&trace_id), e),
         };
+        // Write through `&TcpStream` on the reader's stream rather than a
+        // `try_clone` dup: one fd per connection, not two — at 10k
+        // connections that halves the daemon's descriptor footprint.
+        let mut writer = reader.stream();
         let write_result = writer
             .write_all(response.to_string().as_bytes())
             .and_then(|()| writer.write_all(b"\n"));
         phases.serialize = serialize_start.elapsed();
         let total = received.elapsed();
         let outcome_code = outcome.as_ref().map(|_| ()).map_err(|e| e.code);
-        shared.metrics.request(kind, outcome_code, total, phases);
-        shared.tracer.record_span(
-            "serve.request",
+        record_request(
+            shared,
+            kind,
+            outcome_code,
             received,
-            total.as_micros().min(u128::from(u64::MAX)) as u64,
-            vec![
-                ("trace_id".to_owned(), trace_id),
-                ("kind".to_owned(), kind.to_owned()),
-                ("ok".to_owned(), outcome_code.is_ok().to_string()),
-                (
-                    "queue_wait_us".to_owned(),
-                    phases.queue_wait.as_micros().to_string(),
-                ),
-                (
-                    "compute_us".to_owned(),
-                    phases.compute.as_micros().to_string(),
-                ),
-                (
-                    "serialize_us".to_owned(),
-                    phases.serialize.as_micros().to_string(),
-                ),
-            ],
+            total,
+            phases,
+            trace_id,
         );
         if write_result.is_err() {
             return;
@@ -474,7 +541,7 @@ fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> JobReply {
         envelope,
         queued_at: Instant::now(),
         deadline,
-        reply,
+        reply: ReplySink::Blocking(reply),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {}
@@ -513,25 +580,35 @@ fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> JobReply {
     })
 }
 
+/// Which front end a running server is serving through.
+enum Front {
+    /// Thread-per-connection accept loop; the accept thread joins the
+    /// worker pool itself on drain.
+    Blocking(JoinHandle<()>),
+    /// Single-thread epoll reactor (see [`crate::reactor_front`]); the
+    /// handle owns the worker pool and joins it after the reactor drains.
+    Reactor {
+        reactor: sibia_net::Reactor,
+        workers: Vec<JoinHandle<()>>,
+    },
+}
+
 /// A running daemon. Dropping the handle does **not** stop the server; call
 /// [`ServerHandle::shutdown`].
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: JoinHandle<()>,
+    front: Front,
 }
 
 /// Public alias: `Server::start` returns the handle type.
 pub type ServerHandle = Server;
 
 impl Server {
-    /// Binds, spawns the worker pool and accept thread, and returns
-    /// immediately.
+    /// Binds, spawns the worker pool and the configured front end (accept
+    /// thread or epoll reactor), and returns immediately.
     pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        let tracer = Tracer::with_capacity(TRACE_CAPACITY);
+        let tracer = Arc::new(Tracer::with_capacity(TRACE_CAPACITY));
         tracer.enable();
         let store = match &config.store_dir {
             Some(dir) => Some(Store::open(dir).map_err(|e| {
@@ -547,8 +624,40 @@ impl Server {
             tracer,
             trace_seq: AtomicU64::new(0),
             store,
+            front: if config.reactor {
+                "reactor"
+            } else {
+                "blocking"
+            },
             shutdown: AtomicBool::new(false),
         });
+
+        if config.reactor {
+            // Start the reactor before spawning workers so an unsupported
+            // platform fails cleanly with no threads to clean up.
+            let reactor = crate::reactor_front::start(&config, Arc::clone(&shared))?;
+            let addr = reactor.addr();
+            let workers: Vec<JoinHandle<()>> = (0..config.workers.clamp(1, 256))
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect();
+            return Ok(Server {
+                shared,
+                addr,
+                front: Front::Reactor { reactor, workers },
+            });
+        }
+
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        // std's default backlog of 128 overflows under a multi-thousand
+        // connect storm (the per-connection threads starve the accept loop
+        // on small machines) and the kernel eventually resets the waiting
+        // connections; widen it to somaxconn.
+        sibia_net::sys::widen_listen_backlog(&listener, 4096);
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
 
         let workers: Vec<JoinHandle<()>> = (0..config.workers.clamp(1, 256))
             .map(|_| {
@@ -565,7 +674,7 @@ impl Server {
         Ok(Server {
             shared,
             addr,
-            accept,
+            front: Front::Blocking(accept),
         })
     }
 
@@ -584,7 +693,21 @@ impl Server {
     /// connections close.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = self.accept.join();
+        match self.front {
+            Front::Blocking(accept) => {
+                let _ = accept.join();
+            }
+            Front::Reactor { reactor, workers } => {
+                // Order matters: the reactor drain stops new frames but
+                // waits for every in-flight completion, which needs the
+                // workers alive. Only then close the queue and join them.
+                reactor.shutdown();
+                self.shared.queue.close();
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+        }
     }
 
     /// Blocks until [`crate::signal::signalled`] (SIGTERM/ctrl-c latched),

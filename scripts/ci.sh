@@ -70,13 +70,45 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [ -n "$serve_addr" ] || { echo "serve daemon never came up"; cat "$serve_log"; exit 1; }
-./target/release/bench_serve --addr "$serve_addr" --connections 8 --requests 5 --sample-cap 512
-grep -q '"protocol_errors":0' BENCH_serve.json
+serve_bench="$(mktemp)"
+./target/release/bench_serve --addr "$serve_addr" --connections 8 --requests 5 \
+  --sample-cap 512 --out "$serve_bench"
+grep -q '"protocol_errors":0' "$serve_bench"
+rm -f "$serve_bench"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 trap - EXIT
 grep -q "shutdown complete" "$serve_log" || { echo "daemon did not drain cleanly"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log"
+
+echo "==> reactor smoke test"
+# The epoll front end under real concurrency: 1000 pipelined connections
+# through one reactor thread. Zero protocol errors required; the p99 bound
+# is deliberately generous (this is a correctness smoke on shared CI
+# hardware, not a performance assertion — BENCH_serve.json holds those).
+reactor_log="$(mktemp)"
+./target/release/sibia-cli serve --port 0 --reactor >"$reactor_log" 2>&1 &
+reactor_pid=$!
+trap 'kill "$reactor_pid" 2>/dev/null || true' EXIT
+reactor_addr=""
+for _ in $(seq 1 50); do
+  reactor_addr="$(sed -n 's/^sibia-serve listening on //p' "$reactor_log")"
+  [ -n "$reactor_addr" ] && break
+  sleep 0.1
+done
+[ -n "$reactor_addr" ] || { echo "reactor daemon never came up"; cat "$reactor_log"; exit 1; }
+reactor_bench="$(mktemp)"
+./target/release/bench_serve --addr "$reactor_addr" --connections 1000 --requests 5 \
+  --sample-cap 256 --p99-bound-ms 30000 --out "$reactor_bench"
+grep -q '"protocol_errors":0' "$reactor_bench"
+grep -q '"front":"reactor"' "$reactor_bench" \
+  || { echo "reactor smoke did not hit a reactor front"; exit 1; }
+rm -f "$reactor_bench"
+kill -TERM "$reactor_pid"
+wait "$reactor_pid"
+trap - EXIT
+grep -q "shutdown complete" "$reactor_log" || { echo "reactor did not drain cleanly"; cat "$reactor_log"; exit 1; }
+rm -f "$reactor_log"
 
 echo "==> fleet smoke test"
 # Two store-backed daemons, a sharded sweep, and a SIGKILL of one backend
