@@ -11,7 +11,13 @@
 //! bench_serve [--addr HOST:PORT] [--front blocking|reactor|both]
 //!             [--connections N[,N...]] [--requests N] [--pipeline D]
 //!             [--sample-cap N] [--threads T] [--out PATH] [--p99-bound-ms MS]
+//!             [--telemetry]
 //! ```
+//!
+//! `--telemetry` switches to a paired overhead measurement: the same leg
+//! runs twice on fresh in-process daemons — span tracing off, then on —
+//! and the run fails if the traced p50 exceeds the baseline by more than
+//! 5% (plus a small absolute slack for sub-millisecond timer jitter).
 //!
 //! Without `--addr` an in-process daemon is started per front on an
 //! ephemeral port (queue sized to the offered load so the bench measures
@@ -43,6 +49,7 @@ struct Args {
     threads: usize,
     out: String,
     p99_bound_ms: Option<f64>,
+    telemetry: bool,
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -97,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--p99-bound-ms: invalid value '{v}'"))?,
             ),
         },
+        telemetry: args.iter().any(|a| a == "--telemetry"),
     })
 }
 
@@ -352,6 +360,7 @@ fn check_observability(probe: &mut Client) -> (Json, u64) {
 struct LegResult {
     json: Json,
     protocol_errors: u64,
+    p50_ms: f64,
     p99_ms: f64,
 }
 
@@ -441,8 +450,78 @@ fn run_leg(addr: &str, front: &str, connections: usize, args: &Args) -> LegResul
             ),
         ]),
         protocol_errors: tally.protocol_errors,
+        p50_ms: p50,
         p99_ms: p99,
     }
+}
+
+/// `--telemetry`: paired overhead measurement. The same leg runs twice on
+/// fresh in-process daemons — hierarchy tracing off, then on, **in that
+/// order**: the process-global tracer is sticky once a traced server has
+/// enabled it, so the clean baseline must come first. Fails the run when
+/// the traced p50 exceeds the untraced p50 by more than 5%, with a small
+/// absolute slack so sub-millisecond medians don't fail on timer jitter.
+fn telemetry_mode(args: &Args) -> ExitCode {
+    const RELATIVE_BOUND: f64 = 1.05;
+    const ABSOLUTE_SLACK_MS: f64 = 0.25;
+    if args.addr.is_some() {
+        eprintln!("bench_serve: --telemetry needs in-process daemons (drop --addr)");
+        return ExitCode::FAILURE;
+    }
+    let connections = args.connections.iter().copied().max().unwrap_or(100);
+    let reactor = args.fronts[0];
+    let front = if reactor { "reactor" } else { "blocking" };
+    let mut legs: Vec<Json> = Vec::new();
+    let mut p50s: Vec<f64> = Vec::new();
+    let mut protocol_errors = 0u64;
+    for (label, trace) in [("telemetry-off", false), ("telemetry-on", true)] {
+        let server = Server::start(ServeConfig {
+            reactor,
+            trace,
+            queue_capacity: (connections * args.pipeline).max(64),
+            pipeline_depth: args.pipeline.max(64),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let addr = server.addr().to_string();
+        let leg = run_leg(&addr, &format!("{front}/{label}"), connections, args);
+        protocol_errors += leg.protocol_errors;
+        p50s.push(leg.p50_ms);
+        legs.push(leg.json);
+        server.shutdown();
+        println!("  [{front}/{label}] in-process daemon drained");
+    }
+    let (off, on) = (p50s[0], p50s[1]);
+    let bound = off * RELATIVE_BOUND + ABSOLUTE_SLACK_MS;
+    println!("bench_serve: telemetry p50 off {off:.3}ms  on {on:.3}ms  (bound {bound:.3}ms)");
+
+    let report = Json::obj(vec![
+        ("benchmark", Json::from("serve_telemetry_overhead")),
+        ("legs", Json::Array(legs)),
+        (
+            "overhead",
+            Json::obj(vec![
+                ("p50_off_ms", Json::from(off)),
+                ("p50_on_ms", Json::from(on)),
+                ("bound_ms", Json::from(bound)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&args.out, format!("{report}\n")).expect("write bench report");
+    println!("  wrote {}", args.out);
+
+    if protocol_errors > 0 {
+        eprintln!("bench_serve: {protocol_errors} protocol errors");
+        return ExitCode::FAILURE;
+    }
+    if on > bound {
+        eprintln!(
+            "bench_serve: telemetry-on p50 {on:.3}ms exceeds {bound:.3}ms \
+             (off {off:.3}ms + 5% + {ABSOLUTE_SLACK_MS}ms slack)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -453,6 +532,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.telemetry {
+        return telemetry_mode(&args);
+    }
 
     let max_conns = args.connections.iter().copied().max().unwrap_or(100);
     let mut legs: Vec<Json> = Vec::new();

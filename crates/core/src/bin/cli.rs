@@ -6,8 +6,10 @@
 //! sibia-cli sparsity <network>            slice-sparsity report
 //! sibia-cli simulate <network> [--arch A] run the performance simulator
 //! sibia-cli compare <network>             all architectures side by side
-//! sibia-cli serve [--port P]              NDJSON simulation daemon
+//! sibia-cli serve [--port P] [--trace]    NDJSON simulation daemon
 //! sibia-cli fleet sweep --endpoints ...   shard a sweep across daemons
+//! sibia-cli top --endpoints ...           live fleet telemetry view
+//! sibia-cli metrics-export --endpoint ... Prometheus-style stats scrape
 //! sibia-cli store <stats|verify|compact>  inspect the persistent store
 //! sibia-cli trace-check <path>            validate a --trace-out profile
 //! ```
@@ -16,6 +18,13 @@
 //! given `sibia-serve` backends with retry/failover and prints the merged
 //! canonical document on stdout — byte-identical to `--local`, which runs
 //! the same grid in-process (the diff baseline the CI smoke step uses).
+//! With `--endpoints` and `--trace-out` together it also pulls each
+//! backend's hierarchy spans (the `spans` verb, filtered by the sweep's
+//! propagated trace id) and writes one *merged* Chrome trace: coordinator
+//! and every backend in their own `pid` lanes, with the coordinator's
+//! `fleet.dispatch` spans as cross-process ancestors of the backends'
+//! `serve.request` / `sim.*` spans. Backends must run `serve --trace` for
+//! their lanes to be populated.
 //!
 //! `simulate` and `compare` accept `--trace-out <path>`: the run executes
 //! with span tracing enabled and writes a Chrome `trace_event` JSONL
@@ -114,6 +123,42 @@ fn write_trace(path: &str) -> ExitCode {
     }
 }
 
+/// Merged fleet trace export: pulls every backend's hierarchy spans for
+/// the just-finished sweep (the `spans` verb, filtered by the propagated
+/// trace id) and writes coordinator + backends as one Chrome JSONL
+/// profile — one event per line, each process in its own `pid` lane.
+fn write_merged_trace(fleet: &sibia::fleet::Fleet, path: &str) -> ExitCode {
+    sibia::obs::tracer().disable();
+    let Some(trace_id) = fleet.last_trace_id() else {
+        eprintln!("trace-out: no sweep ran, nothing to export");
+        return ExitCode::FAILURE;
+    };
+    let merged = fleet.merged_chrome_trace(&trace_id, None);
+    let events = merged
+        .get("events")
+        .and_then(sibia::obs::Json::as_array)
+        .unwrap_or(&[]);
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => {
+            eprintln!(
+                "wrote merged fleet trace ({} events, trace id {trace_id}) to {path} \
+                 (open at ui.perfetto.dev)",
+                events.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-out: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sibia-cli <command>\n\
@@ -127,17 +172,26 @@ fn usage() -> ExitCode {
          \x20 compare <network> [--seed S] [--trace-out PATH]\n\
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
-         \x20       [--store-dir DIR] [--reactor] newline-delimited-JSON simulation daemon\n\
+         \x20       [--store-dir DIR] [--reactor] [--trace]\n\
+         \x20                                    newline-delimited-JSON simulation daemon\n\
          \x20                                    (--reactor: epoll front end, pipelined\n\
-         \x20                                    out-of-order responses; Linux only)\n\
+         \x20                                    out-of-order responses; Linux only;\n\
+         \x20                                    --trace: record hierarchy spans for the\n\
+         \x20                                    spans verb / merged fleet traces)\n\
          \x20 fleet sweep (--endpoints H:P[,H:P...] | --local) --networks N[,N...]\n\
          \x20       [--archs A[,A...]] [--seeds S[,S...]] [--sample-cap N] [--timeout-ms T]\n\
          \x20       [--retries R] [--connections C] [--trace-out PATH]\n\
          \x20                                    shard a sweep across serve daemons\n\
+         \x20                                    (--endpoints + --trace-out: pull backend\n\
+         \x20                                    spans and write one merged fleet trace)\n\
+         \x20 top --endpoints H:P[,H:P...] [--interval-ms T] [--iterations N]\n\
+         \x20                                    live fleet telemetry table (stats verb)\n\
+         \x20 metrics-export --endpoint H:P      one Prometheus-style text scrape\n\
          \x20 store <stats|verify|compact> --store-dir DIR\n\
          \x20                                    inspect / check / rewrite the result store\n\
-         \x20 trace-check <path> [--network NAME]\n\
-         \x20                                    validate a --trace-out Chrome trace profile\n\
+         \x20 trace-check <path> [--network NAME] [--min-pids N] [--chain A,B,C]\n\
+         \x20                                    validate a --trace-out (or merged fleet)\n\
+         \x20                                    Chrome trace profile\n\
          \n\
          architectures: bitfusion, hnpu, no-sbr, input-skip, sibia, output-skip\n\
          --trace-out writes a Chrome trace_event JSONL profile (Perfetto-loadable)\n\
@@ -336,7 +390,7 @@ fn fleet_command(args: &[String]) -> ExitCode {
                 stats.per_backend_cells
             );
             match trace_path {
-                Some(path) => write_trace(&path),
+                Some(path) => write_merged_trace(&fleet, &path),
                 None => ExitCode::SUCCESS,
             }
         }
@@ -345,6 +399,394 @@ fn fleet_command(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One rendered `top` table row. An unreachable endpoint becomes an error
+/// row instead of tearing down the whole view — in a fleet, one dead
+/// backend is exactly when you want the others still on screen.
+fn top_row(endpoint: &str) -> String {
+    use sibia::obs::Json;
+    use sibia::serve::Client;
+
+    let stats = Client::with_timeouts(
+        endpoint,
+        Some(std::time::Duration::from_secs(2)),
+        Some(std::time::Duration::from_secs(5)),
+        Some(std::time::Duration::from_secs(5)),
+    )
+    .and_then(|mut c| c.stats());
+    let stats = match stats {
+        Ok(s) => s,
+        Err(e) => return format!("{endpoint:<22} unreachable: {e}"),
+    };
+    let counter_rate = |name: &str| -> Option<f64> {
+        stats
+            .get("counters")?
+            .get(name)?
+            .get("rate_per_s")?
+            .as_f64()
+    };
+    let gauge =
+        |name: &str| -> Option<f64> { stats.get("gauges")?.get(name)?.get("value")?.as_f64() };
+    let window_q = |key: &str| -> Option<f64> {
+        stats
+            .get("histograms")?
+            .get("serve.latency.total_us")?
+            .get("window")?
+            .get(key)?
+            .as_f64()
+    };
+    // ok/s across every request kind; absent series mean "no ticks yet".
+    let ok_rate: Option<f64> = stats
+        .get("counters")
+        .and_then(Json::as_object)
+        .map(|members| {
+            members
+                .iter()
+                .filter(|(name, _)| name.starts_with("serve.requests.ok."))
+                .filter_map(|(_, entry)| entry.get("rate_per_s").and_then(Json::as_f64))
+                .sum()
+        });
+    let queue = match (gauge("serve.queue.depth"), gauge("serve.queue.capacity")) {
+        (Some(d), Some(c)) => format!("{d:.0}/{c:.0}"),
+        _ => "-".to_owned(),
+    };
+    let cache = match (gauge("serve.cache.hits"), gauge("serve.cache.misses")) {
+        (Some(h), Some(m)) if h + m > 0.0 => format!("{:.1}", h * 100.0 / (h + m)),
+        _ => "-".to_owned(),
+    };
+    let busy = match (
+        counter_rate("serve.worker.busy_us"),
+        counter_rate("serve.worker.idle_us"),
+    ) {
+        (Some(b), Some(i)) if b + i > 0.0 => format!("{:.1}", b * 100.0 / (b + i)),
+        _ => "-".to_owned(),
+    };
+    let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{x:.1}"));
+    format!(
+        "{endpoint:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
+        fmt(ok_rate),
+        fmt(counter_rate("sim.engine.cells")),
+        queue,
+        fmt(window_q("p50_ms")),
+        fmt(window_q("p99_ms")),
+        fmt(window_q("p999_ms")),
+        cache,
+        busy,
+    )
+}
+
+/// `top --endpoints H:P[,...] [--interval-ms T] [--iterations N]`
+///
+/// Polls every endpoint's `stats` verb and renders one refreshing
+/// in-terminal table: request and simulation rates, queue pressure,
+/// windowed latency quantiles, cache hit rate, worker utilisation.
+/// `--iterations 0` (the default) runs until interrupted;
+/// `--iterations 1` is a plain one-shot scrape for scripts (no screen
+/// clearing, so the output is pipe-friendly).
+fn top_command(args: &[String]) -> ExitCode {
+    if let Err(e) = check_flags(args, &["--endpoints", "--interval-ms", "--iterations"]) {
+        return fail("top", &e);
+    }
+    let Some(raw) = flag_value(args, "--endpoints") else {
+        return fail("top", "need --endpoints H:P[,H:P...]");
+    };
+    let endpoints: Vec<String> = raw.split(',').map(str::to_owned).collect();
+    let interval = match parse_flag::<u64>(args, "--interval-ms") {
+        Ok(ms) => std::time::Duration::from_millis(ms.unwrap_or(1000).max(100)),
+        Err(e) => return fail("top", &e),
+    };
+    let iterations = match parse_flag::<u64>(args, "--iterations") {
+        Ok(n) => n.unwrap_or(0),
+        Err(e) => return fail("top", &e),
+    };
+
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        // Scrape before clearing so the screen never sits empty while a
+        // slow endpoint times out.
+        let rows: Vec<String> = endpoints.iter().map(|ep| top_row(ep)).collect();
+        if iterations != 1 {
+            print!("\x1b[2J\x1b[H"); // clear screen + home: refresh in place
+        }
+        println!(
+            "sibia top — {} endpoint(s), every {}ms  (ctrl-c to quit)",
+            endpoints.len(),
+            interval.as_millis()
+        );
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
+            "endpoint", "ok/s", "cells/s", "queue", "p50ms", "p99ms", "p999ms", "cache%", "busy%"
+        );
+        for row in &rows {
+            println!("{row}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if iterations != 0 && frame >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `metrics-export --endpoint H:P` — one `stats` scrape rendered as
+/// Prometheus-style exposition text on stdout, for cron-driven scrape
+/// pipelines that want files instead of an HTTP pull.
+fn metrics_export_command(args: &[String]) -> ExitCode {
+    use sibia::serve::Client;
+
+    if let Err(e) = check_flags(args, &["--endpoint"]) {
+        return fail("metrics-export", &e);
+    }
+    let Some(endpoint) = flag_value(args, "--endpoint") else {
+        return fail("metrics-export", "need --endpoint H:P");
+    };
+    match Client::with_timeouts(
+        endpoint.as_str(),
+        Some(std::time::Duration::from_secs(2)),
+        Some(std::time::Duration::from_secs(5)),
+        Some(std::time::Duration::from_secs(5)),
+    )
+    .and_then(|mut c| c.stats())
+    {
+        Ok(stats) => {
+            print!("{}", sibia::obs::timeseries::prometheus_from_stats(&stats));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics-export: {endpoint}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `trace-check <path> [--network NAME] [--min-pids N] [--chain A,B,C]`
+///
+/// Validates a Chrome trace_event JSONL profile — both the
+/// single-process `--trace-out` form and the merged fleet form with
+/// per-process `pid` lanes and `"ph":"M"` process-metadata events.
+///
+/// Fatal checks: every line parses and is either an "M" metadata event
+/// or a timed "X" span; a parented span nests inside its parent's
+/// interval **when both live in the same pid lane** (each process has
+/// its own clock epoch, so cross-lane timestamps are not comparable and
+/// cross-pid edges only contribute to `--chain`); `--min-pids N`
+/// requires that many distinct span lanes; `--chain A,B,C` requires some
+/// span named C whose ancestor walk passes through B and then A.
+/// Warnings (reported, not fatal): unresolved parent ids and nonzero
+/// `dropped_spans` counts — a ring-evicted parent is expected under
+/// load, a broken edge is not.
+fn trace_check_command(args: &[String]) -> ExitCode {
+    use std::collections::{HashMap, HashSet};
+
+    if let Err(e) = check_flags(args, &["--network", "--min-pids", "--chain"]) {
+        return fail("trace-check", &e);
+    }
+    let Some(path) = args.get(1) else {
+        return fail("trace-check", "need a trace file path");
+    };
+    let min_pids = match parse_flag::<usize>(args, "--min-pids") {
+        Ok(n) => n,
+        Err(e) => return fail("trace-check", &e),
+    };
+    let chain: Option<Vec<String>> =
+        flag_value(args, "--chain").map(|raw| raw.split(',').map(str::to_owned).collect());
+    if let Some(c) = &chain {
+        if c.len() < 2 || c.iter().any(String::is_empty) {
+            return fail(
+                "trace-check",
+                "--chain needs at least two comma-separated names",
+            );
+        }
+    }
+    let data = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    struct Span {
+        name: String,
+        pid: u64,
+        ts: u64,
+        dur: u64,
+        id: Option<u64>,
+        parent: Option<u64>,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+    let mut layer_spans = 0usize;
+    let mut dropped_total = 0u64;
+    for (lineno, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = match sibia::obs::Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("trace-check: {path}:{}: invalid JSON: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let name = event.get("name").and_then(|n| n.as_str());
+        match event.get("ph").and_then(|p| p.as_str()) {
+            // Process-metadata events announce a pid lane; they carry the
+            // lane's dropped_spans count instead of timings.
+            Some("M") => {
+                dropped_total += event
+                    .get("args")
+                    .and_then(|a| a.get("dropped_spans"))
+                    .and_then(|d| d.as_u64())
+                    .unwrap_or(0);
+                continue;
+            }
+            Some("X") => {}
+            _ => {
+                eprintln!(
+                    "trace-check: {path}:{}: not a trace_event (need ph:\"X\" or ph:\"M\")",
+                    lineno + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let (Some(name), Some(ts), Some(dur)) = (
+            name,
+            event.get("ts").and_then(|t| t.as_u64()),
+            event.get("dur").and_then(|d| d.as_u64()),
+        ) else {
+            eprintln!(
+                "trace-check: {path}:{}: not a complete trace_event \
+                 (need name, ph:\"X\", ts, dur)",
+                lineno + 1
+            );
+            return ExitCode::FAILURE;
+        };
+        if name == "sim.layer" {
+            layer_spans += 1;
+        }
+        let args_obj = event.get("args");
+        spans.push(Span {
+            name: name.to_owned(),
+            pid: event.get("pid").and_then(|p| p.as_u64()).unwrap_or(0),
+            ts,
+            dur,
+            id: args_obj.and_then(|a| a.get("id")).and_then(|v| v.as_u64()),
+            parent: args_obj
+                .and_then(|a| a.get("parent"))
+                .and_then(|v| v.as_u64()),
+        });
+    }
+    if spans.is_empty() {
+        eprintln!("trace-check: {path} contains no spans");
+        return ExitCode::FAILURE;
+    }
+
+    let by_id: HashMap<u64, usize> = spans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.id.map(|id| (id, i)))
+        .collect();
+    // Nesting: a child must fit inside its parent's interval, with a few
+    // µs of slack for independent duration truncation.
+    const SLACK_US: i128 = 10;
+    let mut unresolved = 0usize;
+    for s in &spans {
+        let Some(parent_id) = s.parent else { continue };
+        let Some(&pi) = by_id.get(&parent_id) else {
+            unresolved += 1;
+            continue;
+        };
+        let p = &spans[pi];
+        if p.pid != s.pid {
+            continue; // cross-process edge: epochs differ, time is incomparable
+        }
+        let (cs, ce) = (s.ts as i128, (s.ts + s.dur) as i128);
+        let (ps, pe) = (p.ts as i128, (p.ts + p.dur) as i128);
+        if cs + SLACK_US < ps || ce > pe + SLACK_US {
+            eprintln!(
+                "trace-check: {path}: span '{}' [{cs}, {ce}]us escapes its \
+                 parent '{}' [{ps}, {pe}]us (pid {})",
+                s.name, p.name, s.pid
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let pids: HashSet<u64> = spans.iter().map(|s| s.pid).collect();
+    if let Some(want) = min_pids {
+        if pids.len() < want {
+            eprintln!(
+                "trace-check: {path} has spans in {} pid lane(s), expected at least {want}",
+                pids.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(chain) = &chain {
+        let target = chain.last().expect("validated nonempty");
+        let satisfied = spans.iter().filter(|s| &s.name == target).any(|leaf| {
+            let mut need = chain.len() - 1; // next required ancestor: chain[need - 1]
+            let mut cur = leaf.parent;
+            let mut hops = 0usize;
+            while need > 0 {
+                let Some(pi) = cur.and_then(|id| by_id.get(&id)) else {
+                    break;
+                };
+                hops += 1;
+                if hops > spans.len() {
+                    break; // malformed cyclic parent links
+                }
+                let p = &spans[*pi];
+                if p.name == chain[need - 1] {
+                    need -= 1;
+                }
+                cur = p.parent;
+            }
+            need == 0
+        });
+        if !satisfied {
+            eprintln!(
+                "trace-check: {path}: no span ancestry chain {} found",
+                chain.join(" -> ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(name) = flag_value(args, "--network") {
+        let Some(net) = find_network(&name) else {
+            eprintln!("trace-check: unknown network {name}");
+            return ExitCode::FAILURE;
+        };
+        if layer_spans < net.layers().len() {
+            eprintln!(
+                "trace-check: {path} has {layer_spans} sim.layer spans, \
+                 expected at least {} for {name}",
+                net.layers().len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if unresolved > 0 {
+        eprintln!(
+            "trace-check: warning: {unresolved} span(s) reference parents \
+             absent from the file (ring eviction under load?)"
+        );
+    }
+    if dropped_total > 0 {
+        eprintln!(
+            "trace-check: warning: {dropped_total} span(s) dropped at capture \
+             time (tracer ring full); lanes may be incomplete"
+        );
+    }
+    println!(
+        "trace-check: {path} ok ({} spans, {layer_spans} sim.layer, {} pid lane(s))",
+        spans.len(),
+        pids.len()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -543,6 +985,7 @@ fn main() -> ExitCode {
                     "--cache-entries",
                     "--store-dir",
                     "--reactor",
+                    "--trace",
                 ],
             ) {
                 return fail("serve", &e);
@@ -569,6 +1012,7 @@ fn main() -> ExitCode {
                 engine_threads: defaults.engine_threads,
                 store_dir: flag_value(&args, "--store-dir").map(std::path::PathBuf::from),
                 reactor: args.iter().any(|a| a == "--reactor"),
+                trace: args.iter().any(|a| a == "--trace"),
                 ..defaults.clone()
             };
             let server = match Server::start(config) {
@@ -584,71 +1028,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "fleet" => fleet_command(&args),
+        "top" => top_command(&args),
+        "metrics-export" => metrics_export_command(&args),
         "store" => store_command(&args),
-        "trace-check" => {
-            if let Err(e) = check_flags(&args, &["--network"]) {
-                return fail("trace-check", &e);
-            }
-            let Some(path) = args.get(1) else {
-                return fail("trace-check", "need a trace file path");
-            };
-            let data = match std::fs::read_to_string(path) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("trace-check: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut spans = 0usize;
-            let mut layer_spans = 0usize;
-            for (lineno, line) in data.lines().enumerate() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let event = match sibia::obs::Json::parse(line) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        eprintln!("trace-check: {path}:{}: invalid JSON: {e}", lineno + 1);
-                        return ExitCode::FAILURE;
-                    }
-                };
-                let name = event.get("name").and_then(|n| n.as_str());
-                let is_complete = event.get("ph").and_then(|p| p.as_str()) == Some("X");
-                let timed = event.get("ts").is_some() && event.get("dur").is_some();
-                if name.is_none() || !is_complete || !timed {
-                    eprintln!(
-                        "trace-check: {path}:{}: not a complete trace_event \
-                         (need name, ph:\"X\", ts, dur)",
-                        lineno + 1
-                    );
-                    return ExitCode::FAILURE;
-                }
-                spans += 1;
-                if name == Some("sim.layer") {
-                    layer_spans += 1;
-                }
-            }
-            if spans == 0 {
-                eprintln!("trace-check: {path} contains no spans");
-                return ExitCode::FAILURE;
-            }
-            if let Some(name) = flag_value(&args, "--network") {
-                let Some(net) = find_network(&name) else {
-                    eprintln!("trace-check: unknown network {name}");
-                    return ExitCode::FAILURE;
-                };
-                if layer_spans < net.layers().len() {
-                    eprintln!(
-                        "trace-check: {path} has {layer_spans} sim.layer spans, \
-                         expected at least {} for {name}",
-                        net.layers().len()
-                    );
-                    return ExitCode::FAILURE;
-                }
-            }
-            println!("trace-check: {path} ok ({spans} spans, {layer_spans} sim.layer)");
-            ExitCode::SUCCESS
-        }
+        "trace-check" => trace_check_command(&args),
         other => fail("sibia-cli", &format!("unknown command '{other}'")),
     }
 }

@@ -42,7 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use sibia_obs::{registry, tracer, Counter, Histogram, Json};
+use sibia_obs::{registry, tracer, Counter, Histogram, Json, TraceContext};
 use sibia_serve::{Client, ClientError, ErrorCode, ServeError};
 
 use crate::backoff::BackoffPolicy;
@@ -201,6 +201,11 @@ impl FleetMetrics {
     }
 }
 
+/// Process-wide sweep sequence feeding per-sweep trace ids (`fs1`,
+/// `fs2`, …). Process-wide rather than per-fleet so two coordinators in
+/// one process never mint the same id.
+static SWEEP_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// One cell traveling through the dispatch machinery.
 #[derive(Debug, Clone, Copy)]
 struct CellJob {
@@ -229,6 +234,9 @@ struct SweepState<'a> {
     networks: &'a [String],
     seeds: &'a [u64],
     sample_cap: Option<usize>,
+    /// This sweep's propagated trace id: rides every dispatched request's
+    /// envelope, so backend spans are pullable (`spans` verb) under it.
+    trace_id: &'a str,
     slots: Vec<Mutex<Option<Json>>>,
     senders: Vec<Sender<CellJob>>,
     remaining: AtomicUsize,
@@ -280,6 +288,9 @@ pub struct Fleet {
     pools: Vec<Arc<ClientPool>>,
     breakers: Vec<Mutex<CircuitBreaker>>,
     metrics: FleetMetrics,
+    /// Trace id of the most recently started sweep (see
+    /// [`Fleet::last_trace_id`]).
+    last_trace_id: Mutex<Option<String>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -333,12 +344,62 @@ impl Fleet {
             pools,
             breakers,
             metrics: FleetMetrics::new(),
+            last_trace_id: Mutex::new(None),
         })
     }
 
     /// The configured endpoints.
     pub fn endpoints(&self) -> &[String] {
         &self.config.endpoints
+    }
+
+    /// The propagated trace id of the most recently started sweep (`fs1`,
+    /// `fs2`, …). Always set by a sweep; backend spans exist under it only
+    /// when the backends (and this process) run with tracing enabled.
+    pub fn last_trace_id(&self) -> Option<String> {
+        self.last_trace_id.lock().expect("trace id lock").clone()
+    }
+
+    /// Pulls hierarchy spans recorded under `trace_id` from every backend
+    /// (the `spans` verb), in endpoint order. A backend that cannot answer
+    /// yields `Err(message)` — the merger skips it rather than failing the
+    /// whole export.
+    #[allow(clippy::type_complexity)]
+    pub fn pull_spans(
+        &self,
+        trace_id: &str,
+        limit: Option<usize>,
+    ) -> Vec<(String, Result<Json, String>)> {
+        self.config
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(b, endpoint)| {
+                let outcome = self.pools[b]
+                    .checkout()
+                    .map_err(|e| format!("connect: {e}"))
+                    .and_then(|mut client| {
+                        let pulled = client
+                            .spans(limit, Some(trace_id))
+                            .map_err(|e| e.to_string());
+                        if pulled.is_ok() {
+                            self.pools[b].checkin(client);
+                        }
+                        pulled
+                    });
+                (endpoint.clone(), outcome)
+            })
+            .collect()
+    }
+
+    /// Assembles the fleet-wide Chrome trace for `trace_id`: this process's
+    /// `fleet.*` spans plus every backend's pulled spans, each process in
+    /// its own `pid` lane with ids rewritten globally unique and propagated
+    /// parent links resolved (see [`crate::telemetry::merge_chrome_trace`]).
+    pub fn merged_chrome_trace(&self, trace_id: &str, limit: Option<usize>) -> Json {
+        let coordinator = tracer().records();
+        let backends = self.pull_spans(trace_id, limit);
+        crate::telemetry::merge_chrome_trace(trace_id, &coordinator, &backends)
     }
 
     /// Runs the (archs × networks × seeds) grid and returns the merged
@@ -354,7 +415,10 @@ impl Fleet {
         if archs.is_empty() || networks.is_empty() || seeds.is_empty() {
             return Err(FleetError::EmptyGrid);
         }
+        let trace_id = format!("fs{}", SWEEP_SEQ.fetch_add(1, Ordering::Relaxed) + 1);
+        *self.last_trace_id.lock().expect("trace id lock") = Some(trace_id.clone());
         let mut sweep_span = tracer().span("fleet.sweep");
+        sweep_span.attr("trace_id", &trace_id);
         sweep_span.attr("cells", archs.len() * networks.len() * seeds.len());
         sweep_span.attr("backends", self.config.endpoints.len());
 
@@ -376,6 +440,7 @@ impl Fleet {
             networks,
             seeds,
             sample_cap,
+            trace_id: &trace_id,
             slots: (0..cells).map(|_| Mutex::new(None)).collect(),
             senders,
             remaining: AtomicUsize::new(cells),
@@ -527,10 +592,11 @@ impl Fleet {
             let attempt_start = Instant::now();
             let outcome = {
                 let mut span = tracer().span("fleet.dispatch");
+                span.attr("trace_id", state.trace_id);
                 span.attr("backend", backend);
                 span.attr("cell", job.flat);
                 span.attr("attempt", job.attempts);
-                self.attempt_cell(backend, job.flat, state)
+                self.attempt_cell(backend, job.flat, span.id(), state)
             };
             self.metrics.attempt_us.record(attempt_start.elapsed());
             match outcome {
@@ -601,7 +667,13 @@ impl Fleet {
     }
 
     /// One wire round trip for one cell against one backend.
-    fn attempt_cell(&self, backend: usize, flat: usize, state: &SweepState<'_>) -> Attempt {
+    fn attempt_cell(
+        &self,
+        backend: usize,
+        flat: usize,
+        dispatch_span: Option<u64>,
+        state: &SweepState<'_>,
+    ) -> Attempt {
         let mut client = match self.pools[backend].checkout() {
             Ok(c) => c,
             Err(e) => return Attempt::Fault(format!("connect: {e}")),
@@ -624,6 +696,13 @@ impl Fleet {
         ];
         if let Some(cap) = state.sample_cap {
             fields.push(("sample_cap", Json::from(cap)));
+        }
+        // Trace context rides the request *envelope*, never the result, so
+        // the merged document stays byte-identical whether or not anyone is
+        // tracing. The parent link is present only when the coordinator's
+        // tracer recorded the dispatch span.
+        if let Some(ctx) = TraceContext::new(state.trace_id.to_owned(), dispatch_span) {
+            fields.push(("trace", ctx.to_json()));
         }
         match client.call(Json::obj(fields)) {
             Ok(result) => {
@@ -767,6 +846,7 @@ mod tests {
             networks: &networks,
             seeds: &seeds,
             sample_cap: None,
+            trace_id: "fs-test",
             slots: Vec::new(),
             senders: Vec::new(),
             remaining: AtomicUsize::new(0),

@@ -13,6 +13,7 @@
 //! | [`breaker`] | per-backend Closed/Open/HalfOpen circuit breaker |
 //! | [`pool`] | per-backend blocking connection pool over [`sibia_serve::Client`] |
 //! | [`coordinator`] | the [`Fleet`] itself: dispatch workers, retry/failover policy, ping prober, result merge |
+//! | [`telemetry`] | fleet-wide Chrome trace assembly: per-process `pid` lanes, global span ids, propagated parent links |
 //!
 //! ## Failure policy in one paragraph
 //!
@@ -37,9 +38,11 @@ pub mod breaker;
 pub mod coordinator;
 pub mod pool;
 pub mod shard;
+pub mod telemetry;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::CircuitBreaker;
 pub use coordinator::{Fleet, FleetConfig, FleetError, SweepStats};
 pub use pool::ClientPool;
 pub use shard::{backend_for_cell, cell_key};
+pub use telemetry::{backend_pid, merge_chrome_trace, COORDINATOR_PID};

@@ -188,6 +188,10 @@ struct NetMetrics {
     polls: Arc<Counter>,
     broken: Arc<Counter>,
     tick: Arc<Histogram>,
+    /// Time spent blocked in `epoll_wait` per poll — the reactor's idle
+    /// side. Together with `tick` (the dispatch side) a telemetry sampler
+    /// can derive reactor utilisation per scrape window.
+    wait: Arc<Histogram>,
 }
 
 impl NetMetrics {
@@ -206,6 +210,7 @@ impl NetMetrics {
             polls: registry.counter("net.polls"),
             broken: registry.counter("net.connections.broken"),
             tick: registry.histogram("net.reactor.tick_us"),
+            wait: registry.histogram("net.reactor.wait_us"),
         }
     }
 }
@@ -349,10 +354,12 @@ impl EventLoop {
     fn run(mut self) {
         let mut events = vec![EpollEvent::default(); 1024];
         loop {
+            let wait_start = Instant::now();
             let n = match self.epoll.wait(&mut events, 100) {
                 Ok(n) => n,
                 Err(_) => return,
             };
+            self.metrics.wait.record(wait_start.elapsed());
             let tick_start = Instant::now();
             self.metrics.polls.inc();
             for ev in events.iter().take(n) {

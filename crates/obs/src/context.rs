@@ -1,0 +1,116 @@
+//! Cross-process trace context propagation.
+//!
+//! A [`TraceContext`] is what one process hands another so spans recorded
+//! on both sides can be merged into a single trace: a caller-chosen
+//! `trace_id` naming the whole distributed operation, plus (optionally)
+//! the caller's span id that the callee's root span should hang under.
+//!
+//! On the serve wire protocol the context rides the request **envelope**
+//! (`"trace": {"trace_id": ..., "parent_span": ...}`) — never the
+//! `result`, which stays byte-identical to the library serialization —
+//! and the callee's span records the caller's id as
+//! [`remote_parent`](crate::SpanRecord::remote_parent). The ids are only
+//! meaningful to a merger that knows which process each side is (see the
+//! fleet's merged-trace export): within one process they could collide
+//! with local span ids, so they are kept in a separate field.
+
+use crate::json::Json;
+
+/// Longest accepted `trace_id` (a propagated id is attacker-controlled
+/// input to a server; bound it).
+pub const MAX_TRACE_ID_LEN: usize = 128;
+
+/// A propagated trace context: which distributed trace a request belongs
+/// to, and which caller span to nest under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Caller-chosen trace identifier, non-empty, at most
+    /// [`MAX_TRACE_ID_LEN`] bytes.
+    pub trace_id: String,
+    /// The caller's span id the callee's root span is a child of, if the
+    /// caller recorded one (tracing may be off on the caller).
+    pub parent_span: Option<u64>,
+}
+
+impl TraceContext {
+    /// Builds a context. Returns `None` for an empty or oversized
+    /// `trace_id`.
+    pub fn new(trace_id: impl Into<String>, parent_span: Option<u64>) -> Option<Self> {
+        let trace_id = trace_id.into();
+        if trace_id.is_empty() || trace_id.len() > MAX_TRACE_ID_LEN {
+            return None;
+        }
+        Some(Self {
+            trace_id,
+            parent_span,
+        })
+    }
+
+    /// The wire form: `{"trace_id": "...", "parent_span": n}` with
+    /// `parent_span` omitted when absent.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("trace_id".to_owned(), Json::from(self.trace_id.as_str()))];
+        if let Some(p) = self.parent_span {
+            members.push(("parent_span".to_owned(), Json::from(p)));
+        }
+        Json::Object(members)
+    }
+
+    /// Parses the wire form. `Err` carries a one-line reason suitable for a
+    /// `bad_request` message.
+    pub fn from_json(v: &Json) -> Result<Self, &'static str> {
+        if !matches!(v, Json::Object(_)) {
+            return Err("'trace' must be an object");
+        }
+        let trace_id = v
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .ok_or("'trace.trace_id' must be a string")?;
+        let parent_span = match v.get("parent_span") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(
+                p.as_u64()
+                    .ok_or("'trace.parent_span' must be a non-negative integer")?,
+            ),
+        };
+        Self::new(trace_id, parent_span)
+            .ok_or("'trace.trace_id' must be non-empty and at most 128 bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let ctx = TraceContext::new("fs1", Some(42)).unwrap();
+        let j = ctx.to_json();
+        assert_eq!(j.to_string(), "{\"trace_id\":\"fs1\",\"parent_span\":42}");
+        assert_eq!(TraceContext::from_json(&j).unwrap(), ctx);
+
+        let bare = TraceContext::new("t9", None).unwrap();
+        let j = bare.to_json();
+        assert_eq!(j.to_string(), "{\"trace_id\":\"t9\"}");
+        assert_eq!(TraceContext::from_json(&j).unwrap(), bare);
+    }
+
+    #[test]
+    fn rejects_malformed_contexts() {
+        assert!(TraceContext::new("", None).is_none());
+        assert!(TraceContext::new("x".repeat(MAX_TRACE_ID_LEN + 1), None).is_none());
+        assert!(TraceContext::new("x".repeat(MAX_TRACE_ID_LEN), None).is_some());
+
+        for bad in [
+            "7",
+            "{}",
+            "{\"trace_id\":3}",
+            "{\"trace_id\":\"\"}",
+            "{\"trace_id\":\"t\",\"parent_span\":-1}",
+            "{\"trace_id\":\"t\",\"parent_span\":\"x\"}",
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(TraceContext::from_json(&v).is_err(), "{bad}");
+        }
+    }
+}

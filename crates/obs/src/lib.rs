@@ -7,6 +7,8 @@
 //! |---|---|
 //! | [`trace`] | hierarchical span tracer: lock-striped bounded buffer, Chrome `trace_event` JSONL export, plain-text tree summary |
 //! | [`metrics`] | unified registry of counters / gauges / power-of-two latency histograms with canonical JSON snapshots |
+//! | [`timeseries`] | ring-buffer time series over the registry: reset-aware counter rates, gauge levels, windowed histogram deltas, a background sampler, Prometheus-style exposition |
+//! | [`context`] | cross-process trace context (`trace_id` + parent span id) propagated through request envelopes |
 //! | [`json`] | the stack's canonical JSON value, parser, and serializer (re-exported by `sibia_serve::json`) |
 //!
 //! This crate sits at the **bottom** of the dependency graph — everything
@@ -34,10 +36,14 @@
 //!     .inc();
 //! ```
 
+pub mod context;
 pub mod json;
 pub mod metrics;
+pub mod timeseries;
 pub mod trace;
 
+pub use context::TraceContext;
 pub use json::{Json, JsonError};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use timeseries::{Sampler, SamplerSource, Telemetry, TimeSeries};
 pub use trace::{registry, tracer, SpanGuard, SpanRecord, Tracer};

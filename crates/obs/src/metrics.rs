@@ -161,36 +161,163 @@ impl Histogram {
     /// of the bucket holding the rank-`ceil(q*n)` observation; 0 when
     /// empty. The saturating top bucket reports the exact observed maximum
     /// (its nominal upper edge would not be an upper bound at all).
+    ///
+    /// Legacy numeric API: a `0.0` return is ambiguous between "empty" and
+    /// "genuinely sub-microsecond". Prefer [`Self::quantile_us`], which is
+    /// typed `None` when the histogram cannot support the estimate.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        let n = self.count();
+        self.snapshot().quantile_ms(q)
+    }
+
+    /// The `q`-quantile in microseconds, or `None` when the histogram holds
+    /// fewer than two observations (an empty or single-observation
+    /// histogram has no meaningful quantile spread — reporting the lone
+    /// bucket's upper edge as "p999" is garbage).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile_us(q)
+    }
+
+    /// [`Self::quantile_us`] in milliseconds.
+    pub fn try_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.quantile_us(q).map(|us| us as f64 / 1e3)
+    }
+
+    /// A point-in-time copy of every bucket plus the count/sum/max, the
+    /// unit the time-series sampler diffs window-over-window.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            total_us: self.total_us(),
+            max_us: self.max_us(),
+        }
+    }
+
+    /// Compact JSON summary (`count`, `mean`, `p50`, `p99`, `p999`, `max`
+    /// in ms). Quantiles are `null` when the histogram holds fewer than two
+    /// observations (see [`Self::quantile_us`]).
+    pub fn summary_json(&self) -> Json {
+        self.snapshot().summary_json()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: the same bucket scheme as
+/// plain data, diffable window-over-window by the time-series sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; Histogram::BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of observations in microseconds.
+    pub total_us: u64,
+    /// Largest observation in microseconds (0 when empty).
+    pub max_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; Histogram::BUCKETS],
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (what "no previous window" diffs against).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The observations recorded between `prev` and `self`, per bucket.
+    ///
+    /// Reset-aware: if `self` counts *less* than `prev` (the source process
+    /// restarted between scrapes), the delta is `self` itself — everything
+    /// the restarted process has seen — rather than a nonsense saturated
+    /// difference. `max_us` is carried from `self` (a window max is not
+    /// derivable from cumulative snapshots; the cumulative max is still an
+    /// upper bound for every window).
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.count < prev.count {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(prev.buckets[i])),
+            count: self.count - prev.count,
+            total_us: self.total_us.saturating_sub(prev.total_us),
+            max_us: self.max_us,
+        }
+    }
+
+    /// Mean in microseconds, or `None` when empty.
+    pub fn mean_us(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.total_us as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile in microseconds, or `None` when fewer than two
+    /// observations are held (same contract as [`Histogram::quantile_us`]).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count < 2 {
+            return None;
+        }
+        let n = self.count;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(if i == Histogram::BUCKETS - 1 {
+                    self.max_us
+                } else {
+                    1u64 << (i + 1)
+                });
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Legacy numeric quantile (see [`Histogram::quantile_ms`]): bucket
+    /// upper bound in ms, `0.0` when empty, the lone bucket's upper bound
+    /// on a single observation.
+    pub(crate) fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count;
         if n == 0 {
             return 0.0;
         }
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b;
             if seen >= rank {
-                return if i == Self::BUCKETS - 1 {
-                    self.max_us() as f64 / 1e3
+                return if i == Histogram::BUCKETS - 1 {
+                    self.max_us as f64 / 1e3
                 } else {
                     (1u64 << (i + 1)) as f64 / 1e3
                 };
             }
         }
-        self.max_us() as f64 / 1e3
+        self.max_us as f64 / 1e3
     }
 
-    /// Compact JSON summary (`count`, `mean`, `p50`, `p99`, `p999`, `max`
-    /// in ms).
+    /// Compact JSON summary; quantiles are `null` below two observations.
     pub fn summary_json(&self) -> Json {
+        let q = |q: f64| {
+            self.quantile_us(q)
+                .map_or(Json::Null, |us| Json::from(us as f64 / 1e3))
+        };
         Json::obj(vec![
-            ("count", Json::from(self.count())),
-            ("mean", Json::from(self.mean_ms())),
-            ("p50", Json::from(self.quantile_ms(0.5))),
-            ("p99", Json::from(self.quantile_ms(0.99))),
-            ("p999", Json::from(self.quantile_ms(0.999))),
-            ("max", Json::from(self.max_us() as f64 / 1e3)),
+            ("count", Json::from(self.count)),
+            (
+                "mean",
+                self.mean_us().map_or(Json::Null, |us| Json::from(us / 1e3)),
+            ),
+            ("p50", q(0.5)),
+            ("p99", q(0.99)),
+            ("p999", q(0.999)),
+            ("max", Json::from(self.max_us as f64 / 1e3)),
         ])
     }
 }
@@ -235,6 +362,37 @@ impl Registry {
             map.entry(name.to_owned())
                 .or_insert_with(|| Arc::new(Histogram::new())),
         )
+    }
+
+    /// Every registered counter's `(name, value)`, name-sorted. The
+    /// time-series sampler's iteration surface (handles stay inside).
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every registered gauge's `(name, value)`, name-sorted.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// Every registered histogram's `(name, snapshot)`, name-sorted.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
     }
 
     /// Canonical snapshot: every instrument, name-sorted (the `BTreeMap`
@@ -332,6 +490,85 @@ mod tests {
         assert_eq!(h.quantile_ms(0.75), 2.048);
         assert_eq!(h.quantile_ms(1.0), 2.048);
         assert_eq!(h.total_us(), 1 + 1 + 1500 + 1600);
+    }
+
+    #[test]
+    fn typed_quantiles_are_none_on_empty_and_single_observation() {
+        let h = Histogram::new();
+        // Empty: every typed quantile (and the summary's p50/p99/p999) is
+        // None/null, not a bucket edge.
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.quantile_us(0.999), None);
+        assert_eq!(h.try_quantile_ms(0.99), None);
+        let s = h.summary_json();
+        for q in ["p50", "p99", "p999", "mean"] {
+            assert_eq!(s.get(q), Some(&Json::Null), "{q} must be null when empty");
+        }
+
+        // Single observation: still None — one sample has no quantile
+        // spread, and "p999 = 0.128 ms" from a lone 100 µs sample is
+        // bucket-edge garbage.
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.quantile_us(0.999), None);
+        let s = h.summary_json();
+        assert_eq!(s.get("p999"), Some(&Json::Null));
+        assert_eq!(s.get("count"), Some(&Json::Int(1)));
+        assert!(s.get("mean").unwrap().as_f64().is_some(), "mean is defined");
+
+        // Two observations: quantiles become real bucket upper bounds.
+        h.record(Duration::from_micros(3000));
+        assert_eq!(h.quantile_us(0.5), Some(128));
+        assert_eq!(h.quantile_us(0.999), Some(4096));
+        assert_eq!(h.try_quantile_ms(0.999), Some(4.096));
+    }
+
+    #[test]
+    fn snapshot_delta_windows_and_reset_awareness() {
+        let h = Histogram::new();
+        h.record_us(100);
+        h.record_us(100);
+        let w0 = h.snapshot();
+        // Empty window (no new observations): delta has no quantiles.
+        let empty = h.snapshot().delta_since(&w0);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile_us(0.5), None);
+        assert_eq!(empty.summary_json().get("p50"), Some(&Json::Null));
+
+        // Single-observation window: typed None too (extends the empty/
+        // single-observation rule from the cumulative histogram to windows).
+        h.record_us(5000);
+        let single = h.snapshot().delta_since(&w0);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.quantile_us(0.999), None);
+
+        // A real window only sees its own observations, not w0's.
+        h.record_us(6000);
+        let win = h.snapshot().delta_since(&w0);
+        assert_eq!(win.count, 2);
+        assert_eq!(win.total_us, 11_000);
+        assert_eq!(win.quantile_us(0.5), Some(8192), "both in [4096,8192) µs");
+
+        // Counter reset (process restart mid-scrape): the new process's
+        // smaller cumulative snapshot *is* the delta.
+        let fresh = Histogram::new();
+        fresh.record_us(42);
+        let after_restart = fresh.snapshot().delta_since(&h.snapshot());
+        assert_eq!(after_restart.count, 1);
+        assert_eq!(after_restart.total_us, 42);
+    }
+
+    #[test]
+    fn registry_iteration_matches_snapshot() {
+        let r = Registry::new();
+        r.counter("a.c").add(3);
+        r.gauge("b.g").set(-7);
+        r.histogram("c.h").record_us(10);
+        assert_eq!(r.counter_values(), vec![("a.c".to_owned(), 3)]);
+        assert_eq!(r.gauge_values(), vec![("b.g".to_owned(), -7)]);
+        let hists = r.histogram_snapshots();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "c.h");
+        assert_eq!(hists[0].1.count, 1);
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct SpanRecord {
     pub id: u64,
     /// Enclosing span on the same thread, if any.
     pub parent: Option<u64>,
+    /// Parent span id in *another process* (a propagated trace context):
+    /// the caller's span id, meaningful only to a merger that knows which
+    /// process it came from (see `fleet`'s merged-trace export).
+    pub remote_parent: Option<u64>,
     /// Span name (e.g. `sim.layer`).
     pub name: String,
     /// Dense thread id of the recording thread.
@@ -101,9 +105,18 @@ impl SpanRecord {
     /// Span id/parent ride along in `args` (the chrome format has no
     /// first-class span ids for complete events).
     pub fn to_chrome_json(&self) -> Json {
+        self.to_chrome_json_pid(1)
+    }
+
+    /// [`Self::to_chrome_json`] under an explicit process id — the merged
+    /// multi-process export gives each backend its own `pid` lane.
+    pub fn to_chrome_json_pid(&self, pid: u64) -> Json {
         let mut args: Vec<(String, Json)> = vec![("id".to_owned(), Json::from(self.id))];
         if let Some(p) = self.parent {
             args.push(("parent".to_owned(), Json::from(p)));
+        }
+        if let Some(rp) = self.remote_parent {
+            args.push(("remote_parent".to_owned(), Json::from(rp)));
         }
         for (k, v) in &self.attrs {
             args.push((k.clone(), Json::Str(v.clone())));
@@ -112,7 +125,7 @@ impl SpanRecord {
             ("name", Json::from(self.name.as_str())),
             ("cat", Json::from("sibia")),
             ("ph", Json::from("X")),
-            ("pid", Json::Int(1)),
+            ("pid", Json::from(pid)),
             ("tid", Json::from(self.tid)),
             ("ts", Json::from(self.start_us)),
             ("dur", Json::from(self.dur_us)),
@@ -188,6 +201,7 @@ impl Tracer {
                 tracer: self,
                 id,
                 parent,
+                remote_parent: None,
                 name: name.to_owned(),
                 tid: current_tid(),
                 start: Instant::now(),
@@ -206,12 +220,26 @@ impl Tracer {
         dur_us: u64,
         attrs: Vec<(String, String)>,
     ) {
+        self.record_span_remote(name, started, dur_us, attrs, None);
+    }
+
+    /// [`Self::record_span`] carrying a remote (cross-process) parent span
+    /// id from a propagated trace context.
+    pub fn record_span_remote(
+        &self,
+        name: &str,
+        started: Instant,
+        dur_us: u64,
+        attrs: Vec<(String, String)>,
+        remote_parent: Option<u64>,
+    ) {
         if !self.is_enabled() {
             return;
         }
         let record = SpanRecord {
             id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
             parent: None,
+            remote_parent,
             name: name.to_owned(),
             tid: current_tid(),
             start_us: started
@@ -320,6 +348,7 @@ struct SpanInner<'a> {
     tracer: &'a Tracer,
     id: u64,
     parent: Option<u64>,
+    remote_parent: Option<u64>,
     name: String,
     tid: u64,
     start: Instant,
@@ -351,6 +380,14 @@ impl SpanGuard<'_> {
         }
     }
 
+    /// Marks this span as the child of a span in *another process* (a
+    /// propagated trace context). No-op on an inert guard.
+    pub fn set_remote_parent(&mut self, remote: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.remote_parent = Some(remote);
+        }
+    }
+
     /// Ends the span now (equivalent to dropping the guard).
     pub fn end(self) {}
 }
@@ -371,6 +408,7 @@ impl Drop for SpanGuard<'_> {
         inner.tracer.push(SpanRecord {
             id: inner.id,
             parent: inner.parent,
+            remote_parent: inner.remote_parent,
             name: inner.name,
             tid: inner.tid,
             start_us,

@@ -1,0 +1,59 @@
+//! The windowed-histogram conservation property: however observations are
+//! interleaved with sampler ticks, the per-window bucket deltas the
+//! telemetry store retains sum *exactly* to the cumulative histogram — no
+//! observation is lost to a window boundary and none is double-counted.
+//!
+//! The window ring is sized to hold every tick the test takes, so the sum
+//! over retained windows is the sum over all windows.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sibia_obs::metrics::{Histogram, HistogramSnapshot, Registry};
+use sibia_obs::timeseries::{SamplerSource, Telemetry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn windowed_deltas_sum_to_cumulative(
+        // Batches of observations between ticks; empty batches exercise
+        // empty windows.
+        batches in prop::collection::vec(
+            prop::collection::vec(0u64..2_000_000, 0..8),
+            1..10,
+        ),
+    ) {
+        let registry = Arc::new(Registry::new());
+        let h = registry.histogram("prop.lat_us");
+        let telemetry = Telemetry::with_capacity(
+            vec![SamplerSource::Shared(Arc::clone(&registry))],
+            batches.len() + 1,
+        );
+        for batch in &batches {
+            for &us in batch {
+                h.record_us(us);
+            }
+            telemetry.sample();
+        }
+        let windows = telemetry.histogram_windows("prop.lat_us");
+        prop_assert_eq!(windows.len(), batches.len());
+
+        let mut summed = HistogramSnapshot::empty();
+        for (_, w) in &windows {
+            for i in 0..Histogram::BUCKETS {
+                summed.buckets[i] += w.buckets[i];
+            }
+            summed.count += w.count;
+            summed.total_us += w.total_us;
+        }
+        let cumulative = h.snapshot();
+        prop_assert_eq!(&summed.buckets[..], &cumulative.buckets[..]);
+        prop_assert_eq!(summed.count, cumulative.count);
+        prop_assert_eq!(summed.total_us, cumulative.total_us);
+        // Per-window counts match what each batch recorded.
+        for (batch, (_, w)) in batches.iter().zip(&windows) {
+            prop_assert_eq!(w.count, batch.len() as u64);
+        }
+    }
+}

@@ -368,4 +368,28 @@ impl Client {
         }
         self.call(Json::obj(fields))
     }
+
+    /// Hierarchical spans from the server's global tracer (oldest first,
+    /// parents before children), optionally restricted to one propagated
+    /// trace id. Empty unless the daemon runs with tracing enabled.
+    pub fn spans(
+        &mut self,
+        limit: Option<usize>,
+        trace_id: Option<&str>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![("kind", Json::from("spans"))];
+        if let Some(n) = limit {
+            fields.push(("limit", Json::from(n)));
+        }
+        if let Some(tid) = trace_id {
+            fields.push(("trace_id", Json::from(tid)));
+        }
+        self.call(Json::obj(fields))
+    }
+
+    /// A fresh time-series telemetry sample: counter rates, gauge levels,
+    /// and windowed histogram quantiles.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(Json::obj(vec![("kind", Json::from("stats"))]))
+    }
 }

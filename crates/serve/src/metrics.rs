@@ -35,8 +35,8 @@ use crate::protocol::ErrorCode;
 pub type LatencyHistogram = Histogram;
 
 /// Request kinds, in metrics order.
-const KINDS: [&str; 7] = [
-    "ping", "version", "encode", "simulate", "sweep", "metrics", "trace",
+const KINDS: [&str; 9] = [
+    "ping", "version", "encode", "simulate", "sweep", "metrics", "trace", "spans", "stats",
 ];
 /// Error codes, in metrics order (mirrors [`ErrorCode`]).
 const CODES: [&str; 7] = [
@@ -71,6 +71,19 @@ pub struct PhaseTimings {
     pub compute: Duration,
     /// Rendering + writing the response line.
     pub serialize: Duration,
+}
+
+/// A point-in-time reading of the levels the server owns outside this
+/// struct — queue occupancy and cache statistics — taken by whoever holds
+/// them (the `metrics` serializer or the telemetry pre-tick hook) and
+/// published into the registry gauges via [`ServeMetrics::set_gauges`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaugeSample {
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_entries: usize,
 }
 
 /// All server counters, held as `Arc` handles into one registry.
@@ -205,6 +218,27 @@ impl ServeMetrics {
         (&self.queue_wait, &self.compute, &self.serialize)
     }
 
+    /// Publishes the caller-owned state (queue depth, cache and store
+    /// statistics) into the registry gauges without serializing anything.
+    /// The telemetry sampler's pre-tick hook calls this so pull-style
+    /// gauges are fresh at every sample, not only after a `metrics`
+    /// request happens to serialize them.
+    pub fn set_gauges(&self, levels: &GaugeSample, store: Option<&StoreStats>) {
+        self.queue_depth.set(levels.queue_depth as i64);
+        self.queue_capacity.set(levels.queue_capacity as i64);
+        self.cache_hits.set(levels.cache_hits as i64);
+        self.cache_misses.set(levels.cache_misses as i64);
+        self.cache_entries.set(levels.cache_entries as i64);
+        if let Some(s) = store {
+            self.store_hits.set(s.hits as i64);
+            self.store_misses.set(s.misses as i64);
+            self.store_puts.set(s.puts as i64);
+            self.store_log_bytes.set(s.log_bytes as i64);
+            self.store_compactions.set(s.compactions as i64);
+            self.store_entries.set(s.entries as i64);
+        }
+    }
+
     fn histogram_json(h: &Histogram) -> Json {
         // The compact summary plus the exact microsecond sum, which lets
         // clients check the phase-summation invariant without bucket error.
@@ -221,34 +255,22 @@ impl ServeMetrics {
     /// published into the registry so the appended canonical snapshot
     /// carries them. `store: None` (no `--store-dir`) serializes the
     /// `store` member as `null`, which distinguishes "no store" from "store
-    /// with zero traffic".
+    /// with zero traffic". `dropped_spans` is the total spans evicted from
+    /// the server's bounded trace buffers — nonzero means `trace` / `spans`
+    /// responses are silently incomplete, so it surfaces here rather than
+    /// staying an internal counter.
     pub fn to_json(
         &self,
-        queue_depth: usize,
-        queue_capacity: usize,
-        cache_hits: u64,
-        cache_misses: u64,
-        cache_entries: usize,
+        levels: &GaugeSample,
+        dropped_spans: u64,
         store: Option<&StoreStats>,
     ) -> Json {
-        self.queue_depth.set(queue_depth as i64);
-        self.queue_capacity.set(queue_capacity as i64);
-        self.cache_hits.set(cache_hits as i64);
-        self.cache_misses.set(cache_misses as i64);
-        self.cache_entries.set(cache_entries as i64);
-        if let Some(s) = store {
-            self.store_hits.set(s.hits as i64);
-            self.store_misses.set(s.misses as i64);
-            self.store_puts.set(s.puts as i64);
-            self.store_log_bytes.set(s.log_bytes as i64);
-            self.store_compactions.set(s.compactions as i64);
-            self.store_entries.set(s.entries as i64);
-        }
-        let lookups = cache_hits + cache_misses;
+        self.set_gauges(levels, store);
+        let lookups = levels.cache_hits + levels.cache_misses;
         let hit_rate = if lookups == 0 {
             0.0
         } else {
-            cache_hits as f64 / lookups as f64
+            levels.cache_hits as f64 / lookups as f64
         };
         Json::obj(vec![
             (
@@ -282,20 +304,21 @@ impl ServeMetrics {
             (
                 "queue",
                 Json::obj(vec![
-                    ("depth", Json::from(queue_depth)),
-                    ("capacity", Json::from(queue_capacity)),
+                    ("depth", Json::from(levels.queue_depth)),
+                    ("capacity", Json::from(levels.queue_capacity)),
                 ]),
             ),
             (
                 "cache",
                 Json::obj(vec![
-                    ("hits", Json::from(cache_hits)),
-                    ("misses", Json::from(cache_misses)),
+                    ("hits", Json::from(levels.cache_hits)),
+                    ("misses", Json::from(levels.cache_misses)),
                     ("hit_rate", Json::from(hit_rate)),
-                    ("entries", Json::from(cache_entries)),
+                    ("entries", Json::from(levels.cache_entries)),
                 ]),
             ),
             ("store", store.map_or(Json::Null, StoreStats::to_json)),
+            ("dropped_spans", Json::from(dropped_spans)),
             ("latency_ms", Self::histogram_json(&self.latency)),
             (
                 "phases_ms",
@@ -361,7 +384,17 @@ mod tests {
         assert_eq!(m.ok_total(), 3);
         assert_eq!(m.err_total(), 1);
         assert_eq!(m.errors(ErrorCode::Overloaded), 1);
-        let j = m.to_json(2, 64, 30, 10, 12, None);
+        let j = m.to_json(
+            &GaugeSample {
+                queue_depth: 2,
+                queue_capacity: 64,
+                cache_hits: 30,
+                cache_misses: 10,
+                cache_entries: 12,
+            },
+            0,
+            None,
+        );
         assert_eq!(
             j.get("requests")
                 .unwrap()
@@ -412,7 +445,14 @@ mod tests {
         assert!(phase_sum <= m.latency().total_us());
         // The exact sums surface in the metrics response for clients to
         // make the same check.
-        let j = m.to_json(0, 64, 0, 0, 0, None);
+        let j = m.to_json(
+            &GaugeSample {
+                queue_capacity: 64,
+                ..GaugeSample::default()
+            },
+            0,
+            None,
+        );
         let total_us = j
             .get("latency_ms")
             .unwrap()
@@ -445,7 +485,14 @@ mod tests {
             Duration::from_micros(5),
             PhaseTimings::default(),
         );
-        let j = m.to_json(1, 8, 3, 1, 2, None);
+        let levels = GaugeSample {
+            queue_depth: 1,
+            queue_capacity: 8,
+            cache_hits: 3,
+            cache_misses: 1,
+            cache_entries: 2,
+        };
+        let j = m.to_json(&levels, 5, None);
         let registry = j.get("registry").expect("registry snapshot");
         let counters = registry.get("counters").unwrap();
         assert_eq!(
@@ -458,8 +505,8 @@ mod tests {
         assert_eq!(gauges.get("serve.queue.capacity"), Some(&Json::Int(8)));
         // Canonical: two snapshots of the same state are byte-identical.
         assert_eq!(
-            m.to_json(1, 8, 3, 1, 2, None).to_string(),
-            m.to_json(1, 8, 3, 1, 2, None).to_string()
+            m.to_json(&levels, 5, None).to_string(),
+            m.to_json(&levels, 5, None).to_string()
         );
     }
 }

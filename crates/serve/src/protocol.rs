@@ -13,19 +13,27 @@
 //! server echoes verbatim in the response envelope.
 //!
 //! ```text
-//! request  = { "kind": KIND, ["id": any], ["timeout_ms": int], ...params }
-//! KIND     = "ping" | "version" | "encode" | "simulate" | "sweep" | "metrics" | "trace"
+//! request  = { "kind": KIND, ["id": any], ["timeout_ms": int],
+//!              ["trace": { "trace_id": string, ["parent_span": int] }], ...params }
+//! KIND     = "ping" | "version" | "encode" | "simulate" | "sweep"
+//!          | "metrics" | "trace" | "spans" | "stats"
 //! response = { ["id": any], "ok": true,  ["trace_id": string], "result": object }
 //!          | { ["id": any], "ok": false, ["trace_id": string], "error": { "code": CODE, "message": string } }
 //! CODE     = "bad_request" | "unknown_arch" | "unknown_network"
 //!          | "overloaded" | "deadline_exceeded" | "shutting_down" | "internal"
 //! ```
 //!
-//! `trace_id` is a server-assigned per-request identifier, echoed in the
-//! response **envelope** (never inside `result`, which stays byte-identical
-//! to the library serialization) and attached to the request's span in the
+//! `trace_id` is a per-request identifier, echoed in the response
+//! **envelope** (never inside `result`, which stays byte-identical to the
+//! library serialization) and attached to the request's span in the
 //! server's trace buffer, so a slow response can be looked up with a
-//! `trace` request.
+//! `trace` request. Server-assigned (`t1`, `t2`, …) unless the request
+//! carried a `trace` context (revision 4), in which case the propagated
+//! `trace_id` is adopted — the cross-process handshake that lets a fleet
+//! coordinator stitch coordinator/backend/sim spans into one merged trace
+//! (see [`sibia_obs::context::TraceContext`] for the envelope rules). The
+//! context rides the envelope only: results stay byte-identical whether or
+//! not a request is traced.
 //!
 //! Per kind:
 //!
@@ -43,9 +51,22 @@
 //!   optional `sample_cap: int`; returns the full grid in row-major
 //!   (arch, network, seed) order, exactly as [`sibia_sim::ParallelEngine`]
 //!   produces it.
-//! * `metrics` — no params; returns the server's counters.
+//! * `metrics` — no params; returns the server's counters (including
+//!   `dropped_spans`, the spans evicted from the bounded trace buffers).
 //! * `trace` — optional `limit: int` (default 32); returns the most recent
 //!   completed request spans as Chrome `trace_event` objects, newest first.
+//! * `spans` — optional `limit: int` (default 4096), optional
+//!   `trace_id: string`; returns buffered spans from the process-global
+//!   tracer (the detailed `serve.request` → `sim.*` hierarchy recorded when
+//!   the daemon runs with `--trace`) as Chrome `trace_event` objects in
+//!   start order, plus the tracer's dropped-span count. With `trace_id`,
+//!   only spans belonging to that propagated trace (a request span carrying
+//!   the id, or any descendant of one) are returned — what a fleet
+//!   coordinator pulls per sweep to build the merged trace.
+//! * `stats` — no params; forces a telemetry tick and returns the
+//!   time-series view (counter rates, gauge levels, windowed histogram
+//!   quantiles — see `sibia_obs::timeseries`). Answered inline, so a
+//!   saturated daemon still reports its own saturation.
 //!
 //! ## Determinism guarantee
 //!
@@ -57,6 +78,7 @@
 //! cache state, or request interleaving.
 
 use crate::json::Json;
+use sibia_obs::TraceContext;
 use sibia_sbr::packed::PackedPlane;
 use sibia_sbr::{gsbr::GenSlices, Precision};
 use sibia_sim::cache::DMU_INDEX_BITS;
@@ -71,8 +93,10 @@ pub use sibia_sim::jsonio::{grid_to_json, network_result_to_json};
 /// grammar changes in a way a client must gate on (revision 2 added the
 /// `version` request itself and the store-backed warm-restart semantics;
 /// revision 3 added the `front` field to `version` and, on the reactor
-/// front, out-of-request-order pipelined responses correlated by `id`).
-pub const PROTOCOL_REVISION: u64 = 3;
+/// front, out-of-request-order pipelined responses correlated by `id`;
+/// revision 4 added the optional `trace` context on request envelopes and
+/// the `spans` / `stats` verbs).
+pub const PROTOCOL_REVISION: u64 = 4;
 
 /// Typed protocol error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +197,16 @@ pub enum Request {
         /// Maximum spans to return (default 32).
         limit: Option<usize>,
     },
+    /// Buffered global-tracer spans (the `--trace` hierarchy), answered
+    /// inline.
+    Spans {
+        /// Maximum spans to return (default 4096).
+        limit: Option<usize>,
+        /// Only spans of this propagated trace (and their descendants).
+        trace_id: Option<String>,
+    },
+    /// The time-series telemetry view, answered inline.
+    Stats,
 }
 
 impl Request {
@@ -186,6 +220,8 @@ impl Request {
             Request::Sweep { .. } => "sweep",
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
+            Request::Spans { .. } => "spans",
+            Request::Stats => "stats",
         }
     }
 }
@@ -197,6 +233,10 @@ pub struct Envelope {
     pub id: Option<Json>,
     /// Per-request deadline in milliseconds from receipt.
     pub timeout_ms: Option<u64>,
+    /// Propagated trace context (revision 4): the server adopts its
+    /// `trace_id` and records the request span as a child of
+    /// `parent_span`. Envelope metadata only — never touches `result`.
+    pub trace: Option<TraceContext>,
     /// The work.
     pub request: Request,
 }
@@ -262,6 +302,12 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
     }
     let id = v.get("id").cloned();
     let timeout_ms = field_u64(&v, "timeout_ms")?;
+    let trace = match v.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(
+            TraceContext::from_json(t).map_err(|e| ServeError::new(ErrorCode::BadRequest, e))?,
+        ),
+    };
     let kind = v
         .get("kind")
         .and_then(Json::as_str)
@@ -273,6 +319,20 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
         "trace" => Request::Trace {
             limit: field_u64(&v, "limit")?.map(|n| n as usize),
         },
+        "spans" => Request::Spans {
+            limit: field_u64(&v, "limit")?.map(|n| n as usize),
+            trace_id: match v.get("trace_id") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .ok_or_else(|| {
+                            ServeError::new(ErrorCode::BadRequest, "'trace_id' must be a string")
+                        })?
+                        .to_owned(),
+                ),
+            },
+        },
+        "stats" => Request::Stats,
         "encode" => {
             let raw = v.get("values").and_then(Json::as_array).ok_or_else(|| {
                 ServeError::new(ErrorCode::BadRequest, "'values' must be an array")
@@ -367,6 +427,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
     Ok(Envelope {
         id,
         timeout_ms,
+        trace,
         request,
     })
 }
@@ -570,6 +631,53 @@ mod tests {
         assert_eq!(e.request, Request::Trace { limit: Some(5) });
         let e = parse_request("{\"kind\":\"trace\"}").unwrap();
         assert_eq!(e.request, Request::Trace { limit: None });
+
+        let e = parse_request("{\"kind\":\"spans\",\"limit\":9,\"trace_id\":\"fs1\"}").unwrap();
+        assert_eq!(
+            e.request,
+            Request::Spans {
+                limit: Some(9),
+                trace_id: Some("fs1".to_owned())
+            }
+        );
+        let e = parse_request("{\"kind\":\"stats\"}").unwrap();
+        assert_eq!(e.request, Request::Stats);
+        assert_eq!(e.request.kind(), "stats");
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope() {
+        let e = parse_request(
+            "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\
+             \"trace\":{\"trace_id\":\"fs7\",\"parent_span\":31}}",
+        )
+        .unwrap();
+        let ctx = e.trace.expect("context parsed");
+        assert_eq!(ctx.trace_id, "fs7");
+        assert_eq!(ctx.parent_span, Some(31));
+
+        // Absent and null are both "no context".
+        assert_eq!(parse_request("{\"kind\":\"ping\"}").unwrap().trace, None);
+        assert_eq!(
+            parse_request("{\"kind\":\"ping\",\"trace\":null}")
+                .unwrap()
+                .trace,
+            None
+        );
+
+        // Malformed contexts are typed bad_request, not silently dropped.
+        for bad in [
+            "{\"kind\":\"ping\",\"trace\":7}",
+            "{\"kind\":\"ping\",\"trace\":{}}",
+            "{\"kind\":\"ping\",\"trace\":{\"trace_id\":\"\"}}",
+            "{\"kind\":\"ping\",\"trace\":{\"trace_id\":\"t\",\"parent_span\":-2}}",
+        ] {
+            assert_eq!(
+                parse_request(bad).unwrap_err().code,
+                ErrorCode::BadRequest,
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Glue between the protocol-agnostic [`sibia_net`] reactor and the serve
 //! daemon: one `ReactorHandler` implements [`FrameHandler`] on the reactor
-//! thread, answering cheap requests (`ping`, `version`, `metrics`, `trace`)
-//! inline and admitting work requests into the same bounded [`JobQueue`]
+//! thread, answering cheap requests (`ping`, `version`, `metrics`,
+//! `trace`, `spans`, `stats`) inline and admitting work requests into the
+//! same bounded [`JobQueue`]
 //! and worker pool the blocking front uses. Workers finish reactor jobs
 //! themselves ([`finish_job`]): serialize, record metrics and the
 //! `serve.request` span, then hand the complete response line to the
@@ -37,7 +38,8 @@ use crate::protocol::{
 };
 use crate::queue::PushError;
 use crate::server::{
-    record_request, Job, ReplySink, ServeConfig, Shared, MAX_LINE_BYTES, TRACE_DEFAULT_LIMIT,
+    record_request, Job, ReplySink, ServeConfig, Shared, MAX_LINE_BYTES, SPANS_DEFAULT_LIMIT,
+    TRACE_DEFAULT_LIMIT,
 };
 
 /// Everything a worker needs to finish one reactor-admitted request after
@@ -140,7 +142,7 @@ impl FrameHandler for ReactorHandler {
         if line.trim().is_empty() {
             return FrameOutcome::Ignore;
         }
-        let trace_id = format!(
+        let mut trace_id = format!(
             "t{}",
             self.shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
         );
@@ -150,6 +152,11 @@ impl FrameHandler for ReactorHandler {
         };
         let id = envelope.id.clone();
         let kind = envelope.request.kind();
+        // Same trace-id adoption rule as the blocking front: a propagated
+        // context's id supersedes the server-assigned one.
+        if let Some(ctx) = &envelope.trace {
+            trace_id = ctx.trace_id.clone();
+        }
 
         // Inline requests are answered on the reactor thread so the daemon
         // stays observable while the worker pool is saturated; they bypass
@@ -176,6 +183,12 @@ impl FrameHandler for ReactorHandler {
                 let limit = limit.unwrap_or(TRACE_DEFAULT_LIMIT);
                 return inline(&|| self.shared.trace_json(limit));
             }
+            Request::Spans { limit, trace_id } => {
+                let limit = limit.unwrap_or(SPANS_DEFAULT_LIMIT);
+                let filter = trace_id.clone();
+                return inline(&|| self.shared.spans_json(limit, filter.as_deref()));
+            }
+            Request::Stats => return inline(&|| self.shared.stats_json()),
             _ => {}
         }
 

@@ -12,8 +12,9 @@
 //!                        overloaded reject    reply channel → connection thread
 //! ```
 //!
-//! Cheap requests (`ping`, `metrics`, `trace`) are answered inline on the
-//! connection thread so the daemon stays observable while saturated. Work
+//! Cheap requests (`ping`, `metrics`, `trace`, `spans`, `stats`) are
+//! answered inline on the connection thread so the daemon stays observable
+//! while saturated. Work
 //! requests (`encode`, `simulate`, `sweep`) pass through the bounded
 //! [`JobQueue`]: when it is full the request is rejected *immediately* with
 //! a typed `overloaded` error — never queued unboundedly, never blocked.
@@ -51,12 +52,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sibia_nn::zoo;
-use sibia_obs::Tracer;
+use sibia_obs::{Sampler, SamplerSource, Telemetry, Tracer};
 use sibia_sim::{DecompCache, ParallelEngine, Simulator};
 use sibia_store::Store;
 
 use crate::json::Json;
-use crate::metrics::{PhaseTimings, ServeMetrics};
+use crate::metrics::{GaugeSample, PhaseTimings, ServeMetrics};
 use crate::protocol::{
     arch_by_name, encode_stats, error_response, grid_to_json, network_result_to_json, ok_response,
     parse_request, Envelope, ErrorCode, Request, ServeError, PROTOCOL_REVISION,
@@ -80,6 +81,11 @@ const TRACE_CAPACITY: usize = 4096;
 
 /// Default span count returned by a `trace` request without `limit`.
 pub(crate) const TRACE_DEFAULT_LIMIT: usize = 32;
+
+/// Default span count returned by a `spans` request without `limit` — the
+/// whole hierarchy buffer, since a fleet coordinator wants every span of
+/// its sweep.
+pub(crate) const SPANS_DEFAULT_LIMIT: usize = 4096;
 
 /// Daemon configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +122,15 @@ pub struct ServeConfig {
     /// arriving while more than this many response bytes are queued unread
     /// is rejected with a typed `overloaded` error.
     pub write_budget_bytes: usize,
+    /// Enable the process-global tracer for the daemon's lifetime, so work
+    /// requests record the full `serve.request` → `sim.network` →
+    /// `sim.layer` span hierarchy (readable via the `spans` verb and
+    /// mergeable into a fleet-wide trace). Off by default: the global
+    /// tracer stays a single relaxed atomic load per span site.
+    pub trace: bool,
+    /// Background telemetry sampling interval in milliseconds (the `stats`
+    /// verb also forces a sample, so scrapes are never stale).
+    pub sample_interval_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +147,8 @@ impl Default for ServeConfig {
             reactor: false,
             pipeline_depth: 64,
             write_budget_bytes: 1 << 20,
+            trace: false,
+            sample_interval_ms: 500,
         }
     }
 }
@@ -178,20 +195,47 @@ pub(crate) struct Shared {
     /// Which front end is serving (`"blocking"` or `"reactor"`), echoed by
     /// the `version` request so clients can gate pipelining on it.
     pub(crate) front: &'static str,
+    /// Time-series store sampled by the background [`Sampler`] and read by
+    /// the `stats` request (which also forces a fresh sample, so scrapes
+    /// are never staler than one call).
+    pub(crate) telemetry: Arc<Telemetry>,
     pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
+    /// Spans evicted (oldest-first) from either bounded trace buffer: the
+    /// shared request tracer and the process-global hierarchy tracer.
+    /// Nonzero means `trace` / `spans` responses are silently incomplete.
+    pub(crate) fn dropped_spans(&self) -> u64 {
+        self.tracer.dropped() + sibia_obs::tracer().dropped()
+    }
+
+    fn gauge_sample(&self) -> GaugeSample {
+        GaugeSample {
+            queue_depth: self.queue.depth(),
+            queue_capacity: self.queue.capacity(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.tensor_entries() + self.cache.decomp_entries(),
+        }
+    }
+
     pub(crate) fn metrics_json(&self) -> Json {
         let store_stats = self.store.as_ref().map(Store::stats);
         self.metrics.to_json(
-            self.queue.depth(),
-            self.queue.capacity(),
-            self.cache.hits(),
-            self.cache.misses(),
-            self.cache.tensor_entries() + self.cache.decomp_entries(),
+            &self.gauge_sample(),
+            self.dropped_spans(),
             store_stats.as_ref(),
         )
+    }
+
+    /// Refreshes the pull-style gauges (queue depth, cache and store
+    /// statistics) in the registry. Installed as the telemetry sampler's
+    /// pre-tick hook so every sample sees current levels.
+    pub(crate) fn refresh_gauges(&self) {
+        let store_stats = self.store.as_ref().map(Store::stats);
+        self.metrics
+            .set_gauges(&self.gauge_sample(), store_stats.as_ref());
     }
 
     /// The `version` response: crate version, wire-protocol revision, and
@@ -217,6 +261,57 @@ impl Shared {
             ),
             ("dropped", Json::from(self.tracer.dropped())),
         ])
+    }
+
+    /// Hierarchical spans from the process-global tracer (the worker-side
+    /// `serve.request` guards plus the `sim.*` spans nested under them),
+    /// oldest first so parents precede children, as Chrome `trace_event`
+    /// objects. With a `trace_id` filter, only spans belonging to that
+    /// request — a span whose `trace_id` attribute matches, plus every
+    /// descendant — are returned; that is how a fleet coordinator pulls
+    /// exactly its own sweep's spans out of a shared backend. Empty unless
+    /// the daemon was started with tracing enabled.
+    pub(crate) fn spans_json(&self, limit: usize, trace_id: Option<&str>) -> Json {
+        let records = sibia_obs::tracer().records();
+        let selected: Vec<&sibia_obs::SpanRecord> = match trace_id {
+            None => records.iter().collect(),
+            Some(tid) => {
+                // A span belongs to the trace when walking its parent chain
+                // (parent ids are always lower, so the walk terminates)
+                // reaches a span whose `trace_id` attribute equals `tid`.
+                let by_id: std::collections::HashMap<u64, &sibia_obs::SpanRecord> =
+                    records.iter().map(|r| (r.id, r)).collect();
+                records
+                    .iter()
+                    .filter(|r| {
+                        let mut cur = Some(*r);
+                        while let Some(s) = cur {
+                            if s.attr("trace_id") == Some(tid) {
+                                return true;
+                            }
+                            cur = s.parent.and_then(|p| by_id.get(&p).copied());
+                        }
+                        false
+                    })
+                    .collect()
+            }
+        };
+        let spans: Vec<Json> = selected
+            .iter()
+            .take(limit)
+            .map(|r| r.to_chrome_json())
+            .collect();
+        Json::obj(vec![
+            ("spans", Json::Array(spans)),
+            ("dropped", Json::from(sibia_obs::tracer().dropped())),
+        ])
+    }
+
+    /// The `stats` response: a fresh telemetry sample (counter rates, gauge
+    /// levels, windowed histogram quantiles) serialized canonically.
+    pub(crate) fn stats_json(&self) -> Json {
+        self.telemetry.sample();
+        self.telemetry.stats_json()
     }
 }
 
@@ -254,6 +349,10 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
                 }
                 None => sim.simulate_network_cached(&spec, &net, None, &shared.cache),
             };
+            // One grid cell per simulate request: feeds the same aggregate
+            // the grid engine's workers feed, so the sampled cells/s rate
+            // is fleet-comparable however the work arrives.
+            sibia_obs::registry().counter("sim.engine.cells").add(1);
             Ok(network_result_to_json(&result))
         }
         Request::Sweep {
@@ -301,21 +400,42 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             };
             Ok(grid_to_json(&grid))
         }
-        // Ping/Version/Metrics/Trace are answered inline by the connection
-        // thread.
-        Request::Ping | Request::Version | Request::Metrics | Request::Trace { .. } => {
-            Err(ServeError::new(
-                ErrorCode::Internal,
-                "inline request reached the worker pool",
-            ))
-        }
+        // Ping/Version/Metrics/Trace/Spans/Stats are answered inline by the
+        // connection (or reactor) thread.
+        Request::Ping
+        | Request::Version
+        | Request::Metrics
+        | Request::Trace { .. }
+        | Request::Spans { .. }
+        | Request::Stats => Err(ServeError::new(
+            ErrorCode::Internal,
+            "inline request reached the worker pool",
+        )),
     }
 }
 
 fn worker_loop(shared: &Shared) {
+    // Aggregate busy/idle accounting across the pool: the sampler turns the
+    // counter deltas into utilisation rates (busy_rate / (busy + idle)).
+    let busy_us = shared.metrics.registry().counter("serve.worker.busy_us");
+    let idle_us = shared.metrics.registry().counter("serve.worker.idle_us");
+    let mut idle_since = Instant::now();
     while let Some(job) = shared.queue.pop() {
+        idle_us.add(idle_since.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         let queue_wait = job.queued_at.elapsed();
         let compute_start = Instant::now();
+        // When the global tracer is enabled (`--trace`), wrap the work in a
+        // hierarchy span: `sim.*` spans recorded on this thread nest under
+        // it via the thread-local parent stack, and a propagated trace
+        // context links it under the remote caller's span for merging.
+        let mut span = sibia_obs::tracer().span("serve.request");
+        span.attr("kind", job.envelope.request.kind());
+        if let Some(ctx) = &job.envelope.trace {
+            span.attr("trace_id", &ctx.trace_id);
+            if let Some(parent) = ctx.parent_span {
+                span.set_remote_parent(parent);
+            }
+        }
         let outcome = match job.deadline {
             Some(deadline) if Instant::now() > deadline => Err(ServeError::new(
                 ErrorCode::DeadlineExceeded,
@@ -323,7 +443,11 @@ fn worker_loop(shared: &Shared) {
             )),
             _ => execute(shared, &job.envelope.request),
         };
+        span.attr("ok", outcome.is_ok());
+        drop(span);
         let compute = compute_start.elapsed();
+        busy_us.add(compute.as_micros().min(u128::from(u64::MAX)) as u64);
+        idle_since = Instant::now();
         match job.reply {
             // A dropped receiver means the client hung up; nothing to do.
             ReplySink::Blocking(tx) => {
@@ -464,13 +588,19 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             continue;
         }
         let received = Instant::now();
-        let trace_id = format!("t{}", shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1);
+        let mut trace_id = format!("t{}", shared.trace_seq.fetch_add(1, Ordering::Relaxed) + 1);
         let mut phases = PhaseTimings::default();
         let (kind, id, outcome) = match parse_request(&line) {
             Err(e) => ("invalid", None, Err(e)),
             Ok(envelope) => {
                 let id = envelope.id.clone();
                 let kind = envelope.request.kind();
+                // A propagated trace context supersedes the server-assigned
+                // trace id: the response echoes the caller's id, and the
+                // request's spans become pullable under it via `spans`.
+                if let Some(ctx) = &envelope.trace {
+                    trace_id = ctx.trace_id.clone();
+                }
                 // Inline requests: queue wait is genuinely zero and compute
                 // is the handler itself. Queued work reports both phases
                 // from the worker.
@@ -490,6 +620,14 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         let limit = limit.unwrap_or(TRACE_DEFAULT_LIMIT);
                         inline(&|| shared.trace_json(limit), &mut phases)
                     }
+                    Request::Spans { limit, trace_id } => {
+                        let limit = limit.unwrap_or(SPANS_DEFAULT_LIMIT);
+                        inline(
+                            &|| shared.spans_json(limit, trace_id.as_deref()),
+                            &mut phases,
+                        )
+                    }
+                    Request::Stats => inline(&|| shared.stats_json(), &mut phases),
                     _ => {
                         let (outcome, queue_wait, compute) = submit(shared, envelope, received);
                         phases.queue_wait = queue_wait;
@@ -599,6 +737,9 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     front: Front,
+    /// Background telemetry sampler; stopped (flag + condvar, no thread
+    /// kill) during [`Server::shutdown`].
+    sampler: Option<Sampler>,
 }
 
 /// Public alias: `Server::start` returns the handle type.
@@ -610,15 +751,29 @@ impl Server {
     pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         let tracer = Arc::new(Tracer::with_capacity(TRACE_CAPACITY));
         tracer.enable();
+        if config.trace {
+            // Process-global and sticky for the daemon's lifetime: sim
+            // spans check one relaxed atomic and servers never race to
+            // toggle it off under each other.
+            sibia_obs::tracer().enable();
+        }
         let store = match &config.store_dir {
             Some(dir) => Some(Store::open(dir).map_err(|e| {
                 std::io::Error::other(format!("opening store at {}: {e}", dir.display()))
             })?),
             None => None,
         };
+        let metrics = ServeMetrics::new();
+        // The sampler walks this server's own registry (request counters,
+        // latency histograms, worker busy/idle) plus the process-global one
+        // (sim kernel invocations, reactor wait/dispatch timings).
+        let telemetry = Arc::new(Telemetry::new(vec![
+            SamplerSource::Shared(Arc::clone(metrics.registry())),
+            SamplerSource::Static(sibia_obs::registry()),
+        ]));
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
-            metrics: ServeMetrics::new(),
+            metrics,
             cache: DecompCache::with_capacity(config.cache_capacity.max(1)),
             engine: ParallelEngine::with_threads(config.engine_threads),
             tracer,
@@ -629,8 +784,22 @@ impl Server {
             } else {
                 "blocking"
             },
+            telemetry: Arc::clone(&telemetry),
             shutdown: AtomicBool::new(false),
         });
+        // Pre-tick hook refreshes the pull-style gauges. Weak, so the hook
+        // (owned by the telemetry the Shared also owns) never forms a
+        // reference cycle that would leak the engine's thread pool.
+        let weak = Arc::downgrade(&shared);
+        telemetry.set_hook(move || {
+            if let Some(s) = weak.upgrade() {
+                s.refresh_gauges();
+            }
+        });
+        let sampler = Some(Sampler::start(
+            telemetry,
+            Duration::from_millis(config.sample_interval_ms.max(1)),
+        ));
 
         if config.reactor {
             // Start the reactor before spawning workers so an unsupported
@@ -647,6 +816,7 @@ impl Server {
                 shared,
                 addr,
                 front: Front::Reactor { reactor, workers },
+                sampler,
             });
         }
 
@@ -675,6 +845,7 @@ impl Server {
             shared,
             addr,
             front: Front::Blocking(accept),
+            sampler,
         })
     }
 
@@ -691,7 +862,10 @@ impl Server {
     /// Requests the graceful drain and blocks until every thread has
     /// exited: pending jobs finish and get responses, new work is refused,
     /// connections close.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         match self.front {
             Front::Blocking(accept) => {

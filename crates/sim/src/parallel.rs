@@ -313,6 +313,10 @@ impl ParallelEngine {
                     // plus the claimed-cell count captures the skew.
                     let total = started.elapsed();
                     let registry = sibia_obs::registry();
+                    // Aggregate cells-completed counter: the telemetry
+                    // sampler turns its deltas into a fleet-comparable
+                    // cells/s rate without summing per-worker series.
+                    registry.counter("sim.engine.cells").add(cells_run);
                     let prefix = format!("sim.engine.worker.{worker_index}");
                     registry.counter(&format!("{prefix}.cells")).add(cells_run);
                     registry

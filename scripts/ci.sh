@@ -148,4 +148,68 @@ wait "$fleet_pid_b" 2>/dev/null || true
 trap - EXIT
 rm -rf "$fleet_dir"
 
+echo "==> telemetry smoke test"
+# The fleet-wide telemetry plane end to end: two traced backends (one per
+# front), a traced sharded sweep, and one merged Chrome trace in which the
+# coordinator's fleet.dispatch spans are cross-process ancestors of the
+# backends' serve.request and sim.* spans — three pid lanes minimum, valid
+# nesting. Telemetry must never change the sweep's result bytes, and the
+# time-series counters must be monotonic between two stats scrapes.
+tel_dir="$(mktemp -d)"
+./target/release/sibia-cli serve --port 0 --trace >"$tel_dir/a.log" 2>&1 &
+tel_pid_a=$!
+./target/release/sibia-cli serve --port 0 --trace --reactor >"$tel_dir/b.log" 2>&1 &
+tel_pid_b=$!
+trap 'kill "$tel_pid_a" "$tel_pid_b" 2>/dev/null || true' EXIT
+tel_addr_a=""; tel_addr_b=""
+for _ in $(seq 1 50); do
+  tel_addr_a="$(sed -n 's/^sibia-serve listening on //p' "$tel_dir/a.log")"
+  tel_addr_b="$(sed -n 's/^sibia-serve listening on //p' "$tel_dir/b.log")"
+  [ -n "$tel_addr_a" ] && [ -n "$tel_addr_b" ] && break
+  sleep 0.1
+done
+[ -n "$tel_addr_a" ] && [ -n "$tel_addr_b" ] \
+  || { echo "telemetry backends never came up"; cat "$tel_dir"/*.log; exit 1; }
+tel_grid=(--archs sibia,bitfusion --networks dgcnn --seeds 1,2,3,4,5,6 --sample-cap 512)
+./target/release/sibia-cli fleet sweep --local "${tel_grid[@]}" >"$tel_dir/direct.json"
+./target/release/sibia-cli fleet sweep --endpoints "$tel_addr_a,$tel_addr_b" \
+  "${tel_grid[@]}" --trace-out "$tel_dir/merged.jsonl" \
+  >"$tel_dir/fleet.json" 2>"$tel_dir/fleet.log"
+cmp "$tel_dir/direct.json" "$tel_dir/fleet.json" \
+  || { echo "sweep output changed with telemetry on"; exit 1; }
+./target/release/sibia-cli trace-check "$tel_dir/merged.jsonl" --min-pids 3 \
+  --chain fleet.dispatch,serve.request,sim.network
+# Counters are cumulative: a later scrape can never read lower. (The first
+# scrape's own connection bumps the accepted count, so later is strictly
+# greater there.)
+tel_c1="$(./target/release/sibia-cli metrics-export --endpoint "$tel_addr_a" \
+  | awk '$1=="sibia_serve_connections_accepted"{print $2}')"
+tel_s1="$(./target/release/sibia-cli metrics-export --endpoint "$tel_addr_a" \
+  | awk '$1=="sibia_sim_engine_cells"{print $2}')"
+sleep 0.7
+tel_c2="$(./target/release/sibia-cli metrics-export --endpoint "$tel_addr_a" \
+  | awk '$1=="sibia_serve_connections_accepted"{print $2}')"
+tel_s2="$(./target/release/sibia-cli metrics-export --endpoint "$tel_addr_a" \
+  | awk '$1=="sibia_sim_engine_cells"{print $2}')"
+awk -v a="$tel_c1" -v b="$tel_c2" 'BEGIN{exit !(a+0 > 0 && b+0 > a+0)}' \
+  || { echo "connections counter not monotonic across scrapes ($tel_c1 -> $tel_c2)"; exit 1; }
+awk -v a="$tel_s1" -v b="$tel_s2" 'BEGIN{exit !(a+0 > 0 && b+0 >= a+0)}' \
+  || { echo "cells counter not monotonic across scrapes ($tel_s1 -> $tel_s2)"; exit 1; }
+# The live view renders a row per endpoint in one-shot mode.
+./target/release/sibia-cli top --endpoints "$tel_addr_a,$tel_addr_b" --iterations 1 \
+  | grep -q "$tel_addr_b" || { echo "top did not render every endpoint"; exit 1; }
+kill -TERM "$tel_pid_a" "$tel_pid_b"
+wait "$tel_pid_a" 2>/dev/null || true
+wait "$tel_pid_b" 2>/dev/null || true
+trap - EXIT
+rm -rf "$tel_dir"
+
+echo "==> telemetry overhead gate"
+# Paired A/B: the same pipelined leg with hierarchy tracing off then on;
+# the traced p50 must stay within 5% (+0.25ms jitter slack) of baseline.
+tel_bench="$(mktemp)"
+./target/release/bench_serve --telemetry --connections 32 --requests 6 \
+  --pipeline 4 --threads 16 --out "$tel_bench"
+rm -f "$tel_bench"
+
 echo "CI OK"
