@@ -64,6 +64,15 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Every occurrence of a repeatable `--flag VALUE` (e.g. `--join`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
 /// Typed `--flag VALUE` lookup: absent is `Ok(None)`; a missing or
 /// malformed value is an `Err` that the caller turns into a nonzero exit
 /// plus the usage text. (The old parser swallowed parse failures with
@@ -172,7 +181,7 @@ fn usage() -> ExitCode {
          \x20 compare <network> [--seed S] [--trace-out PATH]\n\
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
-         \x20       [--store-dir DIR] [--reactor] [--trace]\n\
+         \x20       [--store-dir DIR] [--peers H:P[,H:P...]] [--reactor] [--trace]\n\
          \x20                                    newline-delimited-JSON simulation daemon\n\
          \x20                                    (--reactor: epoll front end, pipelined\n\
          \x20                                    out-of-order responses; Linux only;\n\
@@ -181,11 +190,20 @@ fn usage() -> ExitCode {
          \x20 fleet sweep (--endpoints H:P[,H:P...] | --local) --networks N[,N...]\n\
          \x20       [--archs A[,A...]] [--seeds S[,S...]] [--sample-cap N] [--timeout-ms T]\n\
          \x20       [--retries R] [--connections C] [--trace-out PATH]\n\
+         \x20       [--join MS:H:P]... [--leave MS:H:P]... [--no-steal] [--no-hedge]\n\
+         \x20       [--hedge-ms N] [--status-out PATH]\n\
          \x20                                    shard a sweep across serve daemons\n\
          \x20                                    (--endpoints + --trace-out: pull backend\n\
-         \x20                                    spans and write one merged fleet trace)\n\
+         \x20                                    spans and write one merged fleet trace;\n\
+         \x20                                    --join/--leave fire membership events MS\n\
+         \x20                                    milliseconds into the sweep; --status-out\n\
+         \x20                                    publishes a live roster snapshot for\n\
+         \x20                                    `top --fleet-status`)\n\
          \x20 top --endpoints H:P[,H:P...] [--interval-ms T] [--iterations N]\n\
-         \x20                                    live fleet telemetry table (stats verb)\n\
+         \x20     [--fleet-status PATH]\n\
+         \x20                                    live fleet telemetry table (stats verb;\n\
+         \x20                                    --fleet-status adds the coordinator's\n\
+         \x20                                    member/stolen/hedged columns)\n\
          \x20 metrics-export --endpoint H:P      one Prometheus-style text scrape\n\
          \x20 store <stats|verify|compact> --store-dir DIR\n\
          \x20                                    inspect / check / rewrite the result store\n\
@@ -268,7 +286,7 @@ fn store_command(args: &[String]) -> ExitCode {
 /// grid in-process and prints the identical bytes — so
 /// `diff <(… --local …) <(… --endpoints … )` is the determinism check.
 fn fleet_command(args: &[String]) -> ExitCode {
-    use sibia::fleet::{Fleet, FleetConfig};
+    use sibia::fleet::{Fleet, FleetConfig, MembershipAction, PlannedEvent};
     use sibia::serve::protocol::grid_to_json;
 
     match args.get(1).map(String::as_str) {
@@ -289,6 +307,12 @@ fn fleet_command(args: &[String]) -> ExitCode {
             "--retries",
             "--connections",
             "--trace-out",
+            "--join",
+            "--leave",
+            "--no-steal",
+            "--no-hedge",
+            "--hedge-ms",
+            "--status-out",
         ],
     ) {
         return fail("fleet", &e);
@@ -369,6 +393,39 @@ fn fleet_command(args: &[String]) -> ExitCode {
         Ok(None) => {}
         Err(e) => return fail("fleet", &e),
     }
+    config.steal = !args.iter().any(|a| a == "--no-steal");
+    config.hedge.enabled = !args.iter().any(|a| a == "--no-hedge");
+    match parse_flag::<u64>(args, "--hedge-ms") {
+        // A fixed deadline instead of the windowed-p99 estimate:
+        // min_completions 0 switches the monitor to fixed-deadline mode.
+        Ok(Some(ms)) => {
+            config.hedge.min_deadline = std::time::Duration::from_millis(ms.max(1));
+            config.hedge.min_completions = 0;
+        }
+        Ok(None) => {}
+        Err(e) => return fail("fleet", &e),
+    }
+    config.status_path = flag_value(args, "--status-out").map(std::path::PathBuf::from);
+    // `--join MS:H:P` / `--leave MS:H:P`: membership events fired that many
+    // milliseconds into the sweep (both repeatable).
+    for (flag, build) in [
+        ("--join", MembershipAction::Join as fn(String) -> _),
+        ("--leave", MembershipAction::Leave as fn(String) -> _),
+    ] {
+        for raw in flag_values(args, flag) {
+            let Some((ms, endpoint)) = raw
+                .split_once(':')
+                .and_then(|(ms, ep)| Some((ms.parse::<u64>().ok()?, ep)))
+                .filter(|(_, ep)| !ep.is_empty())
+            else {
+                return fail("fleet", &format!("{flag}: need MS:HOST:PORT, got '{raw}'"));
+            };
+            config.membership_plan.push(PlannedEvent {
+                at: std::time::Duration::from_millis(ms),
+                action: build(endpoint.to_owned()),
+            });
+        }
+    }
     let fleet = match Fleet::new(config) {
         Ok(f) => f,
         Err(e) => {
@@ -381,12 +438,19 @@ fn fleet_command(args: &[String]) -> ExitCode {
             println!("{json}");
             eprintln!(
                 "fleet: {} cells over {} backends  attempts {}  retries {}  failovers {}  \
+                 steals {}  hedges {} (won {})  joins {}  leaves {}  resharded {}  \
                  per-backend {:?}",
                 stats.cells,
                 stats.backends,
                 stats.attempts,
                 stats.retries,
                 stats.failovers,
+                stats.steals,
+                stats.hedges,
+                stats.hedge_wins,
+                stats.joins,
+                stats.leaves,
+                stats.resharded_cells,
                 stats.per_backend_cells
             );
             match trace_path {
@@ -399,6 +463,32 @@ fn fleet_command(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The coordinator-side columns for one endpoint, read from a
+/// `--status-out` snapshot: membership state plus stolen/hedged cell
+/// counts. All dashes when no snapshot (or no row for this endpoint) is
+/// available — `top` must keep working against a fleet with no sweep
+/// running.
+fn fleet_status_columns(status: Option<&sibia::obs::Json>, endpoint: &str) -> String {
+    let member = status
+        .and_then(|s| s.get("members")?.as_array())
+        .and_then(|members| {
+            members
+                .iter()
+                .find(|m| m.get("endpoint").and_then(|e| e.as_str()) == Some(endpoint))
+        });
+    let field = |key: &str| -> String {
+        member
+            .and_then(|m| m.get(key))
+            .and_then(|v| v.as_u64())
+            .map_or("-".to_owned(), |v| v.to_string())
+    };
+    let state = member
+        .and_then(|m| m.get("state"))
+        .and_then(|s| s.as_str())
+        .unwrap_or("-");
+    format!("{state:>9} {:>7} {:>7}", field("stolen"), field("hedged"))
 }
 
 /// One rendered `top` table row. An unreachable endpoint becomes an error
@@ -485,7 +575,15 @@ fn top_row(endpoint: &str) -> String {
 /// `--iterations 1` is a plain one-shot scrape for scripts (no screen
 /// clearing, so the output is pipe-friendly).
 fn top_command(args: &[String]) -> ExitCode {
-    if let Err(e) = check_flags(args, &["--endpoints", "--interval-ms", "--iterations"]) {
+    if let Err(e) = check_flags(
+        args,
+        &[
+            "--endpoints",
+            "--interval-ms",
+            "--iterations",
+            "--fleet-status",
+        ],
+    ) {
         return fail("top", &e);
     }
     let Some(raw) = flag_value(args, "--endpoints") else {
@@ -500,13 +598,29 @@ fn top_command(args: &[String]) -> ExitCode {
         Ok(n) => n.unwrap_or(0),
         Err(e) => return fail("top", &e),
     };
+    let status_path = flag_value(args, "--fleet-status");
 
     let mut frame = 0u64;
     loop {
         frame += 1;
         // Scrape before clearing so the screen never sits empty while a
-        // slow endpoint times out.
-        let rows: Vec<String> = endpoints.iter().map(|ep| top_row(ep)).collect();
+        // slow endpoint times out. The status snapshot is re-read every
+        // frame: the coordinator rewrites it atomically during a sweep.
+        let status: Option<sibia::obs::Json> = status_path
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|raw| sibia::obs::Json::parse(&raw).ok());
+        let rows: Vec<String> = endpoints
+            .iter()
+            .map(|ep| {
+                let mut row = top_row(ep);
+                if status_path.is_some() {
+                    row.push(' ');
+                    row.push_str(&fleet_status_columns(status.as_ref(), ep));
+                }
+                row
+            })
+            .collect();
         if iterations != 1 {
             print!("\x1b[2J\x1b[H"); // clear screen + home: refresh in place
         }
@@ -515,10 +629,14 @@ fn top_command(args: &[String]) -> ExitCode {
             endpoints.len(),
             interval.as_millis()
         );
-        println!(
+        print!(
             "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
             "endpoint", "ok/s", "cells/s", "queue", "p50ms", "p99ms", "p999ms", "cache%", "busy%"
         );
+        if status_path.is_some() {
+            print!(" {:>9} {:>7} {:>7}", "member", "stolen", "hedged");
+        }
+        println!();
         for row in &rows {
             println!("{row}");
         }
@@ -984,6 +1102,7 @@ fn main() -> ExitCode {
                     "--queue",
                     "--cache-entries",
                     "--store-dir",
+                    "--peers",
                     "--reactor",
                     "--trace",
                 ],
@@ -1011,6 +1130,9 @@ fn main() -> ExitCode {
                 },
                 engine_threads: defaults.engine_threads,
                 store_dir: flag_value(&args, "--store-dir").map(std::path::PathBuf::from),
+                peers: flag_value(&args, "--peers")
+                    .map(|raw| raw.split(',').map(str::to_owned).collect())
+                    .unwrap_or_default(),
                 reactor: args.iter().any(|a| a == "--reactor"),
                 trace: args.iter().any(|a| a == "--trace"),
                 ..defaults.clone()

@@ -1,0 +1,380 @@
+//! Hedged dispatch: duplicate the slow tail, keep the first answer.
+//!
+//! ## Protocol
+//!
+//! A cell whose dispatch has been in flight longer than the sweep's
+//! deadline estimate gets a **hedge duplicate** pushed to the front of
+//! another backend's queue. Original and duplicate then race; whichever
+//! reaches [`CompletionBoard::complete`] first **wins** the cell, and the
+//! loser is cancelled twice over:
+//!
+//! * *before dispatch* — a worker popping a hedge job for an
+//!   already-complete cell drops it unrun;
+//! * *in flight* — the winner's thread shuts down the loser's socket via
+//!   the [`sibia_serve::CancelHandle`] registered in the
+//!   [`InFlightTable`], so the losing worker unblocks immediately instead
+//!   of waiting out the straggler.
+//!
+//! A loser that completes anyway (the race is real) is **deduped** here:
+//! the board's slot is written once, by the winner, and the duplicate is
+//! only counted. Determinism makes this safe — both copies compute the
+//! same bytes (the debug assertion in [`CompletionBoard::complete`]
+//! documents exactly that claim) — and the backends' stores stay
+//! byte-identical because each write-back stores the same canonical value
+//! under the same key.
+//!
+//! ## Deadline
+//!
+//! The hedge deadline is a **windowed p99**: the 99th percentile of the
+//! last [`LATENCY_WINDOW`] completed cell latencies (the same sliding
+//! -window view the obs time-series layer takes of `fleet.cell_us`),
+//! scaled by [`HedgeConfig::multiplier`] and floored at
+//! [`HedgeConfig::min_deadline`]. Until [`HedgeConfig::min_completions`]
+//! cells have completed the estimate would be noise, so no hedging
+//! happens at all.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sibia_obs::Json;
+use sibia_serve::CancelHandle;
+
+/// Completed-latency window feeding the deadline estimate.
+pub const LATENCY_WINDOW: usize = 64;
+
+/// Hedging policy knobs (a projection of `FleetConfig`).
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Master switch; off means the monitor never hedges.
+    pub enabled: bool,
+    /// Deadline = windowed p99 × this.
+    pub multiplier: f64,
+    /// Deadline floor — also the fixed deadline while the window is
+    /// too small only if `min_completions` is 0.
+    pub min_deadline: Duration,
+    /// Completions required before the p99 estimate is trusted. 0 means
+    /// "hedge from the first dispatch, using `min_deadline` alone" (what
+    /// the CLI's `--hedge-ms` compiles to).
+    pub min_completions: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            multiplier: 2.0,
+            min_deadline: Duration::from_millis(50),
+            min_completions: 8,
+        }
+    }
+}
+
+/// What [`CompletionBoard::complete`] decided about one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// First arrival: the slot was written, the cell is done.
+    Win,
+    /// A hedge twin already won; this copy was discarded (after the
+    /// byte-identity debug check).
+    Duplicate,
+}
+
+/// First-writer-wins result table for one sweep, indexed by flat cell
+/// position. The merge step reads the slots back in flat order, which is
+/// what pins the output byte-identical regardless of which backend won
+/// which race.
+#[derive(Debug)]
+pub struct CompletionBoard {
+    slots: Vec<Mutex<Option<Json>>>,
+    remaining: AtomicUsize,
+    /// Ring of the last [`LATENCY_WINDOW`] winning latencies.
+    window: Mutex<Vec<Duration>>,
+    completions: AtomicUsize,
+    /// Duplicate completions discarded (the dedup count).
+    pub duplicates: AtomicU64,
+}
+
+impl CompletionBoard {
+    /// A board for `cells` empty slots.
+    pub fn new(cells: usize) -> Self {
+        Self {
+            slots: (0..cells).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(cells),
+            window: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
+            completions: AtomicUsize::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed dispatch. The first writer wins the slot and
+    /// decrements the remaining count exactly once; every later arrival
+    /// is a duplicate and only counted. Never double-writes: whoever
+    /// writes back to a store downstream must gate on [`Completion::Win`].
+    pub fn complete(&self, flat: usize, result: Json, latency: Duration) -> Completion {
+        let mut slot = self.slots[flat].lock().unwrap();
+        match &*slot {
+            Some(winner) => {
+                // Both copies are the same pure function of the cell
+                // coordinates; a mismatch would mean the determinism
+                // contract is broken, not that hedging misfired.
+                debug_assert_eq!(
+                    winner.to_string(),
+                    result.to_string(),
+                    "hedge twins disagreed for cell {flat}"
+                );
+                self.duplicates.fetch_add(1, Ordering::SeqCst);
+                Completion::Duplicate
+            }
+            None => {
+                *slot = Some(result);
+                drop(slot);
+                self.remaining.fetch_sub(1, Ordering::SeqCst);
+                self.completions.fetch_add(1, Ordering::SeqCst);
+                let mut window = self.window.lock().unwrap();
+                if window.len() == LATENCY_WINDOW {
+                    window.remove(0);
+                }
+                window.push(latency);
+                Completion::Win
+            }
+        }
+    }
+
+    /// Is this cell's slot already won?
+    pub fn is_complete(&self, flat: usize) -> bool {
+        self.slots[flat].lock().unwrap().is_some()
+    }
+
+    /// Cells still without a winner.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    /// Total winning completions so far.
+    pub fn completions(&self) -> usize {
+        self.completions.load(Ordering::SeqCst)
+    }
+
+    /// The current hedge deadline, or `None` while hedging is off or the
+    /// window is still too small to trust.
+    pub fn deadline(&self, config: &HedgeConfig) -> Option<Duration> {
+        if !config.enabled {
+            return None;
+        }
+        if self.completions() < config.min_completions {
+            return if config.min_completions == 0 {
+                Some(config.min_deadline)
+            } else {
+                None
+            };
+        }
+        let window = self.window.lock().unwrap();
+        if window.is_empty() {
+            return Some(config.min_deadline);
+        }
+        let mut sorted: Vec<Duration> = window.clone();
+        drop(window);
+        sorted.sort_unstable();
+        // Exact rank-ceil p99, matching the bench's quantile convention.
+        let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        let p99 = sorted[rank.clamp(1, sorted.len()) - 1];
+        let scaled = p99.mul_f64(config.multiplier.max(1.0));
+        Some(scaled.max(config.min_deadline))
+    }
+
+    /// Consumes the board into the slot table, for the merge. Panics if a
+    /// slot is empty — the coordinator only merges after `remaining() == 0`.
+    pub fn into_results(self) -> Vec<Json> {
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("merge reached with an incomplete cell")
+            })
+            .collect()
+    }
+}
+
+/// One live dispatch (or a racing pair of them).
+#[derive(Debug, Default)]
+struct InFlight {
+    /// When the first copy went out.
+    started: Option<Instant>,
+    /// Roster indexes currently executing this cell.
+    backends: Vec<usize>,
+    /// Cancel handles for the copies in flight, keyed by backend.
+    cancels: Vec<(usize, CancelHandle)>,
+    /// Has a hedge duplicate already been issued? One per cell, ever.
+    hedged: bool,
+}
+
+/// Registry of cells currently being executed, so the hedge monitor can
+/// find the overdue ones and the winner can cancel its loser.
+#[derive(Debug, Default)]
+pub struct InFlightTable {
+    entries: Mutex<HashMap<usize, InFlight>>,
+}
+
+impl InFlightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `backend` as executing `flat`. The first registration stamps
+    /// the cell's hedge clock; a duplicate's registration does not reset
+    /// it.
+    pub fn register(&self, flat: usize, backend: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(flat).or_default();
+        entry.started.get_or_insert_with(Instant::now);
+        entry.backends.push(backend);
+    }
+
+    /// Attaches the in-flight call's cancel handle.
+    pub fn attach_cancel(&self, flat: usize, backend: usize, handle: CancelHandle) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&flat) {
+            entry.cancels.push((backend, handle));
+        }
+    }
+
+    /// Detaches `backend`'s cancel handle (its call returned on its own).
+    pub fn detach_cancel(&self, flat: usize, backend: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&flat) {
+            entry.cancels.retain(|(b, _)| *b != backend);
+        }
+    }
+
+    /// Removes `backend` from the cell's live set; drops the entry when
+    /// nothing is in flight anymore.
+    pub fn deregister(&self, flat: usize, backend: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&flat) {
+            if let Some(pos) = entry.backends.iter().position(|&b| b == backend) {
+                entry.backends.remove(pos);
+            }
+            entry.cancels.retain(|(b, _)| *b != backend);
+            if entry.backends.is_empty() {
+                entries.remove(&flat);
+            }
+        }
+    }
+
+    /// Copies of `flat` currently in flight.
+    pub fn live(&self, flat: usize) -> usize {
+        self.entries
+            .lock()
+            .unwrap()
+            .get(&flat)
+            .map_or(0, |e| e.backends.len())
+    }
+
+    /// Shuts down every other copy's socket after `winner` won the cell:
+    /// the losing workers' blocked reads fail immediately instead of
+    /// riding out the straggler.
+    pub fn cancel_others(&self, flat: usize, winner: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&flat) {
+            for (backend, handle) in &entry.cancels {
+                if *backend != winner {
+                    handle.cancel();
+                }
+            }
+            entry.cancels.retain(|(b, _)| *b == winner);
+        }
+    }
+
+    /// Cells in flight longer than `deadline` that have not been hedged
+    /// yet, with the backends already working on them (so the monitor
+    /// picks a different one).
+    pub fn overdue(&self, deadline: Duration) -> Vec<(usize, Vec<usize>)> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .filter(|(_, e)| !e.hedged)
+            .filter(|(_, e)| e.started.is_some_and(|s| s.elapsed() >= deadline))
+            .map(|(flat, e)| (*flat, e.backends.clone()))
+            .collect()
+    }
+
+    /// Marks a cell as hedged so it is never duplicated twice.
+    pub fn mark_hedged(&self, flat: usize) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(entry) = entries.get_mut(&flat) {
+            entry.hedged = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(v: i64) -> Json {
+        Json::obj(vec![("v", Json::Int(v))])
+    }
+
+    #[test]
+    fn first_completion_wins_and_twin_is_deduped() {
+        let board = CompletionBoard::new(2);
+        assert_eq!(
+            board.complete(0, cell(7), Duration::from_millis(1)),
+            Completion::Win
+        );
+        assert_eq!(
+            board.complete(0, cell(7), Duration::from_millis(9)),
+            Completion::Duplicate
+        );
+        assert_eq!(board.remaining(), 1);
+        assert_eq!(board.duplicates.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deadline_needs_min_completions_then_tracks_p99() {
+        let board = CompletionBoard::new(16);
+        let config = HedgeConfig {
+            enabled: true,
+            multiplier: 2.0,
+            min_deadline: Duration::from_millis(1),
+            min_completions: 4,
+        };
+        assert_eq!(board.deadline(&config), None);
+        for flat in 0..4 {
+            board.complete(flat, cell(flat as i64), Duration::from_millis(10));
+        }
+        // p99 of a flat 10 ms window is 10 ms; ×2 = 20 ms.
+        assert_eq!(board.deadline(&config), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn fixed_deadline_mode_hedges_from_the_start() {
+        let board = CompletionBoard::new(1);
+        let config = HedgeConfig {
+            enabled: true,
+            multiplier: 1.0,
+            min_deadline: Duration::from_millis(123),
+            min_completions: 0,
+        };
+        assert_eq!(board.deadline(&config), Some(Duration::from_millis(123)));
+    }
+
+    #[test]
+    fn inflight_tracks_live_copies_and_hedge_flag() {
+        let table = InFlightTable::new();
+        table.register(3, 0);
+        table.register(3, 1);
+        assert_eq!(table.live(3), 2);
+        assert!(table.overdue(Duration::ZERO).len() == 1);
+        table.mark_hedged(3);
+        assert!(table.overdue(Duration::ZERO).is_empty());
+        table.deregister(3, 0);
+        assert_eq!(table.live(3), 1);
+        table.deregister(3, 1);
+        assert_eq!(table.live(3), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-backend home queues with two-ended access for work stealing.
+//!
+//! Each member owns a [`StealQueue`] of the cells currently homed on it.
+//! The owner drains from the **front** (preserving the dispatch order the
+//! shard assigned); an idle worker on another backend steals from the
+//! **back**, so the two ends contend on different cells and the victim
+//! keeps the work it is about to start. The steal policy itself lives in
+//! [`pick_victim`]: steal from the *deepest* queue, so the backend most
+//! behind sheds load first and a straggler can never serialize the tail
+//! of a sweep on its own.
+//!
+//! Hedge duplicates jump the line: [`StealQueue::push_front`] puts them
+//! ahead of un-started home work, because a hedged cell is by definition
+//! already past the sweep's deadline estimate.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use super::membership::Member;
+use std::sync::Arc;
+
+/// One unit of dispatch work: a flat cell index plus its retry history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellJob {
+    /// Flat row-major index into the sweep grid.
+    pub flat: usize,
+    /// Attempts consumed so far, across every backend this cell visited.
+    pub attempts: u32,
+    /// True for the duplicate copy created by hedged dispatch: it races
+    /// the original, the completion board dedups whichever loses, and a
+    /// worker drops it unrun if the original already won.
+    pub hedge: bool,
+}
+
+impl CellJob {
+    /// A fresh, never-attempted home assignment for `flat`.
+    pub fn new(flat: usize) -> Self {
+        Self {
+            flat,
+            attempts: 0,
+            hedge: false,
+        }
+    }
+}
+
+/// A member's home queue: front for the owner, back for thieves.
+#[derive(Debug, Default)]
+pub struct StealQueue {
+    jobs: Mutex<VecDeque<CellJob>>,
+}
+
+impl StealQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job in home-dispatch order.
+    pub fn push_back(&self, job: CellJob) {
+        self.jobs.lock().unwrap().push_back(job);
+    }
+
+    /// Front-inserts a job ahead of un-started work (hedge duplicates).
+    pub fn push_front(&self, job: CellJob) {
+        self.jobs.lock().unwrap().push_front(job);
+    }
+
+    /// The owner's end.
+    pub fn pop_front(&self) -> Option<CellJob> {
+        self.jobs.lock().unwrap().pop_front()
+    }
+
+    /// The thief's end — but only never-attempted jobs are stealable. A
+    /// job that already bounced between members (retry exhaustion,
+    /// failover) stays with its current owner: otherwise an
+    /// always-overloaded member's idle workers would keep pulling back
+    /// the very cells they just failed to run, burning each cell's
+    /// attempt budget on steal ping-pong instead of letting a healthy
+    /// owner finish it.
+    pub fn steal_back(&self) -> Option<CellJob> {
+        let mut jobs = self.jobs.lock().unwrap();
+        match jobs.back() {
+            Some(job) if job.attempts == 0 => jobs.pop_back(),
+            _ => None,
+        }
+    }
+
+    /// Queued (not yet dispatched) cells.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the queue, returning every job — the drain half of a
+    /// leave/reshard.
+    pub fn drain(&self) -> Vec<CellJob> {
+        self.jobs.lock().unwrap().drain(..).collect()
+    }
+}
+
+/// The steal policy: among `members`, the dispatchable member (Active or
+/// Joining, see [`super::membership::MemberState::is_dispatchable`]) with the **deepest**
+/// non-empty queue that is not the thief itself. `None` means there is
+/// nothing worth stealing anywhere.
+pub fn pick_victim(members: &[Arc<Member>], thief: usize) -> Option<Arc<Member>> {
+    members
+        .iter()
+        .filter(|m| m.index != thief && m.state().is_dispatchable())
+        .map(|m| (m.queue.len(), m))
+        .filter(|(depth, _)| *depth > 0)
+        .max_by_key(|(depth, _)| *depth)
+        .map(|(_, m)| Arc::clone(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_is_fifo_for_owner_and_lifo_for_thief() {
+        let q = StealQueue::new();
+        for flat in 0..4 {
+            q.push_back(CellJob::new(flat));
+        }
+        assert_eq!(q.pop_front().unwrap().flat, 0);
+        assert_eq!(q.steal_back().unwrap().flat, 3);
+        assert_eq!(q.pop_front().unwrap().flat, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn hedge_jobs_jump_the_line() {
+        let q = StealQueue::new();
+        q.push_back(CellJob::new(0));
+        let hedge = CellJob {
+            flat: 9,
+            attempts: 0,
+            hedge: true,
+        };
+        q.push_front(hedge);
+        assert_eq!(q.pop_front().unwrap().flat, 9);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let q = StealQueue::new();
+        for flat in 0..3 {
+            q.push_back(CellJob::new(flat));
+        }
+        let drained: Vec<usize> = q.drain().iter().map(|j| j.flat).collect();
+        assert_eq!(drained, vec![0, 1, 2]);
+        assert!(q.is_empty());
+    }
+}

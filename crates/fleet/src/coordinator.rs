@@ -1,27 +1,42 @@
-//! The sweep coordinator: shard, dispatch, retry, fail over, merge.
+//! The sweep coordinator: shard, dispatch, steal, hedge, fail over, merge.
 //!
-//! A [`Fleet`] owns a static list of `sibia-serve` endpoints and runs a
-//! sweep grid across them as independent per-cell `simulate` requests:
+//! A [`Fleet`] owns a dynamic roster of `sibia-serve` backends (the
+//! [`crate::control`] plane) and runs a sweep grid across them as
+//! independent per-cell `simulate` requests:
 //!
 //! 1. every `(arch, network, seed)` cell is assigned a *home* backend by
-//!    the deterministic FNV shard ([`crate::shard`]);
-//! 2. per-backend dispatch workers drain their queue over pooled
-//!    connections with a per-request deadline (`timeout_ms` on the wire);
+//!    the deterministic FNV shard ([`crate::shard`]) over the members
+//!    dispatchable at sweep start, and queued on that member's
+//!    [`crate::control::StealQueue`];
+//! 2. per-member dispatch workers drain their home queue front-first over
+//!    pooled connections with a per-request deadline (`timeout_ms` on the
+//!    wire); an **idle** worker steals from the back of the deepest
+//!    dispatchable queue instead of sleeping, so a straggler cannot
+//!    serialize the tail of a sweep;
 //! 3. `overloaded` / `deadline_exceeded` answers retry the **same**
 //!    backend after a deterministic-jitter backoff ([`crate::backoff`]) —
 //!    the backend is healthy, just busy;
 //! 4. transport faults and server-side faults (`internal`,
-//!    `shutting_down`) trip the backend's circuit breaker
-//!    ([`crate::breaker`]) and **fail the cell over** to the next healthy
-//!    backend;
+//!    `shutting_down`) trip the member's circuit breaker
+//!    ([`crate::breaker`]), mark it Dead, reshard its queue across the
+//!    survivors, and **fail the cell over** to the next dispatchable
+//!    member;
 //! 5. deterministic rejections (`bad_request`, `unknown_arch`,
 //!    `unknown_network`) abort the whole sweep — every backend would
 //!    reject the same way, so retrying anywhere is futile;
-//! 6. completed cells land in a slot table indexed by the cell's flat
-//!    grid position, and the merged document is emitted in row-major
+//! 6. a cell in flight longer than the windowed-p99 hedge deadline gets a
+//!    duplicate raced on a second member; the first completion wins the
+//!    cell on the [`CompletionBoard`], the loser's socket is cancelled,
+//!    and a loser that answers anyway is deduped (counted, not written);
+//! 7. members can join and leave mid-sweep — planned
+//!    ([`FleetConfig::membership_plan`]), requested ([`Fleet::join`] /
+//!    [`Fleet::leave`]), or forced by failure — with a departing member's
+//!    queue drained and resharded across the survivors;
+//! 8. completed cells land on the completion board indexed by flat grid
+//!    position, and the merged document is emitted in row-major
 //!    (arch, network, seed) order.
 //!
-//! ## Why the merge is byte-identical
+//! ## Why the merge is still byte-identical
 //!
 //! The server's `simulate` handler computes each cell with the same
 //! `Simulator` configuration the grid engine gives a cell (same seed
@@ -29,15 +44,19 @@
 //! [`sibia_serve::protocol::network_result_to_json`]; the canonical JSON
 //! layer makes `parse ∘ serialize` the identity on canonical text, so the
 //! `result` payload the coordinator reads back is byte-for-byte what
-//! `grid_to_json` would have embedded for that cell. Reassembling the
-//! slots in flat order therefore reproduces `grid_to_json(simulate_grid(…))`
-//! exactly — regardless of backend count, which backend computed which
-//! cell, how often a cell was retried, or the order cells completed in.
-//! The integration suite pins this against live servers, including a
-//! mid-sweep kill.
+//! `grid_to_json` would have embedded for that cell. Everything the
+//! control plane does — stealing, hedging, joins, leaves, breaker-driven
+//! reshards — only changes **which backend computes a cell and when**,
+//! never the cell's bytes; hedge twins are first-writer-wins deduped on
+//! the board, and the merge reads the slots back in flat order.
+//! Reassembling therefore reproduces `grid_to_json(simulate_grid(…))`
+//! exactly — regardless of backend count, membership churn, steals,
+//! hedges, retries, or completion order. The integration suite pins this
+//! against live servers, including seeded chaos schedules (mid-sweep
+//! kill + join + stalls).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -46,14 +65,16 @@ use sibia_obs::{registry, tracer, Counter, Histogram, Json, TraceContext};
 use sibia_serve::{Client, ClientError, ErrorCode, ServeError};
 
 use crate::backoff::BackoffPolicy;
-use crate::breaker::CircuitBreaker;
-use crate::pool::ClientPool;
+use crate::control::{
+    pick_victim, CellJob, Completion, CompletionBoard, HedgeConfig, InFlightTable, Member,
+    MemberConfig, MemberState, Membership, MembershipAction, PlannedEvent,
+};
 use crate::shard::backend_for_cell;
 
 /// How a sweep can fail, from the caller's point of view.
 #[derive(Debug)]
 pub enum FleetError {
-    /// The endpoint list was empty.
+    /// The endpoint list was empty (or every member left before dispatch).
     NoEndpoints,
     /// `archs`, `networks`, or `seeds` was empty.
     EmptyGrid,
@@ -104,8 +125,9 @@ impl std::error::Error for FleetError {}
 /// for LAN backends; every knob is public.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Backend endpoints (`host:port`), order-significant: the shard
-    /// assignment and failover rotation are relative to this list.
+    /// Initial backend endpoints (`host:port`), order-significant: the
+    /// shard assignment and failover rotation are relative to the roster
+    /// built from this list (joins append to it).
     pub endpoints: Vec<String>,
     /// Concurrent dispatch workers (and pooled connections) per backend.
     pub connections_per_backend: usize,
@@ -116,7 +138,7 @@ pub struct FleetConfig {
     pub request_timeout: Duration,
     /// Retry budget *per backend* for back-off-able answers
     /// (`overloaded`, `deadline_exceeded`); the total attempt budget of a
-    /// cell is `max_attempts_per_backend × endpoints.len()`.
+    /// cell is `max_attempts_per_backend × roster size`.
     pub max_attempts_per_backend: u32,
     /// Retry delay policy (deterministic jitter).
     pub backoff: BackoffPolicy,
@@ -124,8 +146,21 @@ pub struct FleetConfig {
     pub breaker_threshold: u32,
     /// How long an open breaker rejects before admitting a trial.
     pub breaker_cooldown: Duration,
-    /// Health-probe (`ping`) period; probes feed the breakers.
+    /// Health-probe (`ping`) period; probes feed the breakers and
+    /// resurrect Dead-but-reachable members.
     pub probe_interval: Duration,
+    /// Work stealing: idle workers pull cells from the deepest
+    /// dispatchable queue instead of sleeping.
+    pub steal: bool,
+    /// Hedged-dispatch policy (windowed-p99 deadline, duplication).
+    pub hedge: HedgeConfig,
+    /// Membership changes scheduled relative to sweep start (the CLI's
+    /// `--join MS:ENDPOINT` / `--leave MS:ENDPOINT` compile to these).
+    pub membership_plan: Vec<PlannedEvent>,
+    /// When set, the coordinator atomically rewrites this file with a
+    /// live JSON snapshot of the roster every ~200 ms during a sweep
+    /// (`sibia top --fleet-status` reads it).
+    pub status_path: Option<PathBuf>,
 }
 
 impl FleetConfig {
@@ -141,7 +176,46 @@ impl FleetConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(500),
             probe_interval: Duration::from_millis(200),
+            steal: true,
+            hedge: HedgeConfig::default(),
+            membership_plan: Vec::new(),
+            status_path: None,
         }
+    }
+}
+
+/// The [`MemberConfig`] projection of a [`FleetConfig`].
+/// Schedule debugging: set `SIBIA_FLEET_DEBUG=1` to get a per-event log
+/// of dispatches, steals, hedges, and wins on stderr, stamped with
+/// milliseconds since the sweep started.
+fn debug_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SIBIA_FLEET_DEBUG").is_some())
+}
+
+macro_rules! sched_debug {
+    ($state:expr, $($arg:tt)*) => {
+        if debug_enabled() {
+            eprintln!(
+                "fleet[{:>6.1}ms] {}",
+                $state.started.elapsed().as_secs_f64() * 1e3,
+                format_args!($($arg)*)
+            );
+        }
+    };
+}
+
+fn member_config(config: &FleetConfig) -> MemberConfig {
+    MemberConfig {
+        connect_timeout: config.connect_timeout,
+        // Socket read timeout = request deadline + slack, so the server
+        // gets to answer `deadline_exceeded` itself before the client cuts
+        // the connection (a typed answer retries; a cut connection would
+        // needlessly count as a backend fault).
+        io_timeout: config.request_timeout + Duration::from_secs(10),
+        max_idle: config.connections_per_backend,
+        breaker_threshold: config.breaker_threshold,
+        breaker_cooldown: config.breaker_cooldown,
     }
 }
 
@@ -150,16 +224,37 @@ impl FleetConfig {
 pub struct SweepStats {
     /// Grid cells dispatched.
     pub cells: usize,
-    /// Backends configured.
+    /// Roster size at merge time (initial endpoints + joins; Dead and
+    /// departed members keep their slots).
     pub backends: usize,
-    /// Total dispatch attempts (incl. retries and failovers).
+    /// Total dispatch attempts (incl. retries, failovers, hedges).
     pub attempts: u64,
     /// Same-backend retries after `overloaded`/`deadline_exceeded`.
     pub retries: u64,
     /// Cells re-dispatched to a different backend.
     pub failovers: u64,
-    /// Cells completed per backend (by endpoint index).
+    /// Cells pulled off another member's queue by an idle worker.
+    pub steals: u64,
+    /// Hedge duplicates issued for overdue cells.
+    pub hedges: u64,
+    /// Cells won by their hedge duplicate (the original lost the race).
+    pub hedge_wins: u64,
+    /// Duplicate completions discarded by the board (never written).
+    pub hedge_duplicates: u64,
+    /// Members that joined mid-sweep.
+    pub joins: u64,
+    /// Members that left mid-sweep (explicit leaves, not failures).
+    pub leaves: u64,
+    /// Queued cells moved to a survivor when a member died or drained.
+    pub resharded_cells: u64,
+    /// Cells completed per member (by stable roster index).
     pub per_backend_cells: Vec<u64>,
+    /// Stolen cells executed per member (by stable roster index).
+    pub per_backend_stolen: Vec<u64>,
+    /// Hedge duplicates placed per member (by stable roster index).
+    pub per_backend_hedged: Vec<u64>,
+    /// Final `(endpoint, state)` of every roster member, in index order.
+    pub membership: Vec<(String, String)>,
     /// End-to-end latency of every completed cell (dispatch to slot),
     /// unsorted.
     pub cell_latencies: Vec<Duration>,
@@ -177,6 +272,13 @@ struct FleetMetrics {
     probe_failures: Arc<Counter>,
     pool_dials: Arc<Counter>,
     pool_reuses: Arc<Counter>,
+    steal_total: Arc<Counter>,
+    hedge_total: Arc<Counter>,
+    hedge_win_total: Arc<Counter>,
+    hedge_duplicate_total: Arc<Counter>,
+    join_total: Arc<Counter>,
+    leave_total: Arc<Counter>,
+    reshard_cells_total: Arc<Counter>,
     cell_us: Arc<Histogram>,
     attempt_us: Arc<Histogram>,
 }
@@ -195,6 +297,13 @@ impl FleetMetrics {
             probe_failures: r.counter("fleet.probe_failures"),
             pool_dials: r.counter("fleet.pool.dials"),
             pool_reuses: r.counter("fleet.pool.reuses"),
+            steal_total: r.counter("fleet.steal_total"),
+            hedge_total: r.counter("fleet.hedge_total"),
+            hedge_win_total: r.counter("fleet.hedge_win_total"),
+            hedge_duplicate_total: r.counter("fleet.hedge_duplicate_total"),
+            join_total: r.counter("fleet.join_total"),
+            leave_total: r.counter("fleet.leave_total"),
+            reshard_cells_total: r.counter("fleet.reshard_cells_total"),
             cell_us: r.histogram("fleet.cell_us"),
             attempt_us: r.histogram("fleet.attempt_us"),
         }
@@ -205,15 +314,6 @@ impl FleetMetrics {
 /// `fs2`, …). Process-wide rather than per-fleet so two coordinators in
 /// one process never mint the same id.
 static SWEEP_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// One cell traveling through the dispatch machinery.
-#[derive(Debug, Clone, Copy)]
-struct CellJob {
-    /// Flat row-major grid index (also the slot index).
-    flat: usize,
-    /// Dispatch attempts spent so far, across all backends.
-    attempts: u32,
-}
 
 /// What one dispatch attempt concluded.
 enum Attempt {
@@ -228,6 +328,15 @@ enum Attempt {
     Fault(String),
 }
 
+/// How [`Fleet::drive_cell`] left a job.
+enum Verdict {
+    /// Nothing more to do for this copy (won, deduped, cancelled, or the
+    /// sweep aborted).
+    Settled,
+    /// The member cannot finish this cell: move it elsewhere.
+    Failover(String),
+}
+
 /// Shared per-sweep state, borrowed by the worker scope.
 struct SweepState<'a> {
     archs: &'a [String],
@@ -237,16 +346,28 @@ struct SweepState<'a> {
     /// This sweep's propagated trace id: rides every dispatched request's
     /// envelope, so backend spans are pullable (`spans` verb) under it.
     trace_id: &'a str,
-    slots: Vec<Mutex<Option<Json>>>,
-    senders: Vec<Sender<CellJob>>,
-    remaining: AtomicUsize,
+    /// First-writer-wins result slots + the hedge-deadline window.
+    board: CompletionBoard,
+    /// Cells currently executing, for the hedge monitor and cancellation.
+    inflight: InFlightTable,
     fatal: Mutex<Option<FleetError>>,
     abort: AtomicBool,
     attempts: AtomicU64,
     retries: AtomicU64,
     failovers: AtomicU64,
-    per_backend_cells: Vec<AtomicU64>,
+    steals: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    joins: AtomicU64,
+    leaves: AtomicU64,
+    resharded: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
+    /// The in-flight probe's cancel handle, so the end of a sweep never
+    /// waits out a ping that is riding a stalled backend (the prober is a
+    /// scoped thread; scope exit joins it).
+    probe_cancel: Mutex<Option<sibia_serve::CancelHandle>>,
+    /// Sweep start, the clock for planned membership events.
+    started: Instant,
 }
 
 impl SweepState<'_> {
@@ -260,7 +381,7 @@ impl SweepState<'_> {
     }
 
     fn done(&self) -> bool {
-        self.abort.load(Ordering::Relaxed) || self.remaining.load(Ordering::Relaxed) == 0
+        self.abort.load(Ordering::Relaxed) || self.board.remaining() == 0
     }
 
     fn fail(&self, err: FleetError) {
@@ -282,12 +403,14 @@ impl SweepState<'_> {
     }
 }
 
-/// A sharded multi-backend sweep coordinator.
+/// A dynamically-scheduled multi-backend sweep coordinator.
 pub struct Fleet {
     config: FleetConfig,
-    pools: Vec<Arc<ClientPool>>,
-    breakers: Vec<Mutex<CircuitBreaker>>,
+    membership: Membership,
     metrics: FleetMetrics,
+    /// Join/leave requests made between control-loop ticks (or between
+    /// sweeps), drained by the next tick.
+    commands: Mutex<Vec<MembershipAction>>,
     /// Trace id of the most recently started sweep (see
     /// [`Fleet::last_trace_id`]).
     last_trace_id: Mutex<Option<String>>,
@@ -309,48 +432,55 @@ impl Fleet {
         if config.endpoints.is_empty() {
             return Err(FleetError::NoEndpoints);
         }
-        // Socket read timeout = request deadline + slack, so the server
-        // gets to answer `deadline_exceeded` itself before the client cuts
-        // the connection (a typed answer retries; a cut connection would
-        // needlessly count as a backend fault).
-        let io_timeout = config.request_timeout + Duration::from_secs(10);
-        let pools = config
-            .endpoints
-            .iter()
-            .map(|e| {
-                Arc::new(ClientPool::new(
-                    e.clone(),
-                    config.connect_timeout,
-                    io_timeout,
-                    config.connections_per_backend,
-                ))
-            })
-            .collect();
-        let breakers = config
-            .endpoints
-            .iter()
-            .map(|_| {
-                Mutex::new(CircuitBreaker::new(
-                    config.breaker_threshold,
-                    config.breaker_cooldown,
-                ))
-            })
-            .collect();
+        let membership = Membership::new(&config.endpoints, &member_config(&config));
         registry()
             .gauge("fleet.backends")
             .set(config.endpoints.len() as i64);
         Ok(Self {
             config,
-            pools,
-            breakers,
+            membership,
             metrics: FleetMetrics::new(),
+            commands: Mutex::new(Vec::new()),
             last_trace_id: Mutex::new(None),
         })
     }
 
-    /// The configured endpoints.
+    /// The initially configured endpoints (joins do not appear here; see
+    /// [`Fleet::members`] for the live roster).
     pub fn endpoints(&self) -> &[String] {
         &self.config.endpoints
+    }
+
+    /// The live roster as `(endpoint, state)` pairs, in stable roster
+    /// index order.
+    pub fn members(&self) -> Vec<(String, MemberState)> {
+        self.membership
+            .snapshot()
+            .iter()
+            .map(|m| (m.endpoint.clone(), m.state()))
+            .collect()
+    }
+
+    /// Requests that `endpoint` join the fleet. Applied by the next
+    /// control-loop tick of the running sweep (or at the start of the
+    /// next one): a brand-new endpoint is appended in state Joining; a
+    /// Dead-but-known endpoint is put back in rotation.
+    pub fn join(&self, endpoint: impl Into<String>) {
+        self.commands
+            .lock()
+            .expect("commands lock")
+            .push(MembershipAction::Join(endpoint.into()));
+    }
+
+    /// Requests that `endpoint` drain out of the fleet: no new work, its
+    /// home queue resharded across the survivors, in-flight dispatches
+    /// allowed to finish. A departed member never rejoins under the same
+    /// roster slot ([`Fleet::join`] appends a fresh one).
+    pub fn leave(&self, endpoint: impl Into<String>) {
+        self.commands
+            .lock()
+            .expect("commands lock")
+            .push(MembershipAction::Leave(endpoint.into()));
     }
 
     /// The propagated trace id of the most recently started sweep (`fs1`,
@@ -360,22 +490,22 @@ impl Fleet {
         self.last_trace_id.lock().expect("trace id lock").clone()
     }
 
-    /// Pulls hierarchy spans recorded under `trace_id` from every backend
-    /// (the `spans` verb), in endpoint order. A backend that cannot answer
-    /// yields `Err(message)` — the merger skips it rather than failing the
-    /// whole export.
+    /// Pulls hierarchy spans recorded under `trace_id` from every roster
+    /// member (the `spans` verb), in roster order. A backend that cannot
+    /// answer yields `Err(message)` — the merger skips it rather than
+    /// failing the whole export.
     #[allow(clippy::type_complexity)]
     pub fn pull_spans(
         &self,
         trace_id: &str,
         limit: Option<usize>,
     ) -> Vec<(String, Result<Json, String>)> {
-        self.config
-            .endpoints
+        self.membership
+            .snapshot()
             .iter()
-            .enumerate()
-            .map(|(b, endpoint)| {
-                let outcome = self.pools[b]
+            .map(|member| {
+                let outcome = member
+                    .pool
                     .checkout()
                     .map_err(|e| format!("connect: {e}"))
                     .and_then(|mut client| {
@@ -383,11 +513,11 @@ impl Fleet {
                             .spans(limit, Some(trace_id))
                             .map_err(|e| e.to_string());
                         if pulled.is_ok() {
-                            self.pools[b].checkin(client);
+                            member.pool.checkin(client);
                         }
                         pulled
                     });
-                (endpoint.clone(), outcome)
+                (member.endpoint.clone(), outcome)
             })
             .collect()
     }
@@ -401,7 +531,9 @@ impl Fleet {
         let backends = self.pull_spans(trace_id, limit);
         crate::telemetry::merge_chrome_trace(trace_id, &coordinator, &backends)
     }
+}
 
+impl Fleet {
     /// Runs the (archs × networks × seeds) grid and returns the merged
     /// document — byte-identical to `grid_to_json` of a direct
     /// `simulate_grid` call — plus dispatch statistics.
@@ -417,23 +549,12 @@ impl Fleet {
         }
         let trace_id = format!("fs{}", SWEEP_SEQ.fetch_add(1, Ordering::Relaxed) + 1);
         *self.last_trace_id.lock().expect("trace id lock") = Some(trace_id.clone());
+        let cells = archs.len() * networks.len() * seeds.len();
         let mut sweep_span = tracer().span("fleet.sweep");
         sweep_span.attr("trace_id", &trace_id);
-        sweep_span.attr("cells", archs.len() * networks.len() * seeds.len());
-        sweep_span.attr("backends", self.config.endpoints.len());
-
-        let n_backends = self.config.endpoints.len();
-        let cells = archs.len() * networks.len() * seeds.len();
+        sweep_span.attr("cells", cells);
+        sweep_span.attr("backends", self.membership.len());
         self.metrics.cells_total.add(cells as u64);
-        let pool_before: Vec<(u64, u64)> = self.pools.iter().map(|p| p.stats()).collect();
-
-        let mut senders = Vec::with_capacity(n_backends);
-        let mut receivers = Vec::with_capacity(n_backends);
-        for _ in 0..n_backends {
-            let (tx, rx) = mpsc::channel::<CellJob>();
-            senders.push(tx);
-            receivers.push(Arc::new(Mutex::new(rx)));
-        }
 
         let state = SweepState {
             archs,
@@ -441,64 +562,196 @@ impl Fleet {
             seeds,
             sample_cap,
             trace_id: &trace_id,
-            slots: (0..cells).map(|_| Mutex::new(None)).collect(),
-            senders,
-            remaining: AtomicUsize::new(cells),
+            board: CompletionBoard::new(cells),
+            inflight: InFlightTable::new(),
             fatal: Mutex::new(None),
             abort: AtomicBool::new(false),
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
-            per_backend_cells: (0..n_backends).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            resharded: AtomicU64::new(0),
             latencies: Mutex::new(Vec::with_capacity(cells)),
+            probe_cancel: Mutex::new(None),
+            started: Instant::now(),
         };
 
-        // Seed every cell into its home backend's queue.
-        for flat in 0..cells {
-            let (arch, network, seed) = state.cell_coords(flat);
-            let home = backend_for_cell(arch, network, seed, n_backends);
-            state.senders[home]
-                .send(CellJob { flat, attempts: 0 })
-                .expect("receiver alive");
+        // Membership requests made between sweeps apply before sharding.
+        let pending: Vec<MembershipAction> =
+            std::mem::take(&mut *self.commands.lock().expect("commands lock"));
+        for action in pending {
+            self.apply_membership(action, &state);
         }
 
+        // Shard every cell onto its home member among the ones that can
+        // take work right now; later joins pick cells up by stealing.
+        let initial = self.membership.dispatchable();
+        if initial.is_empty() {
+            return Err(FleetError::NoEndpoints);
+        }
+        for flat in 0..cells {
+            let (arch, network, seed) = state.cell_coords(flat);
+            let home = backend_for_cell(arch, network, seed, initial.len());
+            initial[home].queue.push_back(CellJob::new(flat));
+        }
+
+        // Per-member baselines, so one Fleet can run many sweeps and the
+        // stats still report this sweep's deltas.
+        let roster_before = self.membership.snapshot();
+        let counters_before: Vec<(u64, u64, u64)> = roster_before
+            .iter()
+            .map(|m| {
+                (
+                    m.completed.load(Ordering::SeqCst),
+                    m.stolen.load(Ordering::SeqCst),
+                    m.hedged.load(Ordering::SeqCst),
+                )
+            })
+            .collect();
+        let pool_before: Vec<(u64, u64)> = roster_before.iter().map(|m| m.pool.stats()).collect();
+
+        let mut plan = self.config.membership_plan.clone();
+        plan.sort_by_key(|e| e.at);
+        let mut next_event = 0usize;
+
         thread::scope(|s| {
-            for (b, rx) in receivers.iter().enumerate() {
-                for _ in 0..self.config.connections_per_backend.max(1) {
-                    let rx = Arc::clone(rx);
-                    let state = &state;
-                    s.spawn(move || self.worker_loop(b, &rx, state));
-                }
-            }
             {
                 let state = &state;
                 s.spawn(move || self.prober_loop(state));
             }
+            // The control loop runs right here on the sweeping thread:
+            // spawn workers for every member (including mid-sweep joins),
+            // fire planned membership events, drain join/leave requests,
+            // finish drains, hedge the overdue, publish status.
+            let mut spawned = 0usize;
+            let mut tick = 0u64;
+            loop {
+                let roster = self.membership.snapshot();
+                for member in roster.iter().skip(spawned) {
+                    for _ in 0..self.config.connections_per_backend.max(1) {
+                        let member = Arc::clone(member);
+                        let state = &state;
+                        s.spawn(move || self.worker_loop(member, state));
+                    }
+                }
+                spawned = roster.len();
+                if state.done() {
+                    break;
+                }
 
-            while !state.done() {
-                thread::sleep(Duration::from_millis(2));
+                let elapsed = state.started.elapsed();
+                while next_event < plan.len() && plan[next_event].at <= elapsed {
+                    self.apply_membership(plan[next_event].action.clone(), &state);
+                    next_event += 1;
+                }
+                let pending: Vec<MembershipAction> =
+                    std::mem::take(&mut *self.commands.lock().expect("commands lock"));
+                for action in pending {
+                    self.apply_membership(action, &state);
+                }
+
+                for m in &roster {
+                    if m.state() == MemberState::Draining
+                        && m.queue.is_empty()
+                        && m.inflight.load(Ordering::SeqCst) == 0
+                    {
+                        m.set_state(MemberState::Dead);
+                    }
+                }
+
+                if let Some(deadline) = state.board.deadline(&self.config.hedge) {
+                    for (flat, busy) in state.inflight.overdue(deadline) {
+                        if state.board.is_complete(flat) {
+                            continue;
+                        }
+                        sched_debug!(
+                            state,
+                            "overdue cell {flat} (deadline {:.1}ms, busy {busy:?})",
+                            deadline.as_secs_f64() * 1e3
+                        );
+                        self.hedge_cell(flat, &busy, &state);
+                    }
+                }
+
+                registry()
+                    .gauge("fleet.backends")
+                    .set(self.membership.dispatchable().len() as i64);
+                if tick % 20 == 0 {
+                    self.write_status(&state);
+                }
+                tick += 1;
+                thread::sleep(Duration::from_millis(10));
             }
             state.abort.store(true, Ordering::Relaxed);
+            if let Some(handle) = state.probe_cancel.lock().expect("probe cancel lock").take() {
+                handle.cancel();
+            }
+            self.write_status(&state);
         });
 
         if let Some(err) = state.fatal.lock().expect("fatal lock").take() {
             return Err(err);
         }
 
+        let roster = self.membership.snapshot();
+        for m in &roster {
+            let (dials, reuses) = m.pool.stats();
+            let (bd, br) = pool_before.get(m.index).copied().unwrap_or((0, 0));
+            self.metrics.pool_dials.add(dials - bd);
+            self.metrics.pool_reuses.add(reuses - br);
+        }
+        let delta = |i: usize, now: u64, which: fn(&(u64, u64, u64)) -> u64| {
+            now - counters_before.get(i).map_or(0, which)
+        };
+        let stats = SweepStats {
+            cells,
+            backends: roster.len(),
+            attempts: state.attempts.load(Ordering::Relaxed),
+            retries: state.retries.load(Ordering::Relaxed),
+            failovers: state.failovers.load(Ordering::Relaxed),
+            steals: state.steals.load(Ordering::Relaxed),
+            hedges: state.hedges.load(Ordering::Relaxed),
+            hedge_wins: state.hedge_wins.load(Ordering::Relaxed),
+            hedge_duplicates: state.board.duplicates.load(Ordering::SeqCst),
+            joins: state.joins.load(Ordering::Relaxed),
+            leaves: state.leaves.load(Ordering::Relaxed),
+            resharded_cells: state.resharded.load(Ordering::Relaxed),
+            per_backend_cells: roster
+                .iter()
+                .map(|m| delta(m.index, m.completed.load(Ordering::SeqCst), |c| c.0))
+                .collect(),
+            per_backend_stolen: roster
+                .iter()
+                .map(|m| delta(m.index, m.stolen.load(Ordering::SeqCst), |c| c.1))
+                .collect(),
+            per_backend_hedged: roster
+                .iter()
+                .map(|m| delta(m.index, m.hedged.load(Ordering::SeqCst), |c| c.2))
+                .collect(),
+            membership: roster
+                .iter()
+                .map(|m| (m.endpoint.clone(), m.state().as_str().to_string()))
+                .collect(),
+            cell_latencies: state.latencies.lock().expect("latency lock").clone(),
+        };
+        sweep_span.attr("attempts", stats.attempts);
+        sweep_span.attr("failovers", stats.failovers);
+        sweep_span.attr("steals", stats.steals);
+        sweep_span.attr("hedges", stats.hedges);
+
+        let results = state.board.into_results();
+        let per_arch = networks.len() * seeds.len();
         let merged = Json::obj(vec![(
             "cells",
             Json::Array(
-                state
-                    .slots
-                    .iter()
+                results
+                    .into_iter()
                     .enumerate()
-                    .map(|(flat, slot)| {
-                        let result = slot
-                            .lock()
-                            .expect("slot lock")
-                            .take()
-                            .expect("all cells complete");
-                        let per_arch = networks.len() * seeds.len();
+                    .map(|(flat, result)| {
                         Json::obj(vec![
                             ("arch_index", Json::from(flat / per_arch)),
                             (
@@ -512,27 +765,6 @@ impl Fleet {
                     .collect(),
             ),
         )]);
-
-        for (pool, before) in self.pools.iter().zip(pool_before) {
-            let (dials, reuses) = pool.stats();
-            self.metrics.pool_dials.add(dials - before.0);
-            self.metrics.pool_reuses.add(reuses - before.1);
-        }
-        let stats = SweepStats {
-            cells,
-            backends: n_backends,
-            attempts: state.attempts.load(Ordering::Relaxed),
-            retries: state.retries.load(Ordering::Relaxed),
-            failovers: state.failovers.load(Ordering::Relaxed),
-            per_backend_cells: state
-                .per_backend_cells
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            cell_latencies: state.latencies.lock().expect("latency lock").clone(),
-        };
-        sweep_span.attr("attempts", stats.attempts);
-        sweep_span.attr("failovers", stats.failovers);
         Ok((merged, stats))
     }
 
@@ -548,43 +780,103 @@ impl Fleet {
             .map(|(json, _)| json)
     }
 
-    fn worker_loop(&self, backend: usize, rx: &Mutex<Receiver<CellJob>>, state: &SweepState<'_>) {
+    fn worker_loop(&self, member: Arc<Member>, state: &SweepState<'_>) {
         loop {
             if state.done() {
                 return;
             }
-            let job = {
-                let rx = rx.lock().expect("queue lock");
-                rx.recv_timeout(Duration::from_millis(20))
-            };
-            match job {
-                Ok(job) => self.run_cell(backend, job, state),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+            if let Some(mut job) = member.queue.pop_front() {
+                if !member.state().is_dispatchable() {
+                    // The member died or drained with this still queued
+                    // (e.g. pushed by a failover fallback): bounce it, at
+                    // the cost of one attempt so dead fleets fail typed
+                    // instead of ping-ponging forever.
+                    job.attempts += 1;
+                    self.failover(member.index, job, "member out of rotation", state);
+                } else {
+                    self.run_cell(&member, job, state);
+                }
+                continue;
             }
+            if self.config.steal && member.state().is_dispatchable() {
+                if let Some(job) = self.steal_job(&member, state) {
+                    self.run_cell(&member, job, state);
+                    continue;
+                }
+            }
+            thread::sleep(Duration::from_millis(5));
         }
     }
 
-    /// Drives one cell on `backend` until it completes, retries out its
-    /// same-backend budget, fails over, or aborts the sweep.
-    fn run_cell(&self, backend: usize, mut job: CellJob, state: &SweepState<'_>) {
-        if !self.breakers[backend]
-            .lock()
-            .expect("breaker lock")
-            .is_available()
-        {
+    /// An idle worker's steal: pull from the back of the deepest
+    /// dispatchable queue that is not our own.
+    fn steal_job(&self, thief: &Member, state: &SweepState<'_>) -> Option<CellJob> {
+        let members = self.membership.snapshot();
+        let victim = pick_victim(&members, thief.index)?;
+        let job = victim.queue.steal_back()?;
+        sched_debug!(
+            state,
+            "steal: member {} took cell {} from member {}",
+            thief.index,
+            job.flat,
+            victim.index
+        );
+        thief.stolen.fetch_add(1, Ordering::SeqCst);
+        state.steals.fetch_add(1, Ordering::Relaxed);
+        self.metrics.steal_total.inc();
+        let mut span = tracer().span("fleet.steal");
+        span.attr("trace_id", state.trace_id);
+        span.attr("thief", thief.index);
+        span.attr("victim", victim.index);
+        span.attr("cell", job.flat);
+        drop(span);
+        Some(job)
+    }
+
+    /// Executes one job on `member`: register in flight, drive it to a
+    /// settled outcome, then fail over if the member couldn't finish it.
+    fn run_cell(&self, member: &Arc<Member>, mut job: CellJob, state: &SweepState<'_>) {
+        if state.board.is_complete(job.flat) {
+            // A hedge loser popped after its twin already won: drop unrun.
+            return;
+        }
+        if !member.breaker_available() {
             // The skip consumes attempt budget: when every breaker is open
             // the cell bounces at most `budget` times and then fails,
             // instead of ping-ponging between dead backends forever.
             job.attempts += 1;
-            self.failover(backend, job, "circuit breaker open", state);
+            self.failover(member.index, job, "circuit breaker open", state);
             return;
         }
+        sched_debug!(
+            state,
+            "run: cell {} on member {} (attempts {}, hedge {})",
+            job.flat,
+            member.index,
+            job.attempts,
+            job.hedge
+        );
+        state.inflight.register(job.flat, member.index);
+        member.inflight.fetch_add(1, Ordering::SeqCst);
+        let verdict = self.drive_cell(member, &mut job, state);
+        member.inflight.fetch_sub(1, Ordering::SeqCst);
+        // Deregister *before* failing over, so the budget-exhausted check
+        // in `failover` counts only the *other* copies still in flight.
+        state.inflight.deregister(job.flat, member.index);
+        if let Verdict::Failover(why) = verdict {
+            self.failover(member.index, job, &why, state);
+        }
+    }
+
+    /// Drives one cell on `member` until it completes, is out-raced by its
+    /// hedge twin, retries out its same-backend budget, or aborts the
+    /// sweep.
+    fn drive_cell(&self, member: &Member, job: &mut CellJob, state: &SweepState<'_>) -> Verdict {
         let started = Instant::now();
         let mut local_attempt = 0u32;
         loop {
-            if state.done() {
-                return;
+            if state.done() || state.board.is_complete(job.flat) {
+                return Verdict::Settled;
             }
             job.attempts += 1;
             state.attempts.fetch_add(1, Ordering::Relaxed);
@@ -593,25 +885,50 @@ impl Fleet {
             let outcome = {
                 let mut span = tracer().span("fleet.dispatch");
                 span.attr("trace_id", state.trace_id);
-                span.attr("backend", backend);
+                span.attr("backend", member.index);
                 span.attr("cell", job.flat);
                 span.attr("attempt", job.attempts);
-                self.attempt_cell(backend, job.flat, span.id(), state)
+                span.attr("hedge", u64::from(job.hedge));
+                self.attempt_cell(member, job.flat, span.id(), state)
             };
             self.metrics.attempt_us.record(attempt_start.elapsed());
             match outcome {
                 Attempt::Done(result) => {
-                    self.breakers[backend]
+                    member
+                        .breaker
                         .lock()
                         .expect("breaker lock")
                         .record_success();
-                    *state.slots[job.flat].lock().expect("slot lock") = Some(result);
-                    state.per_backend_cells[backend].fetch_add(1, Ordering::Relaxed);
+                    if member.state() == MemberState::Joining {
+                        member.set_state(MemberState::Active);
+                    }
                     let latency = started.elapsed();
-                    self.metrics.cell_us.record(latency);
-                    state.latencies.lock().expect("latency lock").push(latency);
-                    state.remaining.fetch_sub(1, Ordering::Relaxed);
-                    return;
+                    sched_debug!(
+                        state,
+                        "done: cell {} on member {} in {:.1}ms (hedge {})",
+                        job.flat,
+                        member.index,
+                        latency.as_secs_f64() * 1e3,
+                        job.hedge
+                    );
+                    match state.board.complete(job.flat, result, latency) {
+                        Completion::Win => {
+                            member.completed.fetch_add(1, Ordering::SeqCst);
+                            self.metrics.cell_us.record(latency);
+                            state.latencies.lock().expect("latency lock").push(latency);
+                            if job.hedge {
+                                state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                self.metrics.hedge_win_total.inc();
+                            }
+                            // Unblock the losing copy right now instead of
+                            // letting it ride out the straggler.
+                            state.inflight.cancel_others(job.flat, member.index);
+                        }
+                        Completion::Duplicate => {
+                            self.metrics.hedge_duplicate_total.inc();
+                        }
+                    }
+                    return Verdict::Settled;
                 }
                 Attempt::Retry(overloaded) => {
                     // Healthy-but-busy: the breaker is NOT fed, the cell
@@ -624,24 +941,21 @@ impl Fleet {
                     self.metrics.retry_total.inc();
                     local_attempt += 1;
                     if local_attempt >= self.config.max_attempts_per_backend {
-                        self.failover(
-                            backend,
-                            job,
+                        return Verdict::Failover(
                             if overloaded {
                                 "overloaded"
                             } else {
                                 "deadline exceeded"
-                            },
-                            state,
+                            }
+                            .to_owned(),
                         );
-                        return;
                     }
                     let delay = self
                         .config
                         .backoff
                         .delay(job.flat as u64, local_attempt - 1);
                     let mut span = tracer().span("fleet.retry");
-                    span.attr("backend", backend);
+                    span.attr("backend", member.index);
                     span.attr("cell", job.flat);
                     span.attr("delay_us", delay.as_micros());
                     drop(span);
@@ -649,35 +963,47 @@ impl Fleet {
                 }
                 Attempt::Reject(err) => {
                     state.fail(FleetError::Rejected(err));
-                    return;
+                    return Verdict::Settled;
                 }
                 Attempt::Fault(message) => {
-                    let newly_opened = self.breakers[backend]
+                    if state.board.is_complete(job.flat) {
+                        // Our socket was shut down by the winning twin;
+                        // the backend did nothing wrong, so the breaker
+                        // is not fed and the cell needs no failover.
+                        return Verdict::Settled;
+                    }
+                    let newly_opened = member
+                        .breaker
                         .lock()
                         .expect("breaker lock")
                         .record_failure();
                     if newly_opened {
                         self.metrics.breaker_open_total.inc();
+                        self.on_breaker_opened(member, state);
                     }
-                    self.failover(backend, job, &message, state);
-                    return;
+                    return Verdict::Failover(message);
                 }
             }
         }
     }
 
-    /// One wire round trip for one cell against one backend.
+    /// One wire round trip for one cell against one member.
     fn attempt_cell(
         &self,
-        backend: usize,
+        member: &Member,
         flat: usize,
         dispatch_span: Option<u64>,
         state: &SweepState<'_>,
     ) -> Attempt {
-        let mut client = match self.pools[backend].checkout() {
+        let mut client = match member.pool.checkout() {
             Ok(c) => c,
             Err(e) => return Attempt::Fault(format!("connect: {e}")),
         };
+        // Park a cancel handle so a winning hedge twin can cut this call
+        // short; detached the moment the call returns on its own.
+        if let Ok(handle) = client.cancel_handle() {
+            state.inflight.attach_cancel(flat, member.index, handle);
+        }
         let (arch, network, seed) = state.cell_coords(flat);
         let mut fields = vec![
             ("kind", Json::from("simulate")),
@@ -704,23 +1030,25 @@ impl Fleet {
         if let Some(ctx) = TraceContext::new(state.trace_id.to_owned(), dispatch_span) {
             fields.push(("trace", ctx.to_json()));
         }
-        match client.call(Json::obj(fields)) {
+        let outcome = client.call(Json::obj(fields));
+        state.inflight.detach_cancel(flat, member.index);
+        match outcome {
             Ok(result) => {
-                self.pools[backend].checkin(client);
+                member.pool.checkin(client);
                 Attempt::Done(result)
             }
             Err(ClientError::Overloaded(_)) => {
                 // The connection is fine — the admission queue was full.
-                self.pools[backend].checkin(client);
+                member.pool.checkin(client);
                 Attempt::Retry(true)
             }
             Err(ClientError::Server(e)) => match e.code {
                 ErrorCode::DeadlineExceeded => {
-                    self.pools[backend].checkin(client);
+                    member.pool.checkin(client);
                     Attempt::Retry(false)
                 }
                 ErrorCode::BadRequest | ErrorCode::UnknownArch | ErrorCode::UnknownNetwork => {
-                    self.pools[backend].checkin(client);
+                    member.pool.checkin(client);
                     Attempt::Reject(e)
                 }
                 // shutting_down, internal, and anything future-unknown:
@@ -735,13 +1063,19 @@ impl Fleet {
         }
     }
 
-    /// Moves a cell to the next healthy backend (or the next backend
-    /// outright when every breaker is open — the attempt cap, not the
-    /// breaker state, is what finally fails a cell).
+    /// Moves a cell to the next dispatchable member (or the next roster
+    /// slot outright when nobody qualifies — the attempt cap, not the
+    /// roster state, is what finally fails a cell).
     fn failover(&self, from: usize, job: CellJob, why: &str, state: &SweepState<'_>) {
-        let budget =
-            self.config.max_attempts_per_backend * self.config.endpoints.len().max(1) as u32;
+        let members = self.membership.snapshot();
+        let n = members.len().max(1);
+        let budget = self.config.max_attempts_per_backend * n as u32;
         if job.attempts >= budget {
+            // A hedge twin may still be computing this cell; the sweep is
+            // only lost when the slot is empty AND nobody is on it.
+            if state.board.is_complete(job.flat) || state.inflight.live(job.flat) > 0 {
+                return;
+            }
             let (arch, network, seed) = state.cell_coords(job.flat);
             state.fail(FleetError::CellFailed {
                 arch: arch.to_owned(),
@@ -754,50 +1088,261 @@ impl Fleet {
         }
         state.failovers.fetch_add(1, Ordering::Relaxed);
         self.metrics.failover_total.inc();
-        let n = self.config.endpoints.len();
-        let mut target = (from + 1) % n;
+        // Rotation from the next slot: prefer dispatchable members whose
+        // breaker admits traffic, then any dispatchable member, then the
+        // next slot outright (its worker will bounce the job back here,
+        // burning budget toward a typed CellFailed instead of a hang).
+        let mut target = None;
         for k in 1..=n {
-            let candidate = (from + k) % n;
-            if self.breakers[candidate]
-                .lock()
-                .expect("breaker lock")
-                .is_available()
-            {
-                target = candidate;
+            let candidate = &members[(from + k) % n];
+            if candidate.state().is_dispatchable() && candidate.breaker_available() {
+                target = Some(Arc::clone(candidate));
                 break;
             }
         }
-        // The receiver can only be gone after abort; losing the job then
-        // is fine because nobody will wait on it.
-        let _ = state.senders[target].send(job);
+        if target.is_none() {
+            for k in 1..=n {
+                let candidate = &members[(from + k) % n];
+                if candidate.state().is_dispatchable() {
+                    target = Some(Arc::clone(candidate));
+                    break;
+                }
+            }
+        }
+        let target = target.unwrap_or_else(|| Arc::clone(&members[(from + 1) % n]));
+        target.queue.push_back(job);
+    }
+}
+
+impl Fleet {
+    /// A member's breaker just opened: take it out of rotation and move
+    /// its queued work to the survivors. The prober keeps pinging it (it
+    /// did not *leave*) and resurrects it on the first successful probe.
+    fn on_breaker_opened(&self, member: &Member, state: &SweepState<'_>) {
+        if member.state() == MemberState::Dead {
+            return;
+        }
+        member.set_state(MemberState::Dead);
+        let mut span = tracer().span("fleet.membership");
+        span.attr("trace_id", state.trace_id);
+        span.attr("action", "dead");
+        span.attr("endpoint", member.endpoint.as_str());
+        drop(span);
+        self.reshard(member, state);
+        registry()
+            .gauge("fleet.backends")
+            .set(self.membership.dispatchable().len() as i64);
     }
 
-    /// Background `ping` prober: keeps breaker state honest even while no
-    /// requests are flowing to a backend (e.g. everything failed over away
-    /// from it and its cooldown is the only way back).
+    /// Drains `member`'s home queue and re-homes the cells across the
+    /// dispatchable survivors with the same FNV shard (over the survivor
+    /// list), so the redistribution is itself deterministic.
+    fn reshard(&self, member: &Member, state: &SweepState<'_>) {
+        let jobs = member.queue.drain();
+        if jobs.is_empty() {
+            return;
+        }
+        let survivors: Vec<Arc<Member>> = self
+            .membership
+            .snapshot()
+            .into_iter()
+            .filter(|m| m.index != member.index && m.state().is_dispatchable())
+            .collect();
+        if survivors.is_empty() {
+            // Nobody to take the work: put it back. The member's own
+            // workers will bounce each job through `failover`, burning
+            // budget toward a typed CellFailed instead of hanging.
+            for job in jobs {
+                member.queue.push_back(job);
+            }
+            return;
+        }
+        state
+            .resharded
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.metrics.reshard_cells_total.add(jobs.len() as u64);
+        for job in jobs {
+            let (arch, network, seed) = state.cell_coords(job.flat);
+            let target = &survivors[backend_for_cell(arch, network, seed, survivors.len())];
+            target.queue.push_back(job);
+        }
+    }
+
+    /// Duplicates an overdue cell onto the least-loaded dispatchable
+    /// member not already working on it. The duplicate jumps its target's
+    /// queue (the cell is past the deadline by definition).
+    fn hedge_cell(&self, flat: usize, busy: &[usize], state: &SweepState<'_>) {
+        let members = self.membership.snapshot();
+        let target = members
+            .iter()
+            .filter(|m| !busy.contains(&m.index))
+            .filter(|m| m.state().is_dispatchable() && m.breaker_available())
+            .min_by_key(|m| m.queue.len())
+            .map(Arc::clone);
+        let Some(target) = target else {
+            // Nowhere to hedge right now; the next monitor tick retries.
+            return;
+        };
+        // Mark before pushing: the monitor must never double-hedge a cell
+        // it sees overdue on two consecutive ticks.
+        state.inflight.mark_hedged(flat);
+        target.hedged.fetch_add(1, Ordering::SeqCst);
+        state.hedges.fetch_add(1, Ordering::Relaxed);
+        self.metrics.hedge_total.inc();
+        let mut span = tracer().span("fleet.hedge");
+        span.attr("trace_id", state.trace_id);
+        span.attr("cell", flat);
+        span.attr("target", target.index);
+        drop(span);
+        target.queue.push_front(CellJob {
+            flat,
+            attempts: 0,
+            hedge: true,
+        });
+    }
+
+    /// Applies one join/leave to the roster.
+    fn apply_membership(&self, action: MembershipAction, state: &SweepState<'_>) {
+        match action {
+            MembershipAction::Join(endpoint) => {
+                if let Some(existing) = self.membership.find(&endpoint) {
+                    if existing.state() != MemberState::Dead {
+                        return; // already in rotation
+                    }
+                    existing.set_state(MemberState::Joining);
+                } else {
+                    self.membership
+                        .join(endpoint.clone(), &member_config(&self.config));
+                }
+                state.joins.fetch_add(1, Ordering::Relaxed);
+                self.metrics.join_total.inc();
+                let mut span = tracer().span("fleet.membership");
+                span.attr("trace_id", state.trace_id);
+                span.attr("action", "join");
+                span.attr("endpoint", endpoint.as_str());
+            }
+            MembershipAction::Leave(endpoint) => {
+                let Some(member) = self.membership.find(&endpoint) else {
+                    return; // unknown or already departed
+                };
+                member.mark_left();
+                member.set_state(MemberState::Draining);
+                self.reshard(&member, state);
+                state.leaves.fetch_add(1, Ordering::Relaxed);
+                self.metrics.leave_total.inc();
+                let mut span = tracer().span("fleet.membership");
+                span.attr("trace_id", state.trace_id);
+                span.attr("action", "leave");
+                span.attr("endpoint", endpoint.as_str());
+            }
+        }
+        registry()
+            .gauge("fleet.backends")
+            .set(self.membership.dispatchable().len() as i64);
+    }
+
+    /// Atomically rewrites the status file (tmp + rename) with a roster
+    /// snapshot, when [`FleetConfig::status_path`] is set.
+    fn write_status(&self, state: &SweepState<'_>) {
+        let Some(path) = &self.config.status_path else {
+            return;
+        };
+        let members: Vec<Json> = self
+            .membership
+            .snapshot()
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("endpoint", Json::from(m.endpoint.as_str())),
+                    ("state", Json::from(m.state().as_str())),
+                    ("queued", Json::from(m.queue.len())),
+                    ("inflight", Json::from(m.inflight.load(Ordering::SeqCst))),
+                    ("completed", Json::from(m.completed.load(Ordering::SeqCst))),
+                    ("stolen", Json::from(m.stolen.load(Ordering::SeqCst))),
+                    ("hedged", Json::from(m.hedged.load(Ordering::SeqCst))),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("trace_id", Json::from(state.trace_id)),
+            ("remaining", Json::from(state.board.remaining())),
+            ("members", Json::Array(members)),
+        ]);
+        let tmp = path.with_extension("status.tmp");
+        if std::fs::write(&tmp, doc.to_string()).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+
+    /// Background `ping` prober: keeps breaker and membership state honest
+    /// even while no requests are flowing to a member (e.g. everything
+    /// failed over away from it), and resurrects Dead members that did not
+    /// explicitly leave.
     fn prober_loop(&self, state: &SweepState<'_>) {
         loop {
             state.sleep(self.config.probe_interval);
             if state.done() {
                 return;
             }
-            for (b, endpoint) in self.config.endpoints.iter().enumerate() {
+            for member in self.membership.snapshot() {
+                if state.done() {
+                    return;
+                }
+                if member.has_left() {
+                    continue;
+                }
                 self.metrics.probe_total.inc();
                 let alive = Client::with_timeouts(
-                    endpoint.as_str(),
+                    member.endpoint.as_str(),
                     Some(self.config.connect_timeout.min(Duration::from_millis(500))),
                     Some(Duration::from_secs(1)),
                     Some(Duration::from_secs(1)),
                 )
-                .and_then(|mut c| c.ping())
+                .and_then(|mut c| {
+                    // Publish the in-flight probe's cancel handle: when the
+                    // sweep completes while this ping is riding a stalled
+                    // backend, the control loop shuts the socket instead of
+                    // letting scope-join wait out the stall.
+                    if let Ok(handle) = c.cancel_handle() {
+                        *state.probe_cancel.lock().expect("probe cancel lock") = Some(handle);
+                    }
+                    let outcome = c.ping();
+                    state.probe_cancel.lock().expect("probe cancel lock").take();
+                    outcome
+                })
                 .is_ok();
-                let mut breaker = self.breakers[b].lock().expect("breaker lock");
+                if state.done() {
+                    // A cancelled probe's failure is an artifact of sweep
+                    // shutdown, not a backend signal: never feed the breaker.
+                    return;
+                }
                 if alive {
-                    breaker.record_success();
+                    member
+                        .breaker
+                        .lock()
+                        .expect("breaker lock")
+                        .record_success();
+                    match member.state() {
+                        MemberState::Dead => {
+                            member.set_state(MemberState::Active);
+                            let mut span = tracer().span("fleet.membership");
+                            span.attr("trace_id", state.trace_id);
+                            span.attr("action", "resurrect");
+                            span.attr("endpoint", member.endpoint.as_str());
+                        }
+                        MemberState::Joining => member.set_state(MemberState::Active),
+                        _ => {}
+                    }
                 } else {
                     self.metrics.probe_failures.inc();
-                    if breaker.record_failure() {
+                    let newly_opened = member
+                        .breaker
+                        .lock()
+                        .expect("breaker lock")
+                        .record_failure();
+                    if newly_opened {
                         self.metrics.breaker_open_total.inc();
+                        self.on_breaker_opened(&member, state);
                     }
                 }
             }
@@ -836,28 +1381,42 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn cell_coords_walk_the_grid_row_major() {
-        let archs = vec!["a".to_string(), "b".to_string()];
-        let networks = vec!["x".to_string(), "y".to_string()];
-        let seeds = vec![1u64, 2];
-        let state = SweepState {
-            archs: &archs,
-            networks: &networks,
-            seeds: &seeds,
+    fn bare_state<'a>(
+        archs: &'a [String],
+        networks: &'a [String],
+        seeds: &'a [u64],
+    ) -> SweepState<'a> {
+        SweepState {
+            archs,
+            networks,
+            seeds,
             sample_cap: None,
             trace_id: "fs-test",
-            slots: Vec::new(),
-            senders: Vec::new(),
-            remaining: AtomicUsize::new(0),
+            board: CompletionBoard::new(0),
+            inflight: InFlightTable::new(),
             fatal: Mutex::new(None),
             abort: AtomicBool::new(false),
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
-            per_backend_cells: Vec::new(),
+            steals: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            resharded: AtomicU64::new(0),
             latencies: Mutex::new(Vec::new()),
-        };
+            probe_cancel: Mutex::new(None),
+            started: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn cell_coords_walk_the_grid_row_major() {
+        let archs = vec!["a".to_string(), "b".to_string()];
+        let networks = vec!["x".to_string(), "y".to_string()];
+        let seeds = vec![1u64, 2];
+        let state = bare_state(&archs, &networks, &seeds);
         let mut flat = 0;
         for a in ["a", "b"] {
             for n in ["x", "y"] {
@@ -886,5 +1445,16 @@ mod tests {
             Err(FleetError::CellFailed { attempts, .. }) => assert!(attempts >= 2),
             other => panic!("expected CellFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn join_and_leave_requests_survive_until_the_next_sweep() {
+        let fleet = Fleet::new(FleetConfig::new(vec!["127.0.0.1:1".into()])).unwrap();
+        fleet.join("127.0.0.1:2");
+        fleet.leave("127.0.0.1:1");
+        // Nothing applied yet: commands wait for a control-loop tick.
+        assert_eq!(fleet.members().len(), 1);
+        assert_eq!(fleet.members()[0].1, MemberState::Active);
+        assert_eq!(fleet.commands.lock().unwrap().len(), 2);
     }
 }

@@ -1,10 +1,11 @@
-//! # sibia-fleet — sharded multi-backend sweep coordination
+//! # sibia-fleet — dynamically scheduled multi-backend sweep coordination
 //!
 //! The first horizontal-scaling layer of the Sibia stack: a std-only
-//! coordinator that takes a sweep grid, shards its cells across a static
-//! list of `sibia-serve` backends, and merges the answers into a document
-//! **byte-identical** to a direct [`sibia_sim::ParallelEngine`] grid run —
-//! regardless of backend count, failures, retries, or completion order.
+//! coordinator that takes a sweep grid, shards its cells across a dynamic
+//! roster of `sibia-serve` backends, and merges the answers into a
+//! document **byte-identical** to a direct [`sibia_sim::ParallelEngine`]
+//! grid run — regardless of backend count, membership churn, failures,
+//! steals, hedges, retries, or completion order.
 //!
 //! | module | what it provides |
 //! |---|---|
@@ -12,7 +13,8 @@
 //! | [`backoff`] | bounded exponential backoff with deterministic jitter (SynthRng, no `rand`) |
 //! | [`breaker`] | per-backend Closed/Open/HalfOpen circuit breaker |
 //! | [`pool`] | per-backend blocking connection pool over [`sibia_serve::Client`] |
-//! | [`coordinator`] | the [`Fleet`] itself: dispatch workers, retry/failover policy, ping prober, result merge |
+//! | [`control`] | the control plane: membership state machine, work-stealing queues, hedged dispatch, chaos harness |
+//! | [`coordinator`] | the [`Fleet`] itself: dispatch workers, retry/failover policy, hedge monitor, ping prober, result merge |
 //! | [`telemetry`] | fleet-wide Chrome trace assembly: per-process `pid` lanes, global span ids, propagated parent links |
 //!
 //! ## Failure policy in one paragraph
@@ -21,20 +23,38 @@
 //! retries the **same** backend after a deterministic-jitter backoff and
 //! the circuit breaker is not touched. Transport faults and server faults
 //! (`internal`, `shutting_down`) mean *backend in trouble*: the breaker
-//! records the failure and the cell **fails over** to the next healthy
-//! backend. Deterministic rejections (`bad_request`, `unknown_arch`,
-//! `unknown_network`) abort the whole sweep — every backend would answer
-//! identically, so retrying anywhere is futile. A background `ping`
-//! prober keeps breaker state honest even for backends no request is
-//! currently reaching.
+//! records the failure, a newly opened breaker marks the member Dead and
+//! reshards its queue, and the cell **fails over** to the next
+//! dispatchable member. Deterministic rejections (`bad_request`,
+//! `unknown_arch`, `unknown_network`) abort the whole sweep — every
+//! backend would answer identically, so retrying anywhere is futile. A
+//! background `ping` prober keeps breaker state honest even for backends
+//! no request is currently reaching, and resurrects Dead members that did
+//! not explicitly leave.
+//!
+//! ## Scheduling policy in one paragraph
+//!
+//! Every cell starts on its FNV-sharded home queue. Idle workers steal
+//! from the back of the deepest dispatchable queue
+//! ([`control::stealing`]), so a straggler sheds its backlog instead of
+//! serializing the sweep's tail. A cell in flight past the windowed-p99
+//! hedge deadline ([`control::hedging`]) is duplicated onto the
+//! least-loaded other member; the first completion wins the cell on the
+//! [`control::CompletionBoard`], the loser's socket is cancelled via
+//! [`sibia_serve::CancelHandle`], and a loser that answers anyway is
+//! deduped — never double-written. Members join and leave mid-sweep
+//! ([`control::membership`]); a departing member's queue is drained and
+//! resharded across the survivors.
 //!
 //! Everything is observable through the global [`sibia_obs`] registry
-//! (`fleet.*` counters and histograms — `fleet.failover_total` is the one
-//! the integration suite pins) and tracer (`fleet.sweep`,
-//! `fleet.dispatch`, `fleet.retry` spans).
+//! (`fleet.*` counters and histograms — `fleet.failover_total`,
+//! `fleet.steal_total`, and `fleet.hedge_total` are ones the integration
+//! suite pins) and tracer (`fleet.sweep`, `fleet.dispatch`, `fleet.retry`,
+//! `fleet.steal`, `fleet.hedge`, `fleet.membership` spans).
 
 pub mod backoff;
 pub mod breaker;
+pub mod control;
 pub mod coordinator;
 pub mod pool;
 pub mod shard;
@@ -42,6 +62,10 @@ pub mod telemetry;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::CircuitBreaker;
+pub use control::{
+    ChaosAction, ChaosEvent, ChaosPlan, CompletionBoard, HedgeConfig, MemberState, Membership,
+    MembershipAction, PlannedEvent, SlowProxy,
+};
 pub use coordinator::{Fleet, FleetConfig, FleetError, SweepStats};
 pub use pool::ClientPool;
 pub use shard::{backend_for_cell, cell_key};

@@ -308,3 +308,216 @@ fn unknown_arch_aborts_the_sweep_with_a_typed_rejection() {
     }
     server.shutdown();
 }
+
+/// Replays a seeded [`ChaosPlan`] — kill + join + stalls/heals — against
+/// live backends while a sweep runs, and pins the merged output
+/// byte-identical to the direct grid. Three seeds, three different
+/// schedules; "chaos" never means "flaky" because the plan is a pure
+/// function of the seed.
+#[test]
+fn seeded_chaos_schedules_keep_bytes_identical() {
+    use sibia_fleet::{ChaosAction, ChaosPlan, SlowProxy};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    let seeds: Vec<u64> = (1..=12).collect();
+    let expected = direct_grid_bytes(&seeds);
+    for chaos_seed in [7u64, 11, 13] {
+        let servers: Vec<Mutex<Option<Server>>> =
+            (0..3).map(|_| Mutex::new(Some(start_server()))).collect();
+        let spare = start_server();
+        let proxies: Vec<SlowProxy> = servers
+            .iter()
+            .map(|s| {
+                SlowProxy::start(s.lock().unwrap().as_ref().unwrap().addr()).expect("start proxy")
+            })
+            .collect();
+        // A small base delay stretches the sweep so the plan's events have
+        // a window to land in; a loaded machine only widens it.
+        for p in &proxies {
+            p.set_delay(Duration::from_millis(25));
+        }
+        let endpoints: Vec<String> = proxies.iter().map(|p| p.addr().to_string()).collect();
+        let plan = ChaosPlan::generate(chaos_seed, 3, Duration::from_millis(500));
+        let fleet = Fleet::new(fleet_config(endpoints)).unwrap();
+
+        let done = AtomicBool::new(false);
+        let bytes = std::thread::scope(|s| {
+            let sweep = s.spawn(|| {
+                let bytes = fleet_sweep_bytes(&fleet, &seeds);
+                done.store(true, Ordering::SeqCst);
+                bytes
+            });
+            s.spawn(|| {
+                let started = Instant::now();
+                for event in &plan.events {
+                    while started.elapsed() < event.at {
+                        if done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    if done.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match event.action {
+                        ChaosAction::Kill(i) => {
+                            if let Some(server) = servers[i].lock().unwrap().take() {
+                                server.shutdown();
+                            }
+                        }
+                        ChaosAction::Join => fleet.join(spare.addr().to_string()),
+                        ChaosAction::Stall(i, delay) => proxies[i].set_delay(delay),
+                        ChaosAction::Heal(i) => proxies[i].set_delay(Duration::ZERO),
+                    }
+                }
+            });
+            sweep.join().expect("sweep thread")
+        });
+        assert_eq!(
+            bytes, expected,
+            "chaos seed {chaos_seed} must not change the merged bytes"
+        );
+        spare.shutdown();
+        for s in &servers {
+            if let Some(server) = s.lock().unwrap().take() {
+                server.shutdown();
+            }
+        }
+        for p in proxies {
+            p.stop();
+        }
+    }
+}
+
+/// A member joined mid-sweep (planned event) must actually take work —
+/// stealing pulls cells to it — and the merge must not notice.
+#[test]
+fn planned_join_steals_work_for_the_new_member() {
+    use sibia_fleet::{MembershipAction, PlannedEvent, SlowProxy};
+
+    let s0 = start_server();
+    let s1 = start_server();
+    let spare = start_server();
+    let p0 = SlowProxy::start(s0.addr()).expect("proxy");
+    let p1 = SlowProxy::start(s1.addr()).expect("proxy");
+    // 24 cells at ≥40 ms each over 4 workers: the sweep cannot finish
+    // before the 100 ms join, however fast the machine.
+    p0.set_delay(Duration::from_millis(40));
+    p1.set_delay(Duration::from_millis(40));
+    let seeds: Vec<u64> = (1..=12).collect();
+    let mut config = fleet_config(vec![p0.addr().to_string(), p1.addr().to_string()]);
+    config.membership_plan = vec![PlannedEvent {
+        at: Duration::from_millis(100),
+        action: MembershipAction::Join(spare.addr().to_string()),
+    }];
+    let fleet = Fleet::new(config).unwrap();
+    let (json, stats) = fleet
+        .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &seeds, Some(SAMPLE_CAP))
+        .expect("sweep with mid-sweep join");
+
+    assert_eq!(json.to_string(), direct_grid_bytes(&seeds));
+    assert_eq!(stats.joins, 1, "stats: {stats:?}");
+    assert_eq!(stats.backends, 3, "the joined member gets a roster slot");
+    assert!(
+        stats.per_backend_cells[2] > 0,
+        "the joined member must complete stolen cells: {stats:?}"
+    );
+    assert!(stats.steals >= 1, "joins take work by stealing: {stats:?}");
+    assert_eq!(stats.membership[2].0, spare.addr().to_string());
+    assert_eq!(stats.membership[2].1, "active");
+    s0.shutdown();
+    s1.shutdown();
+    spare.shutdown();
+    p0.stop();
+    p1.stop();
+}
+
+/// A member drained out mid-sweep (planned leave) hands its queued cells
+/// to the survivors and ends the sweep out of rotation.
+#[test]
+fn planned_leave_reshards_the_queue_and_drains_out() {
+    use sibia_fleet::{MembershipAction, PlannedEvent, SlowProxy};
+
+    let s0 = start_server();
+    let s1 = start_server();
+    let p0 = SlowProxy::start(s0.addr()).expect("proxy");
+    let p1 = SlowProxy::start(s1.addr()).expect("proxy");
+    p0.set_delay(Duration::from_millis(40));
+    p1.set_delay(Duration::from_millis(40));
+    let seeds: Vec<u64> = (1..=12).collect();
+    let mut config = fleet_config(vec![p0.addr().to_string(), p1.addr().to_string()]);
+    // Stealing off so the departing member's queue is still populated at
+    // the 50 ms mark and the reshard path itself is what gets exercised.
+    config.steal = false;
+    config.membership_plan = vec![PlannedEvent {
+        at: Duration::from_millis(50),
+        action: MembershipAction::Leave(p0.addr().to_string()),
+    }];
+    let fleet = Fleet::new(config).unwrap();
+    let (json, stats) = fleet
+        .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &seeds, Some(SAMPLE_CAP))
+        .expect("sweep with mid-sweep leave");
+
+    assert_eq!(json.to_string(), direct_grid_bytes(&seeds));
+    assert_eq!(stats.leaves, 1, "stats: {stats:?}");
+    assert!(
+        stats.resharded_cells >= 1,
+        "the departing member's queue must move to survivors: {stats:?}"
+    );
+    assert_ne!(
+        stats.membership[0].1, "active",
+        "a departed member must be out of rotation: {stats:?}"
+    );
+    s0.shutdown();
+    s1.shutdown();
+    p0.stop();
+    p1.stop();
+}
+
+/// A stalled backend's in-flight cells are rescued by hedged dispatch:
+/// the duplicate wins on the healthy backend, the straggling copy is
+/// cancelled, and the straggler is never blamed (its breaker stays shut,
+/// its membership stays Active).
+#[test]
+fn hedged_dispatch_rescues_a_stalled_backend() {
+    use sibia_fleet::SlowProxy;
+
+    let stalled = start_server();
+    let healthy = start_server();
+    let proxy = SlowProxy::start(stalled.addr()).expect("proxy");
+    proxy.set_delay(Duration::from_millis(400));
+    let seeds: Vec<u64> = (1..=6).collect();
+    let mut config = fleet_config(vec![proxy.addr().to_string(), healthy.addr().to_string()]);
+    // One connection per backend and no stealing: the only way past the
+    // straggler is the hedge path. Fixed 100 ms deadline from the first
+    // dispatch (what the CLI's --hedge-ms compiles to).
+    config.connections_per_backend = 1;
+    config.steal = false;
+    config.hedge.min_completions = 0;
+    config.hedge.min_deadline = Duration::from_millis(100);
+    let fleet = Fleet::new(config).unwrap();
+    let (json, stats) = fleet
+        .sweep_with_stats(&owned(&ARCHS), &owned(&NETWORKS), &seeds, Some(SAMPLE_CAP))
+        .expect("sweep with a stalled backend");
+
+    assert_eq!(json.to_string(), direct_grid_bytes(&seeds));
+    assert!(stats.hedges >= 1, "overdue cells must be hedged: {stats:?}");
+    assert!(
+        stats.hedge_wins >= 1,
+        "the duplicate must win at least one race: {stats:?}"
+    );
+    assert_eq!(
+        stats.membership[0].1, "active",
+        "cancelled losers must not feed the straggler's breaker: {stats:?}"
+    );
+    assert_eq!(
+        stats.per_backend_cells.iter().sum::<u64>(),
+        stats.cells as u64
+    );
+    assert!(registry().counter("fleet.hedge_total").get() >= 1);
+    stalled.shutdown();
+    healthy.shutdown();
+    proxy.stop();
+}

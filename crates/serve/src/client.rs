@@ -325,6 +325,39 @@ impl Client {
         self.call(Json::obj(fields))
     }
 
+    /// Probes the server's persistent store for one (arch, network, seed)
+    /// cell (protocol revision 5). Answers `{ "found": true, "result": … }`
+    /// on a store hit (byte-identical to what `simulate` would serve) or
+    /// `{ "found": false }`; the server never computes for this verb.
+    pub fn lookup(
+        &mut self,
+        arch: &str,
+        network: &str,
+        seed: u64,
+        sample_cap: Option<usize>,
+    ) -> Result<Json, ClientError> {
+        let mut fields = vec![
+            ("kind", Json::from("lookup")),
+            ("arch", Json::from(arch)),
+            ("network", Json::from(network)),
+            ("seed", Json::from(seed)),
+        ];
+        if let Some(cap) = sample_cap {
+            fields.push(("sample_cap", Json::from(cap)));
+        }
+        self.call(Json::obj(fields))
+    }
+
+    /// A handle that can abort this connection's in-flight call from
+    /// another thread (see [`CancelHandle`]). Duplicates the descriptor,
+    /// so only take one while a call is actually worth cancelling — e.g. a
+    /// fleet coordinator hedging a straggling dispatch.
+    pub fn cancel_handle(&self) -> std::io::Result<CancelHandle> {
+        Ok(CancelHandle {
+            stream: self.reader.get_ref().try_clone()?,
+        })
+    }
+
     /// Simulates a full (archs × networks × seeds) grid.
     pub fn sweep(
         &mut self,
@@ -391,5 +424,25 @@ impl Client {
     /// and windowed histogram quantiles.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.call(Json::obj(vec![("kind", Json::from("stats"))]))
+    }
+}
+
+/// Aborts a [`Client`]'s in-flight call from another thread by shutting
+/// the socket down: the blocked read returns an error immediately and the
+/// connection is dead afterwards — the caller must discard the client
+/// rather than reuse it. This is how a fleet coordinator cancels the
+/// losing copy of a hedged dispatch: the server may well finish the work
+/// (and warm its store), but nobody waits for the bytes.
+#[derive(Debug)]
+pub struct CancelHandle {
+    stream: TcpStream,
+}
+
+impl CancelHandle {
+    /// Shuts the connection down in both directions; idempotent and
+    /// infallible from the caller's point of view (an already-dead socket
+    /// is exactly the state being asked for).
+    pub fn cancel(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 }

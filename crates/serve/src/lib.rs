@@ -47,7 +47,7 @@ pub(crate) mod reactor_front;
 pub mod server;
 pub mod signal;
 
-pub use client::{Client, ClientError};
+pub use client::{CancelHandle, Client, ClientError};
 pub use json::Json;
 pub use protocol::{ErrorCode, Request, ServeError};
 pub use server::{ServeConfig, Server};

@@ -35,8 +35,9 @@ use crate::protocol::ErrorCode;
 pub type LatencyHistogram = Histogram;
 
 /// Request kinds, in metrics order.
-const KINDS: [&str; 9] = [
-    "ping", "version", "encode", "simulate", "sweep", "metrics", "trace", "spans", "stats",
+const KINDS: [&str; 10] = [
+    "ping", "version", "encode", "simulate", "lookup", "sweep", "metrics", "trace", "spans",
+    "stats",
 ];
 /// Error codes, in metrics order (mirrors [`ErrorCode`]).
 const CODES: [&str; 7] = [

@@ -15,7 +15,7 @@
 //! ```text
 //! request  = { "kind": KIND, ["id": any], ["timeout_ms": int],
 //!              ["trace": { "trace_id": string, ["parent_span": int] }], ...params }
-//! KIND     = "ping" | "version" | "encode" | "simulate" | "sweep"
+//! KIND     = "ping" | "version" | "encode" | "simulate" | "lookup" | "sweep"
 //!          | "metrics" | "trace" | "spans" | "stats"
 //! response = { ["id": any], "ok": true,  ["trace_id": string], "result": object }
 //!          | { ["id": any], "ok": false, ["trace_id": string], "error": { "code": CODE, "message": string } }
@@ -47,6 +47,13 @@
 //!   slice-sparsity statistics of the payload.
 //! * `simulate` — `arch: string`, `network: string`, `seed: int`, optional
 //!   `sample_cap: int`; returns one canonical [`NetworkResult`].
+//! * `lookup` — same params as `simulate` (revision 5); a **store-only**
+//!   probe that never computes: returns `{ "found": true, "result": … }`
+//!   when this daemon's `sibia-store` already holds the cell (the `result`
+//!   byte-identical to what `simulate` would serve), `{ "found": false }`
+//!   otherwise — including when the daemon runs without a store. Answered
+//!   inline, never queued, and never consults *its own* peers, so peer
+//!   warm-start chains cannot recurse.
 //! * `sweep` — `archs: [string]`, `networks: [string]`, `seeds: [int]`,
 //!   optional `sample_cap: int`; returns the full grid in row-major
 //!   (arch, network, seed) order, exactly as [`sibia_sim::ParallelEngine`]
@@ -95,8 +102,10 @@ pub use sibia_sim::jsonio::{grid_to_json, network_result_to_json};
 /// revision 3 added the `front` field to `version` and, on the reactor
 /// front, out-of-request-order pipelined responses correlated by `id`;
 /// revision 4 added the optional `trace` context on request envelopes and
-/// the `spans` / `stats` verbs).
-pub const PROTOCOL_REVISION: u64 = 4;
+/// the `spans` / `stats` verbs; revision 5 added the `lookup` verb — a
+/// store-only probe backends use to answer from a peer's warm store
+/// before simulating).
+pub const PROTOCOL_REVISION: u64 = 5;
 
 /// Typed protocol error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +188,20 @@ pub enum Request {
         /// default).
         sample_cap: Option<usize>,
     },
+    /// A store-only probe for one cell (revision 5): answers from this
+    /// daemon's persistent store or reports `found: false`, never
+    /// computing and never consulting peers. Answered inline.
+    Lookup {
+        /// Architecture name (see [`arch_by_name`]).
+        arch: String,
+        /// Zoo network name.
+        network: String,
+        /// Synthesis seed.
+        seed: u64,
+        /// Sample cap the prospective `simulate` would use — part of the
+        /// store key's configuration fingerprint, so it must match.
+        sample_cap: Option<usize>,
+    },
     /// A full (arch × network × seed) grid.
     Sweep {
         /// Architecture names.
@@ -217,6 +240,7 @@ impl Request {
             Request::Version => "version",
             Request::Encode { .. } => "encode",
             Request::Simulate { .. } => "simulate",
+            Request::Lookup { .. } => "lookup",
             Request::Sweep { .. } => "sweep",
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
@@ -373,6 +397,20 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
             }
         }
         "simulate" => Request::Simulate {
+            arch: v
+                .get("arch")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'arch'"))?
+                .to_owned(),
+            network: v
+                .get("network")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServeError::new(ErrorCode::BadRequest, "missing 'network'"))?
+                .to_owned(),
+            seed: field_u64(&v, "seed")?.unwrap_or(1),
+            sample_cap: field_u64(&v, "sample_cap")?.map(|c| c as usize),
+        },
+        "lookup" => Request::Lookup {
             arch: v
                 .get("arch")
                 .and_then(Json::as_str)

@@ -189,6 +189,29 @@ impl FrameHandler for ReactorHandler {
                 return inline(&|| self.shared.spans_json(limit, filter.as_deref()));
             }
             Request::Stats => return inline(&|| self.shared.stats_json()),
+            Request::Lookup {
+                arch,
+                network,
+                seed,
+                sample_cap,
+            } => {
+                // Inline like the other store/metadata verbs (a store probe
+                // is one read, no simulation), but fallible — unknown
+                // arch/network come back as typed errors — so it calls
+                // `reply_now` directly instead of the infallible helper.
+                let mut phases = PhaseTimings::default();
+                let compute_start = Instant::now();
+                let outcome = self.shared.lookup_json(arch, network, *seed, *sample_cap);
+                phases.compute = compute_start.elapsed();
+                return self.reply_now(
+                    id.as_ref(),
+                    trace_id.clone(),
+                    kind,
+                    received,
+                    phases,
+                    &outcome,
+                );
+            }
             _ => {}
         }
 

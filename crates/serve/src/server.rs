@@ -108,6 +108,14 @@ pub struct ServeConfig {
     /// so a restarted daemon serves previously computed results from disk
     /// (see DESIGN.md §9).
     pub store_dir: Option<PathBuf>,
+    /// Peer daemons (`host:port`) whose stores this daemon may consult via
+    /// the revision-5 `lookup` verb before simulating a cold cell — the
+    /// cross-backend warm start. Tried in order with short timeouts; a
+    /// peer hit is written back to the local store so the next miss is
+    /// local. Peers answer `lookup` from their store only (never compute,
+    /// never consult *their* peers), so chains cannot recurse. Only
+    /// meaningful together with [`ServeConfig::store_dir`].
+    pub peers: Vec<String>,
     /// Serve through the epoll reactor front end instead of the
     /// thread-per-connection blocking front (see DESIGN.md §11): one
     /// reactor thread multiplexes every connection, requests pipeline, and
@@ -144,6 +152,7 @@ impl Default for ServeConfig {
             engine_threads: cores,
             cache_capacity: 4096,
             store_dir: None,
+            peers: Vec::new(),
             reactor: false,
             pipeline_depth: 64,
             write_budget_bytes: 1 << 20,
@@ -192,6 +201,9 @@ pub(crate) struct Shared {
     /// Persistent result store, when the daemon was started with a
     /// `store_dir`. Simulate/sweep read through it and write back.
     pub(crate) store: Option<Store>,
+    /// Peer daemons consulted (via `lookup`) on a local store miss before
+    /// simulating. Empty means no peer warm start.
+    pub(crate) peers: Vec<String>,
     /// Which front end is serving (`"blocking"` or `"reactor"`), echoed by
     /// the `version` request so clients can gate pipelining on it.
     pub(crate) front: &'static str,
@@ -313,6 +325,112 @@ impl Shared {
         self.telemetry.sample();
         self.telemetry.stats_json()
     }
+
+    /// The `lookup` response (revision 5): a store-only probe for one
+    /// cell. Derives the store key exactly as the equivalent `simulate`
+    /// would (same seed-fresh [`Simulator`], same resolved sample cap) and
+    /// answers `found: true` with the canonical serialization on a hit —
+    /// byte-identical to what `simulate` would return — or `found: false`
+    /// on a miss or when this daemon has no store. Never computes, never
+    /// consults this daemon's own peers.
+    pub(crate) fn lookup_json(
+        &self,
+        arch: &str,
+        network: &str,
+        seed: u64,
+        sample_cap: Option<usize>,
+    ) -> Result<Json, ServeError> {
+        let spec = arch_by_name(arch).ok_or_else(|| {
+            ServeError::new(ErrorCode::UnknownArch, format!("unknown arch '{arch}'"))
+        })?;
+        let net = zoo::by_name(network).ok_or_else(|| {
+            ServeError::new(
+                ErrorCode::UnknownNetwork,
+                format!("unknown network '{network}'"),
+            )
+        })?;
+        let mut sim = Simulator::new(seed);
+        sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
+        let hit = self
+            .store
+            .as_ref()
+            .and_then(|store| sibia_sim::try_stored(&sim, &spec, &net, store));
+        Ok(match hit {
+            Some(result) => {
+                self.metrics.registry().counter("serve.lookup.hits").add(1);
+                Json::obj(vec![
+                    ("found", Json::Bool(true)),
+                    ("result", network_result_to_json(&result)),
+                ])
+            }
+            None => {
+                self.metrics
+                    .registry()
+                    .counter("serve.lookup.misses")
+                    .add(1);
+                Json::obj(vec![("found", Json::Bool(false))])
+            }
+        })
+    }
+}
+
+/// Peer-lookup connect timeout: a peer is on the same fleet, so a dial
+/// slower than this means it is gone — fall through to simulating.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Peer-lookup IO timeout: a store probe is a read + one response line.
+const PEER_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cross-backend warm start: asks each configured peer (in order) whether
+/// its store already holds the cell. First parsable hit wins. Every
+/// failure mode — dial, IO, protocol, unparsable result — counts in
+/// `serve.peer.errors` and falls through to the next peer, then to local
+/// simulation: a broken peer must never fail a request that this daemon
+/// can compute itself.
+fn peer_warm_start(
+    shared: &Shared,
+    arch: &str,
+    network: &str,
+    seed: u64,
+    sample_cap: usize,
+) -> Option<sibia_sim::perf::NetworkResult> {
+    if shared.peers.is_empty() {
+        return None;
+    }
+    let registry = shared.metrics.registry();
+    for peer in &shared.peers {
+        let mut client = match crate::client::Client::with_timeouts(
+            peer.as_str(),
+            Some(PEER_CONNECT_TIMEOUT),
+            Some(PEER_IO_TIMEOUT),
+            Some(PEER_IO_TIMEOUT),
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                registry.counter("serve.peer.errors").add(1);
+                continue;
+            }
+        };
+        match client.lookup(arch, network, seed, Some(sample_cap)) {
+            Ok(resp) => {
+                if matches!(resp.get("found"), Some(Json::Bool(true))) {
+                    match resp
+                        .get("result")
+                        .and_then(sibia_sim::network_result_from_json)
+                    {
+                        Some(result) => {
+                            registry.counter("serve.peer.hits").add(1);
+                            return Some(result);
+                        }
+                        None => registry.counter("serve.peer.errors").add(1),
+                    }
+                } else {
+                    registry.counter("serve.peer.misses").add(1);
+                }
+            }
+            Err(_) => registry.counter("serve.peer.errors").add(1),
+        }
+    }
+    None
 }
 
 /// Executes one work request against the shared cache/engine.
@@ -342,8 +460,30 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
             let result = match &shared.store {
                 Some(store) => {
-                    let result =
-                        sibia_sim::simulate_network_stored(&sim, &spec, &net, &shared.cache, store);
+                    // Open-coded read-through (one store probe, exactly like
+                    // `simulate_network_stored`) with a peer-lookup stage
+                    // between the local miss and the simulation: a peer's
+                    // warm store answers faster than recomputing, and the
+                    // write-back makes the warmth local for next time.
+                    let result = match sibia_sim::try_stored(&sim, &spec, &net, store) {
+                        Some(hit) => hit,
+                        None => {
+                            let key = sibia_sim::network_key(&sim, &spec, net.name());
+                            let result =
+                                match peer_warm_start(shared, arch, network, *seed, sim.sample_cap)
+                                {
+                                    Some(fetched) => fetched,
+                                    None => sim.simulate_network_cached(
+                                        &spec,
+                                        &net,
+                                        None,
+                                        &shared.cache,
+                                    ),
+                                };
+                            sibia_sim::stored::put_best_effort(store, &key, &result);
+                            result
+                        }
+                    };
                     let _ = store.maybe_compact();
                     result
                 }
@@ -400,10 +540,11 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             };
             Ok(grid_to_json(&grid))
         }
-        // Ping/Version/Metrics/Trace/Spans/Stats are answered inline by the
-        // connection (or reactor) thread.
+        // Ping/Version/Lookup/Metrics/Trace/Spans/Stats are answered inline
+        // by the connection (or reactor) thread.
         Request::Ping
         | Request::Version
+        | Request::Lookup { .. }
         | Request::Metrics
         | Request::Trace { .. }
         | Request::Spans { .. }
@@ -628,6 +769,20 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         )
                     }
                     Request::Stats => inline(&|| shared.stats_json(), &mut phases),
+                    Request::Lookup {
+                        arch,
+                        network,
+                        seed,
+                        sample_cap,
+                    } => {
+                        // Inline like the other store/metadata verbs, but
+                        // the handler is fallible (unknown arch/network are
+                        // typed errors), so it bypasses the `inline` helper.
+                        let compute_start = Instant::now();
+                        let outcome = shared.lookup_json(arch, network, *seed, *sample_cap);
+                        phases.compute = compute_start.elapsed();
+                        outcome
+                    }
                     _ => {
                         let (outcome, queue_wait, compute) = submit(shared, envelope, received);
                         phases.queue_wait = queue_wait;
@@ -779,6 +934,7 @@ impl Server {
             tracer,
             trace_seq: AtomicU64::new(0),
             store,
+            peers: config.peers.clone(),
             front: if config.reactor {
                 "reactor"
             } else {

@@ -37,6 +37,6 @@ pub use functional::{PeRun, PeSim};
 pub use jsonio::{grid_to_json, network_result_from_json, network_result_to_json};
 pub use parallel::{GridCell, GridResult, ParallelEngine};
 pub use perf::{LayerResult, NetworkResult, Simulator};
-pub use stored::{config_fingerprint, network_key, simulate_network_stored};
+pub use stored::{config_fingerprint, network_key, simulate_network_stored, try_stored};
 
 pub use spec::{ArchSpec, Repr, SkipGranularity, SkipPolicy};

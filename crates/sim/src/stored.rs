@@ -91,9 +91,12 @@ pub fn simulate_network_stored(
 /// parsable; never computes anything. The batched grid probes every
 /// architecture of a row through this before deciding which cells still
 /// need a decomposition, so a fully warm row touches no planes at all.
+/// The serve daemon's `lookup` verb (protocol revision 5) is a thin
+/// wrapper over this, which is why it is public: a peer's answer must be
+/// exactly what the local read-through would have served.
 /// An unparsable stored value reads as a miss, exactly as
 /// [`simulate_network_stored`] treats it.
-pub(crate) fn try_stored(
+pub fn try_stored(
     sim: &Simulator,
     arch: &ArchSpec,
     net: &Network,
@@ -105,8 +108,10 @@ pub(crate) fn try_stored(
 }
 
 /// Writes a result back without letting persistence failures poison the
-/// computation; failures count in the process registry.
-pub(crate) fn put_best_effort(store: &Store, key: &StoreKey, result: &NetworkResult) {
+/// computation; failures count in the process registry. Public for the
+/// serve daemon's peer warm-start path, which writes back results fetched
+/// from a peer's store exactly as if it had computed them.
+pub fn put_best_effort(store: &Store, key: &StoreKey, result: &NetworkResult) {
     if store.put(key, &network_result_to_json(result)).is_err() {
         sibia_obs::registry().counter("store.put_errors").add(1);
     }

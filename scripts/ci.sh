@@ -148,6 +148,53 @@ wait "$fleet_pid_b" 2>/dev/null || true
 trap - EXIT
 rm -rf "$fleet_dir"
 
+echo "==> fleet chaos smoke test"
+# The control plane under churn: three backends take the sweep, a fresh
+# fourth joins 100 ms in (--join), and one of the originals is SIGKILLed at
+# ~150 ms. The merged document must stay byte-identical to the direct grid
+# and the stats line must record exactly one join — this is the
+# membership-churn determinism gate. (Whether the kill lands mid-sweep or
+# just after is timing-dependent; the bytes must be identical either way.)
+chaos_dir="$(mktemp -d)"
+chaos_pids=()
+for i in 1 2 3 4; do
+  ./target/release/sibia-cli serve --port 0 >"$chaos_dir/$i.log" 2>&1 &
+  chaos_pids+=($!)
+done
+trap 'kill "${chaos_pids[@]}" 2>/dev/null || true' EXIT
+chaos_addrs=()
+for i in 1 2 3 4; do
+  addr=""
+  for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^sibia-serve listening on //p' "$chaos_dir/$i.log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "chaos backend $i never came up"; cat "$chaos_dir"/*.log; exit 1; }
+  chaos_addrs+=("$addr")
+done
+chaos_grid=(--archs sibia,bitfusion --networks dgcnn
+            --seeds 1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16 --sample-cap 4096)
+./target/release/sibia-cli fleet sweep --local "${chaos_grid[@]}" >"$chaos_dir/direct.json"
+./target/release/sibia-cli fleet sweep \
+  --endpoints "${chaos_addrs[0]},${chaos_addrs[1]},${chaos_addrs[2]}" \
+  --join "100:${chaos_addrs[3]}" --status-out "$chaos_dir/status.json" \
+  "${chaos_grid[@]}" >"$chaos_dir/fleet.json" 2>"$chaos_dir/fleet.log" &
+chaos_sweep_pid=$!
+sleep 0.15
+kill -9 "${chaos_pids[2]}" 2>/dev/null || true
+wait "$chaos_sweep_pid"   # set -e: a failed sweep fails CI here
+cmp "$chaos_dir/direct.json" "$chaos_dir/fleet.json" \
+  || { echo "chaos sweep is not byte-identical to the direct grid"; exit 1; }
+grep -q "joins 1" "$chaos_dir/fleet.log" \
+  || { echo "mid-sweep join was not recorded"; cat "$chaos_dir/fleet.log"; exit 1; }
+grep -q '"endpoint":"'"${chaos_addrs[3]}"'"' "$chaos_dir/status.json" \
+  || { echo "status snapshot is missing the joined member"; cat "$chaos_dir/status.json"; exit 1; }
+kill -TERM "${chaos_pids[@]}" 2>/dev/null || true
+for p in "${chaos_pids[@]}"; do wait "$p" 2>/dev/null || true; done
+trap - EXIT
+rm -rf "$chaos_dir"
+
 echo "==> telemetry smoke test"
 # The fleet-wide telemetry plane end to end: two traced backends (one per
 # front), a traced sharded sweep, and one merged Chrome trace in which the
