@@ -90,6 +90,32 @@ fn parse_flag<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, Stri
         .map_err(|_| format!("{flag}: invalid value '{raw}'"))
 }
 
+/// Environment override for the tile granularity; the `--tile` flag wins
+/// when both are given.
+const TILE_ENV: &str = "SIBIA_TILE_SIZE";
+
+/// Resolves the tile granularity (sub-words per simulation tile) from
+/// `--tile N` or, failing that, the `SIBIA_TILE_SIZE` environment
+/// variable. Zero or garbage from either source is a typed error, never a
+/// silent fallback; `None` means layer-at-a-time.
+fn resolve_tile(args: &[String]) -> Result<Option<usize>, String> {
+    if let Some(n) = parse_flag::<usize>(args, "--tile")? {
+        if n == 0 {
+            return Err("--tile must be at least 1 sub-word".to_owned());
+        }
+        return Ok(Some(n));
+    }
+    match std::env::var(TILE_ENV) {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "{TILE_ENV}: invalid value '{raw}' (need an integer >= 1)"
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
 /// Rejects any `--flag` token the command does not define. Unknown flags
 /// used to be ignored outright, so a typo like `--sede 7` exited 0.
 fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
@@ -177,7 +203,11 @@ fn usage() -> ExitCode {
          \x20 encode <value> [--bits N]          show slice decompositions of a value\n\
          \x20 sparsity <network>                 slice-sparsity report (seeded synthesis)\n\
          \x20 simulate <network> [--arch A] [--seed S] [--store-dir DIR] [--trace-out PATH]\n\
+         \x20          [--tile N]\n\
          \x20                                    run the cycle/energy simulator\n\
+         \x20                                    (--tile: sub-words per simulation tile,\n\
+         \x20                                    byte-identical results at any size; the\n\
+         \x20                                    SIBIA_TILE_SIZE env var is the fallback)\n\
          \x20 compare <network> [--seed S] [--trace-out PATH]\n\
          \x20                                    all architectures side by side\n\
          \x20 serve [--host H] [--port P] [--threads N] [--queue Q] [--cache-entries C]\n\
@@ -191,7 +221,7 @@ fn usage() -> ExitCode {
          \x20       [--archs A[,A...]] [--seeds S[,S...]] [--sample-cap N] [--timeout-ms T]\n\
          \x20       [--retries R] [--connections C] [--trace-out PATH]\n\
          \x20       [--join MS:H:P]... [--leave MS:H:P]... [--no-steal] [--no-hedge]\n\
-         \x20       [--hedge-ms N] [--status-out PATH]\n\
+         \x20       [--hedge-ms N] [--status-out PATH] [--tile N]\n\
          \x20                                    shard a sweep across serve daemons\n\
          \x20                                    (--endpoints + --trace-out: pull backend\n\
          \x20                                    spans and write one merged fleet trace;\n\
@@ -199,6 +229,12 @@ fn usage() -> ExitCode {
          \x20                                    milliseconds into the sweep; --status-out\n\
          \x20                                    publishes a live roster snapshot for\n\
          \x20                                    `top --fleet-status`)\n\
+         \x20 sweep --endpoint H:P --networks N[,N...] [--archs A[,A...]] [--seeds S[,S...]]\n\
+         \x20       [--sample-cap N] [--tile N] [--stream]\n\
+         \x20                                    one sweep against one daemon\n\
+         \x20                                    (--stream: per-cell progress frames on\n\
+         \x20                                    stderr; the final document on stdout is\n\
+         \x20                                    byte-identical to a non-streamed sweep)\n\
          \x20 top --endpoints H:P[,H:P...] [--interval-ms T] [--iterations N]\n\
          \x20     [--fleet-status PATH]\n\
          \x20                                    live fleet telemetry table (stats verb;\n\
@@ -313,6 +349,7 @@ fn fleet_command(args: &[String]) -> ExitCode {
             "--no-hedge",
             "--hedge-ms",
             "--status-out",
+            "--tile",
         ],
     ) {
         return fail("fleet", &e);
@@ -353,6 +390,10 @@ fn fleet_command(args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail("fleet", &e),
     };
+    let tile = match resolve_tile(args) {
+        Ok(t) => t,
+        Err(e) => return fail("fleet", &e),
+    };
     let trace_path = trace_out(args);
 
     if local {
@@ -364,6 +405,7 @@ fn fleet_command(args: &[String]) -> ExitCode {
         if let Some(cap) = sample_cap {
             sim.sample_cap = cap.max(1);
         }
+        sim.tile = tile;
         let grid = ParallelEngine::new().simulate_grid(&sim, &specs, &nets, &seeds);
         println!("{}", grid_to_json(&grid));
         return match trace_path {
@@ -406,6 +448,7 @@ fn fleet_command(args: &[String]) -> ExitCode {
         Err(e) => return fail("fleet", &e),
     }
     config.status_path = flag_value(args, "--status-out").map(std::path::PathBuf::from);
+    config.tile = tile;
     // `--join MS:H:P` / `--leave MS:H:P`: membership events fired that many
     // milliseconds into the sweep (both repeatable).
     for (flag, build) in [
@@ -465,6 +508,98 @@ fn fleet_command(args: &[String]) -> ExitCode {
     }
 }
 
+/// `sweep --endpoint H:P --networks N[,...] [--archs A[,...]] [--seeds S[,...]]
+///        [--sample-cap N] [--tile N] [--stream]`
+///
+/// One sweep against one running daemon over the NDJSON protocol — the
+/// thin-client counterpart of `fleet sweep` (no sharding, no failover).
+/// `--stream` opts into revision-6 progress frames: each completed cell is
+/// reported on **stderr** as `progress: done/total arch/network/seed`
+/// while the final canonical document still lands on stdout, byte-identical
+/// to a non-streamed sweep of the same grid.
+fn sweep_command(args: &[String]) -> ExitCode {
+    use sibia::serve::Client;
+
+    if let Err(e) = check_flags(
+        args,
+        &[
+            "--endpoint",
+            "--networks",
+            "--archs",
+            "--seeds",
+            "--sample-cap",
+            "--tile",
+            "--stream",
+        ],
+    ) {
+        return fail("sweep", &e);
+    }
+    let Some(endpoint) = flag_value(args, "--endpoint") else {
+        return fail("sweep", "need --endpoint H:P");
+    };
+    let Some(networks_raw) = flag_value(args, "--networks") else {
+        return fail("sweep", "need --networks N[,N...]");
+    };
+    let networks: Vec<String> = networks_raw.split(',').map(str::to_owned).collect();
+    for n in &networks {
+        if find_network(n).is_none() {
+            return fail("sweep", &format!("unknown network {n}"));
+        }
+    }
+    let archs: Vec<String> = flag_value(args, "--archs")
+        .map(|raw| raw.split(',').map(str::to_owned).collect())
+        .unwrap_or_else(|| vec!["sibia".to_owned()]);
+    for a in &archs {
+        if arch_by_name(a).is_none() {
+            return fail("sweep", &format!("unknown architecture {a}"));
+        }
+    }
+    let seeds: Vec<u64> = match flag_value(args, "--seeds") {
+        None => vec![1],
+        Some(raw) => {
+            let parsed: Result<Vec<u64>, _> = raw.split(',').map(str::parse).collect();
+            match parsed {
+                Ok(s) if !s.is_empty() => s,
+                _ => return fail("sweep", &format!("--seeds: invalid value '{raw}'")),
+            }
+        }
+    };
+    let sample_cap = match parse_flag::<usize>(args, "--sample-cap") {
+        Ok(c) => c,
+        Err(e) => return fail("sweep", &e),
+    };
+    let tile = match resolve_tile(args) {
+        Ok(t) => t,
+        Err(e) => return fail("sweep", &e),
+    };
+    let stream = args.iter().any(|a| a == "--stream");
+
+    let mut client = match Client::connect(endpoint.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sweep: cannot connect to {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch_refs: Vec<&str> = archs.iter().map(String::as_str).collect();
+    let net_refs: Vec<&str> = networks.iter().map(String::as_str).collect();
+    let mut on_progress = |done: u64, total: u64, cell: &str| {
+        eprintln!("progress: {done}/{total} {cell}");
+    };
+    let progress: Option<sibia::serve::ProgressFn<'_>> =
+        if stream { Some(&mut on_progress) } else { None };
+    match client.sweep_with(&arch_refs, &net_refs, &seeds, sample_cap, tile, progress) {
+        Ok(doc) => {
+            println!("{doc}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// The coordinator-side columns for one endpoint, read from a
 /// `--status-out` snapshot: membership state plus stolen/hedged cell
 /// counts. All dashes when no snapshot (or no row for this endpoint) is
@@ -489,6 +624,28 @@ fn fleet_status_columns(status: Option<&sibia::obs::Json>, endpoint: &str) -> St
         .and_then(|s| s.as_str())
         .unwrap_or("-");
     format!("{state:>9} {:>7} {:>7}", field("stolen"), field("hedged"))
+}
+
+/// The sweep-progress header line for `top`, from a `--status-out`
+/// snapshot's `progress` object: cells done / total plus the most recently
+/// completed cell. `None` when no snapshot (or an old-format one) is
+/// around, so `top` degrades to the plain per-endpoint table.
+fn fleet_progress_line(status: Option<&sibia::obs::Json>) -> Option<String> {
+    let status = status?;
+    let progress = status.get("progress")?;
+    let done = progress.get("done")?.as_u64()?;
+    let total = progress.get("total")?.as_u64()?;
+    let cell = progress.get("cell").and_then(|c| c.as_str()).unwrap_or("");
+    let trace = status
+        .get("trace_id")
+        .and_then(|t| t.as_str())
+        .unwrap_or("-");
+    let last = if cell.is_empty() {
+        String::new()
+    } else {
+        format!(", last {cell}")
+    };
+    Some(format!("sweep {trace}: {done}/{total} cells done{last}"))
 }
 
 /// One rendered `top` table row. An unreachable endpoint becomes an error
@@ -629,6 +786,9 @@ fn top_command(args: &[String]) -> ExitCode {
             endpoints.len(),
             interval.as_millis()
         );
+        if let Some(line) = fleet_progress_line(status.as_ref()) {
+            println!("{line}");
+        }
         print!(
             "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
             "endpoint", "ok/s", "cells/s", "queue", "p50ms", "p99ms", "p999ms", "cache%", "busy%"
@@ -990,8 +1150,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "simulate" => {
-            if let Err(e) = check_flags(&args, &["--arch", "--seed", "--store-dir", "--trace-out"])
-            {
+            if let Err(e) = check_flags(
+                &args,
+                &["--arch", "--seed", "--store-dir", "--trace-out", "--tile"],
+            ) {
                 return fail("simulate", &e);
             }
             let Some(net) = args.get(1).and_then(|n| find_network(n)) else {
@@ -1018,8 +1180,12 @@ fn main() -> ExitCode {
                 },
                 None => None,
             };
+            let tile = match resolve_tile(&args) {
+                Ok(t) => t,
+                Err(e) => return fail("simulate", &e),
+            };
             let trace_path = trace_out(&args);
-            let acc = Accelerator::from_spec(arch).with_seed(seed);
+            let acc = Accelerator::from_spec(arch).with_seed(seed).with_tile(tile);
             let r = match &store {
                 Some(store) => acc.run_network_stored(&net, store),
                 None => acc.run_network(&net),
@@ -1150,6 +1316,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "fleet" => fleet_command(&args),
+        "sweep" => sweep_command(&args),
         "top" => top_command(&args),
         "metrics-export" => metrics_export_command(&args),
         "store" => store_command(&args),

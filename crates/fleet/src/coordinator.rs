@@ -161,6 +161,12 @@ pub struct FleetConfig {
     /// live JSON snapshot of the roster every ~200 ms during a sweep
     /// (`sibia top --fleet-status` reads it).
     pub status_path: Option<PathBuf>,
+    /// Simulation tile granularity (sub-words per tile), forwarded as the
+    /// revision-6 `tile` field on every dispatched `simulate` request.
+    /// `None` keeps backends on their layer-at-a-time default. Results are
+    /// byte-identical either way — this only changes backend scheduling
+    /// grain and tile-cache reuse.
+    pub tile: Option<usize>,
 }
 
 impl FleetConfig {
@@ -180,6 +186,7 @@ impl FleetConfig {
             hedge: HedgeConfig::default(),
             membership_plan: Vec::new(),
             status_path: None,
+            tile: None,
         }
     }
 }
@@ -362,6 +369,10 @@ struct SweepState<'a> {
     leaves: AtomicU64,
     resharded: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
+    /// The most recently completed cell as `"arch/network/seed"`, surfaced
+    /// through the status file's `progress` object so `top` can show what
+    /// the fleet last finished.
+    last_cell: Mutex<Option<String>>,
     /// The in-flight probe's cancel handle, so the end of a sweep never
     /// waits out a ping that is riding a stalled backend (the prober is a
     /// scoped thread; scope exit joins it).
@@ -576,6 +587,7 @@ impl Fleet {
             leaves: AtomicU64::new(0),
             resharded: AtomicU64::new(0),
             latencies: Mutex::new(Vec::with_capacity(cells)),
+            last_cell: Mutex::new(None),
             probe_cancel: Mutex::new(None),
             started: Instant::now(),
         };
@@ -920,6 +932,9 @@ impl Fleet {
                                 state.hedge_wins.fetch_add(1, Ordering::Relaxed);
                                 self.metrics.hedge_win_total.inc();
                             }
+                            let (arch, network, seed) = state.cell_coords(job.flat);
+                            *state.last_cell.lock().expect("last cell lock") =
+                                Some(format!("{arch}/{network}/{seed}"));
                             // Unblock the losing copy right now instead of
                             // letting it ride out the straggler.
                             state.inflight.cancel_others(job.flat, member.index);
@@ -1022,6 +1037,9 @@ impl Fleet {
         ];
         if let Some(cap) = state.sample_cap {
             fields.push(("sample_cap", Json::from(cap)));
+        }
+        if let Some(tile) = self.config.tile {
+            fields.push(("tile", Json::from(tile)));
         }
         // Trace context rides the request *envelope*, never the result, so
         // the merged document stays byte-identical whether or not anyone is
@@ -1263,9 +1281,25 @@ impl Fleet {
                 ])
             })
             .collect();
+        let total = state.archs.len() * state.networks.len() * state.seeds.len();
+        let remaining = state.board.remaining();
+        let last_cell = state
+            .last_cell
+            .lock()
+            .expect("last cell lock")
+            .clone()
+            .unwrap_or_default();
         let doc = Json::obj(vec![
             ("trace_id", Json::from(state.trace_id)),
-            ("remaining", Json::from(state.board.remaining())),
+            ("remaining", Json::from(remaining)),
+            (
+                "progress",
+                Json::obj(vec![
+                    ("done", Json::from(total.saturating_sub(remaining))),
+                    ("total", Json::from(total)),
+                    ("cell", Json::from(last_cell.as_str())),
+                ]),
+            ),
             ("members", Json::Array(members)),
         ]);
         let tmp = path.with_extension("status.tmp");
@@ -1408,6 +1442,7 @@ mod tests {
             latencies: Mutex::new(Vec::new()),
             probe_cancel: Mutex::new(None),
             started: Instant::now(),
+            last_cell: Mutex::new(None),
         }
     }
 

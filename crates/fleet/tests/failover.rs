@@ -105,6 +105,51 @@ fn merged_sweep_is_byte_identical_for_1_2_and_4_backends() {
     }
 }
 
+#[test]
+fn tiled_sweep_is_byte_identical_and_status_reports_progress() {
+    let server = start_server();
+    let status_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sibia-fleet-test-status-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    };
+    let expected = direct_grid_bytes(&SEEDS);
+
+    let mut config = fleet_config(vec![server.addr().to_string()]);
+    config.tile = Some(7);
+    config.status_path = Some(status_path.clone());
+    let fleet = Fleet::new(config).unwrap();
+    assert_eq!(
+        fleet_sweep_bytes(&fleet, &SEEDS),
+        expected,
+        "a tile-forwarding sweep must keep the merged bytes identical"
+    );
+
+    // The final status snapshot carries the sweep's progress object:
+    // every cell done, and the most recently completed cell named.
+    let raw = std::fs::read_to_string(&status_path).expect("status snapshot written");
+    let status = Json::parse(raw.trim()).expect("status JSON");
+    let progress = status.get("progress").expect("progress object");
+    let total = (ARCHS.len() * NETWORKS.len() * SEEDS.len()) as i64;
+    assert_eq!(progress.get("done"), Some(&Json::Int(total)));
+    assert_eq!(progress.get("total"), Some(&Json::Int(total)));
+    let cell = progress
+        .get("cell")
+        .and_then(|c| c.as_str())
+        .expect("cell string");
+    assert_eq!(
+        cell.split('/').count(),
+        3,
+        "cell is arch/network/seed: {cell}"
+    );
+    let _ = std::fs::remove_file(&status_path);
+    server.shutdown();
+}
+
 /// A backend that accepts connections and drops each one after reading a
 /// single line — every request dies mid-flight, deterministically, like a
 /// process being SIGKILLed between read and reply.

@@ -134,8 +134,11 @@ fn unpack(token: u64) -> (usize, u32) {
 const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKER: u64 = u64::MAX - 1;
 
-/// A queued completion: response bytes for a generation-tagged connection.
-type Completion = (u64, Vec<u8>);
+/// A queued completion: response bytes for a generation-tagged connection,
+/// plus whether they finish the request. Final completions retire one
+/// in-flight request; non-final ones (progress frames) only append bytes —
+/// the request stays in flight until its final line arrives.
+type Completion = (u64, Vec<u8>, bool);
 
 struct CompletionQueue {
     queue: Mutex<Vec<Completion>>,
@@ -164,11 +167,24 @@ impl Completer {
     /// short mutex push. If the connection has since closed, the bytes are
     /// dropped and counted as `net.completions.stale`.
     pub fn complete(&self, bytes: Vec<u8>) {
+        self.push(bytes, true);
+    }
+
+    /// Queues `bytes` (one complete progress line, `\n` included) for the
+    /// originating connection *without* retiring the request: the frame's
+    /// in-flight slot stays held until [`Completer::complete`] delivers the
+    /// final response. Same staleness rule as `complete` — a closed
+    /// connection drops the bytes as `net.completions.stale`.
+    pub fn progress(&self, bytes: Vec<u8>) {
+        self.push(bytes, false);
+    }
+
+    fn push(&self, bytes: Vec<u8>, is_final: bool) {
         self.shared
             .queue
             .lock()
             .expect("completion queue lock")
-            .push((self.token, bytes));
+            .push((self.token, bytes, is_final));
         self.shared.waker.wake();
     }
 }
@@ -595,7 +611,7 @@ impl EventLoop {
                 .expect("completion queue lock");
             std::mem::take(&mut *queue)
         };
-        for (token, bytes) in batch {
+        for (token, bytes, is_final) in batch {
             let (slot, gen) = unpack(token);
             let conn = match self.conns.get_mut(slot).and_then(Option::as_mut) {
                 Some(c) if c.gen == gen => c,
@@ -604,10 +620,14 @@ impl EventLoop {
                     continue;
                 }
             };
-            conn.inflight = conn.inflight.saturating_sub(1);
+            // Progress frames only append bytes; the request stays in
+            // flight (and holds its pipeline slot) until the final line.
+            if is_final {
+                conn.inflight = conn.inflight.saturating_sub(1);
+                self.metrics.completions.inc();
+                self.metrics.replies.inc();
+            }
             conn.wbuf.append(&bytes);
-            self.metrics.completions.inc();
-            self.metrics.replies.inc();
             if conn.wbuf.pending() > self.config.hard_write_cap {
                 self.metrics.broken.inc();
                 self.close_conn(slot, true);

@@ -81,6 +81,10 @@ impl ClientError {
     }
 }
 
+/// Streamed-sweep progress callback: `(done, total, cell)` per finished
+/// cell, where `cell` is the `arch/network/seed` identity.
+pub type ProgressFn<'a> = &'a mut dyn FnMut(u64, u64, &str);
+
 /// A blocking connection to a serve daemon.
 ///
 /// Holds exactly **one** file descriptor: writes go through `&TcpStream`
@@ -235,16 +239,7 @@ impl Client {
     /// broken connection.
     #[allow(clippy::type_complexity)]
     pub fn recv(&mut self) -> Result<(i64, Result<Json, ClientError>), ClientError> {
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
-        let parsed = Json::parse(response.trim_end())
-            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        let parsed = self.read_json_line()?;
         let got = match parsed.get("id") {
             Some(&Json::Int(got)) => got,
             _ => {
@@ -266,6 +261,22 @@ impl Client {
             _ => ClientError::Server(e),
         });
         Ok((got, outcome))
+    }
+
+    /// Reads and parses one NDJSON line off the connection, without
+    /// interpreting it as a response — streamed sweeps interleave progress
+    /// frames (no `"ok"` key) with the final id-correlated response.
+    fn read_json_line(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
     }
 
     /// How many sent requests are still awaiting their response.
@@ -366,6 +377,30 @@ impl Client {
         seeds: &[u64],
         sample_cap: Option<usize>,
     ) -> Result<Json, ClientError> {
+        self.sweep_with(archs, networks, seeds, sample_cap, None, None)
+    }
+
+    /// [`Client::sweep`] with the revision-6 knobs: an optional `tile`
+    /// granularity hint (sub-words per simulation tile) and an optional
+    /// progress callback.
+    ///
+    /// Passing a callback opts the request into `"stream": true`: the
+    /// server interleaves progress frames (lines **without** an `"ok"`
+    /// key) before the final response, and each is surfaced as
+    /// `on_progress(done, total, cell)` without touching the pipeline's
+    /// id bookkeeping. The returned final document is byte-identical to a
+    /// non-streamed sweep of the same grid. Don't mix a streamed sweep
+    /// into an active pipeline — like [`Client::call`], it insists the
+    /// next real response is its own.
+    pub fn sweep_with(
+        &mut self,
+        archs: &[&str],
+        networks: &[&str],
+        seeds: &[u64],
+        sample_cap: Option<usize>,
+        tile: Option<usize>,
+        mut on_progress: Option<ProgressFn<'_>>,
+    ) -> Result<Json, ClientError> {
         let mut fields = vec![
             ("kind", Json::from("sweep")),
             (
@@ -384,7 +419,64 @@ impl Client {
         if let Some(cap) = sample_cap {
             fields.push(("sample_cap", Json::from(cap)));
         }
-        self.call(Json::obj(fields))
+        if let Some(t) = tile {
+            fields.push(("tile", Json::from(t)));
+        }
+        if on_progress.is_some() {
+            fields.push(("stream", Json::Bool(true)));
+        }
+        let id = self.send(Json::obj(fields))?;
+        loop {
+            // Progress frames must be intercepted *before* id correlation:
+            // they carry the request id but no "ok", and recv() would
+            // retire the id and then choke on the missing key.
+            let parsed = self.read_json_line()?;
+            if parsed.get("ok").is_none() {
+                if let Some(progress) = parsed.get("progress") {
+                    if let Some(cb) = on_progress.as_deref_mut() {
+                        let field = |key: &str| match progress.get(key) {
+                            Some(&Json::Int(v)) if v >= 0 => v as u64,
+                            _ => 0,
+                        };
+                        let cell = match progress.get("cell") {
+                            Some(Json::Str(s)) => s.as_str(),
+                            _ => "",
+                        };
+                        cb(field("done"), field("total"), cell);
+                    }
+                    continue;
+                }
+                return Err(ClientError::Protocol(
+                    "response carries neither 'ok' nor 'progress'".into(),
+                ));
+            }
+            let got = match parsed.get("id") {
+                Some(&Json::Int(got)) => got,
+                _ => {
+                    return Err(ClientError::IdMismatch {
+                        got: None,
+                        outstanding: self.outstanding.clone(),
+                    })
+                }
+            };
+            let Some(pos) = self.outstanding.iter().position(|&i| i == got) else {
+                return Err(ClientError::IdMismatch {
+                    got: Some(got),
+                    outstanding: self.outstanding.clone(),
+                });
+            };
+            self.outstanding.remove(pos);
+            if got != id {
+                return Err(ClientError::IdMismatch {
+                    got: Some(got),
+                    outstanding: self.outstanding.clone(),
+                });
+            }
+            return parse_response(&parsed).map_err(|e| match e.code {
+                ErrorCode::Overloaded => ClientError::Overloaded(e.message),
+                _ => ClientError::Server(e),
+            });
+        }
     }
 
     /// The server's metrics snapshot.

@@ -47,7 +47,7 @@ pub(crate) mod reactor_front;
 pub mod server;
 pub mod signal;
 
-pub use client::{CancelHandle, Client, ClientError};
+pub use client::{CancelHandle, Client, ClientError, ProgressFn};
 pub use json::Json;
 pub use protocol::{ErrorCode, Request, ServeError};
 pub use server::{ServeConfig, Server};

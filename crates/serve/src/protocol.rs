@@ -46,7 +46,10 @@
 //!   `gsbr_width: int (2..=8)`; returns SBR / conventional / GSBR
 //!   slice-sparsity statistics of the payload.
 //! * `simulate` — `arch: string`, `network: string`, `seed: int`, optional
-//!   `sample_cap: int`; returns one canonical [`NetworkResult`].
+//!   `sample_cap: int`, optional `tile: int ≥ 1` (revision 6: simulate at
+//!   tile granularity — the result is byte-identical either way, so `tile`
+//!   is a scheduling hint, not a result parameter); returns one canonical
+//!   [`NetworkResult`].
 //! * `lookup` — same params as `simulate` (revision 5); a **store-only**
 //!   probe that never computes: returns `{ "found": true, "result": … }`
 //!   when this daemon's `sibia-store` already holds the cell (the `result`
@@ -55,9 +58,17 @@
 //!   inline, never queued, and never consults *its own* peers, so peer
 //!   warm-start chains cannot recurse.
 //! * `sweep` — `archs: [string]`, `networks: [string]`, `seeds: [int]`,
-//!   optional `sample_cap: int`; returns the full grid in row-major
+//!   optional `sample_cap: int`, optional `tile: int ≥ 1`, optional
+//!   `stream: bool` (both revision 6); returns the full grid in row-major
 //!   (arch, network, seed) order, exactly as [`sibia_sim::ParallelEngine`]
-//!   produces it.
+//!   produces it. With `"stream": true` the server interleaves **progress
+//!   frames** before the final response: each is one line of the form
+//!   `{ ["id": any], "progress": { "done": int, "total": int,
+//!   "cell": "arch/network/seed" } }` — distinguished from the final
+//!   response by the *absence* of an `"ok"` key — emitted as cells
+//!   complete (at-most-once per cell, order unspecified under parallel
+//!   engines). The final response line is byte-identical to the
+//!   non-streamed reply: progress rides the connection, never the result.
 //! * `metrics` — no params; returns the server's counters (including
 //!   `dropped_spans`, the spans evicted from the bounded trace buffers).
 //! * `trace` — optional `limit: int` (default 32); returns the most recent
@@ -104,8 +115,11 @@ pub use sibia_sim::jsonio::{grid_to_json, network_result_to_json};
 /// revision 4 added the optional `trace` context on request envelopes and
 /// the `spans` / `stats` verbs; revision 5 added the `lookup` verb — a
 /// store-only probe backends use to answer from a peer's warm store
-/// before simulating).
-pub const PROTOCOL_REVISION: u64 = 5;
+/// before simulating; revision 6 added the optional `tile` scheduling
+/// hint on `simulate` / `sweep` and the opt-in `"stream": true` sweep
+/// mode, under which progress frames — lines without an `"ok"` key —
+/// interleave before the byte-identical final response).
+pub const PROTOCOL_REVISION: u64 = 6;
 
 /// Typed protocol error codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +201,9 @@ pub enum Request {
         /// Per-tensor statistics sample cap (default 32768, the library
         /// default).
         sample_cap: Option<usize>,
+        /// Tile granularity in sub-words (revision 6). A scheduling hint:
+        /// the result is byte-identical at any value.
+        tile: Option<usize>,
     },
     /// A store-only probe for one cell (revision 5): answers from this
     /// daemon's persistent store or reports `found: false`, never
@@ -212,6 +229,12 @@ pub enum Request {
         seeds: Vec<u64>,
         /// Per-tensor statistics sample cap.
         sample_cap: Option<usize>,
+        /// Tile granularity in sub-words (revision 6). A scheduling hint:
+        /// the grid is byte-identical at any value.
+        tile: Option<usize>,
+        /// Interleave per-cell progress frames before the final response
+        /// (revision 6).
+        stream: bool,
     },
     /// The server's counters, answered inline.
     Metrics,
@@ -298,6 +321,18 @@ fn field_u64(v: &Json, key: &str) -> Result<Option<u64>, ServeError> {
                 format!("'{key}' must be a non-negative integer"),
             )
         }),
+    }
+}
+
+/// Parses the optional `tile` scheduling hint: a positive sub-word count.
+fn field_tile(v: &Json) -> Result<Option<usize>, ServeError> {
+    match field_u64(v, "tile")? {
+        None => Ok(None),
+        Some(0) => Err(ServeError::new(
+            ErrorCode::BadRequest,
+            "'tile' must be at least 1 sub-word",
+        )),
+        Some(n) => Ok(Some(n as usize)),
     }
 }
 
@@ -409,6 +444,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
                 .to_owned(),
             seed: field_u64(&v, "seed")?.unwrap_or(1),
             sample_cap: field_u64(&v, "sample_cap")?.map(|c| c as usize),
+            tile: field_tile(&v)?,
         },
         "lookup" => Request::Lookup {
             arch: v
@@ -448,11 +484,19 @@ pub fn parse_request(line: &str) -> Result<Envelope, ServeError> {
                     "'archs', 'networks', and 'seeds' must be non-empty",
                 ));
             }
+            let stream = match v.get("stream") {
+                None | Some(Json::Null) => false,
+                Some(s) => s.as_bool().ok_or_else(|| {
+                    ServeError::new(ErrorCode::BadRequest, "'stream' must be a boolean")
+                })?,
+            };
             Request::Sweep {
                 archs,
                 networks,
                 seeds,
                 sample_cap: field_u64(&v, "sample_cap")?.map(|c| c as usize),
+                tile: field_tile(&v)?,
+                stream,
             }
         }
         other => {
@@ -483,6 +527,26 @@ pub fn ok_response(id: Option<&Json>, trace_id: Option<&str>, result: Json) -> J
         members.push(("trace_id".to_owned(), Json::from(t)));
     }
     members.push(("result".to_owned(), result));
+    Json::Object(members)
+}
+
+/// Builds a progress frame (revision 6, without the trailing newline):
+/// emitted between a streamed sweep's request and its final response, one
+/// line per completed cell. Carries no `"ok"` key — that absence is how a
+/// client tells a frame from the final response.
+pub fn progress_frame(id: Option<&Json>, done: usize, total: usize, cell: &str) -> Json {
+    let mut members = Vec::with_capacity(2);
+    if let Some(id) = id {
+        members.push(("id".to_owned(), id.clone()));
+    }
+    members.push((
+        "progress".to_owned(),
+        Json::obj(vec![
+            ("done", Json::from(done)),
+            ("total", Json::from(total)),
+            ("cell", Json::from(cell)),
+        ]),
+    ));
     Json::Object(members)
 }
 
@@ -664,6 +728,35 @@ mod tests {
         .unwrap();
         assert_eq!(e.timeout_ms, Some(500));
         assert_eq!(e.request.kind(), "sweep");
+        // Revision 6 fields default off / absent.
+        match e.request {
+            Request::Sweep { tile, stream, .. } => {
+                assert_eq!(tile, None);
+                assert!(!stream);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+
+        let e = parse_request(
+            "{\"kind\":\"sweep\",\"archs\":[\"sibia\"],\"networks\":[\"dgcnn\"],\
+             \"seeds\":[1],\"tile\":7,\"stream\":true}",
+        )
+        .unwrap();
+        match e.request {
+            Request::Sweep { tile, stream, .. } => {
+                assert_eq!(tile, Some(7));
+                assert!(stream);
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        let e = parse_request(
+            "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\"tile\":16}",
+        )
+        .unwrap();
+        match e.request {
+            Request::Simulate { tile, .. } => assert_eq!(tile, Some(16)),
+            other => panic!("expected simulate, got {other:?}"),
+        }
 
         let e = parse_request("{\"kind\":\"trace\",\"limit\":5}").unwrap();
         assert_eq!(e.request, Request::Trace { limit: Some(5) });
@@ -730,6 +823,9 @@ mod tests {
             "{\"kind\":\"simulate\",\"network\":\"dgcnn\"}",
             "{\"kind\":\"sweep\",\"archs\":[],\"networks\":[\"dgcnn\"]}",
             "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\"seed\":-1}",
+            "{\"kind\":\"simulate\",\"arch\":\"sibia\",\"network\":\"dgcnn\",\"tile\":0}",
+            "{\"kind\":\"sweep\",\"archs\":[\"sibia\"],\"networks\":[\"dgcnn\"],\"tile\":0}",
+            "{\"kind\":\"sweep\",\"archs\":[\"sibia\"],\"networks\":[\"dgcnn\"],\"stream\":3}",
         ] {
             let err = parse_request(bad).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{bad}");
@@ -773,6 +869,22 @@ mod tests {
         let back = parse_response(&err).unwrap_err();
         assert_eq!(back.code, ErrorCode::Overloaded);
         assert_eq!(back.message, "queue full");
+    }
+
+    #[test]
+    fn progress_frames_have_no_ok_key() {
+        let id = Json::Int(4);
+        let f = progress_frame(Some(&id), 3, 12, "sibia/dgcnn/1");
+        assert_eq!(
+            f.to_string(),
+            "{\"id\":4,\"progress\":{\"done\":3,\"total\":12,\"cell\":\"sibia/dgcnn/1\"}}"
+        );
+        assert!(f.get("ok").is_none());
+        let bare = progress_frame(None, 1, 2, "c");
+        assert_eq!(
+            bare.to_string(),
+            "{\"progress\":{\"done\":1,\"total\":2,\"cell\":\"c\"}}"
+        );
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub(crate) struct ReactorJob {
     received: Instant,
 }
 
+impl ReactorJob {
+    /// A clone of the connection's completer, for progress frames
+    /// (non-final completions) during streamed sweeps.
+    pub(crate) fn completer(&self) -> Completer {
+        self.completer.clone()
+    }
+}
+
 /// Binds and starts the reactor serving `shared`'s protocol. The reactor's
 /// `net.*` instruments register in the daemon's unified metrics registry,
 /// and connection-lifetime spans land in the shared tracer.

@@ -46,21 +46,21 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sibia_nn::zoo;
 use sibia_obs::{Sampler, SamplerSource, Telemetry, Tracer};
-use sibia_sim::{DecompCache, ParallelEngine, Simulator};
+use sibia_sim::{DecompCache, GridCell, ParallelEngine, Simulator};
 use sibia_store::Store;
 
 use crate::json::Json;
 use crate::metrics::{GaugeSample, PhaseTimings, ServeMetrics};
 use crate::protocol::{
     arch_by_name, encode_stats, error_response, grid_to_json, network_result_to_json, ok_response,
-    parse_request, Envelope, ErrorCode, Request, ServeError, PROTOCOL_REVISION,
+    parse_request, progress_frame, Envelope, ErrorCode, Request, ServeError, PROTOCOL_REVISION,
 };
 use crate::queue::{JobQueue, PushError};
 
@@ -166,15 +166,60 @@ impl Default for ServeConfig {
 /// went (queue wait, then compute).
 pub(crate) type JobReply = (Result<Json, ServeError>, Duration, Duration);
 
+/// One message on a blocking-front job channel: zero or more progress
+/// frames (streamed sweeps only), then exactly one `Done`.
+pub(crate) enum JobFrame {
+    /// A revision-6 progress frame to write to the connection now.
+    Progress(Json),
+    /// The job's outcome; ends the stream.
+    Done(JobReply),
+}
+
 /// Where a finished job's outcome goes.
 pub(crate) enum ReplySink {
     /// Blocking front: the connection thread waits on this channel and
     /// finishes the request itself (serialize, metrics, span).
-    Blocking(mpsc::Sender<JobReply>),
+    Blocking(mpsc::Sender<JobFrame>),
     /// Reactor front: the worker finishes the request itself and pushes
     /// the complete response line through the connection's completer
     /// (see [`crate::reactor_front`]).
     Reactor(crate::reactor_front::ReactorJob),
+}
+
+/// Worker-side handle that turns per-cell completions into wire progress
+/// frames, built only for `sweep` requests that opted into streaming.
+/// Front-agnostic: the blocking front relays frames over the job channel,
+/// the reactor front pushes non-final completions straight to the reactor.
+pub(crate) struct ProgressEmitter {
+    id: Option<Json>,
+    sink: ProgressSink,
+}
+
+enum ProgressSink {
+    /// `Sender` is `Send` but not `Sync`; the engine calls `emit` from
+    /// several scoped workers, so the sender rides behind a mutex (frames
+    /// are rare — one per cell — so contention is negligible).
+    Blocking(Mutex<mpsc::Sender<JobFrame>>),
+    Reactor(sibia_net::Completer),
+}
+
+impl ProgressEmitter {
+    pub(crate) fn emit(&self, done: usize, total: usize, cell: &str) {
+        let frame = progress_frame(self.id.as_ref(), done, total, cell);
+        match &self.sink {
+            ProgressSink::Blocking(tx) => {
+                let _ = tx
+                    .lock()
+                    .expect("progress sender lock")
+                    .send(JobFrame::Progress(frame));
+            }
+            ProgressSink::Reactor(completer) => {
+                let mut line = frame.to_string().into_bytes();
+                line.push(b'\n');
+                completer.progress(line);
+            }
+        }
+    }
 }
 
 /// One admitted unit of work.
@@ -433,8 +478,14 @@ fn peer_warm_start(
     None
 }
 
-/// Executes one work request against the shared cache/engine.
-pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeError> {
+/// Executes one work request against the shared cache/engine. `progress`
+/// is present only for streamed sweeps: the worker-side emitter that turns
+/// completed cells into wire frames.
+pub(crate) fn execute(
+    shared: &Shared,
+    request: &Request,
+    progress: Option<&ProgressEmitter>,
+) -> Result<Json, ServeError> {
     match request {
         Request::Encode {
             values,
@@ -446,6 +497,7 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             network,
             seed,
             sample_cap,
+            tile,
         } => {
             let spec = arch_by_name(arch).ok_or_else(|| {
                 ServeError::new(ErrorCode::UnknownArch, format!("unknown arch '{arch}'"))
@@ -458,6 +510,7 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             })?;
             let mut sim = Simulator::new(*seed);
             sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
+            sim.tile = *tile;
             let result = match &shared.store {
                 Some(store) => {
                     // Open-coded read-through (one store probe, exactly like
@@ -500,6 +553,8 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
             networks,
             seeds,
             sample_cap,
+            tile,
+            stream,
         } => {
             let specs = archs
                 .iter()
@@ -519,8 +574,38 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
                 .collect::<Result<Vec<_>, _>>()?;
             let mut sim = Simulator::new(seeds[0]);
             sim.sample_cap = sample_cap.unwrap_or(DEFAULT_SAMPLE_CAP).max(1);
-            let grid = match &shared.store {
-                Some(store) => {
+            sim.tile = *tile;
+            let grid = match (progress.filter(|_| *stream), &shared.store) {
+                // Streamed: the observed engine fires per completed cell;
+                // the emitter turns each into one wire frame. The grid
+                // itself — and therefore the final response line — is
+                // byte-identical to the unobserved paths below.
+                (Some(emitter), store) => {
+                    let total = specs.len() * nets.len() * seeds.len();
+                    let done = AtomicUsize::new(0);
+                    let observe = |cell: &GridCell| {
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        let name = format!(
+                            "{}/{}/{}",
+                            archs[cell.arch_index], networks[cell.network_index], cell.seed
+                        );
+                        emitter.emit(n, total, &name);
+                    };
+                    let grid = shared.engine.simulate_grid_observed(
+                        &sim,
+                        &specs,
+                        &nets,
+                        seeds,
+                        &shared.cache,
+                        store.as_ref(),
+                        &observe,
+                    );
+                    if let Some(store) = store {
+                        let _ = store.maybe_compact();
+                    }
+                    grid
+                }
+                (None, Some(store)) => {
                     let grid = shared.engine.simulate_grid_stored(
                         &sim,
                         &specs,
@@ -532,7 +617,7 @@ pub(crate) fn execute(shared: &Shared, request: &Request) -> Result<Json, ServeE
                     let _ = store.maybe_compact();
                     grid
                 }
-                None => {
+                (None, None) => {
                     shared
                         .engine
                         .simulate_grid_cached(&sim, &specs, &nets, seeds, &shared.cache)
@@ -577,12 +662,24 @@ fn worker_loop(shared: &Shared) {
                 span.set_remote_parent(parent);
             }
         }
+        // Streamed sweeps get a progress emitter bound to this job's reply
+        // path; everything else computes silently.
+        let emitter = match &job.envelope.request {
+            Request::Sweep { stream: true, .. } => Some(ProgressEmitter {
+                id: job.envelope.id.clone(),
+                sink: match &job.reply {
+                    ReplySink::Blocking(tx) => ProgressSink::Blocking(Mutex::new(tx.clone())),
+                    ReplySink::Reactor(rj) => ProgressSink::Reactor(rj.completer()),
+                },
+            }),
+            _ => None,
+        };
         let outcome = match job.deadline {
             Some(deadline) if Instant::now() > deadline => Err(ServeError::new(
                 ErrorCode::DeadlineExceeded,
                 "deadline passed while queued",
             )),
-            _ => execute(shared, &job.envelope.request),
+            _ => execute(shared, &job.envelope.request, emitter.as_ref()),
         };
         span.attr("ok", outcome.is_ok());
         drop(span);
@@ -592,7 +689,7 @@ fn worker_loop(shared: &Shared) {
         match job.reply {
             // A dropped receiver means the client hung up; nothing to do.
             ReplySink::Blocking(tx) => {
-                let _ = tx.send((outcome, queue_wait, compute));
+                let _ = tx.send(JobFrame::Done((outcome, queue_wait, compute)));
             }
             ReplySink::Reactor(rj) => {
                 crate::reactor_front::finish_job(shared, rj, outcome, queue_wait, compute);
@@ -784,7 +881,18 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         outcome
                     }
                     _ => {
-                        let (outcome, queue_wait, compute) = submit(shared, envelope, received);
+                        // Progress frames (streamed sweeps) are written to
+                        // the connection as they arrive, *before* the final
+                        // response line. A failed frame write is ignored
+                        // here — the final write's error closes the
+                        // connection exactly as before.
+                        let mut writer = reader.stream();
+                        let (outcome, queue_wait, compute) =
+                            submit(shared, envelope, received, &mut |frame: &Json| {
+                                let _ = writer
+                                    .write_all(frame.to_string().as_bytes())
+                                    .and_then(|()| writer.write_all(b"\n"));
+                            });
                         phases.queue_wait = queue_wait;
                         phases.compute = compute;
                         outcome
@@ -824,8 +932,15 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
 }
 
 /// Admission control: queue the job or reject it immediately. Returns the
-/// outcome plus the measured (queue-wait, compute) durations.
-fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> JobReply {
+/// outcome plus the measured (queue-wait, compute) durations. Progress
+/// frames arriving before the job's `Done` are handed to `on_progress`
+/// (the connection loop writes them to the client inline).
+fn submit(
+    shared: &Shared,
+    envelope: Envelope,
+    received: Instant,
+    on_progress: &mut dyn FnMut(&Json),
+) -> JobReply {
     let deadline = envelope
         .timeout_ms
         .map(|ms| received + Duration::from_millis(ms));
@@ -864,13 +979,19 @@ fn submit(shared: &Shared, envelope: Envelope, received: Instant) -> JobReply {
     }
     // The queue was admitted, so a worker owns the job and always replies
     // (the pool drains the queue fully before exiting on shutdown).
-    rx.recv().unwrap_or_else(|_| {
-        (
-            Err(ServeError::new(ErrorCode::Internal, "worker pool gone")),
-            Duration::ZERO,
-            Duration::ZERO,
-        )
-    })
+    loop {
+        match rx.recv() {
+            Ok(JobFrame::Progress(frame)) => on_progress(&frame),
+            Ok(JobFrame::Done(reply)) => return reply,
+            Err(_) => {
+                return (
+                    Err(ServeError::new(ErrorCode::Internal, "worker pool gone")),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                )
+            }
+        }
+    }
 }
 
 /// Which front end a running server is serving through.

@@ -90,6 +90,57 @@ fn served_sweep_is_byte_identical_to_direct_engine_grid() {
 }
 
 #[test]
+fn streamed_sweep_emits_progress_and_an_identical_final_document() {
+    let server = default_server();
+    let mut client = connect(server.addr());
+
+    let archs = ["bitfusion", "sibia"];
+    let nets = ["dgcnn"];
+    let seeds = [1u64, 2];
+    let plain = client
+        .sweep(&archs, &nets, &seeds, Some(1024))
+        .expect("plain sweep");
+
+    let mut frames: Vec<(u64, u64, String)> = Vec::new();
+    let mut on_progress = |done: u64, total: u64, cell: &str| {
+        frames.push((done, total, cell.to_owned()));
+    };
+    let streamed = client
+        .sweep_with(
+            &archs,
+            &nets,
+            &seeds,
+            Some(1024),
+            None,
+            Some(&mut on_progress),
+        )
+        .expect("streamed sweep");
+    assert_eq!(
+        streamed.to_string(),
+        plain.to_string(),
+        "the streamed final document must be byte-identical to a plain sweep"
+    );
+    assert_eq!(frames.len(), 4, "one progress frame per cell: {frames:?}");
+    let mut dones: Vec<u64> = frames.iter().map(|f| f.0).collect();
+    dones.sort_unstable();
+    assert_eq!(dones, vec![1, 2, 3, 4], "done counts cover the grid");
+    for (_, total, cell) in &frames {
+        assert_eq!(*total, 4);
+        let parts: Vec<&str> = cell.split('/').collect();
+        assert_eq!(parts.len(), 3, "cell must be arch/network/seed: {cell}");
+        assert!(archs.contains(&parts[0]), "{cell}");
+        assert_eq!(parts[1], "dgcnn", "{cell}");
+    }
+
+    // The tile knob changes scheduling grain, never bytes.
+    let tiled = client
+        .sweep_with(&archs, &nets, &seeds, Some(1024), Some(7), None)
+        .expect("tiled sweep");
+    assert_eq!(tiled.to_string(), plain.to_string());
+    server.shutdown();
+}
+
+#[test]
 fn ping_encode_and_metrics_round_trip() {
     let server = default_server();
     let mut client = connect(server.addr());

@@ -101,6 +101,57 @@ fn reactor_results_are_byte_identical_to_blocking() {
 }
 
 #[test]
+fn streamed_sweep_on_the_reactor_front_matches_blocking() {
+    let blocking = small_server(false);
+    let reactor = small_server(true);
+    let mut via_blocking = connect(blocking.addr());
+    let mut via_reactor = connect(reactor.addr());
+
+    let archs = ["bitfusion", "sibia"];
+    let nets = ["dgcnn"];
+    let seeds = [1u64, 2];
+    let plain = via_blocking
+        .sweep(&archs, &nets, &seeds, Some(512))
+        .expect("blocking plain sweep");
+
+    let mut frames = 0usize;
+    let mut on_progress = |done: u64, total: u64, cell: &str| {
+        frames += 1;
+        assert_eq!(total, 4);
+        assert!((1..=4).contains(&done));
+        assert_eq!(cell.split('/').count(), 3, "{cell}");
+    };
+    let streamed = via_reactor
+        .sweep_with(
+            &archs,
+            &nets,
+            &seeds,
+            Some(512),
+            None,
+            Some(&mut on_progress),
+        )
+        .expect("reactor streamed sweep");
+    assert_eq!(
+        streamed.to_string(),
+        plain.to_string(),
+        "reactor streamed final document must match the blocking plain sweep"
+    );
+    assert_eq!(
+        frames, 4,
+        "one progress frame per cell on the reactor front"
+    );
+
+    // Tile granularity is invisible in bytes on this front too.
+    let tiled = via_reactor
+        .sweep_with(&archs, &nets, &seeds, Some(512), Some(7), None)
+        .expect("reactor tiled sweep");
+    assert_eq!(tiled.to_string(), plain.to_string());
+
+    blocking.shutdown();
+    reactor.shutdown();
+}
+
+#[test]
 fn pipelined_responses_complete_out_of_order_by_id() {
     let server = small_server(true);
     let mut client = connect(server.addr());

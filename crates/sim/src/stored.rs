@@ -44,8 +44,12 @@ pub fn repr_label(repr: Repr) -> &'static str {
 
 /// The configuration fingerprint of a `(simulator, architecture)` pair:
 /// everything that shapes a result's bytes except the key's own
-/// `(network, seed, repr)` coordinates. Built from `Debug` forms, which
-/// print every field of both structs.
+/// `(network, seed, repr)` coordinates. The simulator fields are
+/// enumerated explicitly rather than taken from its `Debug` form, so that
+/// knobs which provably do **not** change result bytes stay out of the
+/// key. [`Simulator::tile`] is the deliberate example: the tile fold is
+/// exact ([`crate::tile`]), so a tiled and an untiled run share store
+/// entries — a sweep warmed at one tile size hits at every other.
 pub fn config_fingerprint(sim: &Simulator, arch: &ArchSpec) -> String {
     format!(
         "arch={arch:?}|cap={}|tech={:?}|extmem={:?}|latency={:?}",
@@ -222,5 +226,29 @@ mod tests {
         let mut seeded = base;
         seeded.seed = 999;
         assert_eq!(config_fingerprint(&seeded, &arch), fp);
+    }
+
+    #[test]
+    fn tile_size_does_not_enter_the_store_key() {
+        // The tile fold is exact, so tiled and untiled runs must share
+        // store entries: a grid warmed layer-at-a-time hits when re-swept
+        // with any --tile value, and vice versa.
+        let arch = ArchSpec::sibia_hybrid();
+        let base = Simulator::new(1);
+        let mut tiled = base;
+        tiled.tile = Some(7);
+        assert_eq!(
+            config_fingerprint(&tiled, &arch),
+            config_fingerprint(&base, &arch)
+        );
+
+        let dir = temp_dir("tile-shared");
+        let store = Store::open(&dir).unwrap();
+        let net = tiny_net();
+        let warm = simulate_network_stored(&base, &arch, &net, &DecompCache::new(), &store);
+        // The tiled run must be a pure store hit with identical bytes.
+        let hit = try_stored(&tiled, &arch, &net, &store).expect("tiled run hits untiled entry");
+        assert_eq!(hit, warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,554 @@
+//! Tile-level streaming IR: the simulator's unit of measurement as a
+//! streaming fold over fixed-size tiles.
+//!
+//! The paper's PE does not see whole tensors: it consumes 16-bit sub-words
+//! (four 4-bit slices) in 64-MAC tiles, with the dynamic sparsity monitor
+//! choosing the skip side per region (PAPER.md §DSM, DESIGN.md §6). This
+//! module makes that granularity a first-class IR:
+//!
+//! * [`TileConfig`] — the tile geometry in sub-words (default
+//!   [`TileConfig::PAPER_SUBWORDS`] = 16 sub-words = 64 slices = one
+//!   64-MAC PE pass);
+//! * [`TilePlan`] / [`TileIter`] — a deterministic, gap-free, overlap-free
+//!   partition of a digit plane into sub-word-aligned tiles (only the last
+//!   tile may be ragged), streamed without materialising copies;
+//! * [`TileStats`] — the per-tile summary, a **monoid**: `merge` is
+//!   associative with [`TileStats::EMPTY`] as identity, so any tile
+//!   partition — and any parallel fold shape over it — reduces to the same
+//!   value;
+//! * [`TileFold`] — the streaming reduction of per-tile stats back into a
+//!   whole-plane [`PlaneStats`], **byte-identical** to the layer-at-a-time
+//!   measurement (`PlaneStats::measure_plane`) for every plane, tile size,
+//!   and kernel tier (pinned by `tests/tile.rs`).
+//!
+//! ## Why the fold is exact
+//!
+//! Slice, sub-word, and zero counts are plainly additive over a sub-word-
+//! aligned partition. The only cross-tile state is the DMU RLE codec's
+//! zero-run register: a run of `g` zero sub-words entered at run state `r`
+//! emits `⌊(r + g) / cycle⌋` padding entries (the codec flushes every
+//! `cycle = 2^index_bits` zeros) and leaves state `(r + g) % cycle`; a
+//! non-zero sub-word emits one entry and resets the state to zero. A tile
+//! measured in isolation therefore differs from the same tile inside a
+//! stream **only across its leading zero gap** — after the first non-zero
+//! sub-word the run state is reset and history is irrelevant. Keeping the
+//! leading / trailing zero-gap lengths in [`TileStats`] lets `merge`
+//! re-price exactly that boundary:
+//!
+//! ```text
+//! entries(A ⧺ B) = entries(A) + entries(B)
+//!                + ⌊(r_A + lead_B) / cycle⌋ − ⌊lead_B / cycle⌋
+//! where r_A = trail_A mod cycle  (subwords_A mod cycle if A is all zero)
+//! ```
+//!
+//! The correction is associative because it depends only on `r_A` (a pure
+//! function of A) and `lead_B` (a pure function of B), both of which the
+//! merged stats reproduce exactly; `tests/tile.rs` exercises random
+//! re-parenthesisations against the sequential fold.
+//!
+//! ## Content-keyed tile identity
+//!
+//! A tile's stats are position-independent (run-in sensitivity lives in the
+//! merge, not the measurement), so tiles are memoizable **by content**:
+//! [`TileKey`] fingerprints the tile's digit bytes with two independent
+//! FNV-64 streams plus the exact length. Identical tiles — every all-zero
+//! tile, repeated activation patterns across the albert GLUE variants —
+//! collapse to one cache entry regardless of which layer or network they
+//! came from (see `DecompCache::tile_stats`).
+
+use std::fmt;
+use std::ops::Range;
+
+use sibia_sbr::kernels::PlaneCounts;
+
+/// Digits (slices) per sub-word: the PE consumes 16-bit sub-words of four
+/// 4-bit slices.
+pub const DIGITS_PER_SUBWORD: usize = 4;
+
+/// Why a tile configuration is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// A tile must hold at least one sub-word.
+    ZeroSize,
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::ZeroSize => write!(f, "tile size must be at least 1 sub-word"),
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// Tile geometry: how many sub-words one tile spans.
+///
+/// Tiles are sub-word aligned by construction — a tile boundary can never
+/// split a sub-word, so sub-word counts stay additive across the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    subwords: usize,
+}
+
+impl TileConfig {
+    /// The paper's PE geometry: 64 MACs consume 16 sub-words per pass.
+    pub const PAPER_SUBWORDS: usize = 16;
+
+    /// A configuration of `subwords` sub-words per tile.
+    ///
+    /// # Errors
+    ///
+    /// [`TileError::ZeroSize`] when `subwords` is zero.
+    pub fn new(subwords: usize) -> Result<Self, TileError> {
+        if subwords == 0 {
+            return Err(TileError::ZeroSize);
+        }
+        Ok(Self { subwords })
+    }
+
+    /// Sub-words per tile.
+    pub fn subwords(self) -> usize {
+        self.subwords
+    }
+
+    /// Digits (slices) per tile.
+    pub fn digits(self) -> usize {
+        self.subwords * DIGITS_PER_SUBWORD
+    }
+}
+
+impl Default for TileConfig {
+    /// The paper's 64-MAC / 16-sub-word PE tile.
+    fn default() -> Self {
+        Self {
+            subwords: Self::PAPER_SUBWORDS,
+        }
+    }
+}
+
+/// A deterministic partition of one digit plane into tiles.
+///
+/// Tiles cover the plane exactly — no overlap, no gap — in index order;
+/// every tile spans `config.digits()` digits except possibly the last,
+/// which takes the remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilePlan {
+    plane_len: usize,
+    tile_digits: usize,
+}
+
+impl TilePlan {
+    /// Plans the partition of a `plane_len`-digit plane.
+    pub fn new(plane_len: usize, config: TileConfig) -> Self {
+        Self {
+            plane_len,
+            tile_digits: config.digits(),
+        }
+    }
+
+    /// Number of tiles (zero for an empty plane).
+    pub fn tile_count(&self) -> usize {
+        self.plane_len.div_ceil(self.tile_digits)
+    }
+
+    /// The digit range of tile `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= tile_count()`.
+    pub fn bounds(&self, index: usize) -> Range<usize> {
+        assert!(index < self.tile_count(), "tile index out of range");
+        let start = index * self.tile_digits;
+        start..self.plane_len.min(start + self.tile_digits)
+    }
+
+    /// Streams the tiles of `plane` in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plane.len()` differs from the planned length.
+    pub fn iter<'p>(&self, plane: &'p [i8]) -> TileIter<'p> {
+        assert_eq!(plane.len(), self.plane_len, "plane does not match plan");
+        TileIter {
+            rest: plane,
+            tile_digits: self.tile_digits,
+        }
+    }
+}
+
+/// Streaming iterator over a plane's tiles (borrowed slices, no copies).
+#[derive(Debug, Clone)]
+pub struct TileIter<'p> {
+    rest: &'p [i8],
+    tile_digits: usize,
+}
+
+impl<'p> Iterator for TileIter<'p> {
+    type Item = &'p [i8];
+
+    fn next(&mut self) -> Option<&'p [i8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let take = self.rest.len().min(self.tile_digits);
+        let (tile, rest) = self.rest.split_at(take);
+        self.rest = rest;
+        Some(tile)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.len().div_ceil(self.tile_digits);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TileIter<'_> {}
+
+/// Zero-structure summary of one tile — the monoid element of the fold.
+///
+/// `rle_entries` counts the entries the DMU codec emits for the tile *as
+/// its own stream* (run state entering at zero, trailing run unflushed);
+/// [`TileStats::merge`] re-prices the boundary when tiles concatenate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileStats {
+    /// Digits in the tile.
+    pub len: usize,
+    /// Exactly-zero digits.
+    pub zero_digits: usize,
+    /// Sub-words (tail zero-padded, as in the whole-plane measurement).
+    pub subwords: usize,
+    /// All-zero sub-words.
+    pub zero_subwords: usize,
+    /// RLE entries of the tile as its own stream.
+    pub rle_entries: usize,
+    /// Leading run of all-zero sub-words (= `subwords` when all zero).
+    pub lead_zero_subwords: usize,
+    /// Trailing run of all-zero sub-words (= `subwords` when all zero).
+    pub trail_zero_subwords: usize,
+}
+
+impl TileStats {
+    /// The fold identity: the empty tile.
+    pub const EMPTY: TileStats = TileStats {
+        len: 0,
+        zero_digits: 0,
+        subwords: 0,
+        zero_subwords: 0,
+        rle_entries: 0,
+        lead_zero_subwords: 0,
+        trail_zero_subwords: 0,
+    };
+
+    /// Whether every sub-word of the tile is zero (vacuously true when
+    /// empty).
+    pub fn all_zero(&self) -> bool {
+        self.zero_subwords == self.subwords
+    }
+
+    /// Measures one tile through the active kernel tier, plus the boundary
+    /// runs the merge needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is outside the codec's `[1, 15]` domain.
+    pub fn measure(tile: &[i8], index_bits: u8) -> Self {
+        let c: PlaneCounts = sibia_sbr::kernels::active().plane_counts(tile, index_bits);
+        let mut lead = 0usize;
+        let mut groups = tile.chunks(DIGITS_PER_SUBWORD);
+        for g in groups.by_ref() {
+            if g.iter().any(|&d| d != 0) {
+                break;
+            }
+            lead += 1;
+        }
+        let trail = if lead == c.subwords {
+            lead
+        } else {
+            tile.chunks(DIGITS_PER_SUBWORD)
+                .rev()
+                .take_while(|g| g.iter().all(|&d| d == 0))
+                .count()
+        };
+        Self {
+            len: c.len,
+            zero_digits: c.zero_digits,
+            subwords: c.subwords,
+            zero_subwords: c.zero_subwords,
+            rle_entries: c.rle_entries,
+            lead_zero_subwords: lead,
+            trail_zero_subwords: trail,
+        }
+    }
+
+    /// The residual RLE run state after streaming this tile from run state
+    /// zero.
+    fn run_out(&self, cycle: usize) -> usize {
+        let tail = if self.all_zero() {
+            self.subwords
+        } else {
+            self.trail_zero_subwords
+        };
+        tail % cycle
+    }
+
+    /// Concatenates two tile summaries: `self` followed by `other`.
+    ///
+    /// Associative with [`Self::EMPTY`] as identity; the RLE boundary
+    /// correction re-prices `other`'s leading zero gap at `self`'s residual
+    /// run state (see the module docs for the argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is outside `[1, 15]`, or if `self` ends on a
+    /// ragged (non-sub-word-aligned) tile that is not the stream's last —
+    /// partitions from [`TilePlan`] never do.
+    pub fn merge(self, other: TileStats, index_bits: u8) -> TileStats {
+        assert!(
+            (1..=15).contains(&index_bits),
+            "index bits must be in [1, 15], got {index_bits}"
+        );
+        if self.len == 0 {
+            return other;
+        }
+        if other.len == 0 {
+            return self;
+        }
+        assert!(
+            self.len % DIGITS_PER_SUBWORD == 0,
+            "only the final tile of a stream may be ragged"
+        );
+        let cycle = 1usize << index_bits;
+        let run_in = self.run_out(cycle);
+        let boundary =
+            (run_in + other.lead_zero_subwords) / cycle - other.lead_zero_subwords / cycle;
+        let lead = if self.all_zero() {
+            self.subwords + other.lead_zero_subwords
+        } else {
+            self.lead_zero_subwords
+        };
+        let trail = if other.all_zero() {
+            other.subwords
+                + if self.all_zero() {
+                    self.subwords
+                } else {
+                    self.trail_zero_subwords
+                }
+        } else {
+            other.trail_zero_subwords
+        };
+        TileStats {
+            len: self.len + other.len,
+            zero_digits: self.zero_digits + other.zero_digits,
+            subwords: self.subwords + other.subwords,
+            zero_subwords: self.zero_subwords + other.zero_subwords,
+            rle_entries: self.rle_entries + other.rle_entries + boundary,
+            lead_zero_subwords: lead,
+            trail_zero_subwords: trail,
+        }
+    }
+}
+
+/// The streaming reduction: push per-tile stats in partition order, then
+/// finish into the whole-plane [`crate::cache::PlaneStats`].
+#[derive(Debug, Clone, Copy)]
+pub struct TileFold {
+    acc: TileStats,
+    index_bits: u8,
+}
+
+impl TileFold {
+    /// An empty fold at the DMU's `index_bits`.
+    pub fn new(index_bits: u8) -> Self {
+        Self {
+            acc: TileStats::EMPTY,
+            index_bits,
+        }
+    }
+
+    /// Folds the next tile's stats into the accumulator.
+    pub fn push(&mut self, tile: TileStats) {
+        self.acc = self.acc.merge(tile, self.index_bits);
+    }
+
+    /// The accumulated stream summary so far.
+    pub fn stats(&self) -> TileStats {
+        self.acc
+    }
+
+    /// Finishes the fold into whole-plane counts — byte-identical to
+    /// `PlaneStats::measure_plane` over the concatenated stream.
+    pub fn finish(self) -> crate::cache::PlaneStats {
+        crate::cache::PlaneStats {
+            len: self.acc.len,
+            zero_slices: self.acc.zero_digits,
+            subwords: self.acc.subwords,
+            zero_subwords: self.acc.zero_subwords,
+            rle_entries: self.acc.rle_entries,
+        }
+    }
+}
+
+/// Content fingerprint of one tile: two independent FNV-64 streams over the
+/// digit bytes plus the exact length and codec width. Identical content —
+/// wherever it appears in whatever layer — maps to one key; 128 independent
+/// hash bits make an accidental collision across a cache's working set
+/// (thousands of entries) negligible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    fp_a: u64,
+    fp_b: u64,
+    len: u32,
+    index_bits: u8,
+}
+
+impl TileKey {
+    /// Fingerprints a tile's content.
+    pub fn of(tile: &[i8], index_bits: u8) -> Self {
+        // FNV-1a with the standard offset/prime, and a second stream with a
+        // different offset basis and per-byte tweak so the two 64-bit
+        // digests fail independently.
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut a = 0xCBF2_9CE4_8422_2325u64;
+        let mut b = 0x6C62_272E_07BB_0142u64;
+        for &d in tile {
+            let byte = d as u8;
+            a = (a ^ u64::from(byte)).wrapping_mul(PRIME);
+            b = (b ^ u64::from(byte.rotate_left(3)) ^ 0x5A).wrapping_mul(PRIME);
+        }
+        Self {
+            fp_a: a,
+            fp_b: b,
+            len: tile.len() as u32,
+            index_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{PlaneStats, DMU_INDEX_BITS};
+
+    fn fold_plane(plane: &[i8], config: TileConfig) -> PlaneStats {
+        let plan = TilePlan::new(plane.len(), config);
+        let mut fold = TileFold::new(DMU_INDEX_BITS);
+        for tile in plan.iter(plane) {
+            fold.push(TileStats::measure(tile, DMU_INDEX_BITS));
+        }
+        fold.finish()
+    }
+
+    #[test]
+    fn config_rejects_zero_and_defaults_to_the_paper_tile() {
+        assert_eq!(TileConfig::new(0), Err(TileError::ZeroSize));
+        let c = TileConfig::default();
+        assert_eq!(c.subwords(), 16);
+        assert_eq!(c.digits(), 64);
+        assert_eq!(TileConfig::new(3).unwrap().digits(), 12);
+    }
+
+    #[test]
+    fn plan_partitions_without_gap_or_overlap() {
+        for len in [0usize, 1, 3, 4, 63, 64, 65, 129, 1000] {
+            for sw in [1usize, 2, 7, 16, 100] {
+                let plan = TilePlan::new(len, TileConfig::new(sw).unwrap());
+                let mut covered = 0usize;
+                for i in 0..plan.tile_count() {
+                    let r = plan.bounds(i);
+                    assert_eq!(r.start, covered, "len={len} sw={sw} tile={i}");
+                    assert!(r.end > r.start);
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "len={len} sw={sw}");
+                // The iterator yields exactly the planned slices.
+                let plane = vec![1i8; len];
+                let tiles: Vec<_> = plan.iter(&plane).collect();
+                assert_eq!(tiles.len(), plan.tile_count());
+                assert_eq!(tiles.iter().map(|t| t.len()).sum::<usize>(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_matches_whole_plane_measurement() {
+        // Deterministic pseudo-random planes with long zero runs (the RLE
+        // flush path) and dense stretches, across awkward tile sizes.
+        let mut state = 0x9E37_79B9u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for len in [0usize, 1, 5, 63, 64, 65, 257, 1024, 4093] {
+            let plane: Vec<i8> = (0..len)
+                .map(|_| {
+                    let r = next();
+                    if r % 5 != 0 {
+                        0
+                    } else {
+                        (r % 15) as i8 - 7
+                    }
+                })
+                .collect();
+            let whole = PlaneStats::measure_plane(&plane);
+            for sw in [1usize, 2, 3, 7, 16, 17, 1000] {
+                let folded = fold_plane(&plane, TileConfig::new(sw).unwrap());
+                assert_eq!(folded, whole, "len={len} sw={sw}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_planes_fold_exactly_through_the_flush_path() {
+        // 16-subword cycle: a run of g zeros emits g/16 entries. Lengths
+        // straddling multiples of 64 digits hit the flush boundary.
+        for len in [60usize, 64, 68, 1020, 1024, 1028] {
+            let plane = vec![0i8; len];
+            let whole = PlaneStats::measure_plane(&plane);
+            for sw in [1usize, 4, 16, 19] {
+                assert_eq!(fold_plane(&plane, TileConfig::new(sw).unwrap()), whole);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let planes: Vec<Vec<i8>> = vec![
+            vec![0; 128],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0],
+            (0..300).map(|i| if i % 9 == 0 { 3 } else { 0 }).collect(),
+            vec![],
+        ];
+        let stats: Vec<TileStats> = planes
+            .iter()
+            .map(|p| TileStats::measure(p, DMU_INDEX_BITS))
+            .collect();
+        for a in &stats {
+            assert_eq!(a.merge(TileStats::EMPTY, DMU_INDEX_BITS), *a);
+            assert_eq!(TileStats::EMPTY.merge(*a, DMU_INDEX_BITS), *a);
+            for b in &stats {
+                for c in &stats {
+                    let left = a.merge(*b, DMU_INDEX_BITS).merge(*c, DMU_INDEX_BITS);
+                    let right = a.merge(b.merge(*c, DMU_INDEX_BITS), DMU_INDEX_BITS);
+                    assert_eq!(left, right);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn content_keys_collide_only_on_identical_content() {
+        let a = TileKey::of(&[0, 1, 2, 3], DMU_INDEX_BITS);
+        assert_eq!(a, TileKey::of(&[0, 1, 2, 3], DMU_INDEX_BITS));
+        assert_ne!(a, TileKey::of(&[0, 1, 2, 4], DMU_INDEX_BITS));
+        assert_ne!(a, TileKey::of(&[0, 1, 2, 3, 0], DMU_INDEX_BITS));
+        assert_ne!(a, TileKey::of(&[0, 1, 2, 3], 3));
+        // A trailing-zero tile differs from its truncation (len is keyed).
+        assert_ne!(
+            TileKey::of(&[5, 0], DMU_INDEX_BITS),
+            TileKey::of(&[5], DMU_INDEX_BITS)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Exactness of the tile IR (DESIGN.md §14).
+//!
+//! Two contracts, both *byte*-level:
+//!
+//! 1. **Partition exactness** — a [`TilePlan`] partitions every plane with
+//!    no gap and no overlap, and folding per-tile [`TileStats`] reproduces
+//!    the whole-plane [`PlaneStats`] exactly, under every kernel tier the
+//!    host supports (the same tiers `SIBIA_FORCE_KERNEL` selects).
+//! 2. **Grid identity** — a grid simulated through the tile-grain engine
+//!    (`sim.tile = Some(..)`) is `assert_eq!`-identical to the layer-grain
+//!    engine for every tile size and thread count tested, including
+//!    store-backed and observed runs. This is what lets `--tile` be a pure
+//!    scheduling knob: same bytes, different streaming granularity.
+
+use sibia_nn::network::{DensityClass, TaskDomain};
+use sibia_nn::{Activation, Layer, Network};
+use sibia_sbr::kernels::{set_thread_override, KernelTier};
+use sibia_sim::cache::{PlaneStats, DMU_INDEX_BITS};
+use sibia_sim::tile::{TileConfig, TileFold, TilePlan};
+use sibia_sim::{ArchSpec, DecompCache, ParallelEngine, Simulator};
+
+/// Deterministic xorshift stream for synthetic planes.
+fn planes(seed: u64, len: usize, sparsity_mod: u64) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % sparsity_mod == 0 {
+                ((state >> 33) % 15) as i8 - 7
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+fn host_tiers() -> Vec<KernelTier> {
+    let mut tiers = vec![KernelTier::Scalar, KernelTier::Swar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("sse2") {
+            tiers.push(KernelTier::Sse2);
+        }
+        if is_x86_feature_detected!("avx2") {
+            tiers.push(KernelTier::Avx2);
+        }
+    }
+    tiers
+}
+
+#[test]
+fn partition_is_exact_for_random_shapes_under_every_kernel_tier() {
+    let lens = [0usize, 1, 3, 4, 63, 64, 65, 129, 1000, 4096, 4099];
+    let subwords = [1usize, 2, 5, 7, 16, 33, 4096];
+    for tier in host_tiers() {
+        set_thread_override(Some(tier)).expect("tier supported on this host");
+        for (i, &len) in lens.iter().enumerate() {
+            for &sparsity in &[2u64, 5, 1_000_000] {
+                let plane = planes(i as u64 + 1, len, sparsity);
+                let whole = PlaneStats::measure_plane(&plane);
+                for &sw in &subwords {
+                    let config = TileConfig::new(sw).unwrap();
+                    let plan = TilePlan::new(plane.len(), config);
+                    // No gap, no overlap: bounds chain and cover.
+                    let mut covered = 0usize;
+                    for t in 0..plan.tile_count() {
+                        let b = plan.bounds(t);
+                        assert_eq!(
+                            b.start,
+                            covered,
+                            "tile {t} must start where {} ended",
+                            t.wrapping_sub(1)
+                        );
+                        assert!(b.end > b.start, "tile {t} must be non-empty");
+                        covered = b.end;
+                    }
+                    assert_eq!(covered, plane.len(), "tiles must cover the plane");
+                    // The fold reproduces the whole-plane counts exactly.
+                    let mut fold = TileFold::new(DMU_INDEX_BITS);
+                    for tile in plan.iter(&plane) {
+                        fold.push(sibia_sim::tile::TileStats::measure(tile, DMU_INDEX_BITS));
+                    }
+                    let folded = fold.finish();
+                    assert_eq!(
+                        folded, whole,
+                        "fold mismatch: tier {tier:?} len {len} sw {sw} sparsity 1/{sparsity}"
+                    );
+                }
+            }
+        }
+    }
+    set_thread_override(None).unwrap();
+}
+
+fn nets() -> Vec<Network> {
+    vec![
+        Network::new(
+            "tile-dense",
+            TaskDomain::Vision2d,
+            DensityClass::Dense,
+            vec![
+                Layer::conv2d("c1", 16, 24, 3, 1, 1, 12)
+                    .with_activation(Activation::ELU_1)
+                    .with_input_sparsity(0.15),
+                Layer::linear("fc", 24, 64, 10).with_activation(Activation::Identity),
+            ],
+        ),
+        Network::new(
+            "tile-sparse",
+            TaskDomain::Vision2d,
+            DensityClass::Sparse,
+            vec![
+                Layer::conv2d("c1", 8, 16, 3, 1, 1, 16)
+                    .with_activation(Activation::Relu)
+                    .with_input_sparsity(0.5),
+                Layer::conv2d("c2", 16, 16, 3, 1, 1, 16)
+                    .with_activation(Activation::Relu)
+                    .with_input_sparsity(0.6),
+            ],
+        ),
+    ]
+}
+
+fn archs() -> Vec<ArchSpec> {
+    vec![
+        ArchSpec::bit_fusion(),
+        ArchSpec::sibia_no_sbr(),
+        ArchSpec::sibia_hybrid(),
+    ]
+}
+
+fn small_sim() -> Simulator {
+    let mut sim = Simulator::new(0);
+    sim.sample_cap = 4096;
+    sim
+}
+
+#[test]
+fn tiled_grid_is_byte_identical_to_the_layer_grain_engine() {
+    let archs = archs();
+    let nets = nets();
+    let seeds = [1u64, 7];
+    let layer_grain = ParallelEngine::with_threads(2).simulate_grid_cached(
+        &small_sim(),
+        &archs,
+        &nets,
+        &seeds,
+        &DecompCache::new(),
+    );
+    // Tile sizes: one-tile-per-layer (huge), the paper PE (16 sub-words),
+    // and an awkward prime that never divides a plane evenly.
+    for tile in [1_000_000usize, 16, 7] {
+        for threads in [1usize, 4] {
+            let mut sim = small_sim();
+            sim.tile = Some(tile);
+            let tiled = ParallelEngine::with_threads(threads).simulate_grid_cached(
+                &sim,
+                &archs,
+                &nets,
+                &seeds,
+                &DecompCache::new(),
+            );
+            assert_eq!(
+                tiled, layer_grain,
+                "tile {tile} × {threads} threads must not change a byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn tiled_grid_observer_sees_every_cell_and_the_store_round_trips() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let archs = archs();
+    let nets = nets();
+    let seeds = [3u64];
+    let dir = std::env::temp_dir().join(format!("sibia-tile-grid-{}", std::process::id()));
+    let store = sibia_store::Store::open(&dir).unwrap();
+
+    let mut sim = small_sim();
+    sim.tile = Some(7);
+    let seen = AtomicUsize::new(0);
+    let cold = ParallelEngine::with_threads(3).simulate_grid_observed(
+        &sim,
+        &archs,
+        &nets,
+        &seeds,
+        &DecompCache::new(),
+        Some(&store),
+        &|_cell| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    assert_eq!(seen.load(Ordering::Relaxed), archs.len() * nets.len());
+
+    // Second run: every cell is a store hit, bytes unchanged, observer
+    // still fires once per cell.
+    let seen = AtomicUsize::new(0);
+    let warm = ParallelEngine::with_threads(3).simulate_grid_observed(
+        &sim,
+        &archs,
+        &nets,
+        &seeds,
+        &DecompCache::new(),
+        Some(&store),
+        &|_cell| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        },
+    );
+    assert_eq!(seen.load(Ordering::Relaxed), archs.len() * nets.len());
+    assert_eq!(warm, cold);
+
+    // And a layer-grain run against the same store also hits (the tile
+    // knob is outside the store key).
+    let untiled = ParallelEngine::new().simulate_grid_stored(
+        &small_sim(),
+        &archs,
+        &nets,
+        &seeds,
+        &DecompCache::new(),
+        &store,
+    );
+    assert_eq!(untiled, cold);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tile_cache_shares_content_identical_tiles() {
+    // Two networks whose first layers differ only in *name*: synthetic
+    // tensor content depends on shape and (seed, layer_index), not the
+    // name, so the decomposition cache misses (its key includes the name)
+    // while the streamed tiles are byte-identical — the content-keyed
+    // tile cache must convert the second pass into hits.
+    let layer = |name: &str| {
+        Layer::conv2d(name, 8, 16, 3, 1, 1, 16)
+            .with_activation(Activation::Relu)
+            .with_input_sparsity(0.4)
+    };
+    let net_a = Network::new(
+        "twin-a",
+        TaskDomain::Vision2d,
+        DensityClass::Sparse,
+        vec![layer("c1")],
+    );
+    let net_b = Network::new(
+        "twin-b",
+        TaskDomain::Vision2d,
+        DensityClass::Sparse,
+        vec![layer("c1-renamed")],
+    );
+    let mut sim = small_sim();
+    sim.tile = Some(16);
+    let cache = DecompCache::new();
+    let arch = [ArchSpec::sibia_hybrid()];
+    let _ = ParallelEngine::with_threads(2).simulate_grid_cached(
+        &sim,
+        &arch,
+        &[net_a, net_b],
+        &[5u64],
+        &cache,
+    );
+    assert!(
+        cache.tile_hits() > 0,
+        "identical tile content across networks must hit ({} misses)",
+        cache.tile_misses()
+    );
+}

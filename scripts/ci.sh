@@ -110,6 +110,40 @@ trap - EXIT
 grep -q "shutdown complete" "$reactor_log" || { echo "reactor did not drain cleanly"; cat "$reactor_log"; exit 1; }
 rm -f "$reactor_log"
 
+echo "==> streaming sweep smoke test"
+# Revision-6 progress streaming end to end: one daemon, one sweep with
+# --stream. At least one per-cell progress frame must land on stderr and
+# the final document must be byte-identical to the non-streamed sweep of
+# the same grid; the tile granularity knob must be invisible in the bytes.
+stream_dir="$(mktemp -d)"
+./target/release/sibia-cli serve --port 0 >"$stream_dir/serve.log" 2>&1 &
+stream_pid=$!
+trap 'kill "$stream_pid" 2>/dev/null || true' EXIT
+stream_addr=""
+for _ in $(seq 1 50); do
+  stream_addr="$(sed -n 's/^sibia-serve listening on //p' "$stream_dir/serve.log")"
+  [ -n "$stream_addr" ] && break
+  sleep 0.1
+done
+[ -n "$stream_addr" ] || { echo "streaming daemon never came up"; cat "$stream_dir/serve.log"; exit 1; }
+stream_grid=(--archs sibia,bitfusion --networks dgcnn --seeds 1,2 --sample-cap 512)
+./target/release/sibia-cli sweep --endpoint "$stream_addr" "${stream_grid[@]}" \
+  >"$stream_dir/plain.json"
+./target/release/sibia-cli sweep --endpoint "$stream_addr" "${stream_grid[@]}" --stream \
+  >"$stream_dir/stream.json" 2>"$stream_dir/progress.log"
+grep -q "^progress: " "$stream_dir/progress.log" \
+  || { echo "streamed sweep emitted no progress frames"; cat "$stream_dir/progress.log"; exit 1; }
+cmp "$stream_dir/plain.json" "$stream_dir/stream.json" \
+  || { echo "streamed final document differs from the plain sweep"; exit 1; }
+./target/release/sibia-cli sweep --endpoint "$stream_addr" "${stream_grid[@]}" --tile 7 \
+  >"$stream_dir/tiled.json"
+cmp "$stream_dir/plain.json" "$stream_dir/tiled.json" \
+  || { echo "tiled sweep changed the result bytes"; exit 1; }
+kill -TERM "$stream_pid"
+wait "$stream_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$stream_dir"
+
 echo "==> fleet smoke test"
 # Two store-backed daemons, a sharded sweep, and a SIGKILL of one backend
 # mid-run: the merged document must still be byte-identical to the
@@ -134,8 +168,10 @@ done
   || { echo "fleet backends never came up"; cat "$fleet_dir"/*.log; exit 1; }
 fleet_grid=(--archs sibia,bitfusion --networks dgcnn --seeds 1,2,3,4,5,6 --sample-cap 512)
 ./target/release/sibia-cli fleet sweep --local "${fleet_grid[@]}" >"$fleet_dir/direct.json"
+# --tile 7 on the fleet side only: the merged bytes must still equal the
+# untiled local grid (tile granularity is pure scheduling, never results).
 ./target/release/sibia-cli fleet sweep --endpoints "$fleet_addr_a,$fleet_addr_b" \
-  "${fleet_grid[@]}" >"$fleet_dir/fleet.json" 2>"$fleet_dir/fleet.log" &
+  --tile 7 "${fleet_grid[@]}" >"$fleet_dir/fleet.json" 2>"$fleet_dir/fleet.log" &
 fleet_sweep_pid=$!
 sleep 0.3
 kill -9 "$fleet_pid_b" 2>/dev/null || true
@@ -190,6 +226,8 @@ grep -q "joins 1" "$chaos_dir/fleet.log" \
   || { echo "mid-sweep join was not recorded"; cat "$chaos_dir/fleet.log"; exit 1; }
 grep -q '"endpoint":"'"${chaos_addrs[3]}"'"' "$chaos_dir/status.json" \
   || { echo "status snapshot is missing the joined member"; cat "$chaos_dir/status.json"; exit 1; }
+grep -q '"progress"' "$chaos_dir/status.json" \
+  || { echo "status snapshot is missing the progress object"; cat "$chaos_dir/status.json"; exit 1; }
 kill -TERM "${chaos_pids[@]}" 2>/dev/null || true
 for p in "${chaos_pids[@]}"; do wait "$p" 2>/dev/null || true; done
 trap - EXIT
